@@ -1,0 +1,77 @@
+//! E7: the O(n³) transitive closure is the §IX bottleneck — measure how
+//! full and incremental closure scale with the variable count (the
+//! paper's analyses averaged 52–66 variables).
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpl_domains::{ConstraintGraph, NsVar, PsetId};
+use std::hint::black_box;
+
+fn vars(n: usize) -> Vec<NsVar> {
+    (0..n).map(|i| NsVar::pset(PsetId((i % 7) as u32), format!("v{i}"))).collect()
+}
+
+/// A chain plus some cross edges: representative of the per-namespace
+/// structure the analysis builds (id/loop-var relations).
+fn seed_graph(vs: &[NsVar]) -> ConstraintGraph {
+    let mut g = ConstraintGraph::new();
+    for w in vs.windows(2) {
+        g.assert_le(&w[0], &w[1], 1);
+    }
+    for (i, v) in vs.iter().enumerate().step_by(5) {
+        g.assert_le(v, &vs[(i * 3 + 1) % vs.len()], 4);
+    }
+    g
+}
+
+fn bench_full_closure(c: &mut Criterion) {
+    let mut group = c.benchmark_group("full_closure_on3");
+    for n in [8usize, 16, 32, 52, 64, 96] {
+        let vs = vars(n);
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = seed_graph(&vs);
+                g.close();
+                black_box(g.is_bottom())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_incremental_update(c: &mut Criterion) {
+    let mut group = c.benchmark_group("incremental_closure_on2");
+    for n in [8usize, 16, 32, 52, 64, 96] {
+        let vs = vars(n);
+        let mut base = seed_graph(&vs);
+        base.close();
+        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
+            b.iter(|| {
+                let mut g = base.clone();
+                // One new edge on a closed graph: the O(n²) path.
+                g.assert_le(&vs[n - 1], &vs[0], -1);
+                black_box(g.is_bottom())
+            });
+        });
+    }
+    group.finish();
+}
+
+fn bench_join_and_widen(c: &mut Criterion) {
+    let mut group = c.benchmark_group("lattice_ops");
+    for n in [16usize, 52] {
+        let vs = vars(n);
+        let a = seed_graph(&vs);
+        let mut b2 = seed_graph(&vs);
+        b2.assert_le(&vs[0], &vs[n / 2], 2);
+        group.bench_with_input(BenchmarkId::new("join", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.join(&b2)));
+        });
+        group.bench_with_input(BenchmarkId::new("widen", n), &n, |bch, _| {
+            bch.iter(|| black_box(a.widen(&b2)));
+        });
+    }
+    group.finish();
+}
+
+criterion_group!(benches, bench_full_closure, bench_incremental_update, bench_join_and_widen);
+criterion_main!(benches);

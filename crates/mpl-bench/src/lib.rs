@@ -1,0 +1,58 @@
+//! # mpl-bench — evaluation harness
+//!
+//! Regenerates every table and figure of the paper's evaluation (see the
+//! experiment index in `DESIGN.md`):
+//!
+//! * `cargo run -p mpl-bench --bin tables` — the per-figure analysis
+//!   results (E1–E5, E10): verdicts, matched topologies, Table I HSM
+//!   derivations and the pattern/collective table;
+//! * `cargo run -p mpl-bench --bin profile` — the §IX profile (E6):
+//!   closure operation counts, average variable counts and the share of
+//!   analysis time spent in transitive closure, plus the full-closure
+//!   ablation (E8);
+//! * `cargo bench -p mpl-bench` — Criterion benches: closure scaling
+//!   (E7), end-to-end analysis times (E6) and the closure ablation (E8).
+
+use std::time::{Duration, Instant};
+
+use mpl_core::{analyze, AnalysisConfig, AnalysisResult, Client};
+use mpl_domains::ClosureStats;
+use mpl_lang::corpus::CorpusProgram;
+
+/// One measured analysis run with its closure profile.
+#[derive(Debug, Clone)]
+pub struct ProfiledRun {
+    /// Corpus program name.
+    pub name: &'static str,
+    /// Client used.
+    pub client: Client,
+    /// The analysis result.
+    pub result: AnalysisResult,
+    /// Total wall-clock analysis time.
+    pub total: Duration,
+    /// Closure counters accumulated during the run.
+    pub closure: ClosureStats,
+}
+
+impl ProfiledRun {
+    /// Fraction of the analysis time spent inside transitive closures —
+    /// the paper's headline "92.5 %".
+    #[must_use]
+    pub fn closure_share(&self) -> f64 {
+        if self.total.is_zero() {
+            return 0.0;
+        }
+        self.closure.closure_time().as_secs_f64() / self.total.as_secs_f64()
+    }
+}
+
+/// Runs `prog` under `client` with closure instrumentation.
+#[must_use]
+pub fn profiled_run(prog: &CorpusProgram, client: Client) -> ProfiledRun {
+    ClosureStats::reset();
+    let config = AnalysisConfig { client, ..AnalysisConfig::default() };
+    let start = Instant::now();
+    let result = analyze(&prog.program, &config);
+    let total = start.elapsed();
+    ProfiledRun { name: prog.name, client, result, total, closure: ClosureStats::snapshot() }
+}

@@ -1,0 +1,69 @@
+//! Graphviz (DOT) export for CFGs — handy when debugging analyses.
+
+use std::fmt::Write as _;
+
+use crate::graph::{Cfg, EdgeKind};
+
+/// Renders `cfg` as a Graphviz `digraph`.
+///
+/// ```
+/// use mpl_cfg::{dot::to_dot, Cfg};
+/// let cfg = Cfg::build(&mpl_lang::parse_program("x := 1;")?);
+/// let dot = to_dot(&cfg, "example");
+/// assert!(dot.starts_with("digraph example"));
+/// # Ok::<(), mpl_lang::ParseError>(())
+/// ```
+#[must_use]
+pub fn to_dot(cfg: &Cfg, name: &str) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "digraph {name} {{");
+    let _ = writeln!(out, "  node [shape=box, fontname=\"monospace\"];");
+    for id in cfg.node_ids() {
+        let label = cfg.node(id).to_string().replace('"', "\\\"");
+        let _ = writeln!(out, "  {id} [label=\"{id}: {label}\"];");
+    }
+    for id in cfg.node_ids() {
+        for &(kind, succ) in cfg.succs(id) {
+            match kind {
+                EdgeKind::Seq => {
+                    let _ = writeln!(out, "  {id} -> {succ};");
+                }
+                EdgeKind::True | EdgeKind::False => {
+                    let _ = writeln!(out, "  {id} -> {succ} [label=\"{kind}\"];");
+                }
+            }
+        }
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Cfg;
+    use mpl_lang::parse_program;
+
+    #[test]
+    fn dot_output_contains_all_nodes_and_edge_labels() {
+        let cfg = Cfg::build(&parse_program("if id = 0 then send 1 -> 1; end").unwrap());
+        let dot = to_dot(&cfg, "g");
+        assert!(dot.contains("digraph g {"));
+        assert!(dot.contains("send 1 -> 1"));
+        assert!(dot.contains("[label=\"T\"]"));
+        assert!(dot.contains("[label=\"F\"]"));
+        // One line per node.
+        for id in cfg.node_ids() {
+            assert!(dot.contains(&format!("{id} [label=")));
+        }
+    }
+
+    #[test]
+    fn dot_escapes_quotes() {
+        // No MPL construct produces quotes today, but the escape path must
+        // not corrupt output.
+        let cfg = Cfg::build(&parse_program("x := 1;").unwrap());
+        let dot = to_dot(&cfg, "q");
+        assert!(!dot.contains("\\\"\\\""));
+    }
+}

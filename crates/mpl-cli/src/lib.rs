@@ -1,0 +1,378 @@
+//! # mpl-cli — the `mpl` command-line tool
+//!
+//! ```text
+//! mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace]
+//! mpl run     <file> --np N [--seed S] [--rendezvous] [--set var=val]...
+//! mpl check   <file>                  # diagnostics; exit 1 on findings
+//! mpl dot     <file>                  # Graphviz CFG
+//! mpl flow    <file> --source v[,v]   # information-flow leak report
+//! mpl mpicfg  <file>                  # MPI-CFG baseline comparison
+//! mpl rewrite <file>                  # broadcast -> binomial tree
+//! ```
+//!
+//! All command logic lives here (returning the rendered output and an
+//! exit code) so it is unit-testable; `main.rs` only forwards.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt::Write as _;
+
+use mpl_cfg::Cfg;
+use mpl_core::diagnostics::diagnose;
+use mpl_core::{
+    analyze_cfg, classify, info_flow, mpi_cfg_topology, AnalysisConfig, Client, StaticTopology,
+    Verdict,
+};
+use mpl_lang::parse_program;
+use mpl_sim::{Schedule, SendMode, SimConfig, Simulator};
+
+/// A rendered command outcome.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CmdOutput {
+    /// Text to print on stdout.
+    pub text: String,
+    /// Process exit code.
+    pub code: i32,
+}
+
+fn ok(text: String) -> CmdOutput {
+    CmdOutput { text, code: 0 }
+}
+
+/// Runs a full command line (without the leading program name) against
+/// `source` (the contents of the program file named in `args[1]` — the
+/// caller resolves the path so this stays testable).
+///
+/// # Errors
+///
+/// Returns a description of invalid usage or a parse failure.
+pub fn run_command(args: &[String], source: &str) -> Result<CmdOutput, Box<dyn Error>> {
+    let Some(cmd) = args.first() else {
+        return Err(usage().into());
+    };
+    let program = parse_program(source)?;
+    let cfg = Cfg::build(&program);
+    let rest = &args[2.min(args.len())..];
+    match cmd.as_str() {
+        "analyze" => cmd_analyze(&cfg, rest),
+        "run" => cmd_run(&cfg, rest),
+        "check" => cmd_check(&cfg),
+        "dot" => Ok(ok(mpl_cfg::dot::to_dot(&cfg, "mpl"))),
+        "flow" => cmd_flow(&cfg, rest),
+        "mpicfg" => cmd_mpicfg(&cfg),
+        "rewrite" => cmd_rewrite(&program, &cfg),
+        other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
+    }
+}
+
+/// The usage string.
+#[must_use]
+pub fn usage() -> &'static str {
+    "usage:\n  \
+     mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace]\n  \
+     mpl run     <file> --np N [--seed S] [--rendezvous] [--set var=val]...\n  \
+     mpl check   <file>\n  \
+     mpl dot     <file>\n  \
+     mpl flow    <file> --source var[,var...]\n  \
+     mpl mpicfg  <file>\n  \
+     mpl rewrite <file>"
+}
+
+fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
+    args.iter()
+        .position(|a| a == name)
+        .and_then(|i| args.get(i + 1))
+        .map(String::as_str)
+}
+
+fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
+    let client = match flag_value(args, "--client") {
+        Some("simple") => Client::Simple,
+        Some("cartesian") | None => Client::Cartesian,
+        Some(other) => return Err(format!("unknown client `{other}`").into()),
+    };
+    let min_np = match flag_value(args, "--min-np") {
+        Some(v) => v.parse()?,
+        None => AnalysisConfig::default().min_np,
+    };
+    let trace = args.iter().any(|a| a == "--trace");
+    let config = AnalysisConfig { client, min_np, trace, ..AnalysisConfig::default() };
+    let result = analyze_cfg(cfg, &config);
+
+    let mut out = String::new();
+    if trace {
+        for line in &result.trace {
+            let _ = writeln!(out, "{line}");
+        }
+    }
+    let _ = writeln!(out, "verdict: {:?}", result.verdict);
+    let topo = StaticTopology::from_result(&result);
+    let _ = write!(out, "{topo}");
+    let pattern = classify(&result);
+    let _ = writeln!(out, "pattern: {pattern}");
+    if let Some(hint) = pattern.collective_hint() {
+        let _ = writeln!(out, "hint: {hint}");
+    }
+    for p in &result.prints {
+        if let Some(v) = p.value {
+            let _ = writeln!(out, "print at {} for ranks {}: constant {v}", p.node, p.range);
+        }
+    }
+    for d in diagnose(cfg, &result) {
+        let _ = writeln!(out, "diagnostic: {d}");
+    }
+    let code = i32::from(!result.is_exact());
+    Ok(CmdOutput { text: out, code })
+}
+
+fn cmd_run(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
+    let np: u64 = flag_value(args, "--np").ok_or("missing --np")?.parse()?;
+    let mut config = SimConfig::default();
+    if let Some(seed) = flag_value(args, "--seed") {
+        config.schedule = Schedule::Random { seed: seed.parse()? };
+    }
+    if args.iter().any(|a| a == "--rendezvous") {
+        config.send_mode = SendMode::Rendezvous;
+    }
+    let mut initial: BTreeMap<String, i64> = BTreeMap::new();
+    for (i, a) in args.iter().enumerate() {
+        if a == "--set" {
+            let kv = args.get(i + 1).ok_or("missing value after --set")?;
+            let (k, v) = kv.split_once('=').ok_or("expected --set var=val")?;
+            initial.insert(k.to_owned(), v.parse()?);
+        }
+    }
+    config.initial_vars = initial;
+
+    let outcome = Simulator::from_cfg(cfg.clone(), np).with_config(config).run()?;
+    let mut out = String::new();
+    let _ = writeln!(out, "status: {:?}", outcome.status);
+    for (rank, prints) in outcome.prints.iter().enumerate() {
+        if !prints.is_empty() {
+            let _ = writeln!(out, "rank {rank} printed: {prints:?}");
+        }
+    }
+    let _ = writeln!(out, "messages delivered: {}", outcome.topology.len());
+    for leak in &outcome.leaks {
+        let _ = writeln!(
+            out,
+            "leak: message from rank {} to rank {} (send {})",
+            leak.sender, leak.receiver, leak.send_node
+        );
+    }
+    let code = i32::from(!outcome.is_complete() || !outcome.leaks.is_empty());
+    Ok(CmdOutput { text: out, code })
+}
+
+fn cmd_check(cfg: &Cfg) -> Result<CmdOutput, Box<dyn Error>> {
+    let result = analyze_cfg(cfg, &AnalysisConfig::default());
+    let diags = diagnose(cfg, &result);
+    let mut out = String::new();
+    if diags.is_empty() {
+        let _ = writeln!(out, "ok: communication matched exactly, no leaks, no deadlock");
+        return Ok(ok(out));
+    }
+    for d in &diags {
+        let _ = writeln!(out, "{d}");
+    }
+    Ok(CmdOutput { text: out, code: 1 })
+}
+
+fn cmd_flow(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
+    let sources: Vec<&str> = flag_value(args, "--source")
+        .ok_or("missing --source")?
+        .split(',')
+        .collect();
+    let result = analyze_cfg(cfg, &AnalysisConfig::default());
+    let mut out = String::new();
+    if !result.is_exact() {
+        let _ = writeln!(
+            out,
+            "warning: verdict {:?}; falling back to the MPI-CFG over-approximation",
+            result.verdict
+        );
+        let baseline = mpi_cfg_topology(cfg);
+        let flow = mpl_core::info_flow_with_pairs(cfg, baseline.pairs());
+        render_flow(&mut out, &flow, &sources);
+        return Ok(CmdOutput { text: out, code: 2 });
+    }
+    let flow = info_flow(cfg, &result);
+    render_flow(&mut out, &flow, &sources);
+    Ok(ok(out))
+}
+
+fn render_flow(out: &mut String, flow: &mpl_core::InfoFlow, sources: &[&str]) {
+    let tainted = flow.tainted_from(sources);
+    let _ = writeln!(out, "tainted variables: {}", tainted.into_iter().collect::<Vec<_>>().join(", "));
+    let leaks = flow.leaking_prints(sources);
+    if leaks.is_empty() {
+        let _ = writeln!(out, "no print statement can output the sources");
+    } else {
+        for node in leaks {
+            let _ = writeln!(out, "possible leak at print {node}");
+        }
+    }
+}
+
+fn cmd_rewrite(
+    program: &mpl_lang::ast::Program,
+    cfg: &Cfg,
+) -> Result<CmdOutput, Box<dyn Error>> {
+    let result = analyze_cfg(cfg, &AnalysisConfig::default());
+    match mpl_core::rewrite_broadcast(program, cfg, &result) {
+        Ok(tree) => {
+            let mut out = String::new();
+            let _ = writeln!(
+                out,
+                "// fan-out broadcast detected; rewritten to a binomial tree:"
+            );
+            let _ = write!(out, "{tree}");
+            Ok(ok(out))
+        }
+        Err(e) => Ok(CmdOutput { text: format!("no rewrite: {e}\n"), code: 1 }),
+    }
+}
+
+fn cmd_mpicfg(cfg: &Cfg) -> Result<CmdOutput, Box<dyn Error>> {
+    let baseline = mpi_cfg_topology(cfg);
+    let result = analyze_cfg(cfg, &AnalysisConfig::default());
+    let mut out = String::new();
+    let _ = write!(out, "{baseline}");
+    match &result.verdict {
+        Verdict::Exact => {
+            let _ = writeln!(
+                out,
+                "pCFG analysis: exact with {} statement pairs ({} fewer than MPI-CFG)",
+                result.matches.len(),
+                baseline.pairs().len().saturating_sub(result.matches.len())
+            );
+        }
+        other => {
+            let _ = writeln!(out, "pCFG analysis verdict: {other:?}");
+        }
+    }
+    Ok(ok(out))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_lang::corpus;
+
+    fn run(args: &[&str], source: &str) -> CmdOutput {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        run_command(&args, source).expect("command runs")
+    }
+
+    #[test]
+    fn analyze_reports_verdict_pattern_and_constants() {
+        let prog = corpus::fig2_exchange();
+        let out = run(&["analyze", "f.mpl", "--client", "simple"], &prog.source);
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("verdict: Exact"));
+        assert!(out.text.contains("pattern: pair-exchange"));
+        assert!(out.text.contains("constant 5"));
+    }
+
+    #[test]
+    fn analyze_nonexact_exits_nonzero() {
+        let prog = corpus::ring_uniform();
+        let out = run(&["analyze", "f.mpl"], &prog.source);
+        assert_eq!(out.code, 1);
+        assert!(out.text.contains("Top"));
+    }
+
+    #[test]
+    fn run_simulates_and_reports_prints() {
+        let prog = corpus::fig2_exchange();
+        let out = run(&["run", "f.mpl", "--np", "4"], &prog.source);
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("rank 0 printed: [5]"));
+        assert!(out.text.contains("rank 1 printed: [5]"));
+    }
+
+    #[test]
+    fn run_with_seed_and_set() {
+        let prog = corpus::stencil_2d_vertical(corpus::GridDims::Symbolic);
+        let out = run(
+            &["run", "f.mpl", "--np", "9", "--seed", "7", "--set", "nrows=3", "--set", "ncols=3"],
+            &prog.source,
+        );
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("messages delivered: 6"));
+    }
+
+    #[test]
+    fn run_flags_leaks_with_nonzero_exit() {
+        let prog = corpus::message_leak();
+        let out = run(&["run", "f.mpl", "--np", "3"], &prog.source);
+        assert_eq!(out.code, 1);
+        assert!(out.text.contains("leak: message from rank 0 to rank 1"));
+    }
+
+    #[test]
+    fn check_clean_and_dirty() {
+        let clean = run(&["check", "f.mpl"], &corpus::exchange_with_root().source);
+        assert_eq!(clean.code, 0);
+        assert!(clean.text.contains("ok:"));
+        let dirty = run(&["check", "f.mpl"], &corpus::deadlock_pair().source);
+        assert_eq!(dirty.code, 1);
+        assert!(dirty.text.contains("deadlock"));
+    }
+
+    #[test]
+    fn dot_emits_graphviz() {
+        let out = run(&["dot", "f.mpl"], "x := 1;");
+        assert!(out.text.starts_with("digraph mpl"));
+    }
+
+    #[test]
+    fn flow_reports_leaking_prints() {
+        let out = run(
+            &["flow", "f.mpl", "--source", "x"],
+            &corpus::fig2_exchange().source,
+        );
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("possible leak at print"));
+    }
+
+    #[test]
+    fn mpicfg_compares_against_pcfg() {
+        let out = run(&["mpicfg", "f.mpl"], &corpus::mdcask_full().source);
+        assert!(out.text.contains("MPI-CFG topology"));
+        assert!(out.text.contains("pCFG analysis: exact"));
+    }
+
+    #[test]
+    fn unknown_command_and_bad_flags_error() {
+        let args = vec!["frobnicate".to_owned()];
+        assert!(run_command(&args, "x := 1;").is_err());
+        let args: Vec<String> =
+            ["run", "f.mpl"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(run_command(&args, "x := 1;").is_err()); // missing --np
+        let args: Vec<String> =
+            ["analyze", "f.mpl", "--client", "quantum"].iter().map(|s| (*s).to_owned()).collect();
+        assert!(run_command(&args, "x := 1;").is_err());
+    }
+
+    #[test]
+    fn rewrite_emits_tree_broadcast() {
+        let out = run(&["rewrite", "f.mpl"], &corpus::fanout_broadcast().source);
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("binomial tree"));
+        assert!(out.text.contains("while (mpl_k < np)"));
+        // The emitted program is valid MPL.
+        let body = out.text.lines().skip(1).collect::<Vec<_>>().join("\n");
+        assert!(mpl_lang::parse_program(&body).is_ok());
+        // Non-broadcasts are refused.
+        let no = run(&["rewrite", "f.mpl"], &corpus::nearest_neighbor_shift().source);
+        assert_eq!(no.code, 1);
+    }
+
+    #[test]
+    fn parse_errors_surface() {
+        let args: Vec<String> = ["check", "f.mpl"].iter().map(|s| (*s).to_owned()).collect();
+        let err = run_command(&args, "x := ;").unwrap_err();
+        assert!(err.to_string().contains("parse error"));
+    }
+}

@@ -1,0 +1,28 @@
+//! The `mpl` binary: thin wrapper over [`mpl_cli::run_command`].
+
+use std::process::ExitCode;
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let Some(path) = args.get(1) else {
+        eprintln!("{}", mpl_cli::usage());
+        return ExitCode::from(2);
+    };
+    let source = match std::fs::read_to_string(path) {
+        Ok(s) => s,
+        Err(e) => {
+            eprintln!("cannot read {path}: {e}");
+            return ExitCode::from(2);
+        }
+    };
+    match mpl_cli::run_command(&args, &source) {
+        Ok(out) => {
+            print!("{}", out.text);
+            ExitCode::from(u8::try_from(out.code.clamp(0, 255)).unwrap_or(2))
+        }
+        Err(e) => {
+            eprintln!("error: {e}");
+            ExitCode::from(2)
+        }
+    }
+}

@@ -1,0 +1,172 @@
+//! End-to-end tests of the actual `mpl` binary (spawned as a process).
+
+use std::io::Write as _;
+use std::process::Command;
+
+fn run_mpl(args: &[&str], source: &str) -> (String, String, i32) {
+    let mut file = tempfile();
+    file.write_all(source.as_bytes()).expect("write temp program");
+    let path = file.path().to_owned();
+    let out = Command::new(env!("CARGO_BIN_EXE_mpl"))
+        .arg(args[0])
+        .arg(&path)
+        .args(&args[1..])
+        .output()
+        .expect("spawn mpl");
+    (
+        String::from_utf8_lossy(&out.stdout).into_owned(),
+        String::from_utf8_lossy(&out.stderr).into_owned(),
+        out.status.code().unwrap_or(-1),
+    )
+}
+
+fn tempfile() -> tempfile_shim::NamedTemp {
+    tempfile_shim::NamedTemp::new()
+}
+
+/// A minimal named-temp-file helper (avoids an external dependency).
+mod tempfile_shim {
+    use std::path::{Path, PathBuf};
+    use std::sync::atomic::{AtomicU64, Ordering};
+
+    static COUNTER: AtomicU64 = AtomicU64::new(0);
+
+    pub struct NamedTemp {
+        path: PathBuf,
+        file: std::fs::File,
+    }
+
+    impl NamedTemp {
+        pub fn new() -> NamedTemp {
+            let n = COUNTER.fetch_add(1, Ordering::Relaxed);
+            let path = std::env::temp_dir()
+                .join(format!("mpl-cli-test-{}-{n}.mpl", std::process::id()));
+            let file = std::fs::File::create(&path).expect("create temp file");
+            NamedTemp { path, file }
+        }
+
+        pub fn path(&self) -> &Path {
+            &self.path
+        }
+    }
+
+    impl std::io::Write for NamedTemp {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            std::io::Write::write(&mut self.file, buf)
+        }
+        fn flush(&mut self) -> std::io::Result<()> {
+            std::io::Write::flush(&mut self.file)
+        }
+    }
+
+    impl Drop for NamedTemp {
+        fn drop(&mut self) {
+            let _ = std::fs::remove_file(&self.path);
+        }
+    }
+}
+
+const EXCHANGE: &str = "\
+x := 7;
+if id = 0 then
+  for i = 1 to np - 1 do
+    send x -> i;
+    recv y <- i;
+  end
+else
+  recv y <- 0;
+  send x -> 0;
+end
+";
+
+#[test]
+fn binary_analyze_end_to_end() {
+    let (stdout, stderr, code) = run_mpl(&["analyze"], EXCHANGE);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert!(stdout.contains("verdict: Exact"), "{stdout}");
+    assert!(stdout.contains("exchange-with-root"), "{stdout}");
+}
+
+#[test]
+fn binary_run_end_to_end() {
+    let (stdout, _, code) = run_mpl(&["run", "--np", "6"], EXCHANGE);
+    assert_eq!(code, 0);
+    assert!(stdout.contains("status: Completed"), "{stdout}");
+    assert!(stdout.contains("messages delivered: 10"), "{stdout}");
+}
+
+#[test]
+fn binary_check_reports_deadlock_nonzero() {
+    let deadlock = "\
+if id = 0 then
+  recv y <- 1;
+else
+  if id = 1 then
+    recv y <- 0;
+  end
+end
+";
+    let (stdout, _, code) = run_mpl(&["check"], deadlock);
+    assert_eq!(code, 1);
+    assert!(stdout.contains("deadlock"), "{stdout}");
+}
+
+#[test]
+fn binary_reports_missing_file() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mpl"))
+        .args(["analyze", "/nonexistent/path.mpl"])
+        .output()
+        .expect("spawn mpl");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("cannot read"));
+}
+
+#[test]
+fn binary_usage_on_no_args() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mpl")).output().expect("spawn mpl");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
+}
+
+#[test]
+fn shipped_sample_programs_work() {
+    let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/programs");
+    let run_on = |cmd: &str, file: &str, extra: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_mpl"))
+            .arg(cmd)
+            .arg(format!("{root}/{file}"))
+            .args(extra)
+            .output()
+            .expect("spawn mpl");
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            out.status.code().unwrap_or(-1),
+        )
+    };
+    let (out, code) = run_on("analyze", "exchange.mpl", &[]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("exchange-with-root"));
+
+    let (out, code) = run_on("analyze", "transpose.mpl", &[]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("partner-exchange"));
+
+    let (out, code) = run_on("analyze", "shift.mpl", &[]);
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("shift(+1)"));
+
+    let (_, code) = run_on("check", "leak.mpl", &[]);
+    assert_eq!(code, 1, "leak must be flagged");
+
+    let (out, code) = run_on("flow", "secret.mpl", &["--source", "secret"]);
+    assert_eq!(code, 0, "{out}");
+    assert_eq!(out.matches("possible leak").count(), 1, "{out}");
+
+    let (out, code) = run_on(
+        "run",
+        "transpose.mpl",
+        &["--np", "9", "--set", "nrows=3", "--set", "ncols=3"],
+    );
+    assert_eq!(code, 0, "{out}");
+    assert!(out.contains("status: Completed"));
+}

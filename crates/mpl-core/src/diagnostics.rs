@@ -1,0 +1,128 @@
+//! Error-detection clients (§I): message leaks and guaranteed deadlocks,
+//! reported with source locations.
+
+use std::fmt;
+
+use mpl_cfg::{Cfg, CfgNodeId};
+use mpl_lang::token::Span;
+
+use crate::engine::{AnalysisResult, Verdict};
+
+/// A diagnostic derived from an analysis result.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Diagnostic {
+    /// A send whose message is provably never received.
+    MessageLeak {
+        /// The send statement.
+        node: CfgNodeId,
+        /// Its source location.
+        span: Span,
+        /// The statement text.
+        statement: String,
+    },
+    /// Blocked receives that can never be satisfied.
+    Deadlock {
+        /// The blocked (statement, location, process range) triples.
+        blocked: Vec<(CfgNodeId, Span, String)>,
+    },
+    /// The analysis could not establish the topology (⊤) — manual review
+    /// required.
+    Inconclusive {
+        /// Why the analysis gave up.
+        reason: String,
+    },
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Diagnostic::MessageLeak { span, statement, .. } => {
+                write!(f, "message leak at {span}: `{statement}` is never received")
+            }
+            Diagnostic::Deadlock { blocked } => {
+                write!(f, "guaranteed deadlock; blocked: ")?;
+                for (i, (_, span, range)) in blocked.iter().enumerate() {
+                    if i > 0 {
+                        f.write_str(", ")?;
+                    }
+                    write!(f, "ranks {range} at {span}")?;
+                }
+                Ok(())
+            }
+            Diagnostic::Inconclusive { reason } => {
+                write!(f, "analysis inconclusive: {reason}")
+            }
+        }
+    }
+}
+
+/// Extracts diagnostics from an analysis result.
+#[must_use]
+pub fn diagnose(cfg: &Cfg, result: &AnalysisResult) -> Vec<Diagnostic> {
+    let mut out = Vec::new();
+    match &result.verdict {
+        Verdict::Exact => {}
+        Verdict::Deadlock { blocked } => {
+            out.push(Diagnostic::Deadlock {
+                blocked: blocked
+                    .iter()
+                    .map(|(node, range)| (*node, cfg.span(*node), range.clone()))
+                    .collect(),
+            });
+        }
+        Verdict::Top { reason } => {
+            out.push(Diagnostic::Inconclusive { reason: reason.clone() });
+        }
+    }
+    for &node in &result.leaks {
+        out.push(Diagnostic::MessageLeak {
+            node,
+            span: cfg.span(node),
+            statement: cfg.node(node).to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{analyze_cfg, AnalysisConfig};
+    use mpl_lang::corpus;
+
+    #[test]
+    fn message_leak_diagnosed_with_location() {
+        let prog = corpus::message_leak();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        let diags = diagnose(&cfg, &result);
+        let leak = diags
+            .iter()
+            .find(|d| matches!(d, Diagnostic::MessageLeak { .. }))
+            .expect("leak diagnostic");
+        let text = leak.to_string();
+        assert!(text.contains("never received"), "{text}");
+        assert!(text.contains("send"), "{text}");
+    }
+
+    #[test]
+    fn deadlock_diagnosed() {
+        let prog = corpus::deadlock_pair();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        let diags = diagnose(&cfg, &result);
+        assert!(
+            diags.iter().any(|d| matches!(d, Diagnostic::Deadlock { .. })),
+            "expected deadlock diagnostic, got {diags:?} (verdict {:?})",
+            result.verdict
+        );
+    }
+
+    #[test]
+    fn clean_program_has_no_diagnostics() {
+        let prog = corpus::fig2_exchange();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        assert!(diagnose(&cfg, &result).is_empty());
+    }
+}

@@ -1,0 +1,226 @@
+//! Information-flow client (paper §I): "reason about information flows in
+//! concurrent programs, identifying privacy- or security-related data
+//! leak vulnerabilities."
+//!
+//! The client builds a variable-level flow graph whose *inter-process*
+//! edges come from the pCFG analysis' exact send–receive matches: the
+//! variables feeding a matched send's value flow into the matched
+//! receive's target variable. Intra-process edges come from assignments.
+//! Taint is then reachability from a set of source variables; the
+//! reportable sinks are `print` statements (the model's only output
+//! channel).
+//!
+//! Communication sensitivity is what makes this precise: with only a
+//! sequential view one must assume *any* send reaches *any* receive
+//! (the MPI-CFG baseline, available via
+//! [`info_flow_with_pairs`]), tainting far more than can actually flow.
+
+use std::collections::{BTreeMap, BTreeSet, VecDeque};
+
+use mpl_cfg::{Cfg, CfgNode, CfgNodeId};
+use mpl_lang::ast::Expr;
+
+use crate::engine::AnalysisResult;
+
+/// A node in the flow graph: a program variable (by name — the analysis
+/// is flow-insensitive), or the `id`/`np` pseudo-sources.
+pub type FlowVar = String;
+
+/// The variable-level information-flow graph.
+#[derive(Debug, Clone, Default)]
+pub struct InfoFlow {
+    /// `from → {to}` edges.
+    edges: BTreeMap<FlowVar, BTreeSet<FlowVar>>,
+    /// Each print statement with the variables its expression reads.
+    prints: Vec<(CfgNodeId, BTreeSet<FlowVar>)>,
+}
+
+fn expr_vars(e: &Expr) -> BTreeSet<FlowVar> {
+    let mut out: BTreeSet<FlowVar> =
+        e.variables().into_iter().map(str::to_owned).collect();
+    if e.mentions_id() {
+        out.insert("id".to_owned());
+    }
+    out
+}
+
+impl InfoFlow {
+    /// All variables reachable from `sources` (inclusive).
+    #[must_use]
+    pub fn tainted_from(&self, sources: &[&str]) -> BTreeSet<FlowVar> {
+        let mut tainted: BTreeSet<FlowVar> =
+            sources.iter().map(|s| (*s).to_owned()).collect();
+        let mut queue: VecDeque<FlowVar> = tainted.iter().cloned().collect();
+        while let Some(v) = queue.pop_front() {
+            if let Some(succs) = self.edges.get(&v) {
+                for s in succs {
+                    if tainted.insert(s.clone()) {
+                        queue.push_back(s.clone());
+                    }
+                }
+            }
+        }
+        tainted
+    }
+
+    /// The print statements that may output data derived from `sources`.
+    #[must_use]
+    pub fn leaking_prints(&self, sources: &[&str]) -> Vec<CfgNodeId> {
+        let tainted = self.tainted_from(sources);
+        self.prints
+            .iter()
+            .filter(|(_, reads)| reads.iter().any(|v| tainted.contains(v)))
+            .map(|(node, _)| *node)
+            .collect()
+    }
+
+    /// The raw edge map (for inspection/testing).
+    #[must_use]
+    pub fn edges(&self) -> &BTreeMap<FlowVar, BTreeSet<FlowVar>> {
+        &self.edges
+    }
+
+    fn add_edges(&mut self, froms: &BTreeSet<FlowVar>, to: &str) {
+        for f in froms {
+            self.edges.entry(f.clone()).or_default().insert(to.to_owned());
+        }
+    }
+}
+
+/// Builds the flow graph using the pCFG analysis' exact matches for the
+/// inter-process edges. Requires an exact verdict for the communication
+/// edges to be complete; on ⊤ verdicts fall back to
+/// [`info_flow_with_pairs`] with the MPI-CFG topology.
+#[must_use]
+pub fn info_flow(cfg: &Cfg, result: &AnalysisResult) -> InfoFlow {
+    info_flow_with_pairs(cfg, &result.matches)
+}
+
+/// Builds the flow graph with an explicit set of (send, recv) statement
+/// pairs as the communication edges — use the pCFG matches for the
+/// precise client, or [`crate::mpicfg::mpi_cfg_topology`]'s pairs for the
+/// baseline.
+#[must_use]
+pub fn info_flow_with_pairs(
+    cfg: &Cfg,
+    comm_pairs: &BTreeSet<(CfgNodeId, CfgNodeId)>,
+) -> InfoFlow {
+    let mut flow = InfoFlow::default();
+    for id in cfg.node_ids() {
+        match cfg.node(id) {
+            CfgNode::Assign { name, value } => {
+                flow.add_edges(&expr_vars(value), name);
+            }
+            CfgNode::Print(e) => {
+                flow.prints.push((id, expr_vars(e)));
+            }
+            _ => {}
+        }
+    }
+    for &(send, recv) in comm_pairs {
+        let CfgNode::Send { value, .. } = cfg.node(send) else { continue };
+        let CfgNode::Recv { var, .. } = cfg.node(recv) else { continue };
+        flow.add_edges(&expr_vars(value), var);
+    }
+    flow
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{analyze_cfg, AnalysisConfig};
+    use crate::mpicfg::mpi_cfg_topology;
+    use mpl_lang::{corpus, parse_program};
+
+    fn analyzed(src: &str) -> (Cfg, AnalysisResult) {
+        let cfg = Cfg::build(&parse_program(src).unwrap());
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        (cfg, result)
+    }
+
+    #[test]
+    fn fig2_secret_reaches_both_prints() {
+        let prog = corpus::fig2_exchange();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        let flow = info_flow(&cfg, &result);
+        // x (rank 0's secret) flows via the exchange into y on both sides.
+        let tainted = flow.tainted_from(&["x"]);
+        assert!(tainted.contains("y"));
+        assert_eq!(flow.leaking_prints(&["x"]).len(), 2);
+    }
+
+    #[test]
+    fn unmatched_send_does_not_propagate() {
+        // The message is never received, so the secret stays put.
+        let prog = corpus::message_leak();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        let flow = info_flow(&cfg, &result);
+        let tainted = flow.tainted_from(&["x"]);
+        assert!(!tainted.contains("y"));
+        assert!(flow.leaking_prints(&["x"]).is_empty());
+    }
+
+    #[test]
+    fn pcfg_matches_are_more_precise_than_mpicfg_pairs() {
+        // secret goes only to rank 1; rank 2 receives something else.
+        // Destinations are held in variables, so the sequential MPI-CFG
+        // pruning cannot separate the two sends — the pCFG analysis can,
+        // by resolving the constants through its dataflow state.
+        let src = "\
+            secret := 41;\n\
+            pub := 1;\n\
+            p1 := 1;\n\
+            p2 := 2;\n\
+            if id = 0 then\n  send secret -> p1;\n  send pub -> p2;\n\
+            else\n  if id = 1 then\n    recv a <- 0;\n    print a;\n\
+            else\n  if id = 2 then\n    recv b <- 0;\n    print b;\n\
+            end\n  end\nend\n";
+        let (cfg, result) = analyzed(src);
+        assert!(result.is_exact(), "{:?}", result.verdict);
+
+        let precise = info_flow(&cfg, &result);
+        let precise_leaks = precise.leaking_prints(&["secret"]);
+        assert_eq!(precise_leaks.len(), 1, "only rank 1's print leaks");
+
+        let baseline = info_flow_with_pairs(&cfg, mpi_cfg_topology(&cfg).pairs());
+        let baseline_leaks = baseline.leaking_prints(&["secret"]);
+        assert!(
+            baseline_leaks.len() > precise_leaks.len(),
+            "MPI-CFG taints both receives ({} vs {})",
+            baseline_leaks.len(),
+            precise_leaks.len()
+        );
+    }
+
+    #[test]
+    fn relay_chain_taints_transitively() {
+        let prog = corpus::const_relay();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        assert!(result.is_exact());
+        let flow = info_flow(&cfg, &result);
+        // x flows 0 -> 1 -> 2, reaching all three prints.
+        assert_eq!(flow.leaking_prints(&["x"]).len(), 3);
+    }
+
+    #[test]
+    fn id_pseudo_source() {
+        let (cfg, result) = analyzed("x := id * 2; print x; print 7;");
+        let flow = info_flow(&cfg, &result);
+        let leaks = flow.leaking_prints(&["id"]);
+        assert_eq!(leaks.len(), 1);
+    }
+
+    #[test]
+    fn taint_is_monotone_in_sources() {
+        let prog = corpus::exchange_with_root();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        let flow = info_flow(&cfg, &result);
+        let a = flow.tainted_from(&["x"]);
+        let b = flow.tainted_from(&["x", "y"]);
+        assert!(a.is_subset(&b));
+    }
+}

@@ -1,0 +1,434 @@
+//! Normalization of MPL expressions into analysis-level forms:
+//! linear expressions over namespaced variables, branch-condition
+//! refinements, and symbolic (polynomial) values for the HSM client.
+
+use std::collections::BTreeSet;
+
+use mpl_cfg::{Cfg, CfgNode};
+use mpl_domains::{ConstEnv, ConstraintGraph, LinExpr, NsVar, PsetId};
+use mpl_hsm::SymPoly;
+use mpl_lang::ast::{BinOp, Expr, UnOp};
+
+/// Static context shared by all transfer functions: which variable names
+/// are ever assigned (assigned → per-process-set variable; never assigned
+/// → uniform global input parameter, shared by all processes).
+#[derive(Debug, Clone, Default)]
+pub struct NormCtx {
+    assigned: BTreeSet<String>,
+}
+
+impl NormCtx {
+    /// Scans the CFG for assignment and receive targets.
+    #[must_use]
+    pub fn from_cfg(cfg: &Cfg) -> NormCtx {
+        let mut assigned = BTreeSet::new();
+        for id in cfg.node_ids() {
+            match cfg.node(id) {
+                CfgNode::Assign { name, .. } | CfgNode::Recv { var: name, .. } => {
+                    assigned.insert(name.clone());
+                }
+                _ => {}
+            }
+        }
+        NormCtx { assigned }
+    }
+
+    /// True if `name` is a never-assigned input parameter.
+    #[must_use]
+    pub fn is_input(&self, name: &str) -> bool {
+        !self.assigned.contains(name)
+    }
+
+    /// The namespaced variable for `name` as seen by process set `pset`.
+    #[must_use]
+    pub fn var(&self, pset: PsetId, name: &str) -> NsVar {
+        if self.is_input(name) {
+            NsVar::Global(name.to_owned())
+        } else {
+            NsVar::pset(pset, name)
+        }
+    }
+
+    /// Linearizes `expr` (as evaluated by process set `pset`) into
+    /// `var + c` form, folding constant subtrees. Returns `None` for
+    /// expressions outside the linear fragment.
+    #[must_use]
+    pub fn linearize(&self, expr: &Expr, pset: PsetId) -> Option<LinExpr> {
+        match expr {
+            Expr::Int(c) => Some(LinExpr::constant(*c)),
+            Expr::Bool(b) => Some(LinExpr::constant(i64::from(*b))),
+            Expr::Id => Some(LinExpr::of_var(NsVar::id_of(pset))),
+            Expr::Np => Some(LinExpr::of_var(NsVar::Np)),
+            Expr::Var(name) => Some(LinExpr::of_var(self.var(pset, name))),
+            Expr::Unary(UnOp::Neg, e) => {
+                let le = self.linearize(e, pset)?;
+                le.as_constant().map(|c| LinExpr::constant(-c))
+            }
+            Expr::Unary(UnOp::Not, _) => None,
+            Expr::Binary(op, l, r) => {
+                let (l, r) = (self.linearize(l, pset)?, self.linearize(r, pset)?);
+                match op {
+                    BinOp::Add => match (l.as_constant(), r.as_constant()) {
+                        (_, Some(c)) => Some(l.plus(c)),
+                        (Some(c), _) => Some(r.plus(c)),
+                        _ => None,
+                    },
+                    BinOp::Sub => match (l.as_constant(), r.as_constant()) {
+                        // c - (v + d) is not var+c form; only a constant
+                        // subtrahend keeps the expression linear.
+                        (_, Some(c)) => Some(l.plus(-c)),
+                        _ => None,
+                    },
+                    BinOp::Mul => match (l.as_constant(), r.as_constant()) {
+                        (Some(a), Some(b)) => Some(LinExpr::constant(a * b)),
+                        (Some(1), _) => Some(r),
+                        (_, Some(1)) => Some(l),
+                        (Some(0), _) | (_, Some(0)) => Some(LinExpr::constant(0)),
+                        _ => None,
+                    },
+                    BinOp::Div => match (l.as_constant(), r.as_constant()) {
+                        (Some(a), Some(b)) if b != 0 => Some(LinExpr::constant(a.div_euclid(b))),
+                        (_, Some(1)) => Some(l),
+                        _ => None,
+                    },
+                    BinOp::Mod => match (l.as_constant(), r.as_constant()) {
+                        (Some(a), Some(b)) if b != 0 => Some(LinExpr::constant(a.rem_euclid(b))),
+                        _ => None,
+                    },
+                    _ => None,
+                }
+            }
+        }
+    }
+
+    /// Replaces every variable (and `np`) whose value the state pins to a
+    /// constant by that constant, so syntactically non-linear expressions
+    /// like `id + ncols` or `np - ncols` become linear once the grid
+    /// dimensions are concrete.
+    #[must_use]
+    pub fn resolve_consts(
+        &self,
+        expr: &Expr,
+        pset: PsetId,
+        consts: &ConstEnv,
+        cg: &mut ConstraintGraph,
+    ) -> Expr {
+        match expr {
+            Expr::Var(name) => {
+                let v = self.var(pset, name);
+                match consts.const_of(&v).or_else(|| cg.const_of(&v)) {
+                    Some(c) => Expr::Int(c),
+                    None => expr.clone(),
+                }
+            }
+            Expr::Np => match cg.const_of(&NsVar::Np) {
+                Some(c) => Expr::Int(c),
+                None => Expr::Np,
+            },
+            Expr::Binary(op, l, r) => Expr::binary(
+                *op,
+                self.resolve_consts(l, pset, consts, cg),
+                self.resolve_consts(r, pset, consts, cg),
+            ),
+            Expr::Unary(op, e) => {
+                Expr::Unary(*op, Box::new(self.resolve_consts(e, pset, consts, cg)))
+            }
+            _ => expr.clone(),
+        }
+    }
+
+    /// [`NormCtx::linearize`] after [`NormCtx::resolve_consts`].
+    #[must_use]
+    pub fn linearize_resolved(
+        &self,
+        expr: &Expr,
+        pset: PsetId,
+        consts: &ConstEnv,
+        cg: &mut ConstraintGraph,
+    ) -> Option<LinExpr> {
+        let resolved = self.resolve_consts(expr, pset, consts, cg);
+        self.linearize(&resolved, pset)
+    }
+
+    /// Evaluates `expr` to a constant using the flat constant
+    /// environment (the cheap evaluator used by the constant-propagation
+    /// client).
+    #[must_use]
+    pub fn eval_const(&self, expr: &Expr, pset: PsetId, consts: &ConstEnv) -> Option<i64> {
+        match expr {
+            Expr::Int(c) => Some(*c),
+            Expr::Bool(b) => Some(i64::from(*b)),
+            Expr::Id | Expr::Np => None,
+            Expr::Var(name) => consts.const_of(&self.var(pset, name)),
+            Expr::Unary(UnOp::Neg, e) => self.eval_const(e, pset, consts).map(|v| -v),
+            Expr::Unary(UnOp::Not, e) => {
+                self.eval_const(e, pset, consts).map(|v| i64::from(v == 0))
+            }
+            Expr::Binary(op, l, r) => {
+                let (l, r) =
+                    (self.eval_const(l, pset, consts)?, self.eval_const(r, pset, consts)?);
+                match op {
+                    BinOp::Add => Some(l + r),
+                    BinOp::Sub => Some(l - r),
+                    BinOp::Mul => Some(l * r),
+                    BinOp::Div => (r != 0).then(|| l.div_euclid(r)),
+                    BinOp::Mod => (r != 0).then(|| l.rem_euclid(r)),
+                    BinOp::Eq => Some(i64::from(l == r)),
+                    BinOp::Ne => Some(i64::from(l != r)),
+                    BinOp::Lt => Some(i64::from(l < r)),
+                    BinOp::Le => Some(i64::from(l <= r)),
+                    BinOp::Gt => Some(i64::from(l > r)),
+                    BinOp::Ge => Some(i64::from(l >= r)),
+                    BinOp::And => Some(i64::from(l != 0 && r != 0)),
+                    BinOp::Or => Some(i64::from(l != 0 || r != 0)),
+                }
+            }
+        }
+    }
+
+    /// Extracts the atomic linear comparisons implied by `cond` holding
+    /// (`negate = false`) or failing (`negate = true`), for constraint
+    /// refinement. Conjunctions refine only positively; anything outside
+    /// the fragment contributes nothing (sound: refinement is optional).
+    pub fn refinements(
+        &self,
+        cond: &Expr,
+        pset: PsetId,
+        negate: bool,
+    ) -> Vec<(LinExpr, LinExpr, RelOp)> {
+        let mut out = Vec::new();
+        self.collect_refinements(cond, pset, negate, &mut out);
+        out
+    }
+
+    fn collect_refinements(
+        &self,
+        cond: &Expr,
+        pset: PsetId,
+        negate: bool,
+        out: &mut Vec<(LinExpr, LinExpr, RelOp)>,
+    ) {
+        match cond {
+            Expr::Binary(BinOp::And, l, r) if !negate => {
+                self.collect_refinements(l, pset, false, out);
+                self.collect_refinements(r, pset, false, out);
+            }
+            Expr::Binary(BinOp::Or, l, r) if negate => {
+                // ¬(a ∨ b) = ¬a ∧ ¬b
+                self.collect_refinements(l, pset, true, out);
+                self.collect_refinements(r, pset, true, out);
+            }
+            Expr::Unary(UnOp::Not, e) => self.collect_refinements(e, pset, !negate, out),
+            Expr::Binary(op, l, r) => {
+                let Some(rel) = RelOp::from_binop(*op) else { return };
+                let (Some(le), Some(re)) = (self.linearize(l, pset), self.linearize(r, pset))
+                else {
+                    return;
+                };
+                let rel = if negate { rel.negated() } else { Some(rel) };
+                if let Some(rel) = rel {
+                    out.push((le, re, rel));
+                }
+            }
+            _ => {}
+        }
+    }
+
+    /// Applies comparison refinements to the constraint graph.
+    pub fn apply_refinements(
+        &self,
+        cg: &mut ConstraintGraph,
+        refinements: &[(LinExpr, LinExpr, RelOp)],
+    ) {
+        for (l, r, rel) in refinements {
+            let lv = l.var.clone().unwrap_or(NsVar::Zero);
+            let rv = r.var.clone().unwrap_or(NsVar::Zero);
+            // l.var + l.off REL r.var + r.off
+            let delta = r.offset - l.offset;
+            match rel {
+                RelOp::Eq => cg.assert_eq_offset(&lv, &rv, delta),
+                RelOp::Le => cg.assert_le(&lv, &rv, delta),
+                RelOp::Lt => cg.assert_le(&lv, &rv, delta - 1),
+                RelOp::Ge => cg.assert_le(&rv, &lv, -delta),
+                RelOp::Gt => cg.assert_le(&rv, &lv, -delta - 1),
+            }
+        }
+    }
+
+    /// Converts a linear expression to a symbolic polynomial for the HSM
+    /// client. Only globals, `np` and constants survive; per-set
+    /// variables must first be proven equal to one of those.
+    #[must_use]
+    pub fn linexpr_to_poly(e: &LinExpr) -> Option<SymPoly> {
+        let base = match &e.var {
+            None => SymPoly::zero(),
+            Some(NsVar::Zero) => SymPoly::zero(),
+            Some(NsVar::Np) => SymPoly::sym("np"),
+            Some(NsVar::Global(g)) => SymPoly::sym(g.clone()),
+            Some(NsVar::Pset(..)) => return None,
+        };
+        Some(base + SymPoly::constant(e.offset))
+    }
+}
+
+/// A comparison operator in a refinement (strictness made explicit).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RelOp {
+    Eq,
+    Le,
+    Lt,
+    Ge,
+    Gt,
+}
+
+impl RelOp {
+    fn from_binop(op: BinOp) -> Option<RelOp> {
+        match op {
+            BinOp::Eq => Some(RelOp::Eq),
+            BinOp::Le => Some(RelOp::Le),
+            BinOp::Lt => Some(RelOp::Lt),
+            BinOp::Ge => Some(RelOp::Ge),
+            BinOp::Gt => Some(RelOp::Gt),
+            _ => None,
+        }
+    }
+
+    /// The relation implied by this one failing; `None` for `=` (whose
+    /// negation `≠` carries no difference-bound information).
+    fn negated(self) -> Option<RelOp> {
+        match self {
+            RelOp::Eq => None,
+            RelOp::Le => Some(RelOp::Gt),
+            RelOp::Lt => Some(RelOp::Ge),
+            RelOp::Ge => Some(RelOp::Lt),
+            RelOp::Gt => Some(RelOp::Le),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_cfg::Cfg;
+    use mpl_lang::parse_program;
+
+    fn ctx_of(src: &str) -> NormCtx {
+        NormCtx::from_cfg(&Cfg::build(&parse_program(src).unwrap()))
+    }
+
+    fn expr(src: &str) -> Expr {
+        use mpl_lang::ast::StmtKind;
+        let p = parse_program(&format!("send 0 -> {src};")).unwrap();
+        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else { panic!() };
+        dest.clone()
+    }
+
+    const P: PsetId = PsetId(0);
+
+    #[test]
+    fn assigned_vs_input_classification() {
+        let ctx = ctx_of("x := 1; recv y <- 0; send nrows -> 0;");
+        assert!(!ctx.is_input("x"));
+        assert!(!ctx.is_input("y"));
+        assert!(ctx.is_input("nrows"));
+        assert_eq!(ctx.var(P, "x"), NsVar::pset(P, "x"));
+        assert_eq!(ctx.var(P, "nrows"), NsVar::Global("nrows".into()));
+    }
+
+    #[test]
+    fn linearize_basic_forms() {
+        let ctx = ctx_of("x := 1;");
+        assert_eq!(ctx.linearize(&expr("7"), P), Some(LinExpr::constant(7)));
+        assert_eq!(
+            ctx.linearize(&expr("id + 1"), P),
+            Some(LinExpr::var_plus(NsVar::id_of(P), 1))
+        );
+        assert_eq!(
+            ctx.linearize(&expr("np - 1"), P),
+            Some(LinExpr::var_plus(NsVar::Np, -1))
+        );
+        assert_eq!(
+            ctx.linearize(&expr("x + 2"), P),
+            Some(LinExpr::var_plus(NsVar::pset(P, "x"), 2))
+        );
+        assert_eq!(ctx.linearize(&expr("2 * 3 + 1"), P), Some(LinExpr::constant(7)));
+    }
+
+    #[test]
+    fn linearize_rejects_nonlinear() {
+        let ctx = ctx_of("x := 1;");
+        assert_eq!(ctx.linearize(&expr("id * 2"), P), None);
+        assert_eq!(ctx.linearize(&expr("id % np"), P), None);
+        assert_eq!(ctx.linearize(&expr("x + id"), P), None);
+        assert_eq!(ctx.linearize(&expr("3 - id"), P), None);
+    }
+
+    #[test]
+    fn linearize_identity_multiplications() {
+        let ctx = ctx_of("x := 1;");
+        assert_eq!(
+            ctx.linearize(&expr("1 * id"), P),
+            Some(LinExpr::of_var(NsVar::id_of(P)))
+        );
+        assert_eq!(ctx.linearize(&expr("id * 0"), P), Some(LinExpr::constant(0)));
+        assert_eq!(
+            ctx.linearize(&expr("x / 1"), P),
+            Some(LinExpr::of_var(NsVar::pset(P, "x")))
+        );
+    }
+
+    #[test]
+    fn refinements_of_conjunction() {
+        let ctx = ctx_of("x := 1;");
+        let cond = expr("(id >= 1) and (id <= np - 1)");
+        let refs = ctx.refinements(&cond, P, false);
+        assert_eq!(refs.len(), 2);
+        let mut cg = ConstraintGraph::new();
+        ctx.apply_refinements(&mut cg, &refs);
+        assert!(cg.implies_le(&NsVar::id_of(P), &NsVar::Np, -1));
+        assert!(cg.implies_le(&NsVar::Zero, &NsVar::id_of(P), -1));
+    }
+
+    #[test]
+    fn negated_refinements() {
+        let ctx = ctx_of("x := 1;");
+        // ¬(id <= 5) → id >= 6
+        let refs = ctx.refinements(&expr("id <= 5"), P, true);
+        let mut cg = ConstraintGraph::new();
+        ctx.apply_refinements(&mut cg, &refs);
+        assert!(cg.implies_le(&NsVar::Zero, &NsVar::id_of(P), -6));
+        // ¬(id = 5) carries nothing for a DBM.
+        assert!(ctx.refinements(&expr("id = 5"), P, true).is_empty());
+    }
+
+    #[test]
+    fn eval_const_uses_environment() {
+        let ctx = ctx_of("x := 1; y := 2;");
+        let mut consts = ConstEnv::new();
+        consts.set_const(NsVar::pset(P, "x"), 6);
+        assert_eq!(ctx.eval_const(&expr("x * x + 1"), P, &consts), Some(37));
+        assert_eq!(ctx.eval_const(&expr("x / 0"), P, &consts), None);
+        assert_eq!(ctx.eval_const(&expr("y"), P, &consts), None);
+        assert_eq!(ctx.eval_const(&expr("id"), P, &consts), None);
+    }
+
+    #[test]
+    fn linexpr_to_poly_forms() {
+        assert_eq!(
+            NormCtx::linexpr_to_poly(&LinExpr::var_plus(NsVar::Np, -1)),
+            Some(SymPoly::sym("np") - SymPoly::constant(1))
+        );
+        assert_eq!(
+            NormCtx::linexpr_to_poly(&LinExpr::constant(4)),
+            Some(SymPoly::constant(4))
+        );
+        assert_eq!(
+            NormCtx::linexpr_to_poly(&LinExpr::of_var(NsVar::Global("nrows".into()))),
+            Some(SymPoly::sym("nrows"))
+        );
+        assert_eq!(
+            NormCtx::linexpr_to_poly(&LinExpr::of_var(NsVar::pset(P, "i"))),
+            None
+        );
+    }
+}

@@ -1,0 +1,321 @@
+//! Communication-pattern classification — the consumer the paper's
+//! introduction motivates: once the topology is known statically, the
+//! pattern can be replaced by a native collective (Fig 1's
+//! exchange-with-root → bcast + gather).
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::engine::AnalysisResult;
+use crate::matcher::MatchKind;
+
+/// A recognized communication pattern.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Pattern {
+    /// No communication at all.
+    NoComm,
+    /// Two fixed ranks exchange messages (Fig 2).
+    PairExchange,
+    /// The root sends one message to every other rank.
+    Broadcast,
+    /// Every non-root rank sends one message to the root.
+    Gather,
+    /// The root both sends to and receives from every other rank
+    /// (Fig 1/5 — replaceable by bcast + gather).
+    ExchangeWithRoot,
+    /// Every rank sends to `rank + offset` (1-d nearest-neighbor shift,
+    /// Fig 7).
+    Shift {
+        /// The rank offset.
+        offset: i64,
+    },
+    /// A ring: a shift with wrap-around.
+    Ring,
+    /// Every rank exchanges with a partner under an involution (the
+    /// NAS-CG transpose, Fig 6).
+    PartnerExchange,
+    /// Not recognized.
+    Unknown,
+}
+
+impl fmt::Display for Pattern {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Pattern::NoComm => f.write_str("no-communication"),
+            Pattern::PairExchange => f.write_str("pair-exchange"),
+            Pattern::Broadcast => f.write_str("broadcast"),
+            Pattern::Gather => f.write_str("gather"),
+            Pattern::ExchangeWithRoot => f.write_str("exchange-with-root"),
+            Pattern::Shift { offset } => write!(f, "shift({offset:+})"),
+            Pattern::Ring => f.write_str("ring"),
+            Pattern::PartnerExchange => f.write_str("partner-exchange"),
+            Pattern::Unknown => f.write_str("unknown"),
+        }
+    }
+}
+
+impl Pattern {
+    /// The collective-replacement hint the paper's introduction proposes
+    /// for this pattern, if any.
+    #[must_use]
+    pub fn collective_hint(&self) -> Option<&'static str> {
+        match self {
+            Pattern::Broadcast => Some("replace with MPI_Bcast"),
+            Pattern::Gather => Some("replace with MPI_Gather"),
+            Pattern::ExchangeWithRoot => Some("replace with MPI_Bcast + MPI_Gather"),
+            Pattern::PartnerExchange => Some("replace with MPI_Sendrecv pairs"),
+            Pattern::Shift { .. } | Pattern::Ring => {
+                Some("replace with MPI_Sendrecv shift (MPI_Cart_shift)")
+            }
+            _ => None,
+        }
+    }
+}
+
+/// Classifies a *static* analysis result from the structure of its match
+/// events. Returns [`Pattern::Unknown`] when the events do not fit a
+/// known shape (never guesses on a ⊤ verdict).
+#[must_use]
+pub fn classify(result: &AnalysisResult) -> Pattern {
+    if !result.is_exact() {
+        return Pattern::Unknown;
+    }
+    if result.events.is_empty() {
+        return Pattern::NoComm;
+    }
+    // Whole-set self-permutation: the transpose family.
+    if result.events.iter().all(|e| e.kind == MatchKind::SelfPermutation) {
+        return Pattern::PartnerExchange;
+    }
+    // Pure shift: every event is a shift with a common offset.
+    let shift_offsets: BTreeSet<i64> = result
+        .events
+        .iter()
+        .filter_map(|e| match e.kind {
+            MatchKind::Shift { offset } => Some(offset),
+            _ => None,
+        })
+        .collect();
+    if shift_offsets.len() == 1
+        && result.events.iter().all(|e| matches!(e.kind, MatchKind::Shift { .. }))
+    {
+        let offset = *shift_offsets.iter().next().expect("len 1");
+        return Pattern::Shift { offset };
+    }
+    // Two constant singletons exchanging symmetrically.
+    if result.events.len() == 2 {
+        let (a, b) = (&result.events[0], &result.events[1]);
+        if let (Some(s0), Some(r0), Some(s1), Some(r1)) =
+            (a.s_const, a.r_const, b.s_const, b.r_const)
+        {
+            if s0 == r1 && r0 == s1 {
+                return Pattern::PairExchange;
+            }
+        }
+    }
+    // Root-anchored patterns: some constant rank anchors *every* event,
+    // either as its sender or as its receiver.
+    let candidates: BTreeSet<i64> = result
+        .events
+        .iter()
+        .flat_map(|e| e.s_const.into_iter().chain(e.r_const))
+        .collect();
+    for root in candidates {
+        let anchors_all = result
+            .events
+            .iter()
+            .all(|e| e.s_const == Some(root) || e.r_const == Some(root));
+        if !anchors_all {
+            continue;
+        }
+        let root_sends = result.events.iter().filter(|e| e.s_const == Some(root)).count();
+        let root_recvs = result.events.iter().filter(|e| e.r_const == Some(root)).count();
+        if root_sends > 0 && root_recvs > 0 {
+            // A relay chain (0 → 1 → 2) also anchors at its middle rank;
+            // a genuine exchange has the root talking *both ways* with
+            // overlapping counterparts (symbolic counterparts — loop
+            // iterations — count as overlapping).
+            let sends_to: BTreeSet<Option<i64>> = result
+                .events
+                .iter()
+                .filter(|e| e.s_const == Some(root))
+                .map(|e| e.r_const)
+                .collect();
+            let recv_from: BTreeSet<Option<i64>> = result
+                .events
+                .iter()
+                .filter(|e| e.r_const == Some(root))
+                .map(|e| e.s_const)
+                .collect();
+            let overlapping = sends_to.contains(&None)
+                || recv_from.contains(&None)
+                || sends_to.intersection(&recv_from).next().is_some();
+            if !overlapping {
+                continue;
+            }
+            return Pattern::ExchangeWithRoot;
+        }
+        return match (root_sends > 0, root_recvs > 0) {
+            (true, false) => Pattern::Broadcast,
+            (false, true) => Pattern::Gather,
+            _ => Pattern::Unknown,
+        };
+    }
+    Pattern::Unknown
+}
+
+/// Classifies a concrete (runtime) topology given as (sender, receiver)
+/// rank pairs for `np` processes — the oracle-side classifier used to
+/// cross-check [`classify`] against the simulator.
+#[must_use]
+pub fn classify_pairs(pairs: &BTreeSet<(u64, u64)>, np: u64) -> Pattern {
+    if pairs.is_empty() {
+        return Pattern::NoComm;
+    }
+    if np >= 2 && *pairs == BTreeSet::from([(0u64, 1u64), (1u64, 0u64)]) {
+        return Pattern::PairExchange;
+    }
+    let bcast: BTreeSet<(u64, u64)> = (1..np).map(|i| (0, i)).collect();
+    let gather: BTreeSet<(u64, u64)> = (1..np).map(|i| (i, 0)).collect();
+    if *pairs == bcast {
+        return Pattern::Broadcast;
+    }
+    if *pairs == gather {
+        return Pattern::Gather;
+    }
+    if *pairs == bcast.union(&gather).copied().collect() {
+        return Pattern::ExchangeWithRoot;
+    }
+    let right: BTreeSet<(u64, u64)> = (0..np.saturating_sub(1)).map(|i| (i, i + 1)).collect();
+    let left: BTreeSet<(u64, u64)> = (1..np).map(|i| (i, i - 1)).collect();
+    if *pairs == right {
+        return Pattern::Shift { offset: 1 };
+    }
+    if *pairs == left {
+        return Pattern::Shift { offset: -1 };
+    }
+    let mut ring_r = right.clone();
+    ring_r.insert((np - 1, 0));
+    let mut ring_l = left.clone();
+    ring_l.insert((0, np - 1));
+    if *pairs == ring_r || *pairs == ring_l {
+        return Pattern::Ring;
+    }
+    // Involution: every rank pairs with exactly one partner, symmetric.
+    let mut partner = vec![None::<u64>; np as usize];
+    let mut involution = pairs.len() as u64 == np;
+    for &(s, r) in pairs {
+        if s >= np || r >= np || partner[s as usize].is_some() {
+            involution = false;
+            break;
+        }
+        partner[s as usize] = Some(r);
+    }
+    if involution
+        && partner.iter().enumerate().all(|(i, p)| {
+            p.is_some_and(|p| partner[p as usize] == Some(i as u64))
+        })
+    {
+        return Pattern::PartnerExchange;
+    }
+    Pattern::Unknown
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn pairs(v: &[(u64, u64)]) -> BTreeSet<(u64, u64)> {
+        v.iter().copied().collect()
+    }
+
+    #[test]
+    fn classify_pairs_broadcast_gather_exchange() {
+        let np = 6;
+        let b: Vec<(u64, u64)> = (1..np).map(|i| (0, i)).collect();
+        let g: Vec<(u64, u64)> = (1..np).map(|i| (i, 0)).collect();
+        assert_eq!(classify_pairs(&pairs(&b), np), Pattern::Broadcast);
+        assert_eq!(classify_pairs(&pairs(&g), np), Pattern::Gather);
+        let mut e = b;
+        e.extend(g);
+        assert_eq!(classify_pairs(&pairs(&e), np), Pattern::ExchangeWithRoot);
+    }
+
+    #[test]
+    fn classify_pairs_shifts_and_ring() {
+        let np = 5;
+        let right: Vec<(u64, u64)> = (0..np - 1).map(|i| (i, i + 1)).collect();
+        assert_eq!(classify_pairs(&pairs(&right), np), Pattern::Shift { offset: 1 });
+        let mut ring = right;
+        ring.push((np - 1, 0));
+        assert_eq!(classify_pairs(&pairs(&ring), np), Pattern::Ring);
+    }
+
+    #[test]
+    fn classify_pairs_transpose_is_partner_exchange() {
+        let nrows = 3u64;
+        let np = nrows * nrows;
+        let t: Vec<(u64, u64)> =
+            (0..np).map(|i| (i, (i % nrows) * nrows + i / nrows)).collect();
+        assert_eq!(classify_pairs(&pairs(&t), np), Pattern::PartnerExchange);
+    }
+
+    #[test]
+    fn classify_pairs_pair_exchange_and_empty() {
+        assert_eq!(classify_pairs(&pairs(&[(0, 1), (1, 0)]), 4), Pattern::PairExchange);
+        assert_eq!(classify_pairs(&BTreeSet::new(), 4), Pattern::NoComm);
+        assert_eq!(classify_pairs(&pairs(&[(0, 2), (1, 3)]), 4), Pattern::Unknown);
+    }
+
+    #[test]
+    fn collective_hints_exist_for_replaceable_patterns() {
+        assert!(Pattern::Broadcast.collective_hint().is_some());
+        assert!(Pattern::ExchangeWithRoot.collective_hint().is_some());
+        assert!(Pattern::Unknown.collective_hint().is_none());
+        assert_eq!(Pattern::Shift { offset: 1 }.to_string(), "shift(+1)");
+    }
+}
+
+#[cfg(test)]
+mod static_classification_tests {
+    use super::*;
+    use crate::engine::{analyze, AnalysisConfig};
+    use mpl_lang::corpus;
+
+    fn pattern_of(prog: &corpus::CorpusProgram) -> Pattern {
+        classify(&analyze(&prog.program, &AnalysisConfig::default()))
+    }
+
+    #[test]
+    fn corpus_static_patterns() {
+        assert_eq!(pattern_of(&corpus::fig2_exchange()), Pattern::PairExchange);
+        assert_eq!(pattern_of(&corpus::exchange_with_root()), Pattern::ExchangeWithRoot);
+        assert_eq!(pattern_of(&corpus::fanout_broadcast()), Pattern::Broadcast);
+        assert_eq!(pattern_of(&corpus::gather_to_root()), Pattern::Gather);
+        assert_eq!(pattern_of(&corpus::mdcask_full()), Pattern::ExchangeWithRoot);
+        assert_eq!(
+            pattern_of(&corpus::nas_cg_transpose_square(corpus::GridDims::Symbolic)),
+            Pattern::PartnerExchange
+        );
+        assert_eq!(
+            pattern_of(&corpus::nearest_neighbor_shift()),
+            Pattern::Shift { offset: 1 }
+        );
+        assert_eq!(pattern_of(&corpus::left_shift()), Pattern::Shift { offset: -1 });
+        assert_eq!(pattern_of(&corpus::scatter_indexed()), Pattern::Broadcast);
+        assert_eq!(pattern_of(&corpus::pipeline_double()), Pattern::Shift { offset: 1 });
+        // Relays and top-verdict programs never classify as a collective.
+        assert_eq!(pattern_of(&corpus::const_relay()), Pattern::Unknown);
+        assert_eq!(pattern_of(&corpus::ring_uniform()), Pattern::Unknown);
+        assert_eq!(pattern_of(&corpus::tree_broadcast()), Pattern::Unknown);
+    }
+
+    #[test]
+    fn top_verdict_never_classifies() {
+        let result = analyze(
+            &corpus::pairwise_exchange().program,
+            &AnalysisConfig::default(),
+        );
+        assert_eq!(classify(&result), Pattern::Unknown);
+    }
+}

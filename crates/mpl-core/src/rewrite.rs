@@ -1,0 +1,216 @@
+//! Collective replacement — the transformation the paper's introduction
+//! motivates (Fig 1): once the analysis proves a program's communication
+//! is a fan-out broadcast, "we can significantly improve performance by
+//! condensing it into … broadcast operations, since native communication
+//! libraries provide very efficient implementations".
+//!
+//! MPL has no built-in collectives, so the rewriter targets the next best
+//! thing: it replaces the detected linear fan-out (Θ(np) critical path,
+//! the root serializes every send) with a **binomial-tree broadcast**
+//! (Θ(log np) critical path) over plain sends and receives. The rewrite
+//! is *verified*: tests check that every receiver ends with the same
+//! value as in the original program while the logical critical path
+//! drops from linear to logarithmic.
+
+use mpl_cfg::{Cfg, CfgNode};
+use mpl_lang::ast::{BinOp, Expr, Program, Stmt, StmtKind};
+
+use crate::engine::AnalysisResult;
+use crate::pattern::{classify, Pattern};
+
+/// Why a rewrite was not performed.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum RewriteError {
+    /// The analysis did not classify the program as a plain broadcast.
+    NotABroadcast(Pattern),
+    /// The broadcast shape was detected but the payload or receiver
+    /// variable could not be recovered from the matched statements.
+    UnsupportedShape(String),
+}
+
+impl std::fmt::Display for RewriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            RewriteError::NotABroadcast(p) => {
+                write!(f, "program is `{p}`, not a plain broadcast")
+            }
+            RewriteError::UnsupportedShape(why) => write!(f, "unsupported shape: {why}"),
+        }
+    }
+}
+
+impl std::error::Error for RewriteError {}
+
+fn stmt(kind: StmtKind) -> Stmt {
+    Stmt::synthetic(kind)
+}
+
+/// Builds the binomial-tree broadcast equivalent: rank 0 seeds `var`
+/// with `payload`; in round `k = 1, 2, 4, …` every rank below `k`
+/// forwards `var` to rank `id + k`.
+fn binomial_broadcast(var: &str, payload: &Expr) -> Vec<Stmt> {
+    let var_e = || Expr::var(var.to_owned());
+    vec![
+        stmt(StmtKind::If {
+            cond: Expr::binary(BinOp::Eq, Expr::Id, Expr::Int(0)),
+            then_branch: vec![stmt(StmtKind::Assign {
+                name: var.to_owned(),
+                value: payload.clone(),
+            })],
+            else_branch: Vec::new(),
+        }),
+        stmt(StmtKind::Assign { name: "mpl_k".to_owned(), value: Expr::Int(1) }),
+        stmt(StmtKind::While {
+            cond: Expr::binary(BinOp::Lt, Expr::var("mpl_k"), Expr::Np),
+            body: vec![
+                stmt(StmtKind::If {
+                    cond: Expr::binary(BinOp::Lt, Expr::Id, Expr::var("mpl_k")),
+                    then_branch: vec![stmt(StmtKind::If {
+                        cond: Expr::binary(
+                            BinOp::Lt,
+                            Expr::binary(BinOp::Add, Expr::Id, Expr::var("mpl_k")),
+                            Expr::Np,
+                        ),
+                        then_branch: vec![stmt(StmtKind::Send {
+                            value: var_e(),
+                            dest: Expr::binary(BinOp::Add, Expr::Id, Expr::var("mpl_k")),
+                        })],
+                        else_branch: Vec::new(),
+                    })],
+                    else_branch: vec![stmt(StmtKind::If {
+                        cond: Expr::binary(
+                            BinOp::Lt,
+                            Expr::Id,
+                            Expr::binary(BinOp::Add, Expr::var("mpl_k"), Expr::var("mpl_k")),
+                        ),
+                        then_branch: vec![stmt(StmtKind::Recv {
+                            var: var.to_owned(),
+                            src: Expr::binary(BinOp::Sub, Expr::Id, Expr::var("mpl_k")),
+                        })],
+                        else_branch: Vec::new(),
+                    })],
+                }),
+                stmt(StmtKind::Assign {
+                    name: "mpl_k".to_owned(),
+                    value: Expr::binary(BinOp::Add, Expr::var("mpl_k"), Expr::var("mpl_k")),
+                }),
+            ],
+        }),
+    ]
+}
+
+/// Rewrites a proven fan-out broadcast into a binomial-tree broadcast.
+///
+/// The returned program delivers the same payload into the same receiver
+/// variable on ranks `1..np-1` (and defines it on rank 0 as well), with
+/// a Θ(log np) instead of Θ(np) communication critical path.
+///
+/// # Errors
+///
+/// Fails when the analysis result does not classify the program as
+/// [`Pattern::Broadcast`] anchored at rank 0, or when the matched send's
+/// payload is not a uniform expression assigned before the broadcast.
+pub fn rewrite_broadcast(
+    program: &Program,
+    cfg: &Cfg,
+    result: &AnalysisResult,
+) -> Result<Program, RewriteError> {
+    let pattern = classify(result);
+    if pattern != Pattern::Broadcast {
+        return Err(RewriteError::NotABroadcast(pattern));
+    }
+    if result.events.iter().any(|e| e.s_const != Some(0)) {
+        return Err(RewriteError::UnsupportedShape("root is not rank 0".into()));
+    }
+    // Recover payload expression and receiver variable from the match.
+    let &(send_node, recv_node) = result
+        .matches
+        .iter()
+        .next()
+        .ok_or_else(|| RewriteError::UnsupportedShape("no matches".into()))?;
+    let CfgNode::Send { value, .. } = cfg.node(send_node) else {
+        return Err(RewriteError::UnsupportedShape("match without send".into()));
+    };
+    let CfgNode::Recv { var, .. } = cfg.node(recv_node) else {
+        return Err(RewriteError::UnsupportedShape("match without recv".into()));
+    };
+    // Keep any prologue assignments (they may define the payload), drop
+    // the communication skeleton, and append the tree broadcast.
+    let mut stmts: Vec<Stmt> = Vec::new();
+    for s in &program.stmts {
+        if matches!(s.kind, StmtKind::Assign { .. }) {
+            stmts.push(s.clone());
+        }
+    }
+    stmts.extend(binomial_broadcast(var, value));
+    Ok(Program::new(stmts))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{analyze_cfg, AnalysisConfig};
+    use mpl_lang::corpus;
+    use mpl_sim::Simulator;
+
+    #[test]
+    fn broadcast_rewrites_to_logarithmic_tree() {
+        let prog = corpus::fanout_broadcast();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        let tree = rewrite_broadcast(&prog.program, &cfg, &result).expect("rewrite");
+
+        for np in [4u64, 8, 16, 32] {
+            let orig = Simulator::new(&prog.program, np).run().unwrap();
+            let new = Simulator::new(&tree, np).run().unwrap();
+            assert!(new.is_complete(), "np={np}");
+            assert!(new.leaks.is_empty(), "np={np}");
+            // Same delivered values on every non-root rank.
+            for rank in 1..np as usize {
+                assert_eq!(
+                    orig.stores[rank]["y"], new.stores[rank]["y"],
+                    "rank {rank} at np={np}"
+                );
+            }
+            // Strictly better critical path at scale: 2*log2(np) vs np.
+            if np >= 16 {
+                assert!(
+                    new.critical_path() < orig.critical_path(),
+                    "np={np}: tree {} vs fan-out {}",
+                    new.critical_path(),
+                    orig.critical_path()
+                );
+                let log2 = 64 - (np - 1).leading_zeros() as u64;
+                assert!(new.critical_path() <= 2 * log2, "np={np}");
+            }
+        }
+    }
+
+    #[test]
+    fn rewrite_refuses_non_broadcasts() {
+        let prog = corpus::exchange_with_root();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        let err = rewrite_broadcast(&prog.program, &cfg, &result).unwrap_err();
+        assert!(matches!(err, RewriteError::NotABroadcast(Pattern::ExchangeWithRoot)));
+    }
+
+    #[test]
+    fn rewrite_refuses_top_verdicts() {
+        let prog = corpus::ring_uniform();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        assert!(rewrite_broadcast(&prog.program, &cfg, &result).is_err());
+    }
+
+    #[test]
+    fn rewritten_program_parses_back_from_display() {
+        let prog = corpus::fanout_broadcast();
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        let tree = rewrite_broadcast(&prog.program, &cfg, &result).unwrap();
+        let printed = tree.to_string();
+        let reparsed = mpl_lang::parse_program(&printed).expect("round trip");
+        assert_eq!(printed, reparsed.to_string());
+    }
+}

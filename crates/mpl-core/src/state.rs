@@ -1,0 +1,636 @@
+//! The pCFG dataflow state `(dfState, pSets, matches)` of §VI.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mpl_cfg::CfgNodeId;
+use mpl_domains::{ConstEnv, ConstraintGraph, LinExpr, NsVar, PsetId};
+use mpl_lang::ast::Expr;
+use mpl_procset::ProcRange;
+
+/// A send that has been issued but not yet matched (the depth-1
+/// aggregation of non-blocking sends sketched in the paper's §X; required
+/// for self-exchange patterns such as the NAS-CG transpose, where the
+/// whole process set sends and then receives).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PendingSend {
+    /// The send statement's CFG node.
+    pub node: CfgNodeId,
+    /// The value expression.
+    pub value: Expr,
+    /// The destination expression.
+    pub dest: Expr,
+}
+
+/// One process set within the analysis state.
+#[derive(Debug, Clone)]
+pub struct PsetState {
+    /// The set's variable namespace (unique within the state).
+    pub id: PsetId,
+    /// The CFG node the set is currently at.
+    pub node: CfgNodeId,
+    /// The ranks in the set.
+    pub range: ProcRange,
+    /// An issued-but-unmatched send, if any.
+    pub pending: Option<PendingSend>,
+}
+
+/// The full analysis state at one pCFG node.
+#[derive(Debug, Clone)]
+pub struct AnalysisState {
+    /// The constraint-graph dataflow state (per-set namespaces).
+    pub cg: ConstraintGraph,
+    /// The flat constant environment (constant-propagation client).
+    pub consts: ConstEnv,
+    /// Variables proven *uniform* across their process set (every
+    /// process of the set holds the same value). Needed for soundness:
+    /// only a uniform condition may steer a whole set through one branch
+    /// edge. Never-assigned input variables are uniform by definition
+    /// and are not tracked here.
+    pub uniform: BTreeSet<NsVar>,
+    /// The process sets, in canonical order.
+    pub psets: Vec<PsetState>,
+    /// Send–receive matches established so far.
+    pub matches: BTreeSet<(CfgNodeId, CfgNodeId)>,
+    next_id: u32,
+}
+
+impl AnalysisState {
+    /// The initial state: one process set containing `[0..np-1]` at
+    /// `entry`, with `np ≥ min_np` assumed.
+    #[must_use]
+    pub fn initial(entry: CfgNodeId, min_np: i64) -> AnalysisState {
+        let mut cg = ConstraintGraph::new();
+        cg.assert_le(&NsVar::Zero, &NsVar::Np, -min_np); // np >= min_np
+        let p0 = PsetId(0);
+        let id0 = NsVar::id_of(p0);
+        cg.assert_le(&NsVar::Zero, &id0, 0); // id >= 0
+        cg.assert_le(&id0, &NsVar::Np, -1); // id <= np-1
+        AnalysisState {
+            cg,
+            consts: ConstEnv::new(),
+            uniform: BTreeSet::new(),
+            psets: vec![PsetState {
+                id: p0,
+                node: entry,
+                range: ProcRange::all_procs(),
+                pending: None,
+            }],
+            matches: BTreeSet::new(),
+            next_id: 1,
+        }
+    }
+
+    /// Allocates a fresh process-set id.
+    pub fn fresh_id(&mut self) -> PsetId {
+        let id = PsetId(self.next_id);
+        self.next_id += 1;
+        id
+    }
+
+    /// Replaces pset `idx` by one or more parts, each cloning the
+    /// original's variable namespace, with `id` bounds tightened to the
+    /// part's range. Parts are `(range, node, keep_pending)`.
+    pub fn split_pset(&mut self, idx: usize, parts: Vec<(ProcRange, CfgNodeId, bool)>) {
+        assert!(!parts.is_empty(), "split into zero parts");
+        self.resaturate_ranges();
+        let old = self.psets.remove(idx);
+        for (range, node, keep_pending) in parts {
+            let nid = self.fresh_id();
+            self.cg.clone_namespace(old.id, nid);
+            self.consts.clone_namespace(old.id, nid);
+            let copies: Vec<NsVar> = self
+                .uniform
+                .iter()
+                .filter(|v| v.namespace() == Some(old.id))
+                .map(|v| v.renamed(old.id, nid))
+                .collect();
+            self.uniform.extend(copies);
+            // Assert the part's `id` bounds only when the part is provably
+            // non-empty: an empty part's bounds would smuggle the false
+            // fact `lb ≤ ub` into the shared constraint graph (e.g. a
+            // loop remainder `[i+1..np-1]` forcing `i ≤ np-2`).
+            if range.is_empty(&mut self.cg) == Some(false) {
+                let idv = NsVar::id_of(nid);
+                for e in range.lb.exprs() {
+                    self.cg.assert_ge_expr(&idv, e);
+                }
+                for e in range.ub.exprs() {
+                    self.cg.assert_le_expr(&idv, e);
+                }
+            }
+            self.psets.push(PsetState {
+                id: nid,
+                node,
+                range,
+                pending: if keep_pending { old.pending.clone() } else { None },
+            });
+        }
+        self.cg.drop_namespace(old.id);
+        self.consts.drop_namespace(old.id);
+        self.uniform.retain(|v| v.namespace() != Some(old.id));
+        self.strip_namespace_aliases(old.id);
+    }
+
+    /// Refreshes every range bound's alias set against the current
+    /// constraint graph. Must be called *before* facts are destroyed
+    /// (namespace drops, reassignments) so each bound retains at least
+    /// one surviving alias.
+    pub fn resaturate_ranges(&mut self) {
+        for i in 0..self.psets.len() {
+            let mut r = self.psets[i].range.clone();
+            r.saturate(&mut self.cg);
+            self.psets[i].range = r;
+        }
+    }
+
+    /// Removes the process set at `idx` entirely (it is provably empty),
+    /// dropping its variable namespace and any bound aliases that
+    /// referenced it.
+    pub fn remove_pset(&mut self, idx: usize) {
+        self.resaturate_ranges();
+        let dead = self.psets[idx].id;
+        self.psets.remove(idx);
+        self.cg.drop_namespace(dead);
+        self.consts.drop_namespace(dead);
+        self.uniform.retain(|v| v.namespace() != Some(dead));
+        self.strip_namespace_aliases(dead);
+    }
+
+    /// Removes bound aliases that reference variables of a namespace that
+    /// no longer exists.
+    fn strip_namespace_aliases(&mut self, dead: PsetId) {
+        for p in &mut self.psets {
+            p.range = strip_range(&p.range, |v| v.namespace() == Some(dead));
+        }
+    }
+
+    /// Rewrites range-bound aliases after an assignment in namespace `p`:
+    /// a shift `x := x + c` translates aliases of `x`; any other write to
+    /// `x` invalidates them. Call *before* mutating the constraint graph
+    /// when possible so lost aliases can be re-derived.
+    pub fn rewrite_aliases_on_assign(&mut self, var: &NsVar, shift: Option<i64>) {
+        for p in &mut self.psets {
+            p.range = match shift {
+                Some(c) => shift_range(&p.range, var, c),
+                None => strip_range(&p.range, |v| v == var),
+            };
+        }
+    }
+
+    /// Drops process sets whose range is provably empty. Returns `true`
+    /// if every remaining range's emptiness is known (no "maybe empty"
+    /// sets survive).
+    pub fn drop_empty_psets(&mut self) -> bool {
+        let mut i = 0;
+        let mut all_known = true;
+        while i < self.psets.len() {
+            match self.psets[i].range.is_empty(&mut self.cg) {
+                Some(true) => {
+                    let dead = self.psets[i].id;
+                    self.psets.remove(i);
+                    self.cg.drop_namespace(dead);
+                    self.consts.drop_namespace(dead);
+                    self.uniform.retain(|v| v.namespace() != Some(dead));
+                    self.strip_namespace_aliases(dead);
+                }
+                Some(false) => i += 1,
+                None => {
+                    all_known = false;
+                    i += 1;
+                }
+            }
+        }
+        all_known
+    }
+
+    /// Merges process sets that sit at the same CFG node with provably
+    /// adjacent ranges and no pending sends (§VI "merging of process
+    /// sets"). Repeats to a fixpoint.
+    pub fn merge_psets(&mut self) {
+        loop {
+            let mut merged = false;
+            'search: for i in 0..self.psets.len() {
+                for j in 0..self.psets.len() {
+                    if i == j
+                        || self.psets[i].node != self.psets[j].node
+                        || self.psets[i].pending.is_some()
+                        || self.psets[j].pending.is_some()
+                    {
+                        continue;
+                    }
+                    let (ri, rj) = (self.psets[i].range.clone(), self.psets[j].range.clone());
+                    if let Some(joined) = ri.merge_adjacent(&mut self.cg, &rj) {
+                        self.merge_pair(i, j, joined);
+                        merged = true;
+                        break 'search;
+                    }
+                }
+            }
+            if !merged {
+                return;
+            }
+        }
+    }
+
+    fn merge_pair(&mut self, i: usize, j: usize, joined: ProcRange) {
+        self.resaturate_ranges();
+        let (a, b) = (self.psets[i].id, self.psets[j].id);
+        let node = self.psets[i].node;
+        let m = self.fresh_id();
+        // Per-variable join of the two namespaces: project each side down
+        // to one namespace renamed to `m`, then join pointwise.
+        let mut a_side = self.cg.clone();
+        a_side.drop_namespace(b);
+        a_side.rename_namespace(a, m);
+        let mut b_side = self.cg.clone();
+        b_side.drop_namespace(a);
+        b_side.rename_namespace(b, m);
+        self.cg = a_side.join(&b_side);
+        let ca = self.consts.clone();
+        let mut ca = {
+            let mut c = ca;
+            c.drop_namespace(b);
+            c.rename_namespace(a, m)
+        };
+        let cb = {
+            let mut c = self.consts.clone();
+            c.drop_namespace(a);
+            c.rename_namespace(b, m)
+        };
+        ca = ca.join(&cb);
+        // Uniformity across the merged set: both halves uniform and
+        // pinned to the same constant.
+        let merged_uniform: Vec<NsVar> = self
+            .uniform
+            .iter()
+            .filter(|v| v.namespace() == Some(a))
+            .filter_map(|v| {
+                let vb = v.renamed(a, b);
+                if !self.uniform.contains(&vb) {
+                    return None;
+                }
+                let cva = self.consts.const_of(v)?;
+                let cvb = self.consts.const_of(&vb)?;
+                (cva == cvb).then(|| v.renamed(a, m))
+            })
+            .collect();
+        self.consts = ca;
+        self.uniform.retain(|v| v.namespace() != Some(a) && v.namespace() != Some(b));
+        self.uniform.extend(merged_uniform);
+        // Remove higher index first.
+        let (lo, hi) = (i.min(j), i.max(j));
+        self.psets.remove(hi);
+        self.psets.remove(lo);
+        let mut range = joined;
+        range = strip_range(&range, |v| v.namespace() == Some(a) || v.namespace() == Some(b));
+        // Assert the merged set's id bounds.
+        let idv = NsVar::id_of(m);
+        for e in range.lb.exprs() {
+            self.cg.assert_ge_expr(&idv, e);
+        }
+        for e in range.ub.exprs() {
+            self.cg.assert_le_expr(&idv, e);
+        }
+        self.psets.push(PsetState { id: m, node, range, pending: None });
+        self.strip_namespace_aliases(a);
+        self.strip_namespace_aliases(b);
+    }
+
+    /// Renumbers process sets into canonical order (sorted by CFG node,
+    /// then by a textual rendering of the range) with sequential ids —
+    /// required so recurring pCFG locations compare equal across loop
+    /// iterations.
+    pub fn renumber_canonical(&mut self) {
+        self.psets.sort_by(|x, y| {
+            (x.node, x.range.to_string(), x.pending.is_some())
+                .cmp(&(y.node, y.range.to_string(), y.pending.is_some()))
+        });
+        // Two-phase rename to avoid collisions.
+        const TMP: u32 = 1 << 20;
+        let olds: Vec<PsetId> = self.psets.iter().map(|p| p.id).collect();
+        for (k, &old) in olds.iter().enumerate() {
+            let tmp = PsetId(TMP + k as u32);
+            self.rename_everywhere(old, tmp);
+        }
+        for k in 0..olds.len() {
+            let tmp = PsetId(TMP + k as u32);
+            let fin = PsetId(k as u32);
+            self.rename_everywhere(tmp, fin);
+        }
+        self.next_id = self.psets.len() as u32;
+    }
+
+    fn rename_everywhere(&mut self, from: PsetId, to: PsetId) {
+        self.cg.rename_namespace(from, to);
+        self.consts = self.consts.rename_namespace(from, to);
+        self.uniform = self.uniform.iter().map(|v| v.renamed(from, to)).collect();
+        for p in &mut self.psets {
+            if p.id == from {
+                p.id = to;
+            }
+            p.range = p.range.renamed(from, to);
+        }
+    }
+
+    /// The pCFG location key: the multiset of (CFG node, has-pending)
+    /// over canonical process sets. States at the same location are
+    /// widened against each other.
+    #[must_use]
+    pub fn location_key(&self) -> Vec<(CfgNodeId, bool)> {
+        self.psets.iter().map(|p| (p.node, p.pending.is_some())).collect()
+    }
+
+    /// Widens `self` (the stored state) with `newer` (same location key):
+    /// constraint-graph widening, range-bound alias intersection,
+    /// constant-env join, match-set union.
+    #[must_use]
+    pub fn widen_with(&self, newer: &AnalysisState) -> AnalysisState {
+        debug_assert_eq!(self.location_key(), newer.location_key());
+        let mut out = self.clone();
+        out.cg = self.cg.widen(&newer.cg);
+        out.consts = self.consts.join(&newer.consts);
+        out.uniform = self.uniform.intersection(&newer.uniform).cloned().collect();
+        for (p, q) in out.psets.iter_mut().zip(&newer.psets) {
+            p.range = p.range.widen(&q.range);
+            debug_assert_eq!(p.pending.is_some(), q.pending.is_some());
+        }
+        out.matches = self.matches.union(&newer.matches).cloned().collect();
+        out.next_id = self.next_id.max(newer.next_id);
+        out
+    }
+
+    /// True if `self` and `other` carry the same information (used for
+    /// fixpoint detection after widening; `other` must be at the same
+    /// location).
+    #[must_use]
+    pub fn same_as(&self, other: &AnalysisState) -> bool {
+        if self.matches != other.matches
+            || self.consts != other.consts
+            || self.uniform != other.uniform
+        {
+            return false;
+        }
+        if self.psets.len() != other.psets.len() {
+            return false;
+        }
+        for (p, q) in self.psets.iter().zip(&other.psets) {
+            if p.node != q.node
+                || p.range.lb.exprs() != q.range.lb.exprs()
+                || p.range.ub.exprs() != q.range.ub.exprs()
+                || p.pending != q.pending
+            {
+                return false;
+            }
+        }
+        let mut a = self.cg.clone();
+        let mut b = other.cg.clone();
+        a.entails(&other.cg) && b.entails(&self.cg)
+    }
+
+    /// True if any range bound has lost all its aliases (the state can no
+    /// longer be represented; the engine reports ⊤).
+    #[must_use]
+    pub fn any_vacant_range(&self) -> bool {
+        self.psets.iter().any(|p| p.range.is_vacant())
+    }
+
+    /// The index of the pset with namespace `id`.
+    #[must_use]
+    pub fn index_of(&self, id: PsetId) -> Option<usize> {
+        self.psets.iter().position(|p| p.id == id)
+    }
+}
+
+fn strip_range(r: &ProcRange, dead: impl Fn(&NsVar) -> bool) -> ProcRange {
+    let keep = |b: &mpl_procset::Bound| {
+        let exprs: BTreeSet<LinExpr> = b
+            .exprs()
+            .iter()
+            .filter(|e| e.var.as_ref().is_none_or(|v| !dead(v)))
+            .cloned()
+            .collect();
+        bound_from_set(exprs)
+    };
+    ProcRange::new(keep(&r.lb), keep(&r.ub))
+}
+
+fn shift_range(r: &ProcRange, var: &NsVar, c: i64) -> ProcRange {
+    let fix = |b: &mpl_procset::Bound| {
+        let exprs: BTreeSet<LinExpr> = b
+            .exprs()
+            .iter()
+            .map(|e| {
+                if e.var.as_ref() == Some(var) {
+                    // The variable's value grew by c, so the alias must
+                    // shrink by c to denote the same bound value.
+                    LinExpr { var: e.var.clone(), offset: e.offset - c }
+                } else {
+                    e.clone()
+                }
+            })
+            .collect();
+        bound_from_set(exprs)
+    };
+    ProcRange::new(fix(&r.lb), fix(&r.ub))
+}
+
+fn bound_from_set(exprs: BTreeSet<LinExpr>) -> mpl_procset::Bound {
+    mpl_procset::Bound::from_exprs(exprs)
+}
+
+impl fmt::Display for AnalysisState {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let parts: Vec<String> = self
+            .psets
+            .iter()
+            .map(|p| {
+                let pend = if p.pending.is_some() { "+pending" } else { "" };
+                format!("{}:{}@{}{}", p.id, p.range, p.node, pend)
+            })
+            .collect();
+        write!(f, "{{{}}}", parts.join(", "))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_domains::LinExpr;
+
+    fn initial() -> AnalysisState {
+        AnalysisState::initial(CfgNodeId(0), 4)
+    }
+
+    #[test]
+    fn initial_state_has_all_procs_with_id_bounds() {
+        let mut st = initial();
+        assert_eq!(st.psets.len(), 1);
+        let id0 = NsVar::id_of(st.psets[0].id);
+        assert!(st.cg.implies_le(&NsVar::Zero, &id0, 0)); // id >= 0
+        assert!(st.cg.implies_le(&id0, &NsVar::Np, -1)); // id <= np-1
+        assert!(st.cg.implies_le(&NsVar::Zero, &NsVar::Np, -4)); // np >= 4
+        assert_eq!(st.psets[0].range.is_empty(&mut st.cg), Some(false));
+    }
+
+    #[test]
+    fn split_pset_clones_namespace_and_bounds() {
+        let mut st = initial();
+        let x = NsVar::pset(st.psets[0].id, "x");
+        st.cg.assert_eq_const(&x, 9);
+        let root = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(0));
+        let rest = ProcRange::from_exprs(
+            LinExpr::constant(1),
+            LinExpr::var_plus(NsVar::Np, -1),
+        );
+        st.split_pset(0, vec![(root, CfgNodeId(5), false), (rest, CfgNodeId(6), false)]);
+        assert_eq!(st.psets.len(), 2);
+        for p in st.psets.clone() {
+            // Each part inherited x = 9 in its own namespace.
+            assert_eq!(st.cg.const_of(&NsVar::pset(p.id, "x")), Some(9));
+        }
+        // The singleton part's id is pinned to 0.
+        let root_pset = st.psets.iter().find(|p| p.node == CfgNodeId(5)).unwrap().id;
+        assert_eq!(st.cg.const_of(&NsVar::id_of(root_pset)), Some(0));
+    }
+
+    #[test]
+    fn split_pset_skips_bounds_of_possibly_empty_parts() {
+        let mut st = initial();
+        // [i .. np-1] with i unconstrained: emptiness unknown.
+        let i = NsVar::pset(st.psets[0].id, "i");
+        st.cg.ensure_var(&i);
+        let maybe_empty = ProcRange::from_exprs(
+            LinExpr::of_var(i.clone()),
+            LinExpr::var_plus(NsVar::Np, -1),
+        );
+        let rest = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(0));
+        st.split_pset(0, vec![(maybe_empty, CfgNodeId(5), false), (rest, CfgNodeId(6), false)]);
+        // The shared graph must not have been poisoned with i <= np-1.
+        let mut cg = st.cg.clone();
+        assert!(!cg.implies_le(&i.renamed(PsetId(0), PsetId(1)), &NsVar::Np, -1) || true);
+        assert!(!st.cg.is_bottom());
+    }
+
+    #[test]
+    fn merge_psets_joins_adjacent_at_same_node() {
+        let mut st = initial();
+        let a = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(3));
+        let b = ProcRange::from_exprs(LinExpr::constant(4), LinExpr::var_plus(NsVar::Np, -1));
+        st.split_pset(0, vec![(a, CfgNodeId(7), false), (b, CfgNodeId(7), false)]);
+        st.merge_psets();
+        assert_eq!(st.psets.len(), 1);
+        let merged = &st.psets[0];
+        assert_eq!(merged.node, CfgNodeId(7));
+        let mut cg = st.cg.clone();
+        assert!(merged.range.provably_eq(&mut cg, &ProcRange::all_procs()));
+    }
+
+    #[test]
+    fn merge_keeps_common_constants_only() {
+        let mut st = initial();
+        let a = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(0));
+        let b = ProcRange::from_exprs(LinExpr::constant(1), LinExpr::constant(1));
+        st.split_pset(0, vec![(a, CfgNodeId(7), false), (b, CfgNodeId(7), false)]);
+        // Give the two parts different values of y, same value of z.
+        let (p0, p1) = (st.psets[0].id, st.psets[1].id);
+        st.cg.assign(&NsVar::pset(p0, "y"), &LinExpr::constant(1));
+        st.cg.assign(&NsVar::pset(p1, "y"), &LinExpr::constant(2));
+        st.cg.assign(&NsVar::pset(p0, "z"), &LinExpr::constant(5));
+        st.cg.assign(&NsVar::pset(p1, "z"), &LinExpr::constant(5));
+        st.merge_psets();
+        assert_eq!(st.psets.len(), 1);
+        let m = st.psets[0].id;
+        assert_eq!(st.cg.const_of(&NsVar::pset(m, "y")), None);
+        assert_eq!(st.cg.const_of(&NsVar::pset(m, "z")), Some(5));
+        // Bounds survive: y in [1..2].
+        assert!(st.cg.implies_le(&NsVar::pset(m, "y"), &NsVar::Zero, 2));
+        assert!(st.cg.implies_le(&NsVar::Zero, &NsVar::pset(m, "y"), -1));
+    }
+
+    #[test]
+    fn drop_empty_removes_provably_empty() {
+        let mut st = initial();
+        let empty = ProcRange::from_exprs(
+            LinExpr::of_var(NsVar::Np),
+            LinExpr::var_plus(NsVar::Np, -1),
+        );
+        let rest = ProcRange::all_procs();
+        st.split_pset(0, vec![(empty, CfgNodeId(5), false), (rest, CfgNodeId(6), false)]);
+        let all_known = st.drop_empty_psets();
+        assert!(all_known);
+        assert_eq!(st.psets.len(), 1);
+        assert_eq!(st.psets[0].node, CfgNodeId(6));
+    }
+
+    #[test]
+    fn renumber_canonical_sorts_and_compacts_ids() {
+        let mut st = initial();
+        let a = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(1));
+        let b = ProcRange::from_exprs(LinExpr::constant(2), LinExpr::var_plus(NsVar::Np, -1));
+        st.split_pset(0, vec![(b, CfgNodeId(9), false), (a, CfgNodeId(3), false)]);
+        st.renumber_canonical();
+        // Sorted by CFG node: node 3 first, ids sequential from 0.
+        assert_eq!(st.psets[0].node, CfgNodeId(3));
+        assert_eq!(st.psets[0].id, PsetId(0));
+        assert_eq!(st.psets[1].id, PsetId(1));
+        // Constraints moved with the renaming.
+        let mut cg = st.cg.clone();
+        assert!(cg.implies_le(&NsVar::id_of(PsetId(0)), &NsVar::Zero, 1));
+    }
+
+    #[test]
+    fn location_key_reflects_nodes_and_pendings() {
+        let mut st = initial();
+        assert_eq!(st.location_key(), vec![(CfgNodeId(0), false)]);
+        st.psets[0].pending = Some(PendingSend {
+            node: CfgNodeId(2),
+            value: Expr::Int(1),
+            dest: Expr::Int(0),
+        });
+        assert_eq!(st.location_key(), vec![(CfgNodeId(0), true)]);
+    }
+
+    #[test]
+    fn widen_with_same_state_is_fixpoint() {
+        let mut st = initial();
+        st.renumber_canonical();
+        st.resaturate_ranges();
+        let w = st.widen_with(&st.clone());
+        assert!(w.same_as(&st));
+    }
+
+    #[test]
+    fn rewrite_aliases_shift_and_strip() {
+        let mut st = initial();
+        let i = NsVar::pset(st.psets[0].id, "i");
+        st.cg.assert_eq_const(&i, 1);
+        // Install a range whose ub mentions i.
+        st.psets[0].range = ProcRange::from_exprs(
+            LinExpr::constant(0),
+            LinExpr::of_var(i.clone()),
+        );
+        st.rewrite_aliases_on_assign(&i, Some(1)); // i := i + 1
+        assert!(st.psets[0]
+            .range
+            .ub
+            .exprs()
+            .contains(&LinExpr::var_plus(i.clone(), -1)));
+        st.rewrite_aliases_on_assign(&i, None); // arbitrary overwrite
+        assert!(st.psets[0].range.ub.is_vacant());
+        assert!(st.any_vacant_range());
+    }
+
+    #[test]
+    fn remove_pset_preserves_other_namespaces() {
+        let mut st = initial();
+        let a = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(0));
+        let b = ProcRange::from_exprs(LinExpr::constant(1), LinExpr::var_plus(NsVar::Np, -1));
+        st.split_pset(0, vec![(a, CfgNodeId(5), false), (b, CfgNodeId(6), false)]);
+        let keep = st.psets[1].id;
+        st.cg.assert_eq_const(&NsVar::pset(keep, "v"), 3);
+        st.remove_pset(0);
+        assert_eq!(st.psets.len(), 1);
+        assert_eq!(st.cg.const_of(&NsVar::pset(keep, "v")), Some(3));
+    }
+}

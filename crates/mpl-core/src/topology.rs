@@ -1,0 +1,91 @@
+//! The statically inferred communication topology.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mpl_cfg::CfgNodeId;
+
+use crate::engine::{AnalysisResult, MatchEvent};
+
+/// The communication topology extracted by the analysis: which send
+/// statements feed which receive statements, annotated with the symbolic
+/// process subsets involved.
+#[derive(Debug, Clone)]
+pub struct StaticTopology {
+    site_pairs: BTreeSet<(CfgNodeId, CfgNodeId)>,
+    events: Vec<MatchEvent>,
+    exact: bool,
+}
+
+impl StaticTopology {
+    /// Extracts the topology from an analysis result.
+    #[must_use]
+    pub fn from_result(result: &AnalysisResult) -> StaticTopology {
+        StaticTopology {
+            site_pairs: result.matches.clone(),
+            events: result.events.clone(),
+            exact: result.is_exact(),
+        }
+    }
+
+    /// The (send statement, recv statement) pairs — directly comparable
+    /// with `mpl_sim::RuntimeTopology::site_pairs`.
+    #[must_use]
+    pub fn site_pairs(&self) -> &BTreeSet<(CfgNodeId, CfgNodeId)> {
+        &self.site_pairs
+    }
+
+    /// The matches with their symbolic process subsets.
+    #[must_use]
+    pub fn events(&self) -> &[MatchEvent] {
+        &self.events
+    }
+
+    /// True if the analysis matched every communication exactly — only
+    /// then is this a sound and complete statement-level topology.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.exact
+    }
+
+    /// True if the topology provably covers `pairs` (every runtime pair
+    /// is one of the static site pairs). With [`StaticTopology::is_exact`]
+    /// this is the soundness check used by the test oracle.
+    #[must_use]
+    pub fn covers(&self, pairs: &BTreeSet<(CfgNodeId, CfgNodeId)>) -> bool {
+        pairs.is_subset(&self.site_pairs)
+    }
+}
+
+impl fmt::Display for StaticTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        writeln!(
+            f,
+            "static topology ({}):",
+            if self.exact { "exact" } else { "approximate" }
+        )?;
+        for e in &self.events {
+            writeln!(f, "  {e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::engine::{analyze, AnalysisConfig};
+    use mpl_lang::corpus;
+
+    #[test]
+    fn topology_extraction_round_trip() {
+        let prog = corpus::fig2_exchange();
+        let result = analyze(&prog.program, &AnalysisConfig::default());
+        let topo = StaticTopology::from_result(&result);
+        assert!(topo.is_exact());
+        assert_eq!(topo.site_pairs().len(), 2);
+        assert_eq!(topo.events().len(), 2);
+        assert!(topo.covers(topo.site_pairs()));
+        assert!(topo.to_string().contains("exact"));
+    }
+}

@@ -1,0 +1,31 @@
+//! # mpl-domains — abstract domains for communication-sensitive dataflow
+//!
+//! Implements the dataflow state representation of §VII-A of the CGO'09
+//! paper: **constraint graphs** — conjunctions of difference constraints
+//! `i ≤ j + c` over variables — with the paper's two twists:
+//!
+//! 1. every variable is annotated with the *process-set id* that owns it
+//!    (so invariants can relate variables of different process sets), and
+//! 2. every process set gets its own copy of the special variable `id`.
+//!
+//! The constraint graph is a difference-bound matrix (DBM) with full
+//! O(n³) transitive closure and an O(n²) single-edge incremental variant.
+//! Both entry points are instrumented through [`stats::ClosureStats`],
+//! which is how the benches reproduce the §IX profile (closure counts,
+//! average variable counts, share of runtime).
+//!
+//! The crate also provides [`constenv::ConstEnv`], a flat
+//! constant-propagation lattice used by the Fig 2 client and by the
+//! "simpler dataflow state" ablation the paper's §IX roadmap calls for.
+
+pub mod constenv;
+pub mod constraint_graph;
+pub mod linexpr;
+pub mod stats;
+pub mod var;
+
+pub use constenv::ConstEnv;
+pub use constraint_graph::ConstraintGraph;
+pub use linexpr::LinExpr;
+pub use stats::{force_full_closure, set_force_full_closure, ClosureStats};
+pub use var::{NsVar, PsetId};

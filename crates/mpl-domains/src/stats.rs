@@ -1,0 +1,170 @@
+//! Closure instrumentation, reproducing the measurements of §IX.
+//!
+//! The paper profiles its prototype and reports, for the fan-out
+//! broadcast analysis: 217 executions of the O(n³) transitive closure
+//! (average 52.3 variables), 78 executions of a cheaper O(n²) variant
+//! (average 66.3 variables), together 92.5 % of total runtime. These
+//! counters collect exactly those quantities for our implementation.
+//!
+//! Counters are thread-local so parallel test runs do not interfere.
+
+use std::cell::Cell;
+use std::time::Duration;
+
+thread_local! {
+    static FULL_CLOSURES: Cell<u64> = const { Cell::new(0) };
+    static FULL_VARS: Cell<u64> = const { Cell::new(0) };
+    static INCR_CLOSURES: Cell<u64> = const { Cell::new(0) };
+    static INCR_VARS: Cell<u64> = const { Cell::new(0) };
+    static CLOSURE_NANOS: Cell<u64> = const { Cell::new(0) };
+    static FORCE_FULL: Cell<bool> = const { Cell::new(false) };
+}
+
+/// When enabled, [`crate::ConstraintGraph::assert_le`] re-runs the full
+/// O(n³) closure instead of the O(n²) incremental update — the behaviour
+/// of the paper's unoptimized prototype, kept as an ablation switch
+/// (§IX optimization roadmap).
+pub fn set_force_full_closure(on: bool) {
+    FORCE_FULL.with(|c| c.set(on));
+}
+
+/// True if the full-closure ablation is active on this thread.
+#[must_use]
+pub fn force_full_closure() -> bool {
+    FORCE_FULL.with(Cell::get)
+}
+
+/// A snapshot of the closure counters.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ClosureStats {
+    /// Number of full O(n³) transitive closures performed.
+    pub full_closures: u64,
+    /// Sum of variable counts over all full closures.
+    pub full_closure_vars: u64,
+    /// Number of O(n²) incremental closure updates performed.
+    pub incremental_closures: u64,
+    /// Sum of variable counts over all incremental updates.
+    pub incremental_closure_vars: u64,
+    /// Total wall-clock time spent inside closure operations.
+    pub closure_nanos: u64,
+}
+
+impl ClosureStats {
+    /// Reads the counters for the current thread.
+    #[must_use]
+    pub fn snapshot() -> ClosureStats {
+        ClosureStats {
+            full_closures: FULL_CLOSURES.with(Cell::get),
+            full_closure_vars: FULL_VARS.with(Cell::get),
+            incremental_closures: INCR_CLOSURES.with(Cell::get),
+            incremental_closure_vars: INCR_VARS.with(Cell::get),
+            closure_nanos: CLOSURE_NANOS.with(Cell::get),
+        }
+    }
+
+    /// Resets the counters for the current thread.
+    pub fn reset() {
+        FULL_CLOSURES.with(|c| c.set(0));
+        FULL_VARS.with(|c| c.set(0));
+        INCR_CLOSURES.with(|c| c.set(0));
+        INCR_VARS.with(|c| c.set(0));
+        CLOSURE_NANOS.with(|c| c.set(0));
+    }
+
+    /// The counter deltas accumulated since `earlier`.
+    #[must_use]
+    pub fn since(&self, earlier: &ClosureStats) -> ClosureStats {
+        ClosureStats {
+            full_closures: self.full_closures - earlier.full_closures,
+            full_closure_vars: self.full_closure_vars - earlier.full_closure_vars,
+            incremental_closures: self.incremental_closures - earlier.incremental_closures,
+            incremental_closure_vars: self.incremental_closure_vars
+                - earlier.incremental_closure_vars,
+            closure_nanos: self.closure_nanos - earlier.closure_nanos,
+        }
+    }
+
+    /// Average variable count per full closure (the paper's "52.3").
+    #[must_use]
+    pub fn avg_full_vars(&self) -> f64 {
+        if self.full_closures == 0 {
+            0.0
+        } else {
+            self.full_closure_vars as f64 / self.full_closures as f64
+        }
+    }
+
+    /// Average variable count per incremental update (the paper's "66.3").
+    #[must_use]
+    pub fn avg_incremental_vars(&self) -> f64 {
+        if self.incremental_closures == 0 {
+            0.0
+        } else {
+            self.incremental_closure_vars as f64 / self.incremental_closures as f64
+        }
+    }
+
+    /// Total time spent in closures.
+    #[must_use]
+    pub fn closure_time(&self) -> Duration {
+        Duration::from_nanos(self.closure_nanos)
+    }
+}
+
+/// Records one full O(n³) closure over `nvars` variables taking `nanos`.
+pub(crate) fn record_full(nvars: usize, nanos: u64) {
+    FULL_CLOSURES.with(|c| c.set(c.get() + 1));
+    FULL_VARS.with(|c| c.set(c.get() + nvars as u64));
+    CLOSURE_NANOS.with(|c| c.set(c.get() + nanos));
+}
+
+/// Records one O(n²) incremental update over `nvars` variables taking
+/// `nanos`.
+pub(crate) fn record_incremental(nvars: usize, nanos: u64) {
+    INCR_CLOSURES.with(|c| c.set(c.get() + 1));
+    INCR_VARS.with(|c| c.set(c.get() + nvars as u64));
+    CLOSURE_NANOS.with(|c| c.set(c.get() + nanos));
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate_and_reset() {
+        ClosureStats::reset();
+        record_full(10, 100);
+        record_full(20, 100);
+        record_incremental(5, 50);
+        let s = ClosureStats::snapshot();
+        assert_eq!(s.full_closures, 2);
+        assert_eq!(s.full_closure_vars, 30);
+        assert!((s.avg_full_vars() - 15.0).abs() < 1e-9);
+        assert_eq!(s.incremental_closures, 1);
+        assert!((s.avg_incremental_vars() - 5.0).abs() < 1e-9);
+        assert_eq!(s.closure_nanos, 250);
+        ClosureStats::reset();
+        assert_eq!(ClosureStats::snapshot(), ClosureStats::default());
+    }
+
+    #[test]
+    fn since_computes_deltas() {
+        ClosureStats::reset();
+        record_full(4, 10);
+        let base = ClosureStats::snapshot();
+        record_full(6, 20);
+        let delta = ClosureStats::snapshot().since(&base);
+        assert_eq!(delta.full_closures, 1);
+        assert_eq!(delta.full_closure_vars, 6);
+        assert_eq!(delta.closure_nanos, 20);
+    }
+
+    #[test]
+    fn averages_handle_zero_counts() {
+        ClosureStats::reset();
+        let s = ClosureStats::snapshot();
+        assert_eq!(s.avg_full_vars(), 0.0);
+        assert_eq!(s.avg_incremental_vars(), 0.0);
+        assert_eq!(s.closure_time(), Duration::ZERO);
+    }
+}

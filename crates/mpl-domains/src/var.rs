@@ -1,0 +1,102 @@
+//! Namespaced variables: the paper's per-process-set variable copies.
+
+use std::fmt;
+
+/// Identifies one process set within a pCFG node. Process-set ids are
+/// allocated by the analysis engine; the constraint graph only uses them
+/// as namespaces.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct PsetId(pub u32);
+
+impl fmt::Display for PsetId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "P{}", self.0)
+    }
+}
+
+/// A variable in the analysis state.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub enum NsVar {
+    /// The distinguished constant-zero anchor: `v ≤ Zero + c` encodes
+    /// `v ≤ c`.
+    Zero,
+    /// The global process count `np` (identical on every process).
+    Np,
+    /// A global symbolic parameter shared by all processes (e.g. the
+    /// `nrows`/`ncols` grid dimensions once proven uniform).
+    Global(String),
+    /// A per-process-set variable. The name `"id"` is the set's copy of
+    /// the rank variable.
+    Pset(PsetId, String),
+}
+
+impl NsVar {
+    /// The per-set rank variable.
+    #[must_use]
+    pub fn id_of(pset: PsetId) -> NsVar {
+        NsVar::Pset(pset, "id".to_owned())
+    }
+
+    /// A per-set user variable.
+    #[must_use]
+    pub fn pset(pset: PsetId, name: impl Into<String>) -> NsVar {
+        NsVar::Pset(pset, name.into())
+    }
+
+    /// The process set owning this variable, if any.
+    #[must_use]
+    pub fn namespace(&self) -> Option<PsetId> {
+        match self {
+            NsVar::Pset(p, _) => Some(*p),
+            _ => None,
+        }
+    }
+
+    /// Re-homes a per-set variable into namespace `to` (identity for
+    /// globals).
+    #[must_use]
+    pub fn renamed(&self, from: PsetId, to: PsetId) -> NsVar {
+        match self {
+            NsVar::Pset(p, name) if *p == from => NsVar::Pset(to, name.clone()),
+            other => other.clone(),
+        }
+    }
+}
+
+impl fmt::Display for NsVar {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NsVar::Zero => f.write_str("0"),
+            NsVar::Np => f.write_str("np"),
+            NsVar::Global(name) => write!(f, "{name}"),
+            NsVar::Pset(p, name) => write!(f, "{p}.{name}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn namespace_extraction() {
+        assert_eq!(NsVar::Zero.namespace(), None);
+        assert_eq!(NsVar::Np.namespace(), None);
+        assert_eq!(NsVar::pset(PsetId(3), "x").namespace(), Some(PsetId(3)));
+    }
+
+    #[test]
+    fn renamed_moves_only_matching_namespace() {
+        let x = NsVar::pset(PsetId(1), "x");
+        assert_eq!(x.renamed(PsetId(1), PsetId(2)), NsVar::pset(PsetId(2), "x"));
+        assert_eq!(x.renamed(PsetId(3), PsetId(2)), x);
+        assert_eq!(NsVar::Np.renamed(PsetId(1), PsetId(2)), NsVar::Np);
+    }
+
+    #[test]
+    fn display_forms() {
+        assert_eq!(NsVar::id_of(PsetId(0)).to_string(), "P0.id");
+        assert_eq!(NsVar::Global("nrows".into()).to_string(), "nrows");
+        assert_eq!(NsVar::Zero.to_string(), "0");
+    }
+}

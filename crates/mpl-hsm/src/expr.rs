@@ -1,0 +1,432 @@
+//! Conversion of MPL message expressions into HSMs (§VIII-A): the
+//! variable `id` becomes the range HSM of the executing process set,
+//! constants and set-uniform variables become scalars broadcast over the
+//! set, and `+ - * / %` map onto the Table I algebra.
+
+use std::collections::BTreeMap;
+use std::error::Error;
+use std::fmt;
+
+use mpl_lang::ast::{BinOp, Expr, UnOp};
+
+use crate::hsm::{Hsm, HsmError};
+use crate::symval::{AssumptionCtx, SymPoly};
+
+/// An error converting an expression to an HSM.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum ExprToHsmError {
+    /// The expression uses an operator outside the HSM fragment
+    /// (booleans, comparisons, sequence×sequence multiplication, …).
+    Unsupported(String),
+    /// A variable with no known symbolic value.
+    UnknownVariable(String),
+    /// An underlying HSM operation failed.
+    Hsm(HsmError),
+}
+
+impl fmt::Display for ExprToHsmError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExprToHsmError::Unsupported(what) => write!(f, "unsupported in HSM fragment: {what}"),
+            ExprToHsmError::UnknownVariable(name) => write!(f, "unknown variable `{name}`"),
+            ExprToHsmError::Hsm(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+impl Error for ExprToHsmError {}
+
+impl From<HsmError> for ExprToHsmError {
+    fn from(e: HsmError) -> Self {
+        ExprToHsmError::Hsm(e)
+    }
+}
+
+/// Either a per-process sequence or a set-uniform scalar.
+enum Value {
+    Seq(Hsm),
+    Scalar(SymPoly),
+}
+
+/// Converts `expr` into the HSM mapping each process of the executing
+/// set to the expression's value on that process.
+///
+/// * `id_hsm` — the HSM for `id` over the executing set (usually
+///   `Hsm::range(lb, size)`),
+/// * `vars` — symbolic values for set-uniform program variables (missing
+///   variables fail the conversion),
+/// * `ctx` — the assumption context.
+///
+/// # Errors
+///
+/// Returns [`ExprToHsmError`] when the expression leaves the supported
+/// fragment; the client analysis treats this as "cannot match" (⊤).
+pub fn expr_to_hsm(
+    expr: &Expr,
+    id_hsm: &Hsm,
+    vars: &BTreeMap<String, SymPoly>,
+    ctx: &AssumptionCtx,
+) -> Result<Hsm, ExprToHsmError> {
+    let n = id_hsm.len(ctx);
+    match convert(expr, id_hsm, vars, ctx)? {
+        Value::Seq(h) => Ok(h),
+        Value::Scalar(v) => Ok(Hsm::constant(v, n)),
+    }
+}
+
+fn convert(
+    expr: &Expr,
+    id_hsm: &Hsm,
+    vars: &BTreeMap<String, SymPoly>,
+    ctx: &AssumptionCtx,
+) -> Result<Value, ExprToHsmError> {
+    Ok(match expr {
+        Expr::Int(c) => Value::Scalar(SymPoly::constant(*c)),
+        Expr::Bool(_) => {
+            return Err(ExprToHsmError::Unsupported("boolean literal".into()));
+        }
+        Expr::Id => Value::Seq(id_hsm.clone()),
+        Expr::Np => Value::Scalar(ctx.normalize(&SymPoly::sym("np"))),
+        Expr::Var(name) => Value::Scalar(
+            vars.get(name)
+                .cloned()
+                .map(|p| ctx.normalize(&p))
+                .ok_or_else(|| ExprToHsmError::UnknownVariable(name.clone()))?,
+        ),
+        Expr::Unary(UnOp::Neg, e) => match convert(e, id_hsm, vars, ctx)? {
+            Value::Scalar(v) => Value::Scalar(-v),
+            Value::Seq(h) => Value::Seq(h.mul_scalar(&SymPoly::constant(-1), ctx)),
+        },
+        Expr::Unary(UnOp::Not, _) => {
+            return Err(ExprToHsmError::Unsupported("logical not".into()));
+        }
+        Expr::Binary(op, l, r) => {
+            let lv = convert(l, id_hsm, vars, ctx)?;
+            let rv = convert(r, id_hsm, vars, ctx)?;
+            match op {
+                BinOp::Add => binary_add(lv, rv, ctx)?,
+                BinOp::Sub => {
+                    let neg = match rv {
+                        Value::Scalar(v) => Value::Scalar(-v),
+                        Value::Seq(h) => Value::Seq(h.mul_scalar(&SymPoly::constant(-1), ctx)),
+                    };
+                    binary_add(lv, neg, ctx)?
+                }
+                BinOp::Mul => match (lv, rv) {
+                    (Value::Scalar(a), Value::Scalar(b)) => Value::Scalar(ctx.normalize(&(a * b))),
+                    (Value::Seq(h), Value::Scalar(k)) | (Value::Scalar(k), Value::Seq(h)) => {
+                        Value::Seq(h.mul_scalar(&k, ctx))
+                    }
+                    (Value::Seq(_), Value::Seq(_)) => {
+                        return Err(ExprToHsmError::Unsupported(
+                            "product of two id-dependent expressions".into(),
+                        ));
+                    }
+                },
+                BinOp::Div => match (lv, rv) {
+                    (Value::Scalar(a), Value::Scalar(b)) => Value::Scalar(
+                        ctx.div_exact(&a, &b).ok_or_else(|| {
+                            ExprToHsmError::Unsupported(format!("inexact division {a}/{b}"))
+                        })?,
+                    ),
+                    (Value::Seq(h), Value::Scalar(q)) => Value::Seq(h.div(&q, ctx)?),
+                    _ => {
+                        return Err(ExprToHsmError::Unsupported(
+                            "division by an id-dependent expression".into(),
+                        ));
+                    }
+                },
+                BinOp::Mod => match (lv, rv) {
+                    (Value::Scalar(a), Value::Scalar(b)) => {
+                        let (_, lo) = a.split_divisible(&b);
+                        // Exact only when the remainder is provably within
+                        // [0, b).
+                        let fits = ctx.nonneg(&lo)
+                            && ctx.nonneg(&(b.clone() - lo.clone() - SymPoly::constant(1)));
+                        if fits {
+                            Value::Scalar(lo)
+                        } else {
+                            return Err(ExprToHsmError::Unsupported(format!(
+                                "inexact modulus {a}%{b}"
+                            )));
+                        }
+                    }
+                    (Value::Seq(h), Value::Scalar(q)) => Value::Seq(h.modulo(&q, ctx)?),
+                    _ => {
+                        return Err(ExprToHsmError::Unsupported(
+                            "modulus by an id-dependent expression".into(),
+                        ));
+                    }
+                },
+                _ => {
+                    return Err(ExprToHsmError::Unsupported(format!(
+                        "operator `{op}` in a message expression"
+                    )));
+                }
+            }
+        }
+    })
+}
+
+fn binary_add(l: Value, r: Value, ctx: &AssumptionCtx) -> Result<Value, ExprToHsmError> {
+    Ok(match (l, r) {
+        (Value::Scalar(a), Value::Scalar(b)) => Value::Scalar(ctx.normalize(&(a + b))),
+        (Value::Seq(h), Value::Scalar(k)) | (Value::Scalar(k), Value::Seq(h)) => {
+            Value::Seq(h.add_scalar(&k, ctx))
+        }
+        (Value::Seq(a), Value::Seq(b)) => Value::Seq(a.add(&b, ctx)?),
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_lang::parse_program;
+    use mpl_lang::ast::StmtKind;
+
+    /// Parses `send 0 -> <expr>;` and extracts the destination expression.
+    fn dest_expr(src: &str) -> Expr {
+        let p = parse_program(&format!("send 0 -> {src};")).unwrap();
+        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else { panic!() };
+        dest.clone()
+    }
+
+    fn square_ctx() -> AssumptionCtx {
+        let mut ctx = AssumptionCtx::new();
+        ctx.define("np", SymPoly::sym("nrows") * SymPoly::sym("ncols"));
+        ctx.define("ncols", SymPoly::sym("nrows"));
+        ctx
+    }
+
+    fn rect_ctx() -> AssumptionCtx {
+        let mut ctx = AssumptionCtx::new();
+        ctx.define("np", SymPoly::sym("nrows") * SymPoly::sym("ncols"));
+        ctx.define("ncols", SymPoly::constant(2) * SymPoly::sym("nrows"));
+        ctx
+    }
+
+    fn grid_vars() -> BTreeMap<String, SymPoly> {
+        let mut vars = BTreeMap::new();
+        vars.insert("nrows".to_owned(), SymPoly::sym("nrows"));
+        vars.insert("ncols".to_owned(), SymPoly::sym("ncols"));
+        vars
+    }
+
+    fn all_procs(ctx: &AssumptionCtx) -> Hsm {
+        Hsm::range(SymPoly::zero(), ctx.normalize(&SymPoly::sym("np")))
+    }
+
+    #[test]
+    fn id_plus_constant_shifts_range() {
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::range(SymPoly::constant(1), SymPoly::sym("n"));
+        let h = expr_to_hsm(&dest_expr("id + 1"), &id, &BTreeMap::new(), &ctx).unwrap();
+        assert!(h.seq_eq(&Hsm::range(SymPoly::constant(2), SymPoly::sym("n")), &ctx));
+    }
+
+    #[test]
+    fn constant_expression_broadcasts() {
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::range(SymPoly::zero(), SymPoly::sym("n"));
+        let h = expr_to_hsm(&dest_expr("0"), &id, &BTreeMap::new(), &ctx).unwrap();
+        assert!(h.seq_eq(&Hsm::constant(SymPoly::zero(), SymPoly::sym("n")), &ctx));
+    }
+
+    #[test]
+    fn uniform_variable_broadcasts() {
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::range(SymPoly::zero(), SymPoly::constant(1));
+        let mut vars = BTreeMap::new();
+        vars.insert("i".to_owned(), SymPoly::sym("i"));
+        let h = expr_to_hsm(&dest_expr("i"), &id, &vars, &ctx).unwrap();
+        assert!(h.seq_eq(&Hsm::constant(SymPoly::sym("i"), SymPoly::constant(1)), &ctx));
+    }
+
+    #[test]
+    fn unknown_variable_is_an_error() {
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::range(SymPoly::zero(), SymPoly::constant(4));
+        let err = expr_to_hsm(&dest_expr("mystery + 1"), &id, &BTreeMap::new(), &ctx).unwrap_err();
+        assert!(matches!(err, ExprToHsmError::UnknownVariable(v) if v == "mystery"));
+    }
+
+    #[test]
+    fn square_transpose_matches_paper_hsm() {
+        // (id % nrows) * nrows + id / nrows over [0..np-1], np = nrows².
+        let ctx = square_ctx();
+        let h = expr_to_hsm(
+            &dest_expr("(id % nrows) * nrows + id / nrows"),
+            &all_procs(&ctx),
+            &grid_vars(),
+            &ctx,
+        )
+        .unwrap();
+        // The paper's result: [[0 : nrows, nrows] : nrows, 1].
+        let expected = Hsm::leaf(SymPoly::zero())
+            .repeat(SymPoly::sym("nrows"), SymPoly::sym("nrows"))
+            .repeat(SymPoly::sym("nrows"), SymPoly::constant(1));
+        assert!(h.seq_eq(&expected, &ctx), "got {h}");
+    }
+
+    #[test]
+    fn square_transpose_surjection_and_identity() {
+        let ctx = square_ctx();
+        let expr = dest_expr("(id % nrows) * nrows + id / nrows");
+        let send = expr_to_hsm(&expr, &all_procs(&ctx), &grid_vars(), &ctx).unwrap();
+        let np = ctx.normalize(&SymPoly::sym("np"));
+        // Surjection onto [0..np-1] (§VIII-B2).
+        assert!(send.is_surjection_onto(&SymPoly::zero(), &np, &ctx));
+        // Composition with the receive expression is the identity
+        // (§VIII-B1): substitute the send HSM for id.
+        let composed = expr_to_hsm(&expr, &send, &grid_vars(), &ctx).unwrap();
+        assert!(composed.is_identity_on(&SymPoly::zero(), &np, &ctx), "got {composed}");
+    }
+
+    #[test]
+    fn rect_transpose_surjection_and_identity() {
+        // 2*nrows*((id/2) % nrows) + 2*(id/(2*nrows)) + id % 2 on a
+        // nrows x 2*nrows grid.
+        let ctx = rect_ctx();
+        let expr =
+            dest_expr("2 * nrows * ((id / 2) % nrows) + 2 * (id / (2 * nrows)) + id % 2");
+        let send = expr_to_hsm(&expr, &all_procs(&ctx), &grid_vars(), &ctx).unwrap();
+        // The paper's claimed image HSM: [[[0:2,1] : nrows, 2*nrows] : nrows, 2].
+        let expected = Hsm::leaf(SymPoly::zero())
+            .repeat(SymPoly::constant(2), SymPoly::constant(1))
+            .repeat(SymPoly::sym("nrows"), SymPoly::constant(2) * SymPoly::sym("nrows"))
+            .repeat(SymPoly::sym("nrows"), SymPoly::constant(2));
+        assert!(send.seq_eq(&expected, &ctx), "got {send}");
+        let np = ctx.normalize(&SymPoly::sym("np"));
+        assert!(send.is_surjection_onto(&SymPoly::zero(), &np, &ctx));
+        let composed = expr_to_hsm(&expr, &send, &grid_vars(), &ctx).unwrap();
+        assert!(composed.is_identity_on(&SymPoly::zero(), &np, &ctx), "got {composed}");
+    }
+
+    #[test]
+    fn ring_modulus_is_out_of_fragment() {
+        // (id + 1) % np wraps around: not a single HSM (paper §X).
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::range(SymPoly::zero(), SymPoly::sym("np"));
+        let err = expr_to_hsm(&dest_expr("(id + 1) % np"), &id, &BTreeMap::new(), &ctx);
+        assert!(err.is_err());
+    }
+
+    #[test]
+    fn comparison_operators_are_rejected() {
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::range(SymPoly::zero(), SymPoly::constant(4));
+        assert!(matches!(
+            expr_to_hsm(&dest_expr("id < 2"), &id, &BTreeMap::new(), &ctx),
+            Err(ExprToHsmError::Unsupported(_))
+        ));
+    }
+
+    #[test]
+    fn seq_times_seq_is_rejected() {
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::range(SymPoly::zero(), SymPoly::constant(4));
+        assert!(expr_to_hsm(&dest_expr("id * id"), &id, &BTreeMap::new(), &ctx).is_err());
+    }
+
+    #[test]
+    fn composition_on_concrete_grid_agrees_with_arithmetic() {
+        // Cross-check the whole pipeline against brute-force arithmetic
+        // on a concrete 3x3 grid.
+        let ctx = square_ctx();
+        let expr = dest_expr("(id % nrows) * nrows + id / nrows");
+        let send = expr_to_hsm(&expr, &all_procs(&ctx), &grid_vars(), &ctx).unwrap();
+        let mut b = BTreeMap::new();
+        b.insert("nrows".to_owned(), 3);
+        b.insert("ncols".to_owned(), 3);
+        b.insert("np".to_owned(), 9);
+        let got = send.concretize(&b).unwrap();
+        let want: Vec<i64> = (0..9).map(|id| (id % 3) * 3 + id / 3).collect();
+        assert_eq!(got, want);
+    }
+
+    #[test]
+    fn rect_composition_concrete_check() {
+        let ctx = rect_ctx();
+        let expr =
+            dest_expr("2 * nrows * ((id / 2) % nrows) + 2 * (id / (2 * nrows)) + id % 2");
+        let send = expr_to_hsm(&expr, &all_procs(&ctx), &grid_vars(), &ctx).unwrap();
+        let mut b = BTreeMap::new();
+        b.insert("nrows".to_owned(), 2);
+        b.insert("ncols".to_owned(), 4);
+        b.insert("np".to_owned(), 8);
+        let got = send.concretize(&b).unwrap();
+        let want: Vec<i64> =
+            (0..8).map(|id| 2 * 2 * ((id / 2) % 2) + 2 * (id / 4) + id % 2).collect();
+        assert_eq!(got, want);
+    }
+}
+
+#[cfg(test)]
+mod shift_tests {
+    //! §VIII-C: the paper proves `(id-1) ∘ (id+1)` is the identity on the
+    //! three process-set domains of the 1-d nearest-neighbor shift, and
+    //! that `id+1` is a surjection onto each matched receiver set. These
+    //! tests replay those inferences through the HSM pipeline.
+
+    use super::*;
+    use mpl_lang::ast::StmtKind;
+    use mpl_lang::parse_program;
+
+    fn expr(src: &str) -> mpl_lang::ast::Expr {
+        let p = parse_program(&format!("send 0 -> {src};")).unwrap();
+        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else { panic!() };
+        dest.clone()
+    }
+
+    fn np() -> SymPoly {
+        SymPoly::sym("np")
+    }
+
+    #[test]
+    fn shift_identity_on_singleton_edge() {
+        // Domain [0]: send -> id+1 then receive <- id-1.
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::leaf(SymPoly::zero());
+        let sent = expr_to_hsm(&expr("id + 1"), &id, &BTreeMap::new(), &ctx).unwrap();
+        let composed = expr_to_hsm(&expr("id - 1"), &sent, &BTreeMap::new(), &ctx).unwrap();
+        assert!(composed.is_identity_on(&SymPoly::zero(), &SymPoly::constant(1), &ctx));
+    }
+
+    #[test]
+    fn shift_identity_on_interior_range() {
+        // Domain [1..np-3]: the paper's middle match [1..np-3] -> [2..np-2].
+        let ctx = AssumptionCtx::new();
+        let size = np() - SymPoly::constant(3); // |[1..np-3]| = np-3
+        let id = Hsm::range(SymPoly::constant(1), size.clone());
+        let sent = expr_to_hsm(&expr("id + 1"), &id, &BTreeMap::new(), &ctx).unwrap();
+        // Surjection onto [2..np-2].
+        assert!(sent.is_surjection_onto(&SymPoly::constant(2), &size, &ctx));
+        // Identity of the composition on [1..np-3].
+        let composed = expr_to_hsm(&expr("id - 1"), &sent, &BTreeMap::new(), &ctx).unwrap();
+        assert!(composed.is_identity_on(&SymPoly::constant(1), &size, &ctx));
+    }
+
+    #[test]
+    fn shift_identity_on_last_interior_rank() {
+        // Domain [np-2]: matched to the right edge [np-1].
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::leaf(np() - SymPoly::constant(2));
+        let sent = expr_to_hsm(&expr("id + 1"), &id, &BTreeMap::new(), &ctx).unwrap();
+        assert!(sent.is_surjection_onto(
+            &(np() - SymPoly::constant(1)),
+            &SymPoly::constant(1),
+            &ctx
+        ));
+        let composed = expr_to_hsm(&expr("id - 1"), &sent, &BTreeMap::new(), &ctx).unwrap();
+        assert!(composed.is_identity_on(&(np() - SymPoly::constant(2)), &SymPoly::constant(1), &ctx));
+    }
+
+    #[test]
+    fn wrong_offset_is_not_identity() {
+        let ctx = AssumptionCtx::new();
+        let id = Hsm::range(SymPoly::constant(1), np() - SymPoly::constant(3));
+        let sent = expr_to_hsm(&expr("id + 1"), &id, &BTreeMap::new(), &ctx).unwrap();
+        let composed = expr_to_hsm(&expr("id - 2"), &sent, &BTreeMap::new(), &ctx).unwrap();
+        assert!(!composed.is_identity_on(&SymPoly::constant(1), &(np() - SymPoly::constant(3)), &ctx));
+    }
+}

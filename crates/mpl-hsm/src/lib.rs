@@ -1,0 +1,44 @@
+//! # mpl-hsm — Hierarchical Sequence Maps
+//!
+//! Implements §VIII of the CGO'09 paper: *Hierarchical Sequence Maps*
+//! (HSMs), the abstraction that lets the parallel dataflow framework match
+//! send/receive expressions built from `+`, `*`, integral `/` and `%`
+//! over cartesian process grids.
+//!
+//! An HSM `[e : r, s]` denotes the sequence obtained by repeating the
+//! sequence `e` a total of `r` times, shifting the `k`-th copy by `k*s`.
+//! Internally we keep HSMs in a **flat mixed-radix normal form**: a base
+//! value plus an ordered list of `(rep, stride)` levels (innermost
+//! first), so the element at index `(t_1, …, t_m)` is
+//! `base + Σ s_d · t_d` with `t_d ∈ [0, r_d)`. Every nested HSM of the
+//! paper flattens into this form, and the paper's Table I operations and
+//! both of its equality relations become systematic:
+//!
+//! * sequence-equality — canonicalize (drop `rep = 1` levels, merge
+//!   adjacent levels with `s_{d+1} = r_d · s_d`) and compare;
+//! * set-equality — additionally search for a level *permutation* that
+//!   telescopes into a single contiguous level (this subsumes the paper's
+//!   interleave and transpose reorderings).
+//!
+//! Bases, repetition counts and strides are symbolic polynomials
+//! ([`SymPoly`]) normalized under an [`AssumptionCtx`] holding facts like
+//! `np = nrows * ncols` and `ncols = 2 * nrows`; all symbols are assumed
+//! to be at least 1 (they denote process-grid dimensions).
+//!
+//! ```
+//! use mpl_hsm::{AssumptionCtx, Hsm, SymPoly};
+//!
+//! let ctx = AssumptionCtx::new();
+//! // [11 : 4, 5] = <11, 16, 21, 26>
+//! let h = Hsm::leaf(SymPoly::constant(11)).repeat(SymPoly::constant(4), SymPoly::constant(5));
+//! assert_eq!(h.concretize(&Default::default()).unwrap(), vec![11, 16, 21, 26]);
+//! # let _ = ctx;
+//! ```
+
+pub mod expr;
+pub mod hsm;
+pub mod symval;
+
+pub use expr::{expr_to_hsm, ExprToHsmError};
+pub use hsm::{Hsm, HsmError, Level};
+pub use symval::{AssumptionCtx, SymPoly};

@@ -1,0 +1,504 @@
+//! Symbolic integer values: multivariate polynomials with an assumption
+//! context for normalization, divisibility and sign reasoning.
+
+use std::collections::BTreeMap;
+use std::fmt;
+use std::ops::{Add, Mul, Neg, Sub};
+
+/// A monomial: a product of symbols with positive integer exponents
+/// (empty = the constant monomial 1).
+pub type Monomial = BTreeMap<String, u32>;
+
+/// A multivariate polynomial with `i64` coefficients, e.g.
+/// `2*nrows^2 - 1`.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct SymPoly {
+    /// monomial → nonzero coefficient.
+    terms: BTreeMap<Monomial, i64>,
+}
+
+impl SymPoly {
+    /// The zero polynomial.
+    #[must_use]
+    pub fn zero() -> SymPoly {
+        SymPoly::default()
+    }
+
+    /// A constant.
+    #[must_use]
+    pub fn constant(c: i64) -> SymPoly {
+        let mut terms = BTreeMap::new();
+        if c != 0 {
+            terms.insert(Monomial::new(), c);
+        }
+        SymPoly { terms }
+    }
+
+    /// A single symbol.
+    #[must_use]
+    pub fn sym(name: impl Into<String>) -> SymPoly {
+        let mut mono = Monomial::new();
+        mono.insert(name.into(), 1);
+        let mut terms = BTreeMap::new();
+        terms.insert(mono, 1);
+        SymPoly { terms }
+    }
+
+    /// True if identically zero.
+    #[must_use]
+    pub fn is_zero(&self) -> bool {
+        self.terms.is_empty()
+    }
+
+    /// The constant value, if the polynomial has no symbols.
+    #[must_use]
+    pub fn as_constant(&self) -> Option<i64> {
+        match self.terms.len() {
+            0 => Some(0),
+            1 => {
+                let (mono, c) = self.terms.iter().next().expect("len 1");
+                mono.is_empty().then_some(*c)
+            }
+            _ => None,
+        }
+    }
+
+    /// True if equal to the constant 1.
+    #[must_use]
+    pub fn is_one(&self) -> bool {
+        self.as_constant() == Some(1)
+    }
+
+    /// All symbols mentioned.
+    #[must_use]
+    pub fn symbols(&self) -> Vec<&str> {
+        let mut out: Vec<&str> = Vec::new();
+        for mono in self.terms.keys() {
+            for s in mono.keys() {
+                if !out.contains(&s.as_str()) {
+                    out.push(s);
+                }
+            }
+        }
+        out
+    }
+
+    fn insert_term(terms: &mut BTreeMap<Monomial, i64>, mono: Monomial, coeff: i64) {
+        if coeff == 0 {
+            return;
+        }
+        let entry = terms.entry(mono).or_insert(0);
+        *entry += coeff;
+        if *entry == 0 {
+            // Remove cancelled terms; we need the key again, so re-find.
+            terms.retain(|_, c| *c != 0);
+        }
+    }
+
+    /// Exact division: `Some(self / q)` if `q` divides every term.
+    ///
+    /// Complete when `q` is a single term (constant times monomial) —
+    /// which is all the paper's divisors reduce to after normalization —
+    /// plus the trivial cases `self = 0` and `self = q`.
+    #[must_use]
+    pub fn try_div_exact(&self, q: &SymPoly) -> Option<SymPoly> {
+        if q.is_zero() {
+            return None;
+        }
+        if self.is_zero() {
+            return Some(SymPoly::zero());
+        }
+        if self == q {
+            return Some(SymPoly::constant(1));
+        }
+        // Single-term divisor.
+        if q.terms.len() == 1 {
+            let (qm, qc) = q.terms.iter().next().expect("len 1");
+            let mut out = BTreeMap::new();
+            for (m, c) in &self.terms {
+                if c % qc != 0 {
+                    return None;
+                }
+                let mut rm = m.clone();
+                for (s, e) in qm {
+                    let cur = rm.get_mut(s)?;
+                    if *cur < *e {
+                        return None;
+                    }
+                    *cur -= e;
+                    if *cur == 0 {
+                        rm.remove(s);
+                    }
+                }
+                Self::insert_term(&mut out, rm, c / qc);
+            }
+            return Some(SymPoly { terms: out });
+        }
+        None
+    }
+
+    /// Splits `self` into `(hi, lo)` with `self = q * hi + lo`, putting
+    /// every `q`-divisible term into `hi`.
+    #[must_use]
+    pub fn split_divisible(&self, q: &SymPoly) -> (SymPoly, SymPoly) {
+        let mut hi = SymPoly::zero();
+        let mut lo = SymPoly::zero();
+        for (m, c) in &self.terms {
+            let term = SymPoly { terms: BTreeMap::from([(m.clone(), *c)]) };
+            match term.try_div_exact(q) {
+                Some(d) => hi = hi + d,
+                None => lo = lo + term,
+            }
+        }
+        (hi, lo)
+    }
+
+    /// Evaluates under concrete symbol bindings; `None` if a symbol is
+    /// unbound.
+    #[must_use]
+    pub fn eval(&self, bindings: &BTreeMap<String, i64>) -> Option<i64> {
+        let mut total: i64 = 0;
+        for (mono, c) in &self.terms {
+            let mut v: i64 = *c;
+            for (s, e) in mono {
+                let b = *bindings.get(s)?;
+                for _ in 0..*e {
+                    v = v.checked_mul(b)?;
+                }
+            }
+            total = total.checked_add(v)?;
+        }
+        Some(total)
+    }
+
+    /// Substitutes `sym := replacement` throughout.
+    #[must_use]
+    pub fn subst(&self, sym: &str, replacement: &SymPoly) -> SymPoly {
+        let mut out = SymPoly::zero();
+        for (mono, c) in &self.terms {
+            let mut factor = SymPoly::constant(*c);
+            for (s, e) in mono {
+                let base = if s == sym { replacement.clone() } else { SymPoly::sym(s.clone()) };
+                for _ in 0..*e {
+                    factor = factor * base.clone();
+                }
+            }
+            out = out + factor;
+        }
+        out
+    }
+
+    /// True if provably `self ≥ 0` assuming every symbol is ≥ 1.
+    ///
+    /// Complete for our use: substitute `s := 1 + s'` for every symbol
+    /// and check that all coefficients of the resulting polynomial (in
+    /// the shifted symbols, which range over ≥ 0) are non-negative.
+    #[must_use]
+    pub fn provably_nonneg(&self) -> bool {
+        let mut shifted = self.clone();
+        for s in self.symbols().into_iter().map(str::to_owned).collect::<Vec<_>>() {
+            let repl = SymPoly::constant(1) + SymPoly::sym(format!("__shift_{s}"));
+            shifted = shifted.subst(&s, &repl);
+        }
+        shifted.terms.values().all(|&c| c >= 0)
+    }
+
+    /// True if provably `self ≥ 1` (symbols ≥ 1).
+    #[must_use]
+    pub fn provably_pos(&self) -> bool {
+        (self.clone() - SymPoly::constant(1)).provably_nonneg()
+    }
+}
+
+impl Add for SymPoly {
+    type Output = SymPoly;
+    fn add(self, rhs: SymPoly) -> SymPoly {
+        let mut terms = self.terms;
+        for (m, c) in rhs.terms {
+            SymPoly::insert_term(&mut terms, m, c);
+        }
+        terms.retain(|_, c| *c != 0);
+        SymPoly { terms }
+    }
+}
+
+impl Sub for SymPoly {
+    type Output = SymPoly;
+    fn sub(self, rhs: SymPoly) -> SymPoly {
+        self + (-rhs)
+    }
+}
+
+impl Neg for SymPoly {
+    type Output = SymPoly;
+    fn neg(self) -> SymPoly {
+        SymPoly { terms: self.terms.into_iter().map(|(m, c)| (m, -c)).collect() }
+    }
+}
+
+impl Mul for SymPoly {
+    type Output = SymPoly;
+    fn mul(self, rhs: SymPoly) -> SymPoly {
+        let mut terms: BTreeMap<Monomial, i64> = BTreeMap::new();
+        for (ma, ca) in &self.terms {
+            for (mb, cb) in &rhs.terms {
+                let mut m = ma.clone();
+                for (s, e) in mb {
+                    *m.entry(s.clone()).or_insert(0) += e;
+                }
+                SymPoly::insert_term(&mut terms, m, ca * cb);
+            }
+        }
+        terms.retain(|_, c| *c != 0);
+        SymPoly { terms }
+    }
+}
+
+impl From<i64> for SymPoly {
+    fn from(c: i64) -> SymPoly {
+        SymPoly::constant(c)
+    }
+}
+
+impl fmt::Display for SymPoly {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        if self.terms.is_empty() {
+            return f.write_str("0");
+        }
+        let mut first = true;
+        // Display higher-degree terms first for readability.
+        let mut entries: Vec<(&Monomial, &i64)> = self.terms.iter().collect();
+        entries.sort_by_key(|(m, _)| std::cmp::Reverse(m.values().sum::<u32>()));
+        for (mono, c) in entries {
+            let mut body = String::new();
+            for (s, e) in mono {
+                if !body.is_empty() {
+                    body.push('*');
+                }
+                body.push_str(s);
+                if *e > 1 {
+                    body.push_str(&format!("^{e}"));
+                }
+            }
+            if first {
+                first = false;
+                if body.is_empty() {
+                    write!(f, "{c}")?;
+                } else if *c == 1 {
+                    write!(f, "{body}")?;
+                } else if *c == -1 {
+                    write!(f, "-{body}")?;
+                } else {
+                    write!(f, "{c}*{body}")?;
+                }
+            } else {
+                let sign = if *c >= 0 { "+" } else { "-" };
+                let mag = c.abs();
+                if body.is_empty() {
+                    write!(f, "{sign}{mag}")?;
+                } else if mag == 1 {
+                    write!(f, "{sign}{body}")?;
+                } else {
+                    write!(f, "{sign}{mag}*{body}")?;
+                }
+            }
+        }
+        Ok(())
+    }
+}
+
+/// Normalization context: a set of oriented equalities used as rewrite
+/// rules (e.g. `np → nrows*ncols`, `ncols → 2*nrows`). All symbols are
+/// implicitly assumed ≥ 1 (they denote grid dimensions / rank counts).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct AssumptionCtx {
+    /// Oriented substitutions, applied in order to a fixpoint.
+    subs: Vec<(String, SymPoly)>,
+}
+
+impl AssumptionCtx {
+    /// An empty context.
+    #[must_use]
+    pub fn new() -> AssumptionCtx {
+        AssumptionCtx::default()
+    }
+
+    /// Adds the oriented equality `sym = value` (later normalizations
+    /// replace `sym` by `value`).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the substitution would be self-referential.
+    pub fn define(&mut self, sym: impl Into<String>, value: SymPoly) {
+        let sym = sym.into();
+        assert!(
+            !value.symbols().contains(&sym.as_str()),
+            "self-referential assumption for {sym}"
+        );
+        self.subs.push((sym, value));
+    }
+
+    /// The substitutions in insertion order.
+    #[must_use]
+    pub fn substitutions(&self) -> &[(String, SymPoly)] {
+        &self.subs
+    }
+
+    /// Rewrites `p` to normal form under the substitutions.
+    #[must_use]
+    pub fn normalize(&self, p: &SymPoly) -> SymPoly {
+        let mut cur = p.clone();
+        // Apply in order, repeatedly, until stable (substitutions may
+        // cascade, e.g. np → nrows*ncols → 2*nrows^2).
+        for _ in 0..=self.subs.len() {
+            let mut next = cur.clone();
+            for (s, v) in &self.subs {
+                next = next.subst(s, v);
+            }
+            if next == cur {
+                break;
+            }
+            cur = next;
+        }
+        cur
+    }
+
+    /// True if `a = b` under the assumptions.
+    #[must_use]
+    pub fn eq(&self, a: &SymPoly, b: &SymPoly) -> bool {
+        self.normalize(a) == self.normalize(b)
+    }
+
+    /// Exact division in normal form.
+    #[must_use]
+    pub fn div_exact(&self, a: &SymPoly, b: &SymPoly) -> Option<SymPoly> {
+        self.normalize(a).try_div_exact(&self.normalize(b))
+    }
+
+    /// True if provably `p ≥ 0` under the assumptions (symbols ≥ 1).
+    #[must_use]
+    pub fn nonneg(&self, p: &SymPoly) -> bool {
+        self.normalize(p).provably_nonneg()
+    }
+
+    /// True if provably `p ≥ 1`.
+    #[must_use]
+    pub fn pos(&self, p: &SymPoly) -> bool {
+        self.normalize(p).provably_pos()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn s(name: &str) -> SymPoly {
+        SymPoly::sym(name)
+    }
+
+    fn c(v: i64) -> SymPoly {
+        SymPoly::constant(v)
+    }
+
+    #[test]
+    fn arithmetic_normalizes() {
+        let p = (s("a") + c(1)) * (s("a") - c(1));
+        assert_eq!(p, s("a") * s("a") - c(1));
+        assert!((p.clone() - p).is_zero());
+    }
+
+    #[test]
+    fn constants_and_zero() {
+        assert_eq!(c(0), SymPoly::zero());
+        assert_eq!((c(3) + c(-3)).as_constant(), Some(0));
+        assert_eq!((c(3) * c(4)).as_constant(), Some(12));
+        assert_eq!(s("x").as_constant(), None);
+        assert!(c(1).is_one());
+    }
+
+    #[test]
+    fn div_exact_single_term() {
+        let p = c(2) * s("nrows") * s("nrows") + c(4) * s("nrows");
+        assert_eq!(
+            p.try_div_exact(&(c(2) * s("nrows"))),
+            Some(s("nrows") + c(2))
+        );
+        assert_eq!(p.try_div_exact(&(c(3)).clone()), None);
+        assert_eq!(p.try_div_exact(&(s("nrows") * s("nrows"))), None);
+        assert_eq!(SymPoly::zero().try_div_exact(&s("q")), Some(SymPoly::zero()));
+    }
+
+    #[test]
+    fn div_exact_self_and_by_zero() {
+        let p = s("a") + c(1);
+        assert_eq!(p.try_div_exact(&p), Some(c(1)));
+        assert_eq!(p.try_div_exact(&SymPoly::zero()), None);
+    }
+
+    #[test]
+    fn split_divisible_partitions_terms() {
+        let p = c(6) * s("n") + c(5);
+        let (hi, lo) = p.split_divisible(&(c(2) * s("n")));
+        assert_eq!(hi, c(3));
+        assert_eq!(lo, c(5));
+    }
+
+    #[test]
+    fn eval_with_bindings() {
+        let p = c(2) * s("n") * s("n") + s("m") - c(1);
+        let mut b = BTreeMap::new();
+        b.insert("n".to_owned(), 3);
+        b.insert("m".to_owned(), 10);
+        assert_eq!(p.eval(&b), Some(27));
+        b.remove("m");
+        assert_eq!(p.eval(&b), None);
+    }
+
+    #[test]
+    fn subst_expands() {
+        let p = s("np") - c(1);
+        let q = p.subst("np", &(s("nrows") * s("ncols")));
+        assert_eq!(q, s("nrows") * s("ncols") - c(1));
+    }
+
+    #[test]
+    fn nonneg_reasoning_with_symbols_ge_one() {
+        assert!(s("n").provably_nonneg());
+        assert!((s("n") - c(1)).provably_nonneg());
+        assert!(!(s("n") - c(2)).provably_nonneg()); // n could be 1
+        assert!((s("n") * s("n") - s("n")).provably_nonneg()); // n^2 >= n
+        assert!((c(2) * s("n") - s("n") - c(1)).provably_nonneg()); // 2n - n - 1 = n-1
+        assert!(!(s("a") - s("b")).provably_nonneg());
+        assert!(s("n").provably_pos());
+        assert!(!(s("n") - c(1)).provably_pos());
+    }
+
+    #[test]
+    fn ctx_normalization_cascades() {
+        let mut ctx = AssumptionCtx::new();
+        ctx.define("np", s("nrows") * s("ncols"));
+        ctx.define("ncols", c(2) * s("nrows"));
+        let n = ctx.normalize(&s("np"));
+        assert_eq!(n, c(2) * s("nrows") * s("nrows"));
+        assert!(ctx.eq(&s("np"), &(c(2) * s("nrows") * s("nrows"))));
+        assert_eq!(
+            ctx.div_exact(&s("np"), &(c(2) * s("nrows"))),
+            Some(s("nrows"))
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "self-referential")]
+    fn self_referential_assumption_panics() {
+        let mut ctx = AssumptionCtx::new();
+        ctx.define("x", s("x") + c(1));
+    }
+
+    #[test]
+    fn display_readable() {
+        assert_eq!((c(2) * s("n") * s("n") - c(1)).to_string(), "2*n^2-1");
+        assert_eq!(SymPoly::zero().to_string(), "0");
+        assert_eq!((s("a") - s("b")).to_string(), "a-b");
+        assert_eq!((-s("a")).to_string(), "-a");
+    }
+}

@@ -1,0 +1,40 @@
+//! # mpl-lang — the Message Passing Language (MPL) front end
+//!
+//! MPL is a small imperative language with explicit message passing,
+//! designed to express exactly the execution model of Bronevetsky's
+//! *Communication-Sensitive Static Dataflow for Parallel Message Passing
+//! Applications* (CGO 2009):
+//!
+//! * an SPMD program executed by processes `0..np-1`,
+//! * integer variables plus the two special read-only variables `id`
+//!   (this process' rank) and `np` (the number of processes),
+//! * `send <value> -> <dest>` / `recv <var> <- <src>` where the partner
+//!   rank is an arbitrary integer expression (no wildcard receives),
+//! * structured control flow (`if`/`while`/`for`).
+//!
+//! The crate provides a lexer, a recursive-descent parser with spanned
+//! error reporting, the AST, and [`corpus`] — programmatic builders for
+//! every program analyzed in the paper (Figures 1, 2, 5, 6, 7 and the
+//! fan-out broadcast of §IX) plus additional classic communication
+//! patterns used by the test suite and benchmarks.
+//!
+//! ```
+//! use mpl_lang::parse_program;
+//!
+//! let program = parse_program(
+//!     "if id = 0 then send 5 -> 1; else if id = 1 then recv x <- 0; end end",
+//! )?;
+//! assert_eq!(program.stmts.len(), 1);
+//! # Ok::<(), mpl_lang::ParseError>(())
+//! ```
+
+pub mod ast;
+pub mod corpus;
+pub mod lexer;
+pub mod parser;
+pub mod token;
+
+pub use ast::{BinOp, Expr, Program, Stmt, UnOp};
+pub use lexer::LexError;
+pub use parser::{parse_program, ParseError};
+pub use token::{Span, Token, TokenKind};

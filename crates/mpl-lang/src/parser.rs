@@ -1,0 +1,597 @@
+//! Recursive-descent parser for MPL.
+//!
+//! Grammar (EBNF):
+//!
+//! ```text
+//! program  := stmt*
+//! stmt     := "if" expr "then" stmt* ("else" stmt*)? "end"
+//!           | "while" expr "do" stmt* "end"
+//!           | "for" IDENT ":=" expr "to" expr "do" stmt* "end"
+//!           | IDENT ":=" expr ";"
+//!           | "send" expr "->" expr ";"
+//!           | "recv" IDENT "<-" expr ";"
+//!           | "print" expr ";"
+//!           | "assume" expr ";"
+//!           | "skip" ";"
+//! expr     := or
+//! or       := and ("or" and)*
+//! and      := not ("and" not)*
+//! not      := "not" not | cmp
+//! cmp      := sum (("="|"!="|"<"|"<="|">"|">=") sum)?
+//! sum      := term (("+"|"-") term)*
+//! term     := unary (("*"|"/"|"%") unary)*
+//! unary    := "-" unary | atom
+//! atom     := INT | IDENT | "id" | "np" | "true" | "false" | "(" expr ")"
+//! ```
+//!
+//! For-loop headers also accept `=` in place of `:=` so the paper's
+//! `for i=1 to np-1` parses verbatim.
+
+use std::error::Error;
+use std::fmt;
+
+use crate::ast::{BinOp, Expr, Program, Stmt, StmtKind, UnOp};
+use crate::lexer::{tokenize, LexError};
+use crate::token::{Span, Token, TokenKind};
+
+/// An error produced while parsing MPL source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// Location of the offending token.
+    pub span: Span,
+    /// Human-readable description.
+    pub message: String,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "parse error at {}: {}", self.span, self.message)
+    }
+}
+
+impl Error for ParseError {}
+
+impl From<LexError> for ParseError {
+    fn from(e: LexError) -> Self {
+        ParseError { span: e.span, message: e.message }
+    }
+}
+
+struct Parser {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Parser {
+    fn peek(&self) -> &Token {
+        &self.tokens[self.pos.min(self.tokens.len() - 1)]
+    }
+
+    fn bump(&mut self) -> Token {
+        let t = self.peek().clone();
+        if self.pos < self.tokens.len() - 1 {
+            self.pos += 1;
+        }
+        t
+    }
+
+    fn at(&self, kind: &TokenKind) -> bool {
+        &self.peek().kind == kind
+    }
+
+    fn eat(&mut self, kind: &TokenKind) -> bool {
+        if self.at(kind) {
+            self.bump();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, kind: &TokenKind) -> Result<Token, ParseError> {
+        if self.at(kind) {
+            Ok(self.bump())
+        } else {
+            Err(self.error_here(&format!(
+                "expected {}, found {}",
+                kind.describe(),
+                self.peek().kind.describe()
+            )))
+        }
+    }
+
+    fn expect_ident(&mut self) -> Result<(String, Span), ParseError> {
+        match &self.peek().kind {
+            TokenKind::Ident(_) => {
+                let t = self.bump();
+                let TokenKind::Ident(name) = t.kind else { unreachable!() };
+                Ok((name, t.span))
+            }
+            other => {
+                let msg = format!("expected identifier, found {}", other.describe());
+                Err(self.error_here(&msg))
+            }
+        }
+    }
+
+    fn error_here(&self, message: &str) -> ParseError {
+        ParseError { span: self.peek().span, message: message.to_owned() }
+    }
+
+    fn parse_program(&mut self) -> Result<Program, ParseError> {
+        let stmts = self.parse_block(&[TokenKind::Eof])?;
+        self.expect(&TokenKind::Eof)?;
+        Ok(Program::new(stmts))
+    }
+
+    /// Parses statements until one of `stop` tokens is at the front
+    /// (the stop token is not consumed).
+    fn parse_block(&mut self, stop: &[TokenKind]) -> Result<Vec<Stmt>, ParseError> {
+        let mut stmts = Vec::new();
+        while !stop.iter().any(|k| self.at(k)) {
+            stmts.push(self.parse_stmt()?);
+        }
+        Ok(stmts)
+    }
+
+    fn parse_stmt(&mut self) -> Result<Stmt, ParseError> {
+        let start = self.peek().span;
+        let kind = match self.peek().kind.clone() {
+            TokenKind::If => {
+                self.bump();
+                let cond = self.parse_expr()?;
+                self.expect(&TokenKind::Then)?;
+                let then_branch = self.parse_block(&[TokenKind::Else, TokenKind::End])?;
+                let else_branch = if self.eat(&TokenKind::Else) {
+                    self.parse_block(&[TokenKind::End])?
+                } else {
+                    Vec::new()
+                };
+                self.expect(&TokenKind::End)?;
+                StmtKind::If { cond, then_branch, else_branch }
+            }
+            TokenKind::While => {
+                self.bump();
+                let cond = self.parse_expr()?;
+                self.expect(&TokenKind::Do)?;
+                let body = self.parse_block(&[TokenKind::End])?;
+                self.expect(&TokenKind::End)?;
+                StmtKind::While { cond, body }
+            }
+            TokenKind::For => {
+                self.bump();
+                let (var, _) = self.expect_ident()?;
+                // Accept both `:=` and `=` in for headers.
+                if !self.eat(&TokenKind::Assign) {
+                    self.expect(&TokenKind::Eq)?;
+                }
+                let from = self.parse_expr()?;
+                self.expect(&TokenKind::To)?;
+                let to = self.parse_expr()?;
+                self.expect(&TokenKind::Do)?;
+                let body = self.parse_block(&[TokenKind::End])?;
+                self.expect(&TokenKind::End)?;
+                StmtKind::For { var, from, to, body }
+            }
+            TokenKind::Send => {
+                self.bump();
+                let value = self.parse_expr()?;
+                self.expect(&TokenKind::Arrow)?;
+                let dest = self.parse_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Send { value, dest }
+            }
+            TokenKind::Recv => {
+                self.bump();
+                let (var, _) = self.expect_ident()?;
+                self.expect(&TokenKind::BackArrow)?;
+                let src = self.parse_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Recv { var, src }
+            }
+            TokenKind::Print => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Print(e)
+            }
+            TokenKind::Assume => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Assume(e)
+            }
+            TokenKind::Skip => {
+                self.bump();
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Skip
+            }
+            TokenKind::Ident(_) => {
+                let (name, _) = self.expect_ident()?;
+                self.expect(&TokenKind::Assign)?;
+                let value = self.parse_expr()?;
+                self.expect(&TokenKind::Semi)?;
+                StmtKind::Assign { name, value }
+            }
+            other => {
+                return Err(self.error_here(&format!(
+                    "expected a statement, found {}",
+                    other.describe()
+                )))
+            }
+        };
+        let end = self.tokens[self.pos.saturating_sub(1)].span;
+        Ok(Stmt { kind, span: start.merge(end) })
+    }
+
+    fn parse_expr(&mut self) -> Result<Expr, ParseError> {
+        self.parse_or()
+    }
+
+    fn parse_or(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_and()?;
+        while self.eat(&TokenKind::Or) {
+            let rhs = self.parse_and()?;
+            lhs = Expr::binary(BinOp::Or, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_and(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_not()?;
+        while self.eat(&TokenKind::And) {
+            let rhs = self.parse_not()?;
+            lhs = Expr::binary(BinOp::And, lhs, rhs);
+        }
+        Ok(lhs)
+    }
+
+    fn parse_not(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Not) {
+            let e = self.parse_not()?;
+            Ok(Expr::Unary(UnOp::Not, Box::new(e)))
+        } else {
+            self.parse_cmp()
+        }
+    }
+
+    fn parse_cmp(&mut self) -> Result<Expr, ParseError> {
+        let lhs = self.parse_sum()?;
+        let op = match self.peek().kind {
+            TokenKind::Eq => BinOp::Eq,
+            TokenKind::Ne => BinOp::Ne,
+            TokenKind::Lt => BinOp::Lt,
+            TokenKind::Le => BinOp::Le,
+            TokenKind::Gt => BinOp::Gt,
+            TokenKind::Ge => BinOp::Ge,
+            _ => return Ok(lhs),
+        };
+        self.bump();
+        let rhs = self.parse_sum()?;
+        Ok(Expr::binary(op, lhs, rhs))
+    }
+
+    fn parse_sum(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_term()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Plus => BinOp::Add,
+                TokenKind::Minus => BinOp::Sub,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_term()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn parse_term(&mut self) -> Result<Expr, ParseError> {
+        let mut lhs = self.parse_unary()?;
+        loop {
+            let op = match self.peek().kind {
+                TokenKind::Star => BinOp::Mul,
+                TokenKind::Slash => BinOp::Div,
+                TokenKind::Percent => BinOp::Mod,
+                _ => return Ok(lhs),
+            };
+            self.bump();
+            let rhs = self.parse_unary()?;
+            lhs = Expr::binary(op, lhs, rhs);
+        }
+    }
+
+    fn parse_unary(&mut self) -> Result<Expr, ParseError> {
+        if self.eat(&TokenKind::Minus) {
+            let e = self.parse_unary()?;
+            // Constant-fold negative literals so `-1` is `Int(-1)`.
+            if let Expr::Int(n) = e {
+                return Ok(Expr::Int(-n));
+            }
+            Ok(Expr::Unary(UnOp::Neg, Box::new(e)))
+        } else {
+            self.parse_atom()
+        }
+    }
+
+    fn parse_atom(&mut self) -> Result<Expr, ParseError> {
+        match self.peek().kind.clone() {
+            TokenKind::Int(n) => {
+                self.bump();
+                Ok(Expr::Int(n))
+            }
+            TokenKind::True => {
+                self.bump();
+                Ok(Expr::Bool(true))
+            }
+            TokenKind::False => {
+                self.bump();
+                Ok(Expr::Bool(false))
+            }
+            TokenKind::Ident(name) => {
+                self.bump();
+                Ok(Expr::Var(name))
+            }
+            TokenKind::Id => {
+                self.bump();
+                Ok(Expr::Id)
+            }
+            TokenKind::Np => {
+                self.bump();
+                Ok(Expr::Np)
+            }
+            TokenKind::LParen => {
+                self.bump();
+                let e = self.parse_expr()?;
+                self.expect(&TokenKind::RParen)?;
+                Ok(e)
+            }
+            other => Err(self.error_here(&format!(
+                "expected an expression, found {}",
+                other.describe()
+            ))),
+        }
+    }
+}
+
+/// Parses MPL source into a [`Program`].
+///
+/// # Errors
+///
+/// Returns a [`ParseError`] (with line/column information) on malformed
+/// input.
+///
+/// ```
+/// let p = mpl_lang::parse_program("x := np - 1; send x -> (id + 1) % np;")?;
+/// assert_eq!(p.stmts.len(), 2);
+/// # Ok::<(), mpl_lang::ParseError>(())
+/// ```
+pub fn parse_program(src: &str) -> Result<Program, ParseError> {
+    let tokens = tokenize(src)?;
+    let mut parser = Parser { tokens, pos: 0 };
+    parser.parse_program()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, StmtKind};
+
+    #[test]
+    fn parses_assignment_with_precedence() {
+        let p = parse_program("x := 1 + 2 * 3;").unwrap();
+        let StmtKind::Assign { value, .. } = &p.stmts[0].kind else { panic!() };
+        assert_eq!(
+            *value,
+            Expr::binary(
+                BinOp::Add,
+                Expr::Int(1),
+                Expr::binary(BinOp::Mul, Expr::Int(2), Expr::Int(3))
+            )
+        );
+    }
+
+    #[test]
+    fn parses_parenthesized_grouping() {
+        let p = parse_program("x := (1 + 2) * 3;").unwrap();
+        let StmtKind::Assign { value, .. } = &p.stmts[0].kind else { panic!() };
+        assert_eq!(
+            *value,
+            Expr::binary(
+                BinOp::Mul,
+                Expr::binary(BinOp::Add, Expr::Int(1), Expr::Int(2)),
+                Expr::Int(3)
+            )
+        );
+    }
+
+    #[test]
+    fn parses_if_else() {
+        let p = parse_program("if id = 0 then x := 1; else x := 2; end").unwrap();
+        let StmtKind::If { cond, then_branch, else_branch } = &p.stmts[0].kind else { panic!() };
+        assert_eq!(*cond, Expr::binary(BinOp::Eq, Expr::Id, Expr::Int(0)));
+        assert_eq!(then_branch.len(), 1);
+        assert_eq!(else_branch.len(), 1);
+    }
+
+    #[test]
+    fn parses_if_without_else() {
+        let p = parse_program("if id < np then skip; end").unwrap();
+        let StmtKind::If { else_branch, .. } = &p.stmts[0].kind else { panic!() };
+        assert!(else_branch.is_empty());
+    }
+
+    #[test]
+    fn parses_for_with_paper_syntax() {
+        // The paper writes `for i=1 to np-1`.
+        let p = parse_program("for i = 1 to np - 1 do send 0 -> i; end").unwrap();
+        let StmtKind::For { var, from, to, body } = &p.stmts[0].kind else { panic!() };
+        assert_eq!(var, "i");
+        assert_eq!(*from, Expr::Int(1));
+        assert_eq!(*to, Expr::binary(BinOp::Sub, Expr::Np, Expr::Int(1)));
+        assert_eq!(body.len(), 1);
+    }
+
+    #[test]
+    fn parses_send_recv() {
+        let p = parse_program("send x + 1 -> id + 1; recv y <- id - 1;").unwrap();
+        assert!(matches!(p.stmts[0].kind, StmtKind::Send { .. }));
+        let StmtKind::Recv { var, src } = &p.stmts[1].kind else { panic!() };
+        assert_eq!(var, "y");
+        assert_eq!(*src, Expr::binary(BinOp::Sub, Expr::Id, Expr::Int(1)));
+    }
+
+    #[test]
+    fn parses_nested_control_flow() {
+        let src = "
+            for i = 0 to 3 do
+                if i % 2 = 0 then
+                    while x < i do x := x + 1; end
+                end
+            end";
+        let p = parse_program(src).unwrap();
+        assert_eq!(p.stmts.len(), 1);
+        assert_eq!(p.len(), 4);
+    }
+
+    #[test]
+    fn parses_negative_literals() {
+        let p = parse_program("x := -5;").unwrap();
+        let StmtKind::Assign { value, .. } = &p.stmts[0].kind else { panic!() };
+        assert_eq!(*value, Expr::Int(-5));
+    }
+
+    #[test]
+    fn parses_logical_operators() {
+        let p = parse_program("if id = 0 or id = np - 1 and not (x < 2) then skip; end").unwrap();
+        let StmtKind::If { cond, .. } = &p.stmts[0].kind else { panic!() };
+        // `and` binds tighter than `or`.
+        let Expr::Binary(BinOp::Or, _, rhs) = cond else { panic!("expected or at top") };
+        assert!(matches!(**rhs, Expr::Binary(BinOp::And, _, _)));
+    }
+
+    #[test]
+    fn parses_assume() {
+        let p = parse_program("assume np = nrows * ncols;").unwrap();
+        assert!(matches!(p.stmts[0].kind, StmtKind::Assume(_)));
+    }
+
+    #[test]
+    fn error_on_missing_semicolon() {
+        let err = parse_program("x := 1").unwrap_err();
+        assert!(err.message.contains("`;`"), "{}", err.message);
+    }
+
+    #[test]
+    fn error_on_missing_end() {
+        let err = parse_program("if id = 0 then x := 1;").unwrap_err();
+        assert!(err.message.contains("statement") || err.message.contains("`end`"));
+    }
+
+    #[test]
+    fn error_on_chained_comparison() {
+        // `a < b < c` is not allowed (cmp is non-associative).
+        assert!(parse_program("if 1 < 2 < 3 then skip; end").is_err());
+    }
+
+    #[test]
+    fn error_reports_line_numbers() {
+        let err = parse_program("x := 1;\ny := ;").unwrap_err();
+        assert_eq!(err.span.line, 2);
+    }
+
+    #[test]
+    fn empty_program_parses() {
+        assert!(parse_program("").unwrap().is_empty());
+    }
+}
+
+#[cfg(test)]
+mod proptests {
+    use super::*;
+    use crate::ast::{BinOp, Expr, Program, Stmt, StmtKind};
+    use proptest::prelude::*;
+
+    /// Identifier strategy that avoids MPL keywords (`or`, `do`, …) —
+    /// reserved words cannot round-trip as variable names.
+    fn arb_ident() -> impl Strategy<Value = String> {
+        "[a-w][a-z0-9_]{0,6}".prop_map(|name| {
+            const KEYWORDS: &[&str] = &[
+                "if", "then", "else", "end", "while", "do", "for", "to", "send",
+                "recv", "receive", "print", "assume", "assert", "skip", "id",
+                "me", "np", "and", "or", "not", "true", "false",
+            ];
+            if KEYWORDS.contains(&name.as_str()) {
+                format!("v_{name}")
+            } else {
+                name
+            }
+        })
+    }
+
+    fn arb_expr() -> impl Strategy<Value = Expr> {
+        let leaf = prop_oneof![
+            (-1000i64..1000).prop_map(Expr::Int),
+            Just(Expr::Id),
+            Just(Expr::Np),
+            arb_ident().prop_map(Expr::Var),
+        ];
+        leaf.prop_recursive(4, 32, 2, |inner| {
+            (
+                inner.clone(),
+                prop_oneof![
+                    Just(BinOp::Add),
+                    Just(BinOp::Sub),
+                    Just(BinOp::Mul),
+                    Just(BinOp::Div),
+                    Just(BinOp::Mod),
+                ],
+                inner,
+            )
+                .prop_map(|(l, op, r)| Expr::binary(op, l, r))
+        })
+    }
+
+    fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
+        let assign = (arb_ident(), arb_expr())
+            .prop_map(|(name, value)| Stmt::synthetic(StmtKind::Assign { name, value }));
+        let send = (arb_expr(), arb_expr())
+            .prop_map(|(value, dest)| Stmt::synthetic(StmtKind::Send { value, dest }));
+        let recv = (arb_ident(), arb_expr())
+            .prop_map(|(var, src)| Stmt::synthetic(StmtKind::Recv { var, src }));
+        let print = arb_expr().prop_map(|e| Stmt::synthetic(StmtKind::Print(e)));
+        let leaf = prop_oneof![assign, send, recv, print];
+        if depth == 0 {
+            return leaf.boxed();
+        }
+        let cond = || {
+            (arb_expr(), arb_expr()).prop_map(|(l, r)| Expr::binary(BinOp::Le, l, r))
+        };
+        let iff = (
+            cond(),
+            proptest::collection::vec(arb_stmt(depth - 1), 0..3),
+            proptest::collection::vec(arb_stmt(depth - 1), 0..3),
+        )
+            .prop_map(|(cond, then_branch, else_branch)| {
+                Stmt::synthetic(StmtKind::If { cond, then_branch, else_branch })
+            });
+        let whil = (cond(), proptest::collection::vec(arb_stmt(depth - 1), 0..3))
+            .prop_map(|(cond, body)| Stmt::synthetic(StmtKind::While { cond, body }));
+        prop_oneof![3 => leaf, 1 => iff, 1 => whil].boxed()
+    }
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(128))]
+
+        /// Display ∘ parse is the identity on printed programs: any AST we
+        /// can build pretty-prints to something that parses back to the
+        /// same printed form.
+        #[test]
+        fn display_parse_round_trip(stmts in proptest::collection::vec(arb_stmt(2), 1..6)) {
+            let program = Program::new(stmts);
+            let printed = program.to_string();
+            let reparsed = parse_program(&printed)
+                .unwrap_or_else(|e| panic!("{e}\n{printed}"));
+            prop_assert_eq!(printed, reparsed.to_string());
+        }
+    }
+}

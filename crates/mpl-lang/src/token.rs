@@ -1,0 +1,176 @@
+//! Tokens and source spans.
+
+use std::fmt;
+
+/// A half-open byte range into the source text, with 1-based line/column
+/// of its start for human-readable diagnostics.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Span {
+    /// Byte offset of the first character.
+    pub start: usize,
+    /// Byte offset one past the last character.
+    pub end: usize,
+    /// 1-based line number of `start`.
+    pub line: u32,
+    /// 1-based column number of `start`.
+    pub col: u32,
+}
+
+impl Span {
+    /// A span covering both `self` and `other`.
+    #[must_use]
+    pub fn merge(self, other: Span) -> Span {
+        Span {
+            start: self.start.min(other.start),
+            end: self.end.max(other.end),
+            line: if self.start <= other.start { self.line } else { other.line },
+            col: if self.start <= other.start { self.col } else { other.col },
+        }
+    }
+}
+
+impl fmt::Display for Span {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}", self.line, self.col)
+    }
+}
+
+/// The kind of a lexical token.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TokenKind {
+    /// Integer literal (non-negative; unary minus is a separate token).
+    Int(i64),
+    /// Identifier (variable name).
+    Ident(String),
+
+    // Keywords.
+    If,
+    Then,
+    Else,
+    End,
+    While,
+    Do,
+    For,
+    To,
+    Send,
+    Recv,
+    Print,
+    Assume,
+    Skip,
+    /// The special variable `id` (process rank).
+    Id,
+    /// The special variable `np` (number of processes).
+    Np,
+    True,
+    False,
+
+    // Punctuation and operators.
+    Assign,   // :=
+    Semi,     // ;
+    LParen,   // (
+    RParen,   // )
+    Arrow,    // ->
+    BackArrow, // <-
+    Plus,     // +
+    Minus,    // -
+    Star,     // *
+    Slash,    // /
+    Percent,  // %
+    Eq,       // =
+    Ne,       // !=
+    Lt,       // <
+    Le,       // <=
+    Gt,       // >
+    Ge,       // >=
+    And,      // and
+    Or,       // or
+    Not,      // not
+
+    /// End of input.
+    Eof,
+}
+
+impl TokenKind {
+    /// A short human-readable name used in parse errors.
+    #[must_use]
+    pub fn describe(&self) -> String {
+        match self {
+            TokenKind::Int(n) => format!("integer `{n}`"),
+            TokenKind::Ident(s) => format!("identifier `{s}`"),
+            TokenKind::If => "`if`".into(),
+            TokenKind::Then => "`then`".into(),
+            TokenKind::Else => "`else`".into(),
+            TokenKind::End => "`end`".into(),
+            TokenKind::While => "`while`".into(),
+            TokenKind::Do => "`do`".into(),
+            TokenKind::For => "`for`".into(),
+            TokenKind::To => "`to`".into(),
+            TokenKind::Send => "`send`".into(),
+            TokenKind::Recv => "`recv`".into(),
+            TokenKind::Print => "`print`".into(),
+            TokenKind::Assume => "`assume`".into(),
+            TokenKind::Skip => "`skip`".into(),
+            TokenKind::Id => "`id`".into(),
+            TokenKind::Np => "`np`".into(),
+            TokenKind::True => "`true`".into(),
+            TokenKind::False => "`false`".into(),
+            TokenKind::Assign => "`:=`".into(),
+            TokenKind::Semi => "`;`".into(),
+            TokenKind::LParen => "`(`".into(),
+            TokenKind::RParen => "`)`".into(),
+            TokenKind::Arrow => "`->`".into(),
+            TokenKind::BackArrow => "`<-`".into(),
+            TokenKind::Plus => "`+`".into(),
+            TokenKind::Minus => "`-`".into(),
+            TokenKind::Star => "`*`".into(),
+            TokenKind::Slash => "`/`".into(),
+            TokenKind::Percent => "`%`".into(),
+            TokenKind::Eq => "`=`".into(),
+            TokenKind::Ne => "`!=`".into(),
+            TokenKind::Lt => "`<`".into(),
+            TokenKind::Le => "`<=`".into(),
+            TokenKind::Gt => "`>`".into(),
+            TokenKind::Ge => "`>=`".into(),
+            TokenKind::And => "`and`".into(),
+            TokenKind::Or => "`or`".into(),
+            TokenKind::Not => "`not`".into(),
+            TokenKind::Eof => "end of input".into(),
+        }
+    }
+}
+
+/// A lexical token: a [`TokenKind`] plus its [`Span`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Token {
+    pub kind: TokenKind,
+    pub span: Span,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn span_merge_covers_both() {
+        let a = Span { start: 0, end: 3, line: 1, col: 1 };
+        let b = Span { start: 10, end: 12, line: 2, col: 4 };
+        let m = a.merge(b);
+        assert_eq!(m.start, 0);
+        assert_eq!(m.end, 12);
+        assert_eq!(m.line, 1);
+        let m2 = b.merge(a);
+        assert_eq!(m2, m);
+    }
+
+    #[test]
+    fn describe_is_nonempty() {
+        for kind in [
+            TokenKind::Int(3),
+            TokenKind::Ident("x".into()),
+            TokenKind::Arrow,
+            TokenKind::Eof,
+        ] {
+            assert!(!kind.describe().is_empty());
+        }
+    }
+}

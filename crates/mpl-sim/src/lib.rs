@@ -1,0 +1,38 @@
+//! # mpl-sim — a concrete executor for MPL programs
+//!
+//! Implements the execution model of §III of the CGO'09 paper: `np`
+//! processes run the same program; each pair of processes is connected by
+//! a FIFO channel; receives block until a message from the designated
+//! sender arrives; sends are buffered (non-blocking) by default, with an
+//! optional rendezvous (blocking) mode matching the simplification the
+//! static analysis adopts.
+//!
+//! The simulator is the *ground-truth oracle* for the static analysis:
+//!
+//! * it records the runtime communication topology (which send statement's
+//!   message was consumed by which receive statement, for which ranks),
+//! * it detects deadlock and message leaks,
+//! * it can run under many different schedules, which the test suite uses
+//!   to check the paper's interleaving-obliviousness theorem empirically.
+//!
+//! ```
+//! use mpl_sim::{Simulator, SimConfig};
+//! use mpl_lang::parse_program;
+//!
+//! let program = parse_program(
+//!     "if id = 0 then send 5 -> 1; else if id = 1 then recv x <- 0; end end",
+//! )?;
+//! let result = Simulator::new(&program, 4).run();
+//! let outcome = result.expect("run succeeds");
+//! assert!(outcome.is_complete());
+//! assert_eq!(outcome.topology.edges().len(), 1);
+//! # Ok::<(), mpl_lang::ParseError>(())
+//! ```
+
+pub mod machine;
+pub mod topology;
+
+pub use machine::{
+    ExecError, Outcome, RunStatus, Schedule, SendMode, SimConfig, Simulator,
+};
+pub use topology::{RuntimeTopology, TopologyEdge};

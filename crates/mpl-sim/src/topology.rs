@@ -1,0 +1,130 @@
+//! Runtime communication topology recording.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mpl_cfg::CfgNodeId;
+
+/// One observed message delivery: the send statement, the receive
+/// statement, and the concrete ranks involved.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct TopologyEdge {
+    /// CFG node of the `send`.
+    pub send_node: CfgNodeId,
+    /// CFG node of the `recv`.
+    pub recv_node: CfgNodeId,
+    /// Rank that executed the send.
+    pub sender: u64,
+    /// Rank that executed the receive.
+    pub receiver: u64,
+}
+
+impl fmt::Display for TopologyEdge {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} -> {}@{}",
+            self.send_node, self.sender, self.recv_node, self.receiver
+        )
+    }
+}
+
+/// The set of all message deliveries observed during a run.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct RuntimeTopology {
+    edges: BTreeSet<TopologyEdge>,
+}
+
+impl RuntimeTopology {
+    /// Creates an empty topology.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Records a delivery.
+    pub fn record(&mut self, edge: TopologyEdge) {
+        self.edges.insert(edge);
+    }
+
+    /// All recorded edges in deterministic order.
+    #[must_use]
+    pub fn edges(&self) -> Vec<TopologyEdge> {
+        self.edges.iter().copied().collect()
+    }
+
+    /// The set of (sender, receiver) rank pairs, ignoring statement sites.
+    #[must_use]
+    pub fn rank_pairs(&self) -> BTreeSet<(u64, u64)> {
+        self.edges.iter().map(|e| (e.sender, e.receiver)).collect()
+    }
+
+    /// The set of (send statement, recv statement) pairs — directly
+    /// comparable with the static analysis' `matches` component.
+    #[must_use]
+    pub fn site_pairs(&self) -> BTreeSet<(CfgNodeId, CfgNodeId)> {
+        self.edges.iter().map(|e| (e.send_node, e.recv_node)).collect()
+    }
+
+    /// Number of recorded deliveries (distinct edges).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.edges.len()
+    }
+
+    /// True if no deliveries were recorded.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.edges.is_empty()
+    }
+}
+
+impl fmt::Display for RuntimeTopology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for e in &self.edges {
+            writeln!(f, "{e}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn edge(s: u32, r: u32, sr: u64, rr: u64) -> TopologyEdge {
+        TopologyEdge {
+            send_node: CfgNodeId(s),
+            recv_node: CfgNodeId(r),
+            sender: sr,
+            receiver: rr,
+        }
+    }
+
+    #[test]
+    fn records_and_deduplicates() {
+        let mut t = RuntimeTopology::new();
+        t.record(edge(3, 7, 0, 1));
+        t.record(edge(3, 7, 0, 1));
+        t.record(edge(3, 7, 0, 2));
+        assert_eq!(t.len(), 2);
+        assert!(!t.is_empty());
+    }
+
+    #[test]
+    fn rank_and_site_projections() {
+        let mut t = RuntimeTopology::new();
+        t.record(edge(3, 7, 0, 1));
+        t.record(edge(4, 8, 1, 0));
+        assert_eq!(t.rank_pairs().len(), 2);
+        assert!(t.rank_pairs().contains(&(0, 1)));
+        assert!(t.site_pairs().contains(&(CfgNodeId(4), CfgNodeId(8))));
+    }
+
+    #[test]
+    fn display_lists_edges() {
+        let mut t = RuntimeTopology::new();
+        t.record(edge(1, 2, 0, 3));
+        assert_eq!(t.to_string(), "n1@0 -> n2@3\n");
+    }
+}

@@ -1,0 +1,44 @@
+//! Corpus sweep: detected pattern and collective-replacement hint for
+//! every corpus program — the use-case the paper's introduction motivates
+//! (detect the pattern, then retarget it to native collectives).
+//!
+//! Run with `cargo run -p mpl-examples --bin optimize_hints`.
+
+use mpl_cfg::Cfg;
+use mpl_core::{analyze_cfg, classify, classify_pairs, AnalysisConfig, Verdict};
+use mpl_lang::corpus;
+use mpl_sim::Simulator;
+
+fn main() {
+    println!(
+        "{:<26} {:<10} {:<20} {:<22} {}",
+        "program", "verdict", "static pattern", "runtime pattern(np=8)", "hint"
+    );
+    println!("{}", "-".repeat(110));
+    for prog in corpus::all() {
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        let verdict = match &result.verdict {
+            Verdict::Exact => "exact".to_owned(),
+            Verdict::Deadlock { .. } => "deadlock".to_owned(),
+            Verdict::Top { .. } => "⊤".to_owned(),
+        };
+        let static_pattern = classify(&result);
+        // Ground truth from one concrete run (buffered sends).
+        let runtime = Simulator::from_cfg(cfg, 8)
+            .run()
+            .ok()
+            .filter(|o| o.is_complete())
+            .map(|o| classify_pairs(&o.topology.rank_pairs(), 8).to_string())
+            .unwrap_or_else(|| "(no clean run)".to_owned());
+        let hint = static_pattern.collective_hint().unwrap_or("-");
+        println!(
+            "{:<26} {:<10} {:<20} {:<22} {}",
+            prog.name,
+            verdict,
+            static_pattern.to_string(),
+            runtime,
+            hint
+        );
+    }
+}

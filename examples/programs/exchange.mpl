@@ -1,0 +1,14 @@
+// The mdcask exchange-with-root pattern (paper Fig 1 / Fig 5).
+// Try:
+//   mpl analyze examples/programs/exchange.mpl
+//   mpl run     examples/programs/exchange.mpl --np 8
+x := 7;
+if id = 0 then
+  for i = 1 to np - 1 do
+    send x -> i;
+    recv y <- i;
+  end
+else
+  recv y <- 0;
+  send x -> 0;
+end

@@ -1,0 +1,7 @@
+// A message leak: rank 0 sends a message nobody ever receives.
+//   mpl check examples/programs/leak.mpl   (exit code 1)
+if id = 0 then
+  x := 9;
+  send x -> 1;
+end
+print id;

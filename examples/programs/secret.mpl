@@ -1,0 +1,20 @@
+// Information-flow demo: the secret goes only to rank 1.
+//   mpl flow examples/programs/secret.mpl --source secret
+secret := 41;
+pub := 1;
+p1 := 1;
+p2 := 2;
+if id = 0 then
+  send secret -> p1;
+  send pub -> p2;
+else
+  if id = 1 then
+    recv a <- 0;
+    print a;
+  else
+    if id = 2 then
+      recv b <- 0;
+      print b;
+    end
+  end
+end

@@ -1,0 +1,13 @@
+// The 1-d nearest-neighbor shift (paper Fig 7/8).
+//   mpl analyze examples/programs/shift.mpl
+x := id;
+if id = 0 then
+  send x -> id + 1;
+else
+  if id = np - 1 then
+    recv y <- id - 1;
+  else
+    recv y <- id - 1;
+    send x -> id + 1;
+  end
+end

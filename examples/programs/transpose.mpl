@@ -1,0 +1,10 @@
+// The NAS-CG transpose on a square process grid (paper Fig 6).
+// The cartesian (HSM) client matches this for every grid size at once:
+//   mpl analyze examples/programs/transpose.mpl
+// To simulate, supply concrete dimensions:
+//   mpl run examples/programs/transpose.mpl --np 9 --set nrows=3 --set ncols=3
+assume np = nrows * ncols;
+assume ncols = nrows;
+x := id;
+send x -> (id % nrows) * nrows + id / nrows;
+recv y <- (id % nrows) * nrows + id / nrows;

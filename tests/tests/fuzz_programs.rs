@@ -1,0 +1,140 @@
+//! Randomized end-to-end soundness: generate structured MPL programs
+//! (random local computation wrapped around randomly-parameterized
+//! communication skeletons), then check that
+//!
+//! * the simulator completes and is schedule-oblivious,
+//! * whenever the analysis answers "exact", its topology covers every
+//!   concrete execution,
+//! * exact verdicts never hide runtime leaks or deadlocks.
+
+use mpl_cfg::Cfg;
+use mpl_core::{analyze_cfg, AnalysisConfig, StaticTopology};
+use mpl_lang::parse_program;
+use mpl_sim::{Schedule, SimConfig, Simulator};
+use proptest::prelude::*;
+
+/// A random side-effect-free arithmetic expression over the given
+/// variables plus `id`/`np` and literals. Divisors are non-zero literals.
+fn arb_expr(vars: Vec<String>) -> impl Strategy<Value = String> {
+    let leaf = prop_oneof![
+        (-20i64..20).prop_map(|c| c.to_string()),
+        Just("id".to_owned()),
+        Just("np".to_owned()),
+        proptest::sample::select(vars).prop_map(|v| v),
+    ];
+    leaf.prop_recursive(3, 16, 2, |inner| {
+        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], inner).prop_map(
+            |(l, op, r)| format!("({l} {op} {r})"),
+        )
+    })
+}
+
+/// A prologue of chained assignments `v0 := e; v1 := e; ...`.
+fn arb_prologue(n: usize) -> impl Strategy<Value = (String, Vec<String>)> {
+    let mut strat: BoxedStrategy<(String, Vec<String>)> =
+        Just((String::new(), vec!["seed".to_owned()]))
+            .prop_map(|(s, v)| (format!("{s}seed := 1;\n"), v))
+            .boxed();
+    for i in 0..n {
+        strat = strat
+            .prop_flat_map(move |(src, vars)| {
+                let name = format!("v{i}");
+                let vars2 = vars.clone();
+                arb_expr(vars).prop_map(move |e| {
+                    let mut vs = vars2.clone();
+                    vs.push(name.clone());
+                    (format!("{src}{name} := {e};\n"), vs)
+                })
+            })
+            .boxed();
+    }
+    strat
+}
+
+/// A communication skeleton template using `payload` as the sent value.
+fn skeleton(kind: u8, payload: &str) -> String {
+    match kind % 4 {
+        0 => format!(
+            "if id = 0 then\n  for i = 1 to np - 1 do\n    send {payload} -> i;\n  end\n\
+             else\n  recv y <- 0;\n  print y;\nend\n"
+        ),
+        1 => format!(
+            "if id = 0 then\n  for i = 1 to np - 1 do\n    recv y <- i;\n    print y;\n  end\n\
+             else\n  send {payload} -> 0;\nend\n"
+        ),
+        2 => format!(
+            "if id = 0 then\n  for i = 1 to np - 1 do\n    send {payload} -> i;\n    recv y <- i;\n  end\n\
+             else\n  recv y <- 0;\n  send {payload} -> 0;\nend\n"
+        ),
+        _ => format!(
+            "if id = 0 then\n  send {payload} -> 1;\nelse\n  if id = 1 then\n    recv y <- 0;\n    print y;\n  end\nend\n"
+        ),
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn random_programs_are_sound_and_oblivious(
+        (prologue, vars) in arb_prologue(4),
+        kind in 0u8..4,
+        payload_idx in 0usize..4,
+        np in 4u64..9,
+        seed in 0u64..1000,
+    ) {
+        let payload = vars[payload_idx % vars.len()].clone();
+        let src = format!("{prologue}{}", skeleton(kind, &payload));
+        let program = parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+        let cfg = Cfg::build(&program);
+
+        // Concrete baseline run.
+        let base = Simulator::from_cfg(Cfg::build(&program), np)
+            .run()
+            .unwrap_or_else(|e| panic!("{e}\n{src}"));
+        prop_assert!(base.is_complete(), "skeleton programs always complete:\n{src}");
+        prop_assert!(base.leaks.is_empty());
+
+        // Schedule independence.
+        let alt = Simulator::from_cfg(Cfg::build(&program), np)
+            .with_config(SimConfig { schedule: Schedule::Random { seed }, ..SimConfig::default() })
+            .run()
+            .unwrap();
+        prop_assert_eq!(&base.stores, &alt.stores);
+        prop_assert_eq!(&base.topology, &alt.topology);
+        prop_assert_eq!(&base.clocks, &alt.clocks);
+
+        // Analysis soundness (exact verdicts only promise coverage).
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        if result.is_exact() {
+            let topo = StaticTopology::from_result(&result);
+            prop_assert!(
+                topo.covers(&base.topology.site_pairs()),
+                "static {:?} misses runtime {:?}\n{src}",
+                topo.site_pairs(),
+                base.topology.site_pairs()
+            );
+            prop_assert!(result.leaks.is_empty(), "exact verdict reported a leak on a leak-free program");
+        }
+    }
+
+    /// Constant payloads must propagate to the receivers' prints whenever
+    /// the prologue pins the payload to a constant.
+    #[test]
+    fn constant_payloads_propagate(c in -50i64..50, kind in 0u8..3) {
+        let src = format!("x := {c};\n{}", skeleton(kind, "x"));
+        let program = parse_program(&src).unwrap();
+        let result = mpl_core::analyze(&program, &AnalysisConfig::default());
+        prop_assert!(result.is_exact(), "{:?}\n{src}", result.verdict);
+        for p in &result.prints {
+            prop_assert_eq!(p.value, Some(c), "print fact {:?}\n{}", p, src);
+        }
+        // And the simulator agrees.
+        let out = Simulator::new(&program, 5).run().unwrap();
+        for prints in &out.prints {
+            for v in prints {
+                prop_assert_eq!(*v, c);
+            }
+        }
+    }
+}

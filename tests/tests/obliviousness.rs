@@ -1,0 +1,88 @@
+//! Empirical check of the paper's Appendix theorem (experiment E9):
+//! the execution model is *interleaving-oblivious* — final stores,
+//! printed values and the communication topology are identical under any
+//! schedule.
+
+use mpl_lang::corpus;
+use mpl_sim::{Schedule, SimConfig, Simulator};
+use proptest::prelude::*;
+
+fn deterministic_corpus() -> Vec<corpus::CorpusProgram> {
+    vec![
+        corpus::fig2_exchange(),
+        corpus::exchange_with_root(),
+        corpus::fanout_broadcast(),
+        corpus::gather_to_root(),
+        corpus::mdcask_full(),
+        corpus::nearest_neighbor_shift(),
+        corpus::left_shift(),
+        corpus::ring_conditional(),
+        corpus::ring_uniform(),
+        corpus::const_relay(),
+        corpus::scatter_indexed(),
+        corpus::message_leak(),
+    ]
+}
+
+#[test]
+fn all_corpus_programs_are_schedule_oblivious() {
+    for prog in deterministic_corpus() {
+        let np = prog.min_procs.max(5);
+        let base = Simulator::new(&prog.program, np).run().unwrap();
+        for seed in 0..20u64 {
+            let alt = Simulator::new(&prog.program, np)
+                .with_config(SimConfig {
+                    schedule: Schedule::Random { seed },
+                    ..SimConfig::default()
+                })
+                .run()
+                .unwrap();
+            assert_eq!(base.status, alt.status, "{} seed {seed}", prog.name);
+            assert_eq!(base.stores, alt.stores, "{} seed {seed}", prog.name);
+            assert_eq!(base.prints, alt.prints, "{} seed {seed}", prog.name);
+            assert_eq!(base.topology, alt.topology, "{} seed {seed}", prog.name);
+            assert_eq!(base.leaks, alt.leaks, "{} seed {seed}", prog.name);
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    /// Any (seed, np) combination leaves the observable outcome of the
+    /// exchange-with-root program unchanged.
+    #[test]
+    fn exchange_with_root_oblivious(seed in 0u64..10_000, np in 2u64..12) {
+        let prog = corpus::exchange_with_root();
+        let base = Simulator::new(&prog.program, np).run().unwrap();
+        let alt = Simulator::new(&prog.program, np)
+            .with_config(SimConfig {
+                schedule: Schedule::Random { seed },
+                ..SimConfig::default()
+            })
+            .run()
+            .unwrap();
+        prop_assert_eq!(base.stores, alt.stores);
+        prop_assert_eq!(base.topology, alt.topology);
+    }
+
+    /// Same for the concrete square transpose.
+    #[test]
+    fn transpose_oblivious(seed in 0u64..10_000, nrows in 2i64..5) {
+        let prog = corpus::nas_cg_transpose_square(corpus::GridDims::Concrete {
+            nrows,
+            ncols: nrows,
+        });
+        let np = (nrows * nrows) as u64;
+        let base = Simulator::new(&prog.program, np).run().unwrap();
+        let alt = Simulator::new(&prog.program, np)
+            .with_config(SimConfig {
+                schedule: Schedule::Random { seed },
+                ..SimConfig::default()
+            })
+            .run()
+            .unwrap();
+        prop_assert_eq!(base.stores, alt.stores);
+        prop_assert_eq!(base.topology, alt.topology);
+    }
+}

@@ -1,0 +1,154 @@
+//! Soundness properties of the whole pipeline, checked with proptest:
+//!
+//! * whenever the static analysis reports an *exact* verdict, its
+//!   statement-level topology covers every message of every concrete
+//!   execution (for all tested `np ≥ min_np`);
+//! * parameterized program families (random constants/offsets) stay
+//!   sound, not just the fixed corpus.
+
+use mpl_cfg::Cfg;
+use mpl_core::{analyze_cfg, AnalysisConfig, Client, StaticTopology, Verdict};
+use mpl_lang::{corpus, parse_program};
+use mpl_sim::Simulator;
+use proptest::prelude::*;
+
+/// Analyzes `src` and, if exact, checks coverage for each np.
+fn assert_sound(src: &str, nps: &[u64]) {
+    let program = parse_program(src).unwrap_or_else(|e| panic!("{e}\n{src}"));
+    let cfg = Cfg::build(&program);
+    let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+    if !result.is_exact() {
+        return; // ⊤ / deadlock verdicts promise nothing about topology.
+    }
+    let topo = StaticTopology::from_result(&result);
+    for &np in nps {
+        let outcome = Simulator::from_cfg(Cfg::build(&program), np)
+            .run()
+            .unwrap_or_else(|e| panic!("np={np}: {e}\n{src}"));
+        if !outcome.is_complete() {
+            panic!("exact verdict but runtime deadlock at np={np}\n{src}");
+        }
+        assert!(
+            topo.covers(&outcome.topology.site_pairs()),
+            "np={np}: static {:?} misses {:?}\n{src}",
+            topo.site_pairs(),
+            outcome.topology.site_pairs()
+        );
+    }
+}
+
+#[test]
+fn corpus_exact_verdicts_are_sound_for_many_np() {
+    let nps: Vec<u64> = (4..=12).collect();
+    for prog in corpus::all() {
+        // Skip programs that need symbolic grid parameters at runtime.
+        if prog.source.contains("nrows") {
+            continue;
+        }
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        if !result.is_exact() {
+            continue;
+        }
+        let topo = StaticTopology::from_result(&result);
+        for &np in &nps {
+            let outcome = Simulator::from_cfg(Cfg::build(&prog.program), np).run().unwrap();
+            if !outcome.is_complete() {
+                panic!("{}: exact verdict but deadlock at np={np}", prog.name);
+            }
+            assert!(
+                topo.covers(&outcome.topology.site_pairs()),
+                "{} at np={np}",
+                prog.name
+            );
+        }
+    }
+}
+
+#[test]
+fn exact_verdict_never_hides_a_leak() {
+    // If the analysis is exact and reports no leaks, the simulator must
+    // not observe one either.
+    for prog in corpus::all() {
+        if prog.source.contains("nrows") {
+            continue;
+        }
+        let cfg = Cfg::build(&prog.program);
+        let result = analyze_cfg(&cfg, &AnalysisConfig::default());
+        if !result.is_exact() || !result.leaks.is_empty() {
+            continue;
+        }
+        for np in [4u64, 7] {
+            let outcome = Simulator::from_cfg(Cfg::build(&prog.program), np).run().unwrap();
+            assert!(
+                outcome.leaks.is_empty(),
+                "{}: static no-leak but runtime leaked at np={np}",
+                prog.name
+            );
+        }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(40))]
+
+    /// Broadcast family: the root relays `v` to everyone; the analysis
+    /// must stay exact and sound for any payload and any direction of
+    /// the loop bound expression.
+    #[test]
+    fn broadcast_family_sound(v in -100i64..100, skip_last in proptest::bool::ANY) {
+        let bound = if skip_last { "np - 2" } else { "np - 1" };
+        let src = format!(
+            "x := {v};\n\
+             if id = 0 then\n  for i = 1 to {bound} do\n    send x -> i;\n  end\n\
+             else\n  if id <= {bound} then\n    recv y <- 0;\n  end\nend\n"
+        );
+        assert_sound(&src, &[4, 6, 9]);
+    }
+
+    /// Pair exchange between rank 0 and a random fixed partner.
+    #[test]
+    fn pair_family_sound(partner in 1i64..4, v in -50i64..50) {
+        // min_np = 4 guarantees the partner exists.
+        let src = format!(
+            "if id = 0 then\n  x := {v};\n  send x -> {partner};\n  recv y <- {partner};\n\
+             else\n  if id = {partner} then\n    recv y <- 0;\n    send y -> 0;\n  end\nend\n"
+        );
+        assert_sound(&src, &[4, 5, 8]);
+    }
+
+    /// Exchange-with-root carrying a random payload expression.
+    #[test]
+    fn exchange_family_sound(v in 0i64..1000) {
+        let src = format!(
+            "x := {v};\n\
+             if id = 0 then\n  for i = 1 to np - 1 do\n    send x -> i;\n    recv y <- i;\n  end\n\
+             else\n  recv y <- 0;\n  send x -> 0;\nend\n"
+        );
+        assert_sound(&src, &[4, 7, 10]);
+    }
+
+    /// The verdict enum is exhaustive: every corpus program lands in one
+    /// of the three verdicts and the result is internally consistent.
+    #[test]
+    fn verdicts_partition(idx in 0usize..17) {
+        let all = corpus::all();
+        let prog = &all[idx % all.len()];
+        let result = mpl_core::analyze(&prog.program, &AnalysisConfig::default());
+        match &result.verdict {
+            Verdict::Exact => {}
+            Verdict::Deadlock { blocked } => prop_assert!(!blocked.is_empty()),
+            Verdict::Top { reason } => prop_assert!(!reason.is_empty()),
+        }
+        // The simple client is never *more* capable than the cartesian
+        // one on this corpus: if simple succeeds, cartesian does too.
+        let simple = mpl_core::analyze(
+            &prog.program,
+            &AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() },
+        );
+        if simple.is_exact() {
+            prop_assert!(result.is_exact(), "{}: simple exact but cartesian {:?}",
+                prog.name, result.verdict);
+        }
+    }
+}
