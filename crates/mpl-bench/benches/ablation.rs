@@ -7,41 +7,44 @@
 //!   of a client analysis that is much richer … than what is required
 //!   for the job".
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mpl_bench::harness::Group;
 use mpl_core::{analyze, AnalysisConfig, Client};
 use mpl_domains::set_force_full_closure;
 use mpl_lang::corpus;
 use std::hint::black_box;
 
-fn bench_closure_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_closure");
+fn main() {
+    let closure = Group::new("ablation_closure");
     for prog in [corpus::exchange_with_root(), corpus::fanout_broadcast()] {
-        let config = AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() };
-        group.bench_function(format!("{}_incremental", prog.name), |b| {
-            set_force_full_closure(false);
-            b.iter(|| black_box(analyze(&prog.program, &config)));
+        let config = AnalysisConfig {
+            client: Client::Simple,
+            ..AnalysisConfig::default()
+        };
+        set_force_full_closure(false);
+        closure.bench(&format!("{}_incremental", prog.name), || {
+            black_box(analyze(&prog.program, &config))
         });
-        group.bench_function(format!("{}_full_reclose", prog.name), |b| {
-            set_force_full_closure(true);
-            b.iter(|| black_box(analyze(&prog.program, &config)));
-            set_force_full_closure(false);
+        set_force_full_closure(true);
+        closure.bench(&format!("{}_full_reclose", prog.name), || {
+            black_box(analyze(&prog.program, &config))
         });
+        set_force_full_closure(false);
     }
-    group.finish();
-}
+    drop(closure);
 
-fn bench_client_ablation(c: &mut Criterion) {
-    let mut group = c.benchmark_group("ablation_client");
-    for prog in [corpus::exchange_with_root(), corpus::nearest_neighbor_shift()] {
+    let client_group = Group::new("ablation_client");
+    for prog in [
+        corpus::exchange_with_root(),
+        corpus::nearest_neighbor_shift(),
+    ] {
         for client in [Client::Simple, Client::Cartesian] {
-            let config = AnalysisConfig { client, ..AnalysisConfig::default() };
-            group.bench_function(format!("{}_{:?}", prog.name, client), |b| {
-                b.iter(|| black_box(analyze(&prog.program, &config)));
+            let config = AnalysisConfig {
+                client,
+                ..AnalysisConfig::default()
+            };
+            client_group.bench(&format!("{}_{:?}", prog.name, client), || {
+                black_box(analyze(&prog.program, &config))
             });
         }
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_closure_ablation, bench_client_ablation);
-criterion_main!(benches);

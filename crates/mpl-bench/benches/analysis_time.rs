@@ -1,20 +1,32 @@
 //! E6: end-to-end pCFG analysis time per paper workload (the quantity the
 //! paper reports as 381 s for the fan-out broadcast on its prototype).
 
-use criterion::{criterion_group, criterion_main, Criterion};
+use mpl_bench::harness::Group;
 use mpl_core::{analyze, AnalysisConfig, Client};
 use mpl_lang::corpus::{self, GridDims};
 use std::hint::black_box;
 
-fn bench_analysis(c: &mut Criterion) {
-    let mut group = c.benchmark_group("analysis_time");
+fn main() {
+    let analysis = Group::new("analysis_time");
     let entries = vec![
         ("fig2_exchange", corpus::fig2_exchange(), Client::Simple),
-        ("fanout_broadcast", corpus::fanout_broadcast(), Client::Simple),
+        (
+            "fanout_broadcast",
+            corpus::fanout_broadcast(),
+            Client::Simple,
+        ),
         ("gather_to_root", corpus::gather_to_root(), Client::Simple),
-        ("exchange_with_root", corpus::exchange_with_root(), Client::Simple),
+        (
+            "exchange_with_root",
+            corpus::exchange_with_root(),
+            Client::Simple,
+        ),
         ("mdcask_full", corpus::mdcask_full(), Client::Simple),
-        ("nearest_neighbor_shift", corpus::nearest_neighbor_shift(), Client::Simple),
+        (
+            "nearest_neighbor_shift",
+            corpus::nearest_neighbor_shift(),
+            Client::Simple,
+        ),
         (
             "transpose_square_hsm",
             corpus::nas_cg_transpose_square(GridDims::Symbolic),
@@ -27,45 +39,39 @@ fn bench_analysis(c: &mut Criterion) {
         ),
     ];
     for (name, prog, client) in entries {
-        let config = AnalysisConfig { client, ..AnalysisConfig::default() };
-        group.bench_function(name, |b| {
-            b.iter(|| black_box(analyze(&prog.program, &config)));
-        });
+        let config = AnalysisConfig {
+            client,
+            ..AnalysisConfig::default()
+        };
+        analysis.bench(name, || black_box(analyze(&prog.program, &config)));
     }
-    group.finish();
-}
+    drop(analysis);
 
-fn bench_simulation_baseline(c: &mut Criterion) {
     // Context for the static numbers: concrete simulation cost per np —
     // the runtime-only alternative the paper's introduction contrasts
     // against (it must be repeated per process count, the analysis not).
     use mpl_sim::Simulator;
-    let mut group = c.benchmark_group("simulation_baseline");
+    let sim = Group::new("simulation_baseline");
     let prog = corpus::exchange_with_root();
     for np in [8u64, 32, 128] {
-        group.bench_function(format!("exchange_with_root_np{np}"), |b| {
-            b.iter(|| {
-                let out = Simulator::new(&prog.program, np).run().unwrap();
-                black_box(out.topology.len())
-            });
+        sim.bench(&format!("exchange_with_root_np{np}"), || {
+            let out = Simulator::new(&prog.program, np).run().unwrap();
+            black_box(out.topology.len())
         });
     }
-    group.finish();
-}
+    drop(sim);
 
-criterion_group!(benches, bench_analysis, bench_simulation_baseline, bench_program_scaling);
-criterion_main!(benches);
-
-fn bench_program_scaling(c: &mut Criterion) {
     // Analysis cost as the number of communication phases grows: the
     // pCFG walk should scale roughly linearly in program size.
-    let mut group = c.benchmark_group("program_scaling");
+    let scaling = Group::new("program_scaling");
     for k in [1usize, 4, 16, 32] {
         let prog = corpus::repeated_exchanges(k);
-        let config = AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() };
-        group.bench_function(format!("exchanges_{k}"), |b| {
-            b.iter(|| black_box(analyze(&prog.program, &config)));
+        let config = AnalysisConfig {
+            client: Client::Simple,
+            ..AnalysisConfig::default()
+        };
+        scaling.bench(&format!("exchanges_{k}"), || {
+            black_box(analyze(&prog.program, &config))
         });
     }
-    group.finish();
 }

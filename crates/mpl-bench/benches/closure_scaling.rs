@@ -2,12 +2,14 @@
 //! full and incremental closure scale with the variable count (the
 //! paper's analyses averaged 52–66 variables).
 
-use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use mpl_bench::harness::Group;
 use mpl_domains::{ConstraintGraph, NsVar, PsetId};
 use std::hint::black_box;
 
 fn vars(n: usize) -> Vec<NsVar> {
-    (0..n).map(|i| NsVar::pset(PsetId((i % 7) as u32), format!("v{i}"))).collect()
+    (0..n)
+        .map(|i| NsVar::pset(PsetId((i % 7) as u32), format!("v{i}")))
+        .collect()
 }
 
 /// A chain plus some cross edges: representative of the per-namespace
@@ -23,55 +25,39 @@ fn seed_graph(vs: &[NsVar]) -> ConstraintGraph {
     g
 }
 
-fn bench_full_closure(c: &mut Criterion) {
-    let mut group = c.benchmark_group("full_closure_on3");
+fn main() {
+    let full = Group::new("full_closure_on3");
     for n in [8usize, 16, 32, 52, 64, 96] {
         let vs = vars(n);
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut g = seed_graph(&vs);
-                g.close();
-                black_box(g.is_bottom())
-            });
+        full.bench(&format!("n={n}"), || {
+            let mut g = seed_graph(&vs);
+            g.close();
+            black_box(g.is_bottom())
         });
     }
-    group.finish();
-}
+    drop(full);
 
-fn bench_incremental_update(c: &mut Criterion) {
-    let mut group = c.benchmark_group("incremental_closure_on2");
+    let incr = Group::new("incremental_closure_on2");
     for n in [8usize, 16, 32, 52, 64, 96] {
         let vs = vars(n);
         let mut base = seed_graph(&vs);
         base.close();
-        group.bench_with_input(BenchmarkId::from_parameter(n), &n, |b, _| {
-            b.iter(|| {
-                let mut g = base.clone();
-                // One new edge on a closed graph: the O(n²) path.
-                g.assert_le(&vs[n - 1], &vs[0], -1);
-                black_box(g.is_bottom())
-            });
+        incr.bench(&format!("n={n}"), || {
+            let mut g = base.clone();
+            // One new edge on a closed graph: the O(n²) path.
+            g.assert_le(&vs[n - 1], &vs[0], -1);
+            black_box(g.is_bottom())
         });
     }
-    group.finish();
-}
+    drop(incr);
 
-fn bench_join_and_widen(c: &mut Criterion) {
-    let mut group = c.benchmark_group("lattice_ops");
+    let lattice = Group::new("lattice_ops");
     for n in [16usize, 52] {
         let vs = vars(n);
         let a = seed_graph(&vs);
         let mut b2 = seed_graph(&vs);
         b2.assert_le(&vs[0], &vs[n / 2], 2);
-        group.bench_with_input(BenchmarkId::new("join", n), &n, |bch, _| {
-            bch.iter(|| black_box(a.join(&b2)));
-        });
-        group.bench_with_input(BenchmarkId::new("widen", n), &n, |bch, _| {
-            bch.iter(|| black_box(a.widen(&b2)));
-        });
+        lattice.bench(&format!("join n={n}"), || black_box(a.join(&b2)));
+        lattice.bench(&format!("widen n={n}"), || black_box(a.widen(&b2)));
     }
-    group.finish();
 }
-
-criterion_group!(benches, bench_full_closure, bench_incremental_update, bench_join_and_widen);
-criterion_main!(benches);

@@ -37,8 +37,14 @@ fn main() {
         (corpus::nearest_neighbor_shift(), Client::Simple),
         (corpus::left_shift(), Client::Simple),
         (corpus::fig2_exchange(), Client::Simple),
-        (corpus::nas_cg_transpose_square(GridDims::Symbolic), Client::Cartesian),
-        (corpus::nas_cg_transpose_rect(GridDims::Symbolic), Client::Cartesian),
+        (
+            corpus::nas_cg_transpose_square(GridDims::Symbolic),
+            Client::Cartesian,
+        ),
+        (
+            corpus::nas_cg_transpose_rect(GridDims::Symbolic),
+            Client::Cartesian,
+        ),
         // The paper's variable-count regime (52-66 vars per graph).
         (corpus::exchange_with_root_wide(24), Client::Simple),
         (corpus::exchange_with_root_wide(48), Client::Simple),
@@ -66,10 +72,10 @@ fn main() {
         println!("Ablation (E8): incremental O(n²) closure vs full re-closure");
         println!("================================================================");
         println!(
-            "{:<26} {:>14} {:>14} {:>9}",
-            "program", "incremental", "full-reclose", "speedup"
+            "{:<26} {:>14} {:>14} {:>9} {:>13} {:>13}",
+            "program", "incremental", "full-reclose", "speedup", "ops(incr)", "ops(full)"
         );
-        println!("{}", "-".repeat(68));
+        println!("{}", "-".repeat(96));
         // The widest program is too slow to re-run under full re-closure;
         // measure the ablation on the small and mid-size workloads.
         let ablation_set = vec![
@@ -83,11 +89,15 @@ fn main() {
             let slow = profiled_run(prog, *client);
             set_force_full_closure(false);
             println!(
-                "{:<26} {:>14.2?} {:>14.2?} {:>8.2}x",
+                "{:<26} {:>14.2?} {:>14.2?} {:>8.2}x {:>6}+{:>6} {:>6}+{:>6}",
                 prog.name,
                 fast.total,
                 slow.total,
                 slow.total.as_secs_f64() / fast.total.as_secs_f64().max(1e-9),
+                fast.closure.full_closures,
+                fast.closure.incremental_closures,
+                slow.closure.full_closures,
+                slow.closure.incremental_closures,
             );
         }
     }

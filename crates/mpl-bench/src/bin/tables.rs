@@ -54,7 +54,11 @@ fn mpicfg_precision_table() {
             prog.name,
             baseline.all_pairs(),
             baseline.pairs().len(),
-            if result.is_exact() { result.matches.len().to_string() } else { "⊤".into() },
+            if result.is_exact() {
+                result.matches.len().to_string()
+            } else {
+                "⊤".into()
+            },
             runtime
         );
     }
@@ -67,7 +71,10 @@ fn critical_path_table() {
     println!("================================================================");
     println!("Communication critical path (message hops) by pattern");
     println!("================================================================");
-    println!("{:<26} {:>6} {:>6} {:>6}   growth", "program", "np=8", "np=16", "np=32");
+    println!(
+        "{:<26} {:>6} {:>6} {:>6}   growth",
+        "program", "np=8", "np=16", "np=32"
+    );
     println!("{}", "-".repeat(66));
     for prog in [
         corpus::exchange_with_root(),
@@ -96,8 +103,13 @@ fn critical_path_table() {
     }
     // The transpose is O(1) regardless of grid size.
     for nrows in [3i64, 4] {
-        let prog = corpus::nas_cg_transpose_square(GridDims::Concrete { nrows, ncols: nrows });
-        let out = Simulator::new(&prog.program, (nrows * nrows) as u64).run().unwrap();
+        let prog = corpus::nas_cg_transpose_square(GridDims::Concrete {
+            nrows,
+            ncols: nrows,
+        });
+        let out = Simulator::new(&prog.program, (nrows * nrows) as u64)
+            .run()
+            .unwrap();
         println!(
             "{:<26} np={:<3} critical path = {} (O(1): already a parallel exchange)",
             prog.name,
@@ -117,11 +129,17 @@ fn table_i_hsm_algebra() {
     let c = SymPoly::constant;
 
     let h = Hsm::leaf(c(11)).repeat(c(4), c(5));
-    println!("[11 : 4, 5]                    = {:?}", h.concretize(&BTreeMap::new()).unwrap());
+    println!(
+        "[11 : 4, 5]                    = {:?}",
+        h.concretize(&BTreeMap::new()).unwrap()
+    );
 
     let h = Hsm::leaf(c(12)).repeat(c(15), c(2));
     let m = h.modulo(&c(6), &ctx).unwrap();
-    println!("[12 : 15, 2] % 6               = {} (paper: [[0:3,2] : 5, 0])", m.seq_canonical(&ctx));
+    println!(
+        "[12 : 15, 2] % 6               = {} (paper: [[0:3,2] : 5, 0])",
+        m.seq_canonical(&ctx)
+    );
 
     let h = Hsm::leaf(c(20)).repeat(c(6), c(5));
     let d = h.div(&c(10), &ctx).unwrap();
@@ -161,27 +179,54 @@ fn figures_e1_to_e4() {
     println!("Figures 2, 5, 6, 7 — pCFG analysis results");
     println!("================================================================");
     println!(
-        "{:<26} {:<10} {:<10} {:<8} {}",
-        "program (paper ref)", "client", "verdict", "matches", "notes"
+        "{:<26} {:<10} {:<10} {:<8} notes",
+        "program (paper ref)", "client", "verdict", "matches"
     );
     println!("{}", "-".repeat(96));
 
     let entries: Vec<(corpus::CorpusProgram, Client, &str)> = vec![
-        (corpus::fig2_exchange(), Client::Simple, "both prints proven = 5"),
-        (corpus::exchange_with_root(), Client::Simple, "loop fixpoint {[0],[1..i-1],[i..np-1]}"),
+        (
+            corpus::fig2_exchange(),
+            Client::Simple,
+            "both prints proven = 5",
+        ),
+        (
+            corpus::exchange_with_root(),
+            Client::Simple,
+            "loop fixpoint {[0],[1..i-1],[i..np-1]}",
+        ),
         (corpus::fanout_broadcast(), Client::Simple, "§IX workload"),
         (corpus::gather_to_root(), Client::Simple, ""),
         (corpus::mdcask_full(), Client::Simple, "Fig 1 two-phase"),
-        (corpus::nas_cg_transpose_square(GridDims::Symbolic), Client::Cartesian, "HSM identity+surjection"),
-        (corpus::nas_cg_transpose_square(GridDims::Symbolic), Client::Simple, "expected ⊤: needs HSMs"),
-        (corpus::nas_cg_transpose_rect(GridDims::Symbolic), Client::Cartesian, "1:2 grid"),
-        (corpus::nearest_neighbor_shift(), Client::Simple, "unbounded np"),
+        (
+            corpus::nas_cg_transpose_square(GridDims::Symbolic),
+            Client::Cartesian,
+            "HSM identity+surjection",
+        ),
+        (
+            corpus::nas_cg_transpose_square(GridDims::Symbolic),
+            Client::Simple,
+            "expected ⊤: needs HSMs",
+        ),
+        (
+            corpus::nas_cg_transpose_rect(GridDims::Symbolic),
+            Client::Cartesian,
+            "1:2 grid",
+        ),
+        (
+            corpus::nearest_neighbor_shift(),
+            Client::Simple,
+            "unbounded np",
+        ),
         (corpus::left_shift(), Client::Simple, "mirror shift"),
     ];
     for (prog, client, note) in entries {
         let result = mpl_core::analyze(
             &prog.program,
-            &AnalysisConfig { client, ..AnalysisConfig::default() },
+            &AnalysisConfig {
+                client,
+                ..AnalysisConfig::default()
+            },
         );
         let verdict = match &result.verdict {
             Verdict::Exact => "exact",
@@ -207,8 +252,8 @@ fn pattern_table_e10() {
     println!("Pattern detection and collective-replacement hints (E10)");
     println!("================================================================");
     println!(
-        "{:<26} {:<10} {:<20} {:<20} {}",
-        "program", "verdict", "static pattern", "runtime (np=9)", "hint"
+        "{:<26} {:<10} {:<20} {:<20} hint",
+        "program", "verdict", "static pattern", "runtime (np=9)"
     );
     println!("{}", "-".repeat(110));
     for prog in corpus::all() {
@@ -229,7 +274,9 @@ fn pattern_table_e10() {
             .run()
             .ok()
             .filter(mpl_sim::Outcome::is_complete)
-            .map_or("-".to_owned(), |o| classify_pairs(&o.topology.rank_pairs(), 9).to_string());
+            .map_or("-".to_owned(), |o| {
+                classify_pairs(&o.topology.rank_pairs(), 9).to_string()
+            });
         println!(
             "{:<26} {:<10} {:<20} {:<20} {}",
             prog.name,

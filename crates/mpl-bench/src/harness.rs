@@ -1,0 +1,59 @@
+//! A minimal wall-clock bench harness for the `harness = false` bench
+//! targets. It replaces the external criterion dependency so `cargo
+//! bench` works with no registry access: warm up, calibrate an iteration
+//! count to a target measurement window, then report mean/min per
+//! iteration over a handful of samples.
+
+use std::time::{Duration, Instant};
+
+/// Target measurement time per benchmark.
+const TARGET: Duration = Duration::from_millis(300);
+/// Samples taken after calibration.
+const SAMPLES: usize = 5;
+
+/// A named group of benchmarks, printed as one table section.
+pub struct Group {
+    name: &'static str,
+}
+
+impl Group {
+    /// Starts a group, printing its header.
+    #[must_use]
+    pub fn new(name: &'static str) -> Group {
+        println!("\n== {name} ==");
+        println!(
+            "{:<44} {:>12} {:>12} {:>10}",
+            "benchmark", "mean", "min", "iters"
+        );
+        Group { name }
+    }
+
+    /// Measures `f`, printing one table row.
+    pub fn bench<R>(&self, label: &str, mut f: impl FnMut() -> R) {
+        // Warm-up and calibration: how many iterations fit the window?
+        let start = Instant::now();
+        std::hint::black_box(f());
+        let once = start.elapsed().max(Duration::from_nanos(1));
+        let iters = (TARGET.as_nanos() / once.as_nanos()).clamp(1, 1_000_000) as u64;
+
+        let mut total = Duration::ZERO;
+        let mut min = Duration::MAX;
+        for _ in 0..SAMPLES {
+            let start = Instant::now();
+            for _ in 0..iters {
+                std::hint::black_box(f());
+            }
+            let sample = start.elapsed() / u32::try_from(iters).unwrap_or(u32::MAX);
+            total += sample;
+            min = min.min(sample);
+        }
+        let mean = total / u32::try_from(SAMPLES).unwrap_or(1);
+        println!("{label:<44} {mean:>12.2?} {min:>12.2?} {iters:>10}");
+    }
+}
+
+impl Drop for Group {
+    fn drop(&mut self) {
+        let _ = self.name;
+    }
+}

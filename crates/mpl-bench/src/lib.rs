@@ -10,8 +10,11 @@
 //!   closure operation counts, average variable counts and the share of
 //!   analysis time spent in transitive closure, plus the full-closure
 //!   ablation (E8);
-//! * `cargo bench -p mpl-bench` — Criterion benches: closure scaling
-//!   (E7), end-to-end analysis times (E6) and the closure ablation (E8).
+//! * `cargo bench -p mpl-bench` — in-tree [`harness`] benches: closure
+//!   scaling (E7), end-to-end analysis times (E6) and the closure
+//!   ablation (E8).
+
+pub mod harness;
 
 use std::time::{Duration, Instant};
 
@@ -47,12 +50,25 @@ impl ProfiledRun {
 }
 
 /// Runs `prog` under `client` with closure instrumentation.
+///
+/// The closure counters come from the engine's per-run
+/// [`mpl_core::AnalysisSession`] delta ([`AnalysisResult::closure_stats`]),
+/// so concurrent thread-local activity never needs a global reset.
 #[must_use]
 pub fn profiled_run(prog: &CorpusProgram, client: Client) -> ProfiledRun {
-    ClosureStats::reset();
-    let config = AnalysisConfig { client, ..AnalysisConfig::default() };
+    let config = AnalysisConfig {
+        client,
+        ..AnalysisConfig::default()
+    };
     let start = Instant::now();
     let result = analyze(&prog.program, &config);
     let total = start.elapsed();
-    ProfiledRun { name: prog.name, client, result, total, closure: ClosureStats::snapshot() }
+    let closure = result.closure_stats;
+    ProfiledRun {
+        name: prog.name,
+        client,
+        result,
+        total,
+        closure,
+    }
 }

@@ -92,11 +92,9 @@ mod tests {
                         self.vars.insert(k.clone(), *v);
                         changed = true;
                     }
-                    Some(cur) if cur != v => {
-                        if cur.is_some() {
-                            self.vars.insert(k.clone(), None);
-                            changed = true;
-                        }
+                    Some(cur) if cur != v && cur.is_some() => {
+                        self.vars.insert(k.clone(), None);
+                        changed = true;
                     }
                     _ => {}
                 }
@@ -148,14 +146,23 @@ mod tests {
         type Fact = ConstMap;
 
         fn boundary(&self) -> ConstMap {
-            ConstMap { reachable: true, vars: BTreeMap::new() }
+            ConstMap {
+                reachable: true,
+                vars: BTreeMap::new(),
+            }
         }
 
         fn bottom(&self) -> ConstMap {
             ConstMap::default()
         }
 
-        fn transfer(&self, cfg: &Cfg, node: CfgNodeId, _kind: EdgeKind, fact: &ConstMap) -> ConstMap {
+        fn transfer(
+            &self,
+            cfg: &Cfg,
+            node: CfgNodeId,
+            _kind: EdgeKind,
+            fact: &ConstMap,
+        ) -> ConstMap {
             let mut out = fact.clone();
             match cfg.node(node) {
                 CfgNode::Assign { name, value } => {

@@ -111,7 +111,12 @@ impl Cfg {
     /// Builds the CFG for `program`.
     #[must_use]
     pub fn build(program: &Program) -> Cfg {
-        let mut cfg = Cfg { nodes: Vec::new(), spans: Vec::new(), succs: Vec::new(), preds: Vec::new() };
+        let mut cfg = Cfg {
+            nodes: Vec::new(),
+            spans: Vec::new(),
+            succs: Vec::new(),
+            preds: Vec::new(),
+        };
         let entry = cfg.add_node(CfgNode::Entry, Span::default());
         let exit = cfg.add_node(CfgNode::Exit, Span::default());
         debug_assert_eq!(entry, ENTRY);
@@ -161,7 +166,10 @@ impl Cfg {
         match &stmt.kind {
             StmtKind::Assign { name, value } => {
                 let n = self.add_node(
-                    CfgNode::Assign { name: name.clone(), value: value.clone() },
+                    CfgNode::Assign {
+                        name: name.clone(),
+                        value: value.clone(),
+                    },
                     stmt.span,
                 );
                 self.add_edge(pred, kind, n);
@@ -169,7 +177,10 @@ impl Cfg {
             }
             StmtKind::Send { value, dest } => {
                 let n = self.add_node(
-                    CfgNode::Send { value: value.clone(), dest: dest.clone() },
+                    CfgNode::Send {
+                        value: value.clone(),
+                        dest: dest.clone(),
+                    },
                     stmt.span,
                 );
                 self.add_edge(pred, kind, n);
@@ -177,7 +188,10 @@ impl Cfg {
             }
             StmtKind::Recv { var, src } => {
                 let n = self.add_node(
-                    CfgNode::Recv { var: var.clone(), src: src.clone() },
+                    CfgNode::Recv {
+                        var: var.clone(),
+                        src: src.clone(),
+                    },
                     stmt.span,
                 );
                 self.add_edge(pred, kind, n);
@@ -198,7 +212,11 @@ impl Cfg {
                 self.add_edge(pred, kind, n);
                 (n, EdgeKind::Seq)
             }
-            StmtKind::If { cond, then_branch, else_branch } => {
+            StmtKind::If {
+                cond,
+                then_branch,
+                else_branch,
+            } => {
                 let b = self.add_node(CfgNode::Branch { cond: cond.clone() }, stmt.span);
                 self.add_edge(pred, kind, b);
                 // Join node so both arms re-converge at a single point.
@@ -216,10 +234,18 @@ impl Cfg {
                 self.add_edge(bp, bk, b);
                 (b, EdgeKind::False)
             }
-            StmtKind::For { var, from, to, body } => {
+            StmtKind::For {
+                var,
+                from,
+                to,
+                body,
+            } => {
                 // Desugar: var := from; while var <= to do body; var := var + 1; end
                 let init = self.add_node(
-                    CfgNode::Assign { name: var.clone(), value: from.clone() },
+                    CfgNode::Assign {
+                        name: var.clone(),
+                        value: from.clone(),
+                    },
                     stmt.span,
                 );
                 self.add_edge(pred, kind, init);
@@ -301,7 +327,13 @@ impl Cfg {
     #[must_use]
     pub fn sole_succ(&self, id: CfgNodeId) -> CfgNodeId {
         let succs = self.succs(id);
-        assert_eq!(succs.len(), 1, "node {id} ({}) has {} successors", self.node(id), succs.len());
+        assert_eq!(
+            succs.len(),
+            1,
+            "node {id} ({}) has {} successors",
+            self.node(id),
+            succs.len()
+        );
         succs[0].1
     }
 
@@ -309,13 +341,18 @@ impl Cfg {
     /// branch node, if any.
     #[must_use]
     pub fn succ_along(&self, id: CfgNodeId, kind: EdgeKind) -> Option<CfgNodeId> {
-        self.succs(id).iter().find(|(k, _)| *k == kind).map(|&(_, t)| t)
+        self.succs(id)
+            .iter()
+            .find(|(k, _)| *k == kind)
+            .map(|&(_, t)| t)
     }
 
     /// All send and receive node ids.
     #[must_use]
     pub fn comm_nodes(&self) -> Vec<CfgNodeId> {
-        self.node_ids().filter(|&id| self.node(id).is_comm_op()).collect()
+        self.node_ids()
+            .filter(|&id| self.node(id).is_comm_op())
+            .collect()
     }
 }
 
@@ -386,7 +423,9 @@ mod tests {
         let init = cfg.sole_succ(cfg.entry());
         assert!(matches!(cfg.node(init), CfgNode::Assign { name, .. } if name == "i"));
         let b = cfg.sole_succ(init);
-        let CfgNode::Branch { cond } = cfg.node(b) else { panic!("expected branch") };
+        let CfgNode::Branch { cond } = cfg.node(b) else {
+            panic!("expected branch")
+        };
         assert_eq!(cond.to_string(), "(i <= (np - 1))");
         let send = cfg.succ_along(b, EdgeKind::True).unwrap();
         assert!(cfg.node(send).is_comm_op());

@@ -106,7 +106,10 @@ impl ForwardAnalysis for SeqConstProp {
     type Fact = ConstFact;
 
     fn boundary(&self) -> ConstFact {
-        ConstFact { reachable: true, vars: BTreeMap::new() }
+        ConstFact {
+            reachable: true,
+            vars: BTreeMap::new(),
+        }
     }
 
     fn bottom(&self) -> ConstFact {

@@ -69,7 +69,7 @@ pub fn run_command(args: &[String], source: &str) -> Result<CmdOutput, Box<dyn E
 #[must_use]
 pub fn usage() -> &'static str {
     "usage:\n  \
-     mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace]\n  \
+     mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace] [--stats]\n  \
      mpl run     <file> --np N [--seed S] [--rendezvous] [--set var=val]...\n  \
      mpl check   <file>\n  \
      mpl dot     <file>\n  \
@@ -96,7 +96,13 @@ fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> 
         None => AnalysisConfig::default().min_np,
     };
     let trace = args.iter().any(|a| a == "--trace");
-    let config = AnalysisConfig { client, min_np, trace, ..AnalysisConfig::default() };
+    let stats = args.iter().any(|a| a == "--stats");
+    let config = AnalysisConfig {
+        client,
+        min_np,
+        trace,
+        ..AnalysisConfig::default()
+    };
     let result = analyze_cfg(cfg, &config);
 
     let mut out = String::new();
@@ -115,11 +121,27 @@ fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> 
     }
     for p in &result.prints {
         if let Some(v) = p.value {
-            let _ = writeln!(out, "print at {} for ranks {}: constant {v}", p.node, p.range);
+            let _ = writeln!(
+                out,
+                "print at {} for ranks {}: constant {v}",
+                p.node, p.range
+            );
         }
     }
     for d in diagnose(cfg, &result) {
         let _ = writeln!(out, "diagnostic: {d}");
+    }
+    if stats {
+        let cs = &result.closure_stats;
+        let _ = writeln!(
+            out,
+            "closure stats: {} full (avg {:.1} vars), {} incremental (avg {:.1} vars), {:?} in closure",
+            cs.full_closures,
+            cs.avg_full_vars(),
+            cs.incremental_closures,
+            cs.avg_incremental_vars(),
+            cs.closure_time(),
+        );
     }
     let code = i32::from(!result.is_exact());
     Ok(CmdOutput { text: out, code })
@@ -129,7 +151,9 @@ fn cmd_run(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
     let np: u64 = flag_value(args, "--np").ok_or("missing --np")?.parse()?;
     let mut config = SimConfig::default();
     if let Some(seed) = flag_value(args, "--seed") {
-        config.schedule = Schedule::Random { seed: seed.parse()? };
+        config.schedule = Schedule::Random {
+            seed: seed.parse()?,
+        };
     }
     if args.iter().any(|a| a == "--rendezvous") {
         config.send_mode = SendMode::Rendezvous;
@@ -144,7 +168,9 @@ fn cmd_run(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
     }
     config.initial_vars = initial;
 
-    let outcome = Simulator::from_cfg(cfg.clone(), np).with_config(config).run()?;
+    let outcome = Simulator::from_cfg(cfg.clone(), np)
+        .with_config(config)
+        .run()?;
     let mut out = String::new();
     let _ = writeln!(out, "status: {:?}", outcome.status);
     for (rank, prints) in outcome.prints.iter().enumerate() {
@@ -169,7 +195,10 @@ fn cmd_check(cfg: &Cfg) -> Result<CmdOutput, Box<dyn Error>> {
     let diags = diagnose(cfg, &result);
     let mut out = String::new();
     if diags.is_empty() {
-        let _ = writeln!(out, "ok: communication matched exactly, no leaks, no deadlock");
+        let _ = writeln!(
+            out,
+            "ok: communication matched exactly, no leaks, no deadlock"
+        );
         return Ok(ok(out));
     }
     for d in &diags {
@@ -203,7 +232,11 @@ fn cmd_flow(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
 
 fn render_flow(out: &mut String, flow: &mpl_core::InfoFlow, sources: &[&str]) {
     let tainted = flow.tainted_from(sources);
-    let _ = writeln!(out, "tainted variables: {}", tainted.into_iter().collect::<Vec<_>>().join(", "));
+    let _ = writeln!(
+        out,
+        "tainted variables: {}",
+        tainted.into_iter().collect::<Vec<_>>().join(", ")
+    );
     let leaks = flow.leaking_prints(sources);
     if leaks.is_empty() {
         let _ = writeln!(out, "no print statement can output the sources");
@@ -214,10 +247,7 @@ fn render_flow(out: &mut String, flow: &mpl_core::InfoFlow, sources: &[&str]) {
     }
 }
 
-fn cmd_rewrite(
-    program: &mpl_lang::ast::Program,
-    cfg: &Cfg,
-) -> Result<CmdOutput, Box<dyn Error>> {
+fn cmd_rewrite(program: &mpl_lang::ast::Program, cfg: &Cfg) -> Result<CmdOutput, Box<dyn Error>> {
     let result = analyze_cfg(cfg, &AnalysisConfig::default());
     match mpl_core::rewrite_broadcast(program, cfg, &result) {
         Ok(tree) => {
@@ -229,7 +259,10 @@ fn cmd_rewrite(
             let _ = write!(out, "{tree}");
             Ok(ok(out))
         }
-        Err(e) => Ok(CmdOutput { text: format!("no rewrite: {e}\n"), code: 1 }),
+        Err(e) => Ok(CmdOutput {
+            text: format!("no rewrite: {e}\n"),
+            code: 1,
+        }),
     }
 }
 
@@ -275,6 +308,19 @@ mod tests {
     }
 
     #[test]
+    fn analyze_stats_flag_reports_closure_counts() {
+        let prog = corpus::fig2_exchange();
+        let out = run(
+            &["analyze", "f.mpl", "--client", "simple", "--stats"],
+            &prog.source,
+        );
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("closure stats:"));
+        assert!(out.text.contains("full"));
+        assert!(out.text.contains("incremental"));
+    }
+
+    #[test]
     fn analyze_nonexact_exits_nonzero() {
         let prog = corpus::ring_uniform();
         let out = run(&["analyze", "f.mpl"], &prog.source);
@@ -295,7 +341,9 @@ mod tests {
     fn run_with_seed_and_set() {
         let prog = corpus::stencil_2d_vertical(corpus::GridDims::Symbolic);
         let out = run(
-            &["run", "f.mpl", "--np", "9", "--seed", "7", "--set", "nrows=3", "--set", "ncols=3"],
+            &[
+                "run", "f.mpl", "--np", "9", "--seed", "7", "--set", "nrows=3", "--set", "ncols=3",
+            ],
             &prog.source,
         );
         assert_eq!(out.code, 0, "{}", out.text);
@@ -347,11 +395,12 @@ mod tests {
     fn unknown_command_and_bad_flags_error() {
         let args = vec!["frobnicate".to_owned()];
         assert!(run_command(&args, "x := 1;").is_err());
-        let args: Vec<String> =
-            ["run", "f.mpl"].iter().map(|s| (*s).to_owned()).collect();
+        let args: Vec<String> = ["run", "f.mpl"].iter().map(|s| (*s).to_owned()).collect();
         assert!(run_command(&args, "x := 1;").is_err()); // missing --np
-        let args: Vec<String> =
-            ["analyze", "f.mpl", "--client", "quantum"].iter().map(|s| (*s).to_owned()).collect();
+        let args: Vec<String> = ["analyze", "f.mpl", "--client", "quantum"]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
         assert!(run_command(&args, "x := 1;").is_err());
     }
 
@@ -365,7 +414,10 @@ mod tests {
         let body = out.text.lines().skip(1).collect::<Vec<_>>().join("\n");
         assert!(mpl_lang::parse_program(&body).is_ok());
         // Non-broadcasts are refused.
-        let no = run(&["rewrite", "f.mpl"], &corpus::nearest_neighbor_shift().source);
+        let no = run(
+            &["rewrite", "f.mpl"],
+            &corpus::nearest_neighbor_shift().source,
+        );
         assert_eq!(no.code, 1);
     }
 

@@ -5,7 +5,8 @@ use std::process::Command;
 
 fn run_mpl(args: &[&str], source: &str) -> (String, String, i32) {
     let mut file = tempfile();
-    file.write_all(source.as_bytes()).expect("write temp program");
+    file.write_all(source.as_bytes())
+        .expect("write temp program");
     let path = file.path().to_owned();
     let out = Command::new(env!("CARGO_BIN_EXE_mpl"))
         .arg(args[0])
@@ -39,8 +40,8 @@ mod tempfile_shim {
     impl NamedTemp {
         pub fn new() -> NamedTemp {
             let n = COUNTER.fetch_add(1, Ordering::Relaxed);
-            let path = std::env::temp_dir()
-                .join(format!("mpl-cli-test-{}-{n}.mpl", std::process::id()));
+            let path =
+                std::env::temp_dir().join(format!("mpl-cli-test-{}-{n}.mpl", std::process::id()));
             let file = std::fs::File::create(&path).expect("create temp file");
             NamedTemp { path, file }
         }
@@ -123,7 +124,9 @@ fn binary_reports_missing_file() {
 
 #[test]
 fn binary_usage_on_no_args() {
-    let out = Command::new(env!("CARGO_BIN_EXE_mpl")).output().expect("spawn mpl");
+    let out = Command::new(env!("CARGO_BIN_EXE_mpl"))
+        .output()
+        .expect("spawn mpl");
     assert_eq!(out.status.code(), Some(2));
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage:"));
 }

@@ -36,7 +36,9 @@ pub enum Diagnostic {
 impl fmt::Display for Diagnostic {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         match self {
-            Diagnostic::MessageLeak { span, statement, .. } => {
+            Diagnostic::MessageLeak {
+                span, statement, ..
+            } => {
                 write!(f, "message leak at {span}: `{statement}` is never received")
             }
             Diagnostic::Deadlock { blocked } => {
@@ -71,7 +73,9 @@ pub fn diagnose(cfg: &Cfg, result: &AnalysisResult) -> Vec<Diagnostic> {
             });
         }
         Verdict::Top { reason } => {
-            out.push(Diagnostic::Inconclusive { reason: reason.clone() });
+            out.push(Diagnostic::Inconclusive {
+                reason: reason.clone(),
+            });
         }
     }
     for &node in &result.leaks {
@@ -112,7 +116,9 @@ mod tests {
         let result = analyze_cfg(&cfg, &AnalysisConfig::default());
         let diags = diagnose(&cfg, &result);
         assert!(
-            diags.iter().any(|d| matches!(d, Diagnostic::Deadlock { .. })),
+            diags
+                .iter()
+                .any(|d| matches!(d, Diagnostic::Deadlock { .. })),
             "expected deadlock diagnostic, got {diags:?} (verdict {:?})",
             result.verdict
         );

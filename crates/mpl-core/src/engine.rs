@@ -10,7 +10,7 @@ use std::collections::{BTreeMap, BTreeSet, HashMap, VecDeque};
 use std::fmt;
 
 use mpl_cfg::{Cfg, CfgNode, CfgNodeId, EdgeKind};
-use mpl_domains::{LinExpr, NsVar};
+use mpl_domains::{LinExpr, VarId};
 use mpl_lang::ast::{BinOp, Expr, Program, UnOp};
 use mpl_procset::{Bound, ProcRange, SubtractOutcome};
 
@@ -52,6 +52,9 @@ pub struct AnalysisConfig {
     /// chains (e.g. a 4-block stencil on a 4x4 grid) finish without
     /// destructive merging while symbolic loops still converge.
     pub widen_delay: u32,
+    /// Threshold ladder for constraint-graph widening: instead of jumping
+    /// straight to ±∞, unstable bounds are relaxed to the next threshold.
+    pub widen_thresholds: Vec<i64>,
     /// Collect a human-readable Fig 5-style trace.
     pub trace: bool,
 }
@@ -65,6 +68,7 @@ impl Default for AnalysisConfig {
             max_psets: 12,
             allow_pending_sends: true,
             widen_delay: 6,
+            widen_thresholds: mpl_domains::DEFAULT_WIDEN_THRESHOLDS.to_vec(),
             trace: false,
         }
     }
@@ -150,6 +154,9 @@ pub struct AnalysisResult {
     pub leaks: Vec<CfgNodeId>,
     /// Engine steps taken.
     pub steps: u64,
+    /// Closure operations performed during this run (full and incremental
+    /// counts with average variable sizes — the §IX profile quantities).
+    pub closure_stats: mpl_domains::ClosureStats,
     /// Optional trace (when `AnalysisConfig::trace`).
     pub trace: Vec<String>,
 }
@@ -165,7 +172,11 @@ impl AnalysisResult {
     /// prints the same proven constant.
     #[must_use]
     pub fn printed_constant(&self, node: CfgNodeId) -> Option<i64> {
-        let mut vals = self.prints.iter().filter(|p| p.node == node).map(|p| p.value);
+        let mut vals = self
+            .prints
+            .iter()
+            .filter(|p| p.node == node)
+            .map(|p| p.value);
         let first = vals.next()??;
         for v in vals {
             if v != Some(first) {
@@ -193,6 +204,7 @@ struct Engine<'a> {
     cfg: &'a Cfg,
     norm: NormCtx,
     config: AnalysisConfig,
+    session: crate::session::AnalysisSession,
     assumes: Vec<Expr>,
     matches: BTreeSet<(CfgNodeId, CfgNodeId)>,
     events: BTreeMap<String, MatchEvent>,
@@ -214,10 +226,12 @@ impl<'a> Engine<'a> {
                 _ => None,
             })
             .collect();
+        let session = crate::session::AnalysisSession::new(config.widen_thresholds.clone());
         Engine {
             cfg,
             norm,
             config,
+            session,
             assumes,
             matches: BTreeSet::new(),
             events: BTreeMap::new(),
@@ -280,8 +294,7 @@ impl<'a> Engine<'a> {
                     continue;
                 }
                 if s.psets.len() > self.config.max_psets {
-                    self.top =
-                        Some(format!("more than {} process sets", self.config.max_psets));
+                    self.top = Some(format!("more than {} process sets", self.config.max_psets));
                     continue;
                 }
                 s.renumber_canonical();
@@ -317,13 +330,12 @@ impl<'a> Engine<'a> {
                             work.push_back(s);
                             continue;
                         }
-                        let widened = old.widen_with(&s);
+                        let widened = old.widen_with_thresholds(&s, &self.session.widen_thresholds);
                         if widened.same_as(old) {
                             continue; // Converged at this location.
                         }
                         if widened.any_vacant_range() {
-                            self.top =
-                                Some("widening lost a process-set bound".to_owned());
+                            self.top = Some("widening lost a process-set bound".to_owned());
                             continue;
                         }
                         stored.insert(key, (widened.clone(), visits));
@@ -351,6 +363,7 @@ impl<'a> Engine<'a> {
                 .collect(),
             leaks: self.leaks.into_iter().collect(),
             steps: self.steps,
+            closure_stats: self.session.closure_delta(),
             trace: self.trace,
         }
     }
@@ -404,15 +417,18 @@ impl<'a> Engine<'a> {
             });
             if let Some(idx) = promotable {
                 if self.config.trace {
-                    self.trace.push(format!("promote pending send on pset {idx}: {st}"));
+                    self.trace
+                        .push(format!("promote pending send on pset {idx}: {st}"));
                 }
                 let mut s = st;
-                let CfgNode::Send { value, dest } = self.cfg.node(s.psets[idx].node).clone()
-                else {
+                let CfgNode::Send { value, dest } = self.cfg.node(s.psets[idx].node).clone() else {
                     unreachable!()
                 };
-                s.psets[idx].pending =
-                    Some(PendingSend { node: s.psets[idx].node, value, dest });
+                s.psets[idx].pending = Some(PendingSend {
+                    node: s.psets[idx].node,
+                    value,
+                    dest,
+                });
                 s.psets[idx].node = self.cfg.sole_succ(s.psets[idx].node);
                 return vec![s];
             }
@@ -420,7 +436,10 @@ impl<'a> Engine<'a> {
         // 5. Stuck. Pending sends at exit are leaks; receives that can
         //    never be satisfied are a deadlock; anything else is ⊤.
         let any_comm_blocked = st.psets.iter().any(|p| {
-            matches!(self.cfg.node(p.node), CfgNode::Send { .. } | CfgNode::Recv { .. })
+            matches!(
+                self.cfg.node(p.node),
+                CfgNode::Send { .. } | CfgNode::Recv { .. }
+            )
         });
         if !any_comm_blocked {
             // Everyone is at exit but pendings remain: terminal (leaks
@@ -492,11 +511,16 @@ impl<'a> Engine<'a> {
 
     /// Replaces variables provably equal to `id + k` by that expression,
     /// so conditions like `x < np - 1` after `x := id` split correctly.
-    fn subst_id_aliases(&self, st: &mut AnalysisState, pset: mpl_domains::PsetId, expr: &Expr) -> Expr {
+    fn subst_id_aliases(
+        &self,
+        st: &mut AnalysisState,
+        pset: mpl_domains::PsetId,
+        expr: &Expr,
+    ) -> Expr {
         match expr {
             Expr::Var(name) if !self.norm.is_input(name) => {
                 let v = self.norm.var(pset, name);
-                match st.cg.eq_offset(&v, &NsVar::id_of(pset)) {
+                match st.cg.eq_offset(v, VarId::id_of(pset)) {
                     Some(0) => Expr::Id,
                     Some(k) => Expr::binary(BinOp::Add, Expr::Id, Expr::Int(k)),
                     None => expr.clone(),
@@ -507,9 +531,7 @@ impl<'a> Engine<'a> {
                 self.subst_id_aliases(st, pset, l),
                 self.subst_id_aliases(st, pset, r),
             ),
-            Expr::Unary(op, e) => {
-                Expr::Unary(*op, Box::new(self.subst_id_aliases(st, pset, e)))
-            }
+            Expr::Unary(op, e) => Expr::Unary(*op, Box::new(self.subst_id_aliases(st, pset, e))),
             _ => expr.clone(),
         }
     }
@@ -518,7 +540,7 @@ impl<'a> Engine<'a> {
         let pset = st.psets[idx].id;
         let var = self.norm.var(pset, name);
         if self.is_uniform_expr(st, pset, value) {
-            st.uniform.insert(var.clone());
+            st.uniform.insert(var);
         } else {
             st.uniform.remove(&var);
         }
@@ -526,15 +548,15 @@ impl<'a> Engine<'a> {
         match self.norm.linearize(value, pset) {
             Some(lin) => {
                 let shift = (lin.var.as_ref() == Some(&var)).then_some(lin.offset);
-                st.cg.assign(&var, &lin);
-                st.rewrite_aliases_on_assign(&var, shift);
+                st.cg.assign(var, &lin);
+                st.rewrite_aliases_on_assign(var, shift);
                 // Flat constant environment.
                 match shift {
                     Some(c) => {
-                        if let Some(old) = st.consts.const_of(&var) {
-                            st.consts.set_const(var.clone(), old + c);
+                        if let Some(old) = st.consts.const_of(var) {
+                            st.consts.set_const(var, old + c);
                         } else {
-                            st.consts.set_unknown(var.clone());
+                            st.consts.set_unknown(var);
                         }
                     }
                     None => {
@@ -545,8 +567,8 @@ impl<'a> Engine<'a> {
                                 .map(|c| c + lin.offset)
                         });
                         match cval {
-                            Some(c) => st.consts.set_const(var.clone(), c),
-                            None => st.consts.set_unknown(var.clone()),
+                            Some(c) => st.consts.set_const(var, c),
+                            None => st.consts.set_unknown(var),
                         }
                     }
                 }
@@ -555,15 +577,15 @@ impl<'a> Engine<'a> {
                 // Non-linear: fall back to constant evaluation.
                 match self.norm.eval_const(value, pset, &st.consts) {
                     Some(c) => {
-                        st.cg.assign(&var, &LinExpr::constant(c));
-                        st.consts.set_const(var.clone(), c);
+                        st.cg.assign(var, &LinExpr::constant(c));
+                        st.consts.set_const(var, c);
                     }
                     None => {
-                        st.cg.assign_unknown(&var);
-                        st.consts.set_unknown(var.clone());
+                        st.cg.assign_unknown(var);
+                        st.consts.set_unknown(var);
                     }
                 }
-                st.rewrite_aliases_on_assign(&var, None);
+                st.rewrite_aliases_on_assign(var, None);
             }
         }
     }
@@ -590,14 +612,11 @@ impl<'a> Engine<'a> {
 
     fn record_print(&mut self, st: &mut AnalysisState, idx: usize, node: CfgNodeId, e: &Expr) {
         let pset = st.psets[idx].id;
-        let value = self
-            .norm
-            .eval_const(e, pset, &st.consts)
-            .or_else(|| {
-                self.norm
-                    .linearize(e, pset)
-                    .and_then(|lin| st.cg.eval_expr(&lin))
-            });
+        let value = self.norm.eval_const(e, pset, &st.consts).or_else(|| {
+            self.norm
+                .linearize(e, pset)
+                .and_then(|lin| st.cg.eval_expr(&lin))
+        });
         let key = (node, st.psets[idx].range.to_string());
         match self.prints.get(&key) {
             Some(prev) if *prev != value => {
@@ -650,9 +669,7 @@ impl<'a> Engine<'a> {
                 s.split_pset(idx, parts);
                 return vec![s];
             }
-            self.top = Some(format!(
-                "cannot split process set on condition `{cond}`"
-            ));
+            self.top = Some(format!("cannot split process set on condition `{cond}`"));
             return Vec::new();
         }
 
@@ -831,11 +848,11 @@ impl<'a> Engine<'a> {
             self.norm.linearize_resolved(l, pset, &consts, &mut st.cg)?,
             self.norm.linearize_resolved(r, pset, &consts, &mut st.cg)?,
         );
-        let idv = NsVar::id_of(pset);
+        let idv = VarId::id_of(pset);
         // Normalize to `id REL e`.
-        let (e, op) = if le.var.as_ref() == Some(&idv) && re.var.as_ref() != Some(&idv) {
+        let (e, op) = if le.var == Some(idv) && re.var != Some(idv) {
             (re.plus(-le.offset), op)
-        } else if re.var.as_ref() == Some(&idv) && le.var.as_ref() != Some(&idv) {
+        } else if re.var == Some(idv) && le.var != Some(idv) {
             let flipped = match op {
                 BinOp::Lt => BinOp::Gt,
                 BinOp::Le => BinOp::Ge,
@@ -849,17 +866,15 @@ impl<'a> Engine<'a> {
         };
         // The non-id side must itself be uniform across the set, or the
         // computed sub-ranges would differ per process.
-        if let Some(v @ NsVar::Pset(..)) = &e.var {
-            if !st.uniform.contains(v) {
+        if let Some(v) = e.var {
+            if v.namespace().is_some() && !st.uniform.contains(&v) {
                 return None;
             }
         }
         let range = st.psets[idx].range.clone();
         match op {
             BinOp::Eq => self.split_eq(st, &range, e),
-            BinOp::Ne => self
-                .split_eq(st, &range, e)
-                .map(|(t, f)| (f, t)),
+            BinOp::Ne => self.split_eq(st, &range, e).map(|(t, f)| (f, t)),
             BinOp::Le => self.split_le(st, &range, e),
             BinOp::Lt => self.split_le(st, &range, e.plus(-1)),
             BinOp::Ge => self.split_le(st, &range, e.plus(-1)).map(|(t, f)| (f, t)),
@@ -1001,26 +1016,25 @@ impl<'a> Engine<'a> {
         for send in &sends {
             for recv in &recvs {
                 let mut probe = st.clone();
-                let Some((a, b)) = matcher.split_hint(&mut probe, send, recv, &self.norm)
-                else {
+                let Some((a, b)) = matcher.split_hint(&mut probe, send, recv, &self.norm) else {
                     continue;
                 };
                 if self.config.trace {
                     self.trace.push(format!("split on {a} <= {b} vs {b} < {a}"));
                 }
                 let mut out = Vec::new();
-                let av = a.var.clone().unwrap_or(NsVar::Zero);
-                let bv = b.var.clone().unwrap_or(NsVar::Zero);
+                let av = a.var.unwrap_or(VarId::ZERO);
+                let bv = b.var.unwrap_or(VarId::ZERO);
                 // Branch 1: a <= b.
                 let mut s1 = st.clone();
-                s1.cg.assert_le(&av, &bv, b.offset - a.offset);
+                s1.cg.assert_le(av, bv, b.offset - a.offset);
                 s1.cg.close();
                 if !s1.cg.is_bottom() {
                     out.extend(self.step_inner(s1, depth + 1));
                 }
                 // Branch 2: b <= a - 1.
                 let mut s2 = st.clone();
-                s2.cg.assert_le(&bv, &av, a.offset - b.offset - 1);
+                s2.cg.assert_le(bv, av, a.offset - b.offset - 1);
                 s2.cg.close();
                 if !s2.cg.is_bottom() {
                     out.extend(self.step_inner(s2, depth + 1));
@@ -1112,7 +1126,9 @@ impl<'a> Engine<'a> {
             receiver_new_idx = st
                 .psets
                 .iter()
-                .position(|p| p.node == recv_succ && p.range.lb.exprs() == outcome.r_procs.lb.exprs())
+                .position(|p| {
+                    p.node == recv_succ && p.range.lb.exprs() == outcome.r_procs.lb.exprs()
+                })
                 .unwrap_or(st.psets.len() - 1);
             assigned_ns = st.psets[receiver_new_idx].id;
             self.propagate_value_by_ids(&mut st, send, recv, sender_id, receiver_new_idx);
@@ -1124,13 +1140,13 @@ impl<'a> Engine<'a> {
         // would corrupt bound comparisons (e.g. falsely proving the
         // matched senders empty). Strip those aliases and re-saturate
         // against the updated facts.
-        let stale = NsVar::pset(assigned_ns, recv.var.clone());
+        let stale = VarId::pset_var(assigned_ns, mpl_domains::intern_name(&recv.var));
         let sanitize = |st: &mut AnalysisState, r: &ProcRange| -> ProcRange {
             let keep = |b: &mpl_procset::Bound| {
                 mpl_procset::Bound::from_exprs(
                     b.exprs()
                         .iter()
-                        .filter(|e| e.var.as_ref() != Some(&stale))
+                        .filter(|e| e.var != Some(stale))
                         .cloned()
                         .collect(),
                 )
@@ -1145,16 +1161,13 @@ impl<'a> Engine<'a> {
         let s_procs = sanitize(&mut st, &outcome.s_procs);
 
         // Sender side.
-        let send_idx = st
-            .psets
-            .iter()
-            .position(|p| {
-                if send.pending {
-                    p.pending.as_ref().is_some_and(|pd| pd.node == send.node)
-                } else {
-                    p.node == send.node
-                }
-            })?;
+        let send_idx = st.psets.iter().position(|p| {
+            if send.pending {
+                p.pending.as_ref().is_some_and(|pd| pd.node == send.node)
+            } else {
+                p.node == send.node
+            }
+        })?;
         let s_range = st.psets[send_idx].range.clone();
         let s_full = s_procs.provably_eq(&mut st.cg, &s_range);
         if s_full {
@@ -1221,7 +1234,7 @@ impl<'a> Engine<'a> {
         let recv_pset = st.psets[recv_idx].id;
         let var = self.norm.var(recv_pset, &recv.var);
         st.resaturate_ranges();
-        st.rewrite_aliases_on_assign(&var, None);
+        st.rewrite_aliases_on_assign(var, None);
         // Received values are uniform only when pinned to one constant.
         st.uniform.remove(&var);
 
@@ -1229,20 +1242,20 @@ impl<'a> Engine<'a> {
         let cval = self.norm.eval_const(&send.value, sender_id, &st.consts);
         match cval {
             Some(c) => {
-                st.consts.set_const(var.clone(), c);
-                st.cg.assign(&var, &LinExpr::constant(c));
-                st.uniform.insert(var.clone());
+                st.consts.set_const(var, c);
+                st.cg.assign(var, &LinExpr::constant(c));
+                st.uniform.insert(var);
                 return;
             }
-            None => st.consts.set_unknown(var.clone()),
+            None => st.consts.set_unknown(var),
         }
 
         // Relational value through the constraint graph.
         if let Some(lin) = self.norm.linearize(&send.value, sender_id) {
             if let Some(c) = st.cg.eval_expr(&lin) {
-                st.cg.assign(&var, &LinExpr::constant(c));
-                st.consts.set_const(var.clone(), c);
-                st.uniform.insert(var.clone());
+                st.cg.assign(var, &LinExpr::constant(c));
+                st.consts.set_const(var, c);
+                st.uniform.insert(var);
                 return;
             }
             // A per-process value (anything provably id-based) must be
@@ -1250,40 +1263,40 @@ impl<'a> Engine<'a> {
             // got the value of sender src(r), i.e. var = src(r) + k. A
             // plain cross-namespace equality would claim *every* receiver
             // equals *every* sender and bottom the graph after splits.
-            let id_s = NsVar::id_of(sender_id);
+            let id_s = VarId::id_of(sender_id);
             let id_offset = match &lin.var {
                 Some(v) if *v == id_s => Some(lin.offset),
-                Some(v) => st.cg.eq_offset(v, &id_s).map(|k| k + lin.offset),
+                Some(v) => st.cg.eq_offset(v, id_s).map(|k| k + lin.offset),
                 None => None,
             };
             if let Some(k) = id_offset {
                 if let Some(src_lin) = self.norm.linearize(&recv.src, recv_pset) {
-                    st.cg.assign(&var, &src_lin.plus(k));
+                    st.cg.assign(var, &src_lin.plus(k));
                     return;
                 }
-                st.cg.assign_unknown(&var);
+                st.cg.assign_unknown(var);
                 return;
             }
             match &lin.var {
-                Some(NsVar::Pset(p, _)) if *p == sender_id => {
+                Some(v) if v.namespace() == Some(sender_id) => {
                     // A sender-local variable: a cross-namespace equality
                     // is only sound when the value is uniform across the
                     // sender set.
                     if lin.var.as_ref().is_some_and(|v| st.uniform.contains(v)) {
-                        st.cg.assign(&var, &lin);
+                        st.cg.assign(var, &lin);
                     } else {
-                        st.cg.assign_unknown(&var);
+                        st.cg.assign_unknown(var);
                     }
                     return;
                 }
                 _ => {
                     // Constant or global/np-based: valid in any namespace.
-                    st.cg.assign(&var, &lin);
+                    st.cg.assign(var, &lin);
                     return;
                 }
             }
         }
-        st.cg.assign_unknown(&var);
+        st.cg.assign_unknown(var);
     }
 }
 
@@ -1293,7 +1306,10 @@ mod tests {
     use mpl_lang::corpus;
 
     fn run(prog: &corpus::CorpusProgram, client: Client) -> AnalysisResult {
-        let config = AnalysisConfig { client, ..AnalysisConfig::default() };
+        let config = AnalysisConfig {
+            client,
+            ..AnalysisConfig::default()
+        };
         analyze(&prog.program, &config)
     }
 
@@ -1305,8 +1321,11 @@ mod tests {
         // Two matches: 0's send -> 1's recv, 1's send -> 0's recv.
         assert_eq!(result.matches.len(), 2);
         // Both prints output the constant 5 (the Fig 2 headline).
-        let fives: Vec<&PrintFact> =
-            result.prints.iter().filter(|p| p.value == Some(5)).collect();
+        let fives: Vec<&PrintFact> = result
+            .prints
+            .iter()
+            .filter(|p| p.value == Some(5))
+            .collect();
         assert_eq!(fives.len(), 2, "prints: {:?}", result.prints);
         assert!(result.leaks.is_empty());
     }
@@ -1316,7 +1335,11 @@ mod tests {
         let prog = corpus::fanout_broadcast();
         let result = run(&prog, Client::Simple);
         assert!(result.is_exact(), "verdict: {:?}", result.verdict);
-        assert_eq!(result.matches.len(), 1, "one send statement matches one recv");
+        assert_eq!(
+            result.matches.len(),
+            1,
+            "one send statement matches one recv"
+        );
         assert!(result.leaks.is_empty());
     }
 
@@ -1353,7 +1376,11 @@ mod tests {
         let prog = corpus::nas_cg_transpose_square(corpus::GridDims::Symbolic);
         // The simple client must give up (E3's contrast)...
         let simple = run(&prog, Client::Simple);
-        assert!(!simple.is_exact(), "simple client should fail: {:?}", simple.verdict);
+        assert!(
+            !simple.is_exact(),
+            "simple client should fail: {:?}",
+            simple.verdict
+        );
         // ...while the HSM client matches exactly.
         let cart = run(&prog, Client::Cartesian);
         assert!(cart.is_exact(), "verdict: {:?}", cart.verdict);
@@ -1395,7 +1422,11 @@ mod tests {
         // Modular wrap-around exceeds both clients (paper §X).
         let prog = corpus::ring_uniform();
         let result = run(&prog, Client::Cartesian);
-        assert!(matches!(result.verdict, Verdict::Top { .. }), "{:?}", result.verdict);
+        assert!(
+            matches!(result.verdict, Verdict::Top { .. }),
+            "{:?}",
+            result.verdict
+        );
     }
 
     #[test]
@@ -1403,7 +1434,11 @@ mod tests {
         // Parity split needs non-contiguous process sets.
         let prog = corpus::pairwise_exchange();
         let result = run(&prog, Client::Cartesian);
-        assert!(matches!(result.verdict, Verdict::Top { .. }), "{:?}", result.verdict);
+        assert!(
+            matches!(result.verdict, Verdict::Top { .. }),
+            "{:?}",
+            result.verdict
+        );
     }
 
     #[test]
@@ -1418,9 +1453,16 @@ mod tests {
     #[test]
     fn trace_collects_steps() {
         let prog = corpus::fig2_exchange();
-        let config = AnalysisConfig { trace: true, ..AnalysisConfig::default() };
+        let config = AnalysisConfig {
+            trace: true,
+            ..AnalysisConfig::default()
+        };
         let result = analyze(&prog.program, &config);
-        assert!(result.trace.iter().any(|l| l.contains("match")), "{:?}", result.trace);
+        assert!(
+            result.trace.iter().any(|l| l.contains("match")),
+            "{:?}",
+            result.trace
+        );
     }
 
     #[test]
@@ -1448,10 +1490,7 @@ mod tests {
 
     #[test]
     fn stencil_2d_vertical_concrete_is_exact() {
-        let prog = corpus::stencil_2d_vertical(corpus::GridDims::Concrete {
-            nrows: 3,
-            ncols: 3,
-        });
+        let prog = corpus::stencil_2d_vertical(corpus::GridDims::Concrete { nrows: 3, ncols: 3 });
         let result = run(&prog, Client::Simple);
         assert!(result.is_exact(), "verdict: {:?}", result.verdict);
     }
@@ -1459,7 +1498,10 @@ mod tests {
     #[test]
     fn step_budget_yields_top() {
         let prog = corpus::exchange_with_root();
-        let config = AnalysisConfig { max_steps: 3, ..AnalysisConfig::default() };
+        let config = AnalysisConfig {
+            max_steps: 3,
+            ..AnalysisConfig::default()
+        };
         let result = analyze(&prog.program, &config);
         assert!(matches!(result.verdict, Verdict::Top { .. }));
     }
@@ -1480,7 +1522,11 @@ mod config_tests {
             ..AnalysisConfig::default()
         };
         let result = analyze(&prog.program, &config);
-        assert!(matches!(result.verdict, Verdict::Top { .. }), "{:?}", result.verdict);
+        assert!(
+            matches!(result.verdict, Verdict::Top { .. }),
+            "{:?}",
+            result.verdict
+        );
         // Rendezvous-compatible patterns still work without aggregation.
         let prog = corpus::exchange_with_root();
         let result = analyze(&prog.program, &config);
@@ -1490,7 +1536,10 @@ mod config_tests {
     #[test]
     fn max_psets_budget_yields_top() {
         let prog = corpus::nearest_neighbor_shift();
-        let config = AnalysisConfig { max_psets: 2, ..AnalysisConfig::default() };
+        let config = AnalysisConfig {
+            max_psets: 2,
+            ..AnalysisConfig::default()
+        };
         let result = analyze(&prog.program, &config);
         assert!(matches!(result.verdict, Verdict::Top { .. }));
     }
@@ -1500,7 +1549,10 @@ mod config_tests {
         // With min_np = 8 the analysis still succeeds (it is a lower
         // bound, not an exact count).
         let prog = corpus::exchange_with_root();
-        let config = AnalysisConfig { min_np: 8, ..AnalysisConfig::default() };
+        let config = AnalysisConfig {
+            min_np: 8,
+            ..AnalysisConfig::default()
+        };
         let result = analyze(&prog.program, &config);
         assert!(result.is_exact());
     }
@@ -1509,8 +1561,7 @@ mod config_tests {
     fn printed_constant_accessor() {
         let prog = corpus::fig2_exchange();
         let result = analyze(&prog.program, &AnalysisConfig::default());
-        let print_nodes: Vec<CfgNodeId> =
-            result.prints.iter().map(|p| p.node).collect();
+        let print_nodes: Vec<CfgNodeId> = result.prints.iter().map(|p| p.node).collect();
         for node in print_nodes {
             assert_eq!(result.printed_constant(node), Some(5));
         }
@@ -1528,7 +1579,10 @@ mod config_tests {
             .all(|e| matches!(e.kind, MatchKind::Shift { offset: 1 })));
         let prog = corpus::fanout_broadcast();
         let result = analyze(&prog.program, &AnalysisConfig::default());
-        assert!(result.events.iter().all(|e| e.kind == MatchKind::UniformPair));
+        assert!(result
+            .events
+            .iter()
+            .all(|e| e.kind == MatchKind::UniformPair));
         assert!(result.events.iter().all(|e| e.s_const == Some(0)));
     }
 }
@@ -1549,7 +1603,11 @@ mod soundness_tests {
             if parity = 0 then\n  send 1 -> id + 1;\n\
             else\n  recv y <- id - 1;\nend\n";
         let result = analyze(&parse_program(src).unwrap(), &AnalysisConfig::default());
-        assert!(matches!(result.verdict, Verdict::Top { .. }), "{:?}", result.verdict);
+        assert!(
+            matches!(result.verdict, Verdict::Top { .. }),
+            "{:?}",
+            result.verdict
+        );
     }
 
     /// The id-aliased form of the same branch *is* splittable.
@@ -1582,7 +1640,10 @@ mod soundness_tests {
     #[test]
     fn stencil_2d_full_is_honest_top() {
         let prog = corpus::stencil_2d_full(corpus::GridDims::Concrete { nrows: 3, ncols: 3 });
-        let config = AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() };
+        let config = AnalysisConfig {
+            client: Client::Simple,
+            ..AnalysisConfig::default()
+        };
         let result = analyze(&prog.program, &config);
         let Verdict::Top { reason } = &result.verdict else {
             panic!("expected ⊤, got {:?}", result.verdict);
@@ -1604,8 +1665,10 @@ mod soundness_tests {
                 nrows,
                 ncols: nrows,
             });
-            let config =
-                AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() };
+            let config = AnalysisConfig {
+                client: Client::Simple,
+                ..AnalysisConfig::default()
+            };
             let result = analyze(&prog.program, &config);
             assert!(result.is_exact(), "{nrows}x{nrows}: {:?}", result.verdict);
         }
@@ -1697,10 +1760,7 @@ mod widen_delay_tests {
         // The delayed-widening knob: with no delay, the 4-block stencil
         // chain on a 4x4 grid is destructively merged; with the default
         // delay it completes exactly.
-        let prog = corpus::stencil_2d_vertical(corpus::GridDims::Concrete {
-            nrows: 4,
-            ncols: 4,
-        });
+        let prog = corpus::stencil_2d_vertical(corpus::GridDims::Concrete { nrows: 4, ncols: 4 });
         let eager = AnalysisConfig {
             client: Client::Simple,
             widen_delay: 0,
@@ -1712,7 +1772,10 @@ mod widen_delay_tests {
             "eager widening should lose the chain: {:?}",
             result.verdict
         );
-        let default = AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() };
+        let default = AnalysisConfig {
+            client: Client::Simple,
+            ..AnalysisConfig::default()
+        };
         assert!(analyze(&prog.program, &default).is_exact());
     }
 

@@ -36,8 +36,7 @@ pub struct InfoFlow {
 }
 
 fn expr_vars(e: &Expr) -> BTreeSet<FlowVar> {
-    let mut out: BTreeSet<FlowVar> =
-        e.variables().into_iter().map(str::to_owned).collect();
+    let mut out: BTreeSet<FlowVar> = e.variables().into_iter().map(str::to_owned).collect();
     if e.mentions_id() {
         out.insert("id".to_owned());
     }
@@ -48,8 +47,7 @@ impl InfoFlow {
     /// All variables reachable from `sources` (inclusive).
     #[must_use]
     pub fn tainted_from(&self, sources: &[&str]) -> BTreeSet<FlowVar> {
-        let mut tainted: BTreeSet<FlowVar> =
-            sources.iter().map(|s| (*s).to_owned()).collect();
+        let mut tainted: BTreeSet<FlowVar> = sources.iter().map(|s| (*s).to_owned()).collect();
         let mut queue: VecDeque<FlowVar> = tainted.iter().cloned().collect();
         while let Some(v) = queue.pop_front() {
             if let Some(succs) = self.edges.get(&v) {
@@ -82,7 +80,10 @@ impl InfoFlow {
 
     fn add_edges(&mut self, froms: &BTreeSet<FlowVar>, to: &str) {
         for f in froms {
-            self.edges.entry(f.clone()).or_default().insert(to.to_owned());
+            self.edges
+                .entry(f.clone())
+                .or_default()
+                .insert(to.to_owned());
         }
     }
 }
@@ -101,10 +102,7 @@ pub fn info_flow(cfg: &Cfg, result: &AnalysisResult) -> InfoFlow {
 /// precise client, or [`crate::mpicfg::mpi_cfg_topology`]'s pairs for the
 /// baseline.
 #[must_use]
-pub fn info_flow_with_pairs(
-    cfg: &Cfg,
-    comm_pairs: &BTreeSet<(CfgNodeId, CfgNodeId)>,
-) -> InfoFlow {
+pub fn info_flow_with_pairs(cfg: &Cfg, comm_pairs: &BTreeSet<(CfgNodeId, CfgNodeId)>) -> InfoFlow {
     let mut flow = InfoFlow::default();
     for id in cfg.node_ids() {
         match cfg.node(id) {
@@ -118,8 +116,12 @@ pub fn info_flow_with_pairs(
         }
     }
     for &(send, recv) in comm_pairs {
-        let CfgNode::Send { value, .. } = cfg.node(send) else { continue };
-        let CfgNode::Recv { var, .. } = cfg.node(recv) else { continue };
+        let CfgNode::Send { value, .. } = cfg.node(send) else {
+            continue;
+        };
+        let CfgNode::Recv { var, .. } = cfg.node(recv) else {
+            continue;
+        };
         flow.add_edges(&expr_vars(value), var);
     }
     flow

@@ -49,14 +49,16 @@ pub mod mpicfg;
 pub mod norm;
 pub mod pattern;
 pub mod rewrite;
+pub mod session;
 pub mod state;
 pub mod topology;
 
 pub use engine::{analyze, analyze_cfg, AnalysisConfig, AnalysisResult, Client, Verdict};
-pub use matcher::{CartesianMatcher, MatchOutcome, MatchStrategy, SimpleMatcher};
 pub use infoflow::{info_flow, info_flow_with_pairs, InfoFlow};
+pub use matcher::{CartesianMatcher, MatchOutcome, MatchStrategy, SimpleMatcher};
 pub use mpicfg::{mpi_cfg_topology, MpiCfgTopology};
 pub use pattern::{classify, classify_pairs, Pattern};
 pub use rewrite::{rewrite_broadcast, RewriteError};
+pub use session::AnalysisSession;
 pub use state::{AnalysisState, PsetState};
 pub use topology::StaticTopology;

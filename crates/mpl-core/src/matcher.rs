@@ -19,7 +19,7 @@
 use std::collections::BTreeMap;
 
 use mpl_cfg::CfgNodeId;
-use mpl_domains::{NsVar, PsetId};
+use mpl_domains::{NsVar, PsetId, VarId};
 use mpl_hsm::{expr_to_hsm, AssumptionCtx, Hsm, SymPoly};
 use mpl_lang::ast::{BinOp, Expr};
 use mpl_procset::{Bound, ProcRange};
@@ -150,10 +150,10 @@ impl MatchStrategy for SimpleMatcher {
             return None;
         }
 
-        let id_s = NsVar::id_of(ps);
-        let id_r = NsVar::id_of(pr);
-        let dest_uses_id = dest.var.as_ref() == Some(&id_s);
-        let src_uses_id = src.var.as_ref() == Some(&id_r);
+        let id_s = VarId::id_of(ps);
+        let id_r = VarId::id_of(pr);
+        let dest_uses_id = dest.var == Some(id_s);
+        let src_uses_id = src.var == Some(id_r);
 
         let outcome = match (dest_uses_id, src_uses_id) {
             (true, true) => {
@@ -169,12 +169,16 @@ impl MatchStrategy for SimpleMatcher {
                 s_procs.saturate(&mut st.cg);
                 let mut r_procs = s_procs.plus(c);
                 r_procs.saturate(&mut st.cg);
-                MatchOutcome { s_procs, r_procs, kind: MatchKind::Shift { offset: c } }
+                MatchOutcome {
+                    s_procs,
+                    r_procs,
+                    kind: MatchKind::Shift { offset: c },
+                }
             }
             (false, true) => {
                 // dest uniform t, src = id + d: the receiver at rank t
                 // expects sender t + d; only that sender matches.
-                let t = dest.clone();
+                let t = dest;
                 let mut s_procs = ProcRange::singleton(t.plus(src.offset));
                 s_procs.saturate(&mut st.cg);
                 if !s_range.provably_contains(&mut st.cg, &s_procs) {
@@ -185,12 +189,16 @@ impl MatchStrategy for SimpleMatcher {
                 if !r_range.provably_contains(&mut st.cg, &r_procs) {
                     return None;
                 }
-                MatchOutcome { s_procs, r_procs, kind: MatchKind::UniformPair }
+                MatchOutcome {
+                    s_procs,
+                    r_procs,
+                    kind: MatchKind::UniformPair,
+                }
             }
             (true, false) => {
                 // dest = id + c, src uniform m: only sender m matches,
                 // landing on receiver m + c.
-                let m = src.clone();
+                let m = src;
                 let mut s_procs = ProcRange::singleton(m);
                 s_procs.saturate(&mut st.cg);
                 if !s_range.provably_contains(&mut st.cg, &s_procs) {
@@ -201,15 +209,19 @@ impl MatchStrategy for SimpleMatcher {
                 if !r_range.provably_contains(&mut st.cg, &r_procs) {
                     return None;
                 }
-                MatchOutcome { s_procs, r_procs, kind: MatchKind::UniformPair }
+                MatchOutcome {
+                    s_procs,
+                    r_procs,
+                    kind: MatchKind::UniformPair,
+                }
             }
             (false, false) => {
                 // dest uniform t, src uniform m: sender m to receiver t.
                 // The identity condition requires dest(m) = t with
                 // src(t) = m, which holds by construction once both
                 // singletons lie in their sets.
-                let t = dest.clone();
-                let m = src.clone();
+                let t = dest;
+                let m = src;
                 let mut s_procs = ProcRange::singleton(m);
                 s_procs.saturate(&mut st.cg);
                 if !s_range.provably_contains(&mut st.cg, &s_procs) {
@@ -220,7 +232,11 @@ impl MatchStrategy for SimpleMatcher {
                 if !r_range.provably_contains(&mut st.cg, &r_procs) {
                     return None;
                 }
-                MatchOutcome { s_procs, r_procs, kind: MatchKind::UniformPair }
+                MatchOutcome {
+                    s_procs,
+                    r_procs,
+                    kind: MatchKind::UniformPair,
+                }
             }
         };
 
@@ -251,9 +267,9 @@ impl MatchStrategy for SimpleMatcher {
         let src = norm.linearize_resolved(&recv.src, pr, &consts, &mut st.cg)?;
         let s_range = st.psets[send.pset_idx].range.clone();
         let r_range = st.psets[recv.pset_idx].range.clone();
-        let id_s = NsVar::id_of(ps);
-        let id_r = NsVar::id_of(pr);
-        match (dest.var.as_ref() == Some(&id_s), src.var.as_ref() == Some(&id_r)) {
+        let id_s = VarId::id_of(ps);
+        let id_r = VarId::id_of(pr);
+        match (dest.var == Some(id_s), src.var == Some(id_r)) {
             (true, true) => {
                 if dest.offset + src.offset != 0 {
                     return None;
@@ -276,12 +292,12 @@ impl MatchStrategy for SimpleMatcher {
                 }
             }
             (false, true) => {
-                let mut r_procs = ProcRange::singleton(dest.clone());
+                let mut r_procs = ProcRange::singleton(dest);
                 r_procs.saturate(&mut st.cg);
                 containment_hint(st, &r_range, &r_procs)
             }
             (true, false) => {
-                let mut s_procs = ProcRange::singleton(src.clone());
+                let mut s_procs = ProcRange::singleton(src);
                 s_procs.saturate(&mut st.cg);
                 containment_hint(st, &s_range, &s_procs).or_else(|| {
                     let mut r_procs = ProcRange::singleton(src.plus(dest.offset));
@@ -290,10 +306,10 @@ impl MatchStrategy for SimpleMatcher {
                 })
             }
             (false, false) => {
-                let mut s_procs = ProcRange::singleton(src.clone());
+                let mut s_procs = ProcRange::singleton(src);
                 s_procs.saturate(&mut st.cg);
                 containment_hint(st, &s_range, &s_procs).or_else(|| {
-                    let mut r_procs = ProcRange::singleton(dest.clone());
+                    let mut r_procs = ProcRange::singleton(dest);
                     r_procs.saturate(&mut st.cg);
                     containment_hint(st, &r_range, &r_procs)
                 })
@@ -311,7 +327,7 @@ fn emptiness_hint(
     if r.is_empty(&mut st.cg).is_some() || r.is_vacant() {
         return None;
     }
-    Some((r.lb.rep().clone(), r.ub.rep().clone()))
+    Some((*r.lb.rep(), *r.ub.rep()))
 }
 
 /// The first undecidable comparison preventing `outer ⊇ inner` — `None`
@@ -326,13 +342,13 @@ fn containment_hint(
         if inner.lb.provably_lt(&mut st.cg, &outer.lb) {
             return None; // Provably outside: no split helps.
         }
-        return Some((outer.lb.rep().clone(), inner.lb.rep().clone()));
+        return Some((*outer.lb.rep(), *inner.lb.rep()));
     }
     if !inner.ub.provably_le(&mut st.cg, &outer.ub) {
         if outer.ub.provably_lt(&mut st.cg, &inner.ub) {
             return None;
         }
-        return Some((inner.ub.rep().clone(), outer.ub.rep().clone()));
+        return Some((*inner.ub.rep(), *outer.ub.rep()));
     }
     None
 }
@@ -348,7 +364,7 @@ fn max_bound(
     } else if a.provably_le(&mut st.cg, b) {
         Ok(b.clone())
     } else {
-        Err((a.rep().clone(), b.rep().clone()))
+        Err((*a.rep(), *b.rep()))
     }
 }
 
@@ -363,7 +379,7 @@ fn min_bound(
     } else if b.provably_le(&mut st.cg, a) {
         Ok(b.clone())
     } else {
-        Err((a.rep().clone(), b.rep().clone()))
+        Err((*a.rep(), *b.rep()))
     }
 }
 
@@ -459,7 +475,9 @@ pub fn build_assumption_ctx(
 ) -> AssumptionCtx {
     let mut ctx = AssumptionCtx::new();
     for e in assumes {
-        let Expr::Binary(BinOp::Eq, lhs, rhs) = e else { continue };
+        let Expr::Binary(BinOp::Eq, lhs, rhs) = e else {
+            continue;
+        };
         let name = match lhs.as_ref() {
             Expr::Np => "np".to_owned(),
             Expr::Var(v) if norm.is_input(v) => v.clone(),
@@ -483,9 +501,11 @@ fn expr_to_poly(e: &Expr, norm: &NormCtx, st: &mut AnalysisState) -> Option<SymP
         Expr::Var(v) => {
             // Assigned variable: usable only if uniform across all psets,
             // i.e. pinned to one constant in every namespace it exists in.
+            let name_idx = mpl_domains::intern_name(v);
+            let ids: Vec<PsetId> = st.psets.iter().map(|p| p.id).collect();
             let mut val: Option<i64> = None;
-            for p in st.psets.clone() {
-                if let Some(c) = st.cg.const_of(&NsVar::pset(p.id, v.clone())) {
+            for id in ids {
+                if let Some(c) = st.cg.const_of(VarId::pset_var(id, name_idx)) {
                     match val {
                         None => val = Some(c),
                         Some(prev) if prev == c => {}
@@ -577,7 +597,9 @@ mod tests {
     fn send_site(idx: usize, dest: &str) -> SendSite {
         use mpl_lang::ast::StmtKind;
         let p = parse_program(&format!("send x -> {dest};")).unwrap();
-        let StmtKind::Send { value, dest } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Send { value, dest } = &p.stmts[0].kind else {
+            panic!()
+        };
         SendSite {
             pset_idx: idx,
             node: CfgNodeId(90),
@@ -590,17 +612,21 @@ mod tests {
     fn recv_site(idx: usize, src: &str) -> RecvSite {
         use mpl_lang::ast::StmtKind;
         let p = parse_program(&format!("recv y <- {src};")).unwrap();
-        let StmtKind::Recv { var, src } = &p.stmts[0].kind else { panic!() };
-        RecvSite { pset_idx: idx, node: CfgNodeId(91), src: src.clone(), var: var.clone() }
+        let StmtKind::Recv { var, src } = &p.stmts[0].kind else {
+            panic!()
+        };
+        RecvSite {
+            pset_idx: idx,
+            node: CfgNodeId(91),
+            src: src.clone(),
+            var: var.clone(),
+        }
     }
 
     /// Splits the initial all-procs set into [0..0] and [1..np-1].
     fn split_root(st: &mut AnalysisState, root_node: CfgNodeId, rest_node: CfgNodeId) {
         let root = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(0));
-        let rest = ProcRange::from_exprs(
-            LinExpr::constant(1),
-            LinExpr::var_plus(NsVar::Np, -1),
-        );
+        let rest = ProcRange::from_exprs(LinExpr::constant(1), LinExpr::var_plus(NsVar::Np, -1));
         st.split_pset(0, vec![(root, root_node, false), (rest, rest_node, false)]);
     }
 
@@ -610,7 +636,13 @@ mod tests {
         let (_, norm, mut st) = setup("x := 1;");
         split_root(&mut st, CfgNodeId(10), CfgNodeId(11));
         let out = SimpleMatcher
-            .try_match(&mut st, &send_site(0, "id + 1"), &recv_site(1, "id - 1"), &norm, &[])
+            .try_match(
+                &mut st,
+                &send_site(0, "id + 1"),
+                &recv_site(1, "id - 1"),
+                &norm,
+                &[],
+            )
             .expect("should match");
         // Senders [0..0] map onto receivers [1..1].
         assert!(out.s_procs.provably_eq(
@@ -628,7 +660,13 @@ mod tests {
         let (_, norm, mut st) = setup("x := 1;");
         split_root(&mut st, CfgNodeId(10), CfgNodeId(11));
         assert!(SimpleMatcher
-            .try_match(&mut st, &send_site(0, "id + 1"), &recv_site(1, "id - 2"), &norm, &[])
+            .try_match(
+                &mut st,
+                &send_site(0, "id + 1"),
+                &recv_site(1, "id - 2"),
+                &norm,
+                &[]
+            )
             .is_none());
     }
 
@@ -639,16 +677,16 @@ mod tests {
         let (_, norm, mut st) = setup("i := 1;");
         split_root(&mut st, CfgNodeId(10), CfgNodeId(11));
         let root = st.psets[0].id;
-        let iv = NsVar::pset(root, "i");
-        st.cg.assert_le(&NsVar::Zero, &iv, -1); // i >= 1
-        st.cg.assert_le(&iv, &NsVar::Np, -1); // i <= np-1
+        let iv = VarId::from(NsVar::pset(root, "i"));
+        st.cg.assert_le(VarId::ZERO, iv, -1); // i >= 1
+        st.cg.assert_le(iv, VarId::NP, -1); // i <= np-1
         let out = SimpleMatcher
             .try_match(&mut st, &send_site(0, "i"), &recv_site(1, "0"), &norm, &[])
             .expect("should match");
         assert!(out.s_procs.is_singleton(&mut st.cg));
         assert!(out.r_procs.is_singleton(&mut st.cg));
         // The receiver bound carries the symbolic alias i.
-        assert!(out.r_procs.lb.exprs().iter().any(|e| e.var == Some(iv.clone())));
+        assert!(out.r_procs.lb.exprs().iter().any(|e| e.var == Some(iv)));
     }
 
     #[test]
@@ -668,7 +706,13 @@ mod tests {
         let (_, norm, mut st) = setup("x := 1;");
         split_root(&mut st, CfgNodeId(10), CfgNodeId(11));
         let out = SimpleMatcher
-            .try_match(&mut st, &send_site(0, "id + 1"), &recv_site(1, "0"), &norm, &[])
+            .try_match(
+                &mut st,
+                &send_site(0, "id + 1"),
+                &recv_site(1, "0"),
+                &norm,
+                &[],
+            )
             .expect("should match");
         assert!(out.r_procs.provably_eq(
             &mut st.cg,
@@ -683,7 +727,10 @@ mod tests {
         // [0..0] and [1..1].
         let zero = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(0));
         let one = ProcRange::from_exprs(LinExpr::constant(1), LinExpr::constant(1));
-        st.split_pset(0, vec![(zero, CfgNodeId(10), false), (one, CfgNodeId(11), false)]);
+        st.split_pset(
+            0,
+            vec![(zero, CfgNodeId(10), false), (one, CfgNodeId(11), false)],
+        );
         let out = SimpleMatcher
             .try_match(&mut st, &send_site(0, "1"), &recv_site(1, "0"), &norm, &[])
             .expect("fig2 send must match");
@@ -734,13 +781,17 @@ mod tests {
             pending: true,
         };
         let recv = recv_site(0, "(id + np - 1) % np");
-        assert!(CartesianMatcher.try_match(&mut st, &send, &recv, &norm, &[]).is_none());
+        assert!(CartesianMatcher
+            .try_match(&mut st, &send, &recv, &norm, &[])
+            .is_none());
     }
 
     fn parse_dest(src: &str) -> Expr {
         use mpl_lang::ast::StmtKind;
         let p = parse_program(&format!("send 0 -> {src};")).unwrap();
-        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         dest.clone()
     }
 
@@ -748,7 +799,13 @@ mod tests {
     fn simple_matcher_rejects_self_pset() {
         let (_, norm, mut st) = setup("x := 1;");
         assert!(SimpleMatcher
-            .try_match(&mut st, &send_site(0, "id + 1"), &recv_site(0, "id - 1"), &norm, &[])
+            .try_match(
+                &mut st,
+                &send_site(0, "id + 1"),
+                &recv_site(0, "id - 1"),
+                &norm,
+                &[]
+            )
             .is_none());
     }
 }

@@ -41,7 +41,11 @@ pub struct IdInterval {
 
 impl IdInterval {
     fn top() -> IdInterval {
-        IdInterval { reachable: true, lo: None, hi: None }
+        IdInterval {
+            reachable: true,
+            lo: None,
+            hi: None,
+        }
     }
 
     /// True if the constant `c` may be this process's `id`.
@@ -82,7 +86,9 @@ struct IdGuards;
 
 /// Extracts `id REL constant` from a branch condition.
 fn id_comparison(cond: &Expr) -> Option<(BinOp, i64)> {
-    let Expr::Binary(op, l, r) = cond else { return None };
+    let Expr::Binary(op, l, r) = cond else {
+        return None;
+    };
     match (l.as_ref(), r.as_ref()) {
         (Expr::Id, Expr::Int(c)) => Some((*op, *c)),
         (Expr::Int(c), Expr::Id) => {
@@ -110,10 +116,20 @@ impl ForwardAnalysis for IdGuards {
         IdInterval::default()
     }
 
-    fn transfer(&self, cfg: &Cfg, node: CfgNodeId, kind: EdgeKind, fact: &IdInterval) -> IdInterval {
+    fn transfer(
+        &self,
+        cfg: &Cfg,
+        node: CfgNodeId,
+        kind: EdgeKind,
+        fact: &IdInterval,
+    ) -> IdInterval {
         let mut out = *fact;
-        let CfgNode::Branch { cond } = cfg.node(node) else { return out };
-        let Some((op, c)) = id_comparison(cond) else { return out };
+        let CfgNode::Branch { cond } = cfg.node(node) else {
+            return out;
+        };
+        let Some((op, c)) = id_comparison(cond) else {
+            return out;
+        };
         let taken = kind == EdgeKind::True;
         let narrow_lo = |out: &mut IdInterval, v: i64| {
             out.lo = Some(out.lo.map_or(v, |lo| lo.max(v)));
@@ -278,7 +294,10 @@ mod tests {
         let mpicfg = mpi_cfg_topology(&cfg);
         let pcfg = analyze_cfg(&cfg, &AnalysisConfig::default());
         assert!(pcfg.is_exact());
-        assert!(pcfg.matches.is_subset(mpicfg.pairs()), "baseline must over-approximate");
+        assert!(
+            pcfg.matches.is_subset(mpicfg.pairs()),
+            "baseline must over-approximate"
+        );
         assert!(
             mpicfg.pairs().len() > pcfg.matches.len(),
             "MPI-CFG {} pairs vs pCFG {}",
@@ -290,7 +309,10 @@ mod tests {
     #[test]
     fn mpicfg_always_covers_runtime() {
         // Soundness of the baseline itself.
-        for prog in [corpus::exchange_with_root(), corpus::nearest_neighbor_shift()] {
+        for prog in [
+            corpus::exchange_with_root(),
+            corpus::nearest_neighbor_shift(),
+        ] {
             let cfg = Cfg::build(&prog.program);
             let mpicfg = mpi_cfg_topology(&cfg);
             let outcome = Simulator::from_cfg(cfg, 6).run().unwrap();

@@ -2,19 +2,23 @@
 //! linear expressions over namespaced variables, branch-condition
 //! refinements, and symbolic (polynomial) values for the HSM client.
 
-use std::collections::BTreeSet;
+use std::collections::{BTreeSet, HashSet};
 
 use mpl_cfg::{Cfg, CfgNode};
-use mpl_domains::{ConstEnv, ConstraintGraph, LinExpr, NsVar, PsetId};
+use mpl_domains::{intern_name, ConstEnv, ConstraintGraph, LinExpr, PsetId, VarId, VarKind};
 use mpl_hsm::SymPoly;
 use mpl_lang::ast::{BinOp, Expr, UnOp};
 
 /// Static context shared by all transfer functions: which variable names
 /// are ever assigned (assigned → per-process-set variable; never assigned
-/// → uniform global input parameter, shared by all processes).
+/// → uniform global input parameter, shared by all processes). Assigned
+/// names are pre-interned so [`NormCtx::var`] — the hottest name lookup
+/// in the engine — is one interner probe plus bit packing, with no
+/// string allocation.
 #[derive(Debug, Clone, Default)]
 pub struct NormCtx {
     assigned: BTreeSet<String>,
+    assigned_idx: HashSet<u32>,
 }
 
 impl NormCtx {
@@ -30,7 +34,11 @@ impl NormCtx {
                 _ => {}
             }
         }
-        NormCtx { assigned }
+        let assigned_idx = assigned.iter().map(|n| intern_name(n)).collect();
+        NormCtx {
+            assigned,
+            assigned_idx,
+        }
     }
 
     /// True if `name` is a never-assigned input parameter.
@@ -39,13 +47,14 @@ impl NormCtx {
         !self.assigned.contains(name)
     }
 
-    /// The namespaced variable for `name` as seen by process set `pset`.
+    /// The interned variable for `name` as seen by process set `pset`.
     #[must_use]
-    pub fn var(&self, pset: PsetId, name: &str) -> NsVar {
-        if self.is_input(name) {
-            NsVar::Global(name.to_owned())
+    pub fn var(&self, pset: PsetId, name: &str) -> VarId {
+        let idx = intern_name(name);
+        if self.assigned_idx.contains(&idx) {
+            VarId::pset_var(pset, idx)
         } else {
-            NsVar::pset(pset, name)
+            VarId::global(idx)
         }
     }
 
@@ -57,8 +66,8 @@ impl NormCtx {
         match expr {
             Expr::Int(c) => Some(LinExpr::constant(*c)),
             Expr::Bool(b) => Some(LinExpr::constant(i64::from(*b))),
-            Expr::Id => Some(LinExpr::of_var(NsVar::id_of(pset))),
-            Expr::Np => Some(LinExpr::of_var(NsVar::Np)),
+            Expr::Id => Some(LinExpr::of_var(VarId::id_of(pset))),
+            Expr::Np => Some(LinExpr::of_var(VarId::NP)),
             Expr::Var(name) => Some(LinExpr::of_var(self.var(pset, name))),
             Expr::Unary(UnOp::Neg, e) => {
                 let le = self.linearize(e, pset)?;
@@ -116,12 +125,12 @@ impl NormCtx {
         match expr {
             Expr::Var(name) => {
                 let v = self.var(pset, name);
-                match consts.const_of(&v).or_else(|| cg.const_of(&v)) {
+                match consts.const_of(v).or_else(|| cg.const_of(v)) {
                     Some(c) => Expr::Int(c),
                     None => expr.clone(),
                 }
             }
-            Expr::Np => match cg.const_of(&NsVar::Np) {
+            Expr::Np => match cg.const_of(VarId::NP) {
                 Some(c) => Expr::Int(c),
                 None => Expr::Np,
             },
@@ -159,14 +168,16 @@ impl NormCtx {
             Expr::Int(c) => Some(*c),
             Expr::Bool(b) => Some(i64::from(*b)),
             Expr::Id | Expr::Np => None,
-            Expr::Var(name) => consts.const_of(&self.var(pset, name)),
+            Expr::Var(name) => consts.const_of(self.var(pset, name)),
             Expr::Unary(UnOp::Neg, e) => self.eval_const(e, pset, consts).map(|v| -v),
             Expr::Unary(UnOp::Not, e) => {
                 self.eval_const(e, pset, consts).map(|v| i64::from(v == 0))
             }
             Expr::Binary(op, l, r) => {
-                let (l, r) =
-                    (self.eval_const(l, pset, consts)?, self.eval_const(r, pset, consts)?);
+                let (l, r) = (
+                    self.eval_const(l, pset, consts)?,
+                    self.eval_const(r, pset, consts)?,
+                );
                 match op {
                     BinOp::Add => Some(l + r),
                     BinOp::Sub => Some(l - r),
@@ -220,7 +231,9 @@ impl NormCtx {
             }
             Expr::Unary(UnOp::Not, e) => self.collect_refinements(e, pset, !negate, out),
             Expr::Binary(op, l, r) => {
-                let Some(rel) = RelOp::from_binop(*op) else { return };
+                let Some(rel) = RelOp::from_binop(*op) else {
+                    return;
+                };
                 let (Some(le), Some(re)) = (self.linearize(l, pset), self.linearize(r, pset))
                 else {
                     return;
@@ -241,16 +254,16 @@ impl NormCtx {
         refinements: &[(LinExpr, LinExpr, RelOp)],
     ) {
         for (l, r, rel) in refinements {
-            let lv = l.var.clone().unwrap_or(NsVar::Zero);
-            let rv = r.var.clone().unwrap_or(NsVar::Zero);
+            let lv = l.var.unwrap_or(VarId::ZERO);
+            let rv = r.var.unwrap_or(VarId::ZERO);
             // l.var + l.off REL r.var + r.off
             let delta = r.offset - l.offset;
             match rel {
-                RelOp::Eq => cg.assert_eq_offset(&lv, &rv, delta),
-                RelOp::Le => cg.assert_le(&lv, &rv, delta),
-                RelOp::Lt => cg.assert_le(&lv, &rv, delta - 1),
-                RelOp::Ge => cg.assert_le(&rv, &lv, -delta),
-                RelOp::Gt => cg.assert_le(&rv, &lv, -delta - 1),
+                RelOp::Eq => cg.assert_eq_offset(lv, rv, delta),
+                RelOp::Le => cg.assert_le(lv, rv, delta),
+                RelOp::Lt => cg.assert_le(lv, rv, delta - 1),
+                RelOp::Ge => cg.assert_le(rv, lv, -delta),
+                RelOp::Gt => cg.assert_le(rv, lv, -delta - 1),
             }
         }
     }
@@ -260,12 +273,13 @@ impl NormCtx {
     /// variables must first be proven equal to one of those.
     #[must_use]
     pub fn linexpr_to_poly(e: &LinExpr) -> Option<SymPoly> {
-        let base = match &e.var {
-            None => SymPoly::zero(),
-            Some(NsVar::Zero) => SymPoly::zero(),
-            Some(NsVar::Np) => SymPoly::sym("np"),
-            Some(NsVar::Global(g)) => SymPoly::sym(g.clone()),
-            Some(NsVar::Pset(..)) => return None,
+        let base = match e.var.map(VarId::kind) {
+            None | Some(VarKind::Zero) => SymPoly::zero(),
+            Some(VarKind::Np) => SymPoly::sym("np"),
+            Some(VarKind::Global(g)) => {
+                SymPoly::sym(mpl_domains::with_table(|t| t.name(g).to_owned()))
+            }
+            Some(VarKind::Pset(..)) => return None,
         };
         Some(base + SymPoly::constant(e.offset))
     }
@@ -310,6 +324,7 @@ impl RelOp {
 mod tests {
     use super::*;
     use mpl_cfg::Cfg;
+    use mpl_domains::NsVar;
     use mpl_lang::parse_program;
 
     fn ctx_of(src: &str) -> NormCtx {
@@ -319,7 +334,9 @@ mod tests {
     fn expr(src: &str) -> Expr {
         use mpl_lang::ast::StmtKind;
         let p = parse_program(&format!("send 0 -> {src};")).unwrap();
-        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         dest.clone()
     }
 
@@ -331,8 +348,11 @@ mod tests {
         assert!(!ctx.is_input("x"));
         assert!(!ctx.is_input("y"));
         assert!(ctx.is_input("nrows"));
-        assert_eq!(ctx.var(P, "x"), NsVar::pset(P, "x"));
-        assert_eq!(ctx.var(P, "nrows"), NsVar::Global("nrows".into()));
+        assert_eq!(ctx.var(P, "x"), VarId::from(NsVar::pset(P, "x")));
+        assert_eq!(
+            ctx.var(P, "nrows"),
+            VarId::from(NsVar::Global("nrows".into()))
+        );
     }
 
     #[test]
@@ -351,7 +371,10 @@ mod tests {
             ctx.linearize(&expr("x + 2"), P),
             Some(LinExpr::var_plus(NsVar::pset(P, "x"), 2))
         );
-        assert_eq!(ctx.linearize(&expr("2 * 3 + 1"), P), Some(LinExpr::constant(7)));
+        assert_eq!(
+            ctx.linearize(&expr("2 * 3 + 1"), P),
+            Some(LinExpr::constant(7))
+        );
     }
 
     #[test]
@@ -370,7 +393,10 @@ mod tests {
             ctx.linearize(&expr("1 * id"), P),
             Some(LinExpr::of_var(NsVar::id_of(P)))
         );
-        assert_eq!(ctx.linearize(&expr("id * 0"), P), Some(LinExpr::constant(0)));
+        assert_eq!(
+            ctx.linearize(&expr("id * 0"), P),
+            Some(LinExpr::constant(0))
+        );
         assert_eq!(
             ctx.linearize(&expr("x / 1"), P),
             Some(LinExpr::of_var(NsVar::pset(P, "x")))
@@ -385,8 +411,8 @@ mod tests {
         assert_eq!(refs.len(), 2);
         let mut cg = ConstraintGraph::new();
         ctx.apply_refinements(&mut cg, &refs);
-        assert!(cg.implies_le(&NsVar::id_of(P), &NsVar::Np, -1));
-        assert!(cg.implies_le(&NsVar::Zero, &NsVar::id_of(P), -1));
+        assert!(cg.implies_le(NsVar::id_of(P), &NsVar::Np, -1));
+        assert!(cg.implies_le(&NsVar::Zero, NsVar::id_of(P), -1));
     }
 
     #[test]
@@ -396,7 +422,7 @@ mod tests {
         let refs = ctx.refinements(&expr("id <= 5"), P, true);
         let mut cg = ConstraintGraph::new();
         ctx.apply_refinements(&mut cg, &refs);
-        assert!(cg.implies_le(&NsVar::Zero, &NsVar::id_of(P), -6));
+        assert!(cg.implies_le(&NsVar::Zero, NsVar::id_of(P), -6));
         // ¬(id = 5) carries nothing for a DBM.
         assert!(ctx.refinements(&expr("id = 5"), P, true).is_empty());
     }

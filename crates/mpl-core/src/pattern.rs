@@ -84,7 +84,11 @@ pub fn classify(result: &AnalysisResult) -> Pattern {
         return Pattern::NoComm;
     }
     // Whole-set self-permutation: the transpose family.
-    if result.events.iter().all(|e| e.kind == MatchKind::SelfPermutation) {
+    if result
+        .events
+        .iter()
+        .all(|e| e.kind == MatchKind::SelfPermutation)
+    {
         return Pattern::PartnerExchange;
     }
     // Pure shift: every event is a shift with a common offset.
@@ -97,7 +101,10 @@ pub fn classify(result: &AnalysisResult) -> Pattern {
         })
         .collect();
     if shift_offsets.len() == 1
-        && result.events.iter().all(|e| matches!(e.kind, MatchKind::Shift { .. }))
+        && result
+            .events
+            .iter()
+            .all(|e| matches!(e.kind, MatchKind::Shift { .. }))
     {
         let offset = *shift_offsets.iter().next().expect("len 1");
         return Pattern::Shift { offset };
@@ -128,8 +135,16 @@ pub fn classify(result: &AnalysisResult) -> Pattern {
         if !anchors_all {
             continue;
         }
-        let root_sends = result.events.iter().filter(|e| e.s_const == Some(root)).count();
-        let root_recvs = result.events.iter().filter(|e| e.r_const == Some(root)).count();
+        let root_sends = result
+            .events
+            .iter()
+            .filter(|e| e.s_const == Some(root))
+            .count();
+        let root_recvs = result
+            .events
+            .iter()
+            .filter(|e| e.r_const == Some(root))
+            .count();
         if root_sends > 0 && root_recvs > 0 {
             // A relay chain (0 → 1 → 2) also anchors at its middle rank;
             // a genuine exchange has the root talking *both ways* with
@@ -212,9 +227,10 @@ pub fn classify_pairs(pairs: &BTreeSet<(u64, u64)>, np: u64) -> Pattern {
         partner[s as usize] = Some(r);
     }
     if involution
-        && partner.iter().enumerate().all(|(i, p)| {
-            p.is_some_and(|p| partner[p as usize] == Some(i as u64))
-        })
+        && partner
+            .iter()
+            .enumerate()
+            .all(|(i, p)| p.is_some_and(|p| partner[p as usize] == Some(i as u64)))
     {
         return Pattern::PartnerExchange;
     }
@@ -245,7 +261,10 @@ mod tests {
     fn classify_pairs_shifts_and_ring() {
         let np = 5;
         let right: Vec<(u64, u64)> = (0..np - 1).map(|i| (i, i + 1)).collect();
-        assert_eq!(classify_pairs(&pairs(&right), np), Pattern::Shift { offset: 1 });
+        assert_eq!(
+            classify_pairs(&pairs(&right), np),
+            Pattern::Shift { offset: 1 }
+        );
         let mut ring = right;
         ring.push((np - 1, 0));
         assert_eq!(classify_pairs(&pairs(&ring), np), Pattern::Ring);
@@ -255,16 +274,23 @@ mod tests {
     fn classify_pairs_transpose_is_partner_exchange() {
         let nrows = 3u64;
         let np = nrows * nrows;
-        let t: Vec<(u64, u64)> =
-            (0..np).map(|i| (i, (i % nrows) * nrows + i / nrows)).collect();
+        let t: Vec<(u64, u64)> = (0..np)
+            .map(|i| (i, (i % nrows) * nrows + i / nrows))
+            .collect();
         assert_eq!(classify_pairs(&pairs(&t), np), Pattern::PartnerExchange);
     }
 
     #[test]
     fn classify_pairs_pair_exchange_and_empty() {
-        assert_eq!(classify_pairs(&pairs(&[(0, 1), (1, 0)]), 4), Pattern::PairExchange);
+        assert_eq!(
+            classify_pairs(&pairs(&[(0, 1), (1, 0)]), 4),
+            Pattern::PairExchange
+        );
         assert_eq!(classify_pairs(&BTreeSet::new(), 4), Pattern::NoComm);
-        assert_eq!(classify_pairs(&pairs(&[(0, 2), (1, 3)]), 4), Pattern::Unknown);
+        assert_eq!(
+            classify_pairs(&pairs(&[(0, 2), (1, 3)]), 4),
+            Pattern::Unknown
+        );
     }
 
     #[test]
@@ -289,10 +315,16 @@ mod static_classification_tests {
     #[test]
     fn corpus_static_patterns() {
         assert_eq!(pattern_of(&corpus::fig2_exchange()), Pattern::PairExchange);
-        assert_eq!(pattern_of(&corpus::exchange_with_root()), Pattern::ExchangeWithRoot);
+        assert_eq!(
+            pattern_of(&corpus::exchange_with_root()),
+            Pattern::ExchangeWithRoot
+        );
         assert_eq!(pattern_of(&corpus::fanout_broadcast()), Pattern::Broadcast);
         assert_eq!(pattern_of(&corpus::gather_to_root()), Pattern::Gather);
-        assert_eq!(pattern_of(&corpus::mdcask_full()), Pattern::ExchangeWithRoot);
+        assert_eq!(
+            pattern_of(&corpus::mdcask_full()),
+            Pattern::ExchangeWithRoot
+        );
         assert_eq!(
             pattern_of(&corpus::nas_cg_transpose_square(corpus::GridDims::Symbolic)),
             Pattern::PartnerExchange
@@ -301,9 +333,15 @@ mod static_classification_tests {
             pattern_of(&corpus::nearest_neighbor_shift()),
             Pattern::Shift { offset: 1 }
         );
-        assert_eq!(pattern_of(&corpus::left_shift()), Pattern::Shift { offset: -1 });
+        assert_eq!(
+            pattern_of(&corpus::left_shift()),
+            Pattern::Shift { offset: -1 }
+        );
         assert_eq!(pattern_of(&corpus::scatter_indexed()), Pattern::Broadcast);
-        assert_eq!(pattern_of(&corpus::pipeline_double()), Pattern::Shift { offset: 1 });
+        assert_eq!(
+            pattern_of(&corpus::pipeline_double()),
+            Pattern::Shift { offset: 1 }
+        );
         // Relays and top-verdict programs never classify as a collective.
         assert_eq!(pattern_of(&corpus::const_relay()), Pattern::Unknown);
         assert_eq!(pattern_of(&corpus::ring_uniform()), Pattern::Unknown);

@@ -59,7 +59,10 @@ fn binomial_broadcast(var: &str, payload: &Expr) -> Vec<Stmt> {
             })],
             else_branch: Vec::new(),
         }),
-        stmt(StmtKind::Assign { name: "mpl_k".to_owned(), value: Expr::Int(1) }),
+        stmt(StmtKind::Assign {
+            name: "mpl_k".to_owned(),
+            value: Expr::Int(1),
+        }),
         stmt(StmtKind::While {
             cond: Expr::binary(BinOp::Lt, Expr::var("mpl_k"), Expr::Np),
             body: vec![
@@ -192,7 +195,10 @@ mod tests {
         let cfg = Cfg::build(&prog.program);
         let result = analyze_cfg(&cfg, &AnalysisConfig::default());
         let err = rewrite_broadcast(&prog.program, &cfg, &result).unwrap_err();
-        assert!(matches!(err, RewriteError::NotABroadcast(Pattern::ExchangeWithRoot)));
+        assert!(matches!(
+            err,
+            RewriteError::NotABroadcast(Pattern::ExchangeWithRoot)
+        ));
     }
 
     #[test]

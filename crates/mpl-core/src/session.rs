@@ -1,0 +1,113 @@
+//! Shared per-analysis session state: the variable interner, widening
+//! thresholds, and closure-instrumentation baseline.
+//!
+//! Every layer of the engine used to carry `String`-keyed variables and
+//! re-derive configuration ad hoc. An [`AnalysisSession`] centralizes the
+//! cross-cutting pieces:
+//!
+//! * **interning** — helpers that map source-level names to packed
+//!   [`VarId`] handles through the thread-local [`mpl_domains::VarTable`],
+//!   so clients construct ids the same way the engine does;
+//! * **widening thresholds** — the ladder of constants the DBM widening
+//!   snaps to (paper §VI fixpoint acceleration), configurable per run;
+//! * **closure stats** — a [`ClosureStats`] baseline captured when the
+//!   session starts, so the per-run delta (the §IX profile numbers) can
+//!   be reported without resetting global counters.
+
+use mpl_domains::{intern_name, ClosureStats, PsetId, VarId, DEFAULT_WIDEN_THRESHOLDS};
+
+/// Cross-cutting state shared by one analysis run.
+#[derive(Debug, Clone)]
+pub struct AnalysisSession {
+    /// Threshold ladder used by constraint-graph widening.
+    pub widen_thresholds: Vec<i64>,
+    baseline: ClosureStats,
+}
+
+impl AnalysisSession {
+    /// Starts a session with the given widening thresholds, snapshotting
+    /// the closure counters as the baseline for [`Self::closure_delta`].
+    #[must_use]
+    pub fn new(widen_thresholds: Vec<i64>) -> AnalysisSession {
+        AnalysisSession {
+            widen_thresholds,
+            baseline: ClosureStats::snapshot(),
+        }
+    }
+
+    /// The closure operations performed since this session started.
+    #[must_use]
+    pub fn closure_delta(&self) -> ClosureStats {
+        ClosureStats::snapshot().since(&self.baseline)
+    }
+
+    /// Interns `name` and returns its table index.
+    #[must_use]
+    pub fn intern(&self, name: &str) -> u32 {
+        intern_name(name)
+    }
+
+    /// The id for a global (input) variable `name`.
+    #[must_use]
+    pub fn global(&self, name: &str) -> VarId {
+        VarId::global(intern_name(name))
+    }
+
+    /// The id for `name` owned by process set `pset`.
+    #[must_use]
+    pub fn pset_var(&self, pset: PsetId, name: &str) -> VarId {
+        VarId::pset_var(pset, intern_name(name))
+    }
+
+    /// The per-set rank variable `pset.id`.
+    #[must_use]
+    pub fn rank_id(&self, pset: PsetId) -> VarId {
+        VarId::id_of(pset)
+    }
+}
+
+impl Default for AnalysisSession {
+    fn default() -> AnalysisSession {
+        AnalysisSession::new(DEFAULT_WIDEN_THRESHOLDS.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_domains::ConstraintGraph;
+
+    #[test]
+    fn interning_helpers_match_engine_packing() {
+        let s = AnalysisSession::default();
+        let p = PsetId(3);
+        assert_eq!(s.rank_id(p), VarId::id_of(p));
+        assert_eq!(s.pset_var(p, "x"), s.pset_var(p, "x"));
+        assert_ne!(s.pset_var(p, "x"), s.global("x"));
+        assert!(s.rank_id(p).is_rank_id());
+        assert_eq!(s.intern("x"), s.intern("x"));
+    }
+
+    #[test]
+    fn closure_delta_counts_only_session_work() {
+        // Warm up the counters so the baseline is non-zero.
+        let mut pre = ConstraintGraph::new();
+        pre.assert_eq_const(VarId::global(intern_name("w")), 1);
+        pre.close();
+
+        let s = AnalysisSession::default();
+        let before = s.closure_delta();
+        let mut g = ConstraintGraph::new();
+        g.assert_eq_const(VarId::global(intern_name("x")), 4);
+        g.close();
+        let after = s.closure_delta();
+        let ops = |st: &ClosureStats| st.full_closures + st.incremental_closures;
+        assert!(ops(&after) > ops(&before));
+    }
+
+    #[test]
+    fn default_thresholds_are_the_domain_defaults() {
+        let s = AnalysisSession::default();
+        assert_eq!(s.widen_thresholds, DEFAULT_WIDEN_THRESHOLDS.to_vec());
+    }
+}

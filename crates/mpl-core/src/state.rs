@@ -4,7 +4,7 @@ use std::collections::BTreeSet;
 use std::fmt;
 
 use mpl_cfg::CfgNodeId;
-use mpl_domains::{ConstEnv, ConstraintGraph, LinExpr, NsVar, PsetId};
+use mpl_domains::{ConstEnv, ConstraintGraph, LinExpr, NsVar, PsetId, VarId};
 use mpl_lang::ast::Expr;
 use mpl_procset::ProcRange;
 
@@ -47,7 +47,7 @@ pub struct AnalysisState {
     /// only a uniform condition may steer a whole set through one branch
     /// edge. Never-assigned input variables are uniform by definition
     /// and are not tracked here.
-    pub uniform: BTreeSet<NsVar>,
+    pub uniform: BTreeSet<VarId>,
     /// The process sets, in canonical order.
     pub psets: Vec<PsetState>,
     /// Send–receive matches established so far.
@@ -99,7 +99,7 @@ impl AnalysisState {
             let nid = self.fresh_id();
             self.cg.clone_namespace(old.id, nid);
             self.consts.clone_namespace(old.id, nid);
-            let copies: Vec<NsVar> = self
+            let copies: Vec<VarId> = self
                 .uniform
                 .iter()
                 .filter(|v| v.namespace() == Some(old.id))
@@ -111,19 +111,23 @@ impl AnalysisState {
             // fact `lb ≤ ub` into the shared constraint graph (e.g. a
             // loop remainder `[i+1..np-1]` forcing `i ≤ np-2`).
             if range.is_empty(&mut self.cg) == Some(false) {
-                let idv = NsVar::id_of(nid);
+                let idv = VarId::id_of(nid);
                 for e in range.lb.exprs() {
-                    self.cg.assert_ge_expr(&idv, e);
+                    self.cg.assert_ge_expr(idv, e);
                 }
                 for e in range.ub.exprs() {
-                    self.cg.assert_le_expr(&idv, e);
+                    self.cg.assert_le_expr(idv, e);
                 }
             }
             self.psets.push(PsetState {
                 id: nid,
                 node,
                 range,
-                pending: if keep_pending { old.pending.clone() } else { None },
+                pending: if keep_pending {
+                    old.pending.clone()
+                } else {
+                    None
+                },
             });
         }
         self.cg.drop_namespace(old.id);
@@ -169,7 +173,8 @@ impl AnalysisState {
     /// a shift `x := x + c` translates aliases of `x`; any other write to
     /// `x` invalidates them. Call *before* mutating the constraint graph
     /// when possible so lost aliases can be re-derived.
-    pub fn rewrite_aliases_on_assign(&mut self, var: &NsVar, shift: Option<i64>) {
+    pub fn rewrite_aliases_on_assign(&mut self, var: impl Into<VarId>, shift: Option<i64>) {
+        let var = var.into();
         for p in &mut self.psets {
             p.range = match shift {
                 Some(c) => shift_range(&p.range, var, c),
@@ -261,38 +266,46 @@ impl AnalysisState {
         ca = ca.join(&cb);
         // Uniformity across the merged set: both halves uniform and
         // pinned to the same constant.
-        let merged_uniform: Vec<NsVar> = self
+        let merged_uniform: Vec<VarId> = self
             .uniform
             .iter()
             .filter(|v| v.namespace() == Some(a))
-            .filter_map(|v| {
+            .filter_map(|&v| {
                 let vb = v.renamed(a, b);
                 if !self.uniform.contains(&vb) {
                     return None;
                 }
                 let cva = self.consts.const_of(v)?;
-                let cvb = self.consts.const_of(&vb)?;
+                let cvb = self.consts.const_of(vb)?;
                 (cva == cvb).then(|| v.renamed(a, m))
             })
             .collect();
         self.consts = ca;
-        self.uniform.retain(|v| v.namespace() != Some(a) && v.namespace() != Some(b));
+        self.uniform
+            .retain(|v| v.namespace() != Some(a) && v.namespace() != Some(b));
         self.uniform.extend(merged_uniform);
         // Remove higher index first.
         let (lo, hi) = (i.min(j), i.max(j));
         self.psets.remove(hi);
         self.psets.remove(lo);
         let mut range = joined;
-        range = strip_range(&range, |v| v.namespace() == Some(a) || v.namespace() == Some(b));
+        range = strip_range(&range, |v| {
+            v.namespace() == Some(a) || v.namespace() == Some(b)
+        });
         // Assert the merged set's id bounds.
-        let idv = NsVar::id_of(m);
+        let idv = VarId::id_of(m);
         for e in range.lb.exprs() {
-            self.cg.assert_ge_expr(&idv, e);
+            self.cg.assert_ge_expr(idv, e);
         }
         for e in range.ub.exprs() {
-            self.cg.assert_le_expr(&idv, e);
+            self.cg.assert_le_expr(idv, e);
         }
-        self.psets.push(PsetState { id: m, node, range, pending: None });
+        self.psets.push(PsetState {
+            id: m,
+            node,
+            range,
+            pending: None,
+        });
         self.strip_namespace_aliases(a);
         self.strip_namespace_aliases(b);
     }
@@ -303,11 +316,17 @@ impl AnalysisState {
     /// iterations.
     pub fn renumber_canonical(&mut self) {
         self.psets.sort_by(|x, y| {
-            (x.node, x.range.to_string(), x.pending.is_some())
-                .cmp(&(y.node, y.range.to_string(), y.pending.is_some()))
+            (x.node, x.range.to_string(), x.pending.is_some()).cmp(&(
+                y.node,
+                y.range.to_string(),
+                y.pending.is_some(),
+            ))
         });
-        // Two-phase rename to avoid collisions.
-        const TMP: u32 = 1 << 20;
+        // Two-phase rename to avoid collisions. The temporary band sits
+        // just below the packed VarId's 16-bit pset-id ceiling; live ids
+        // are reset to 0.. right below, so the band is never reached by
+        // real allocations.
+        const TMP: u32 = 1 << 15;
         let olds: Vec<PsetId> = self.psets.iter().map(|p| p.id).collect();
         for (k, &old) in olds.iter().enumerate() {
             let tmp = PsetId(TMP + k as u32);
@@ -338,7 +357,10 @@ impl AnalysisState {
     /// widened against each other.
     #[must_use]
     pub fn location_key(&self) -> Vec<(CfgNodeId, bool)> {
-        self.psets.iter().map(|p| (p.node, p.pending.is_some())).collect()
+        self.psets
+            .iter()
+            .map(|p| (p.node, p.pending.is_some()))
+            .collect()
     }
 
     /// Widens `self` (the stored state) with `newer` (same location key):
@@ -346,9 +368,21 @@ impl AnalysisState {
     /// constant-env join, match-set union.
     #[must_use]
     pub fn widen_with(&self, newer: &AnalysisState) -> AnalysisState {
+        self.widen_with_thresholds(newer, &mpl_domains::DEFAULT_WIDEN_THRESHOLDS)
+    }
+
+    /// [`AnalysisState::widen_with`] with an explicit threshold ladder for
+    /// the constraint-graph widening (see
+    /// [`mpl_domains::ConstraintGraph::widen_with_thresholds`]).
+    #[must_use]
+    pub fn widen_with_thresholds(
+        &self,
+        newer: &AnalysisState,
+        thresholds: &[i64],
+    ) -> AnalysisState {
         debug_assert_eq!(self.location_key(), newer.location_key());
         let mut out = self.clone();
-        out.cg = self.cg.widen(&newer.cg);
+        out.cg = self.cg.widen_with_thresholds(&newer.cg, thresholds);
         out.consts = self.consts.join(&newer.consts);
         out.uniform = self.uniform.intersection(&newer.uniform).cloned().collect();
         for (p, q) in out.psets.iter_mut().zip(&newer.psets) {
@@ -402,31 +436,34 @@ impl AnalysisState {
     }
 }
 
-fn strip_range(r: &ProcRange, dead: impl Fn(&NsVar) -> bool) -> ProcRange {
+fn strip_range(r: &ProcRange, dead: impl Fn(VarId) -> bool) -> ProcRange {
     let keep = |b: &mpl_procset::Bound| {
         let exprs: BTreeSet<LinExpr> = b
             .exprs()
             .iter()
-            .filter(|e| e.var.as_ref().is_none_or(|v| !dead(v)))
-            .cloned()
+            .filter(|e| e.var.is_none_or(|v| !dead(v)))
+            .copied()
             .collect();
         bound_from_set(exprs)
     };
     ProcRange::new(keep(&r.lb), keep(&r.ub))
 }
 
-fn shift_range(r: &ProcRange, var: &NsVar, c: i64) -> ProcRange {
+fn shift_range(r: &ProcRange, var: VarId, c: i64) -> ProcRange {
     let fix = |b: &mpl_procset::Bound| {
         let exprs: BTreeSet<LinExpr> = b
             .exprs()
             .iter()
             .map(|e| {
-                if e.var.as_ref() == Some(var) {
+                if e.var == Some(var) {
                     // The variable's value grew by c, so the alias must
                     // shrink by c to denote the same bound value.
-                    LinExpr { var: e.var.clone(), offset: e.offset - c }
+                    LinExpr {
+                        var: e.var,
+                        offset: e.offset - c,
+                    }
                 } else {
-                    e.clone()
+                    *e
                 }
             })
             .collect();
@@ -479,19 +516,19 @@ mod tests {
         let x = NsVar::pset(st.psets[0].id, "x");
         st.cg.assert_eq_const(&x, 9);
         let root = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(0));
-        let rest = ProcRange::from_exprs(
-            LinExpr::constant(1),
-            LinExpr::var_plus(NsVar::Np, -1),
+        let rest = ProcRange::from_exprs(LinExpr::constant(1), LinExpr::var_plus(NsVar::Np, -1));
+        st.split_pset(
+            0,
+            vec![(root, CfgNodeId(5), false), (rest, CfgNodeId(6), false)],
         );
-        st.split_pset(0, vec![(root, CfgNodeId(5), false), (rest, CfgNodeId(6), false)]);
         assert_eq!(st.psets.len(), 2);
         for p in st.psets.clone() {
             // Each part inherited x = 9 in its own namespace.
-            assert_eq!(st.cg.const_of(&NsVar::pset(p.id, "x")), Some(9));
+            assert_eq!(st.cg.const_of(NsVar::pset(p.id, "x")), Some(9));
         }
         // The singleton part's id is pinned to 0.
         let root_pset = st.psets.iter().find(|p| p.node == CfgNodeId(5)).unwrap().id;
-        assert_eq!(st.cg.const_of(&NsVar::id_of(root_pset)), Some(0));
+        assert_eq!(st.cg.const_of(NsVar::id_of(root_pset)), Some(0));
     }
 
     #[test]
@@ -500,15 +537,19 @@ mod tests {
         // [i .. np-1] with i unconstrained: emptiness unknown.
         let i = NsVar::pset(st.psets[0].id, "i");
         st.cg.ensure_var(&i);
-        let maybe_empty = ProcRange::from_exprs(
-            LinExpr::of_var(i.clone()),
-            LinExpr::var_plus(NsVar::Np, -1),
-        );
+        let maybe_empty =
+            ProcRange::from_exprs(LinExpr::of_var(i.clone()), LinExpr::var_plus(NsVar::Np, -1));
         let rest = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(0));
-        st.split_pset(0, vec![(maybe_empty, CfgNodeId(5), false), (rest, CfgNodeId(6), false)]);
+        st.split_pset(
+            0,
+            vec![
+                (maybe_empty, CfgNodeId(5), false),
+                (rest, CfgNodeId(6), false),
+            ],
+        );
         // The shared graph must not have been poisoned with i <= np-1.
         let mut cg = st.cg.clone();
-        assert!(!cg.implies_le(&i.renamed(PsetId(0), PsetId(1)), &NsVar::Np, -1) || true);
+        assert!(!cg.implies_le(i.renamed(PsetId(0), PsetId(1)), &NsVar::Np, -1));
         assert!(!st.cg.is_bottom());
     }
 
@@ -534,29 +575,30 @@ mod tests {
         st.split_pset(0, vec![(a, CfgNodeId(7), false), (b, CfgNodeId(7), false)]);
         // Give the two parts different values of y, same value of z.
         let (p0, p1) = (st.psets[0].id, st.psets[1].id);
-        st.cg.assign(&NsVar::pset(p0, "y"), &LinExpr::constant(1));
-        st.cg.assign(&NsVar::pset(p1, "y"), &LinExpr::constant(2));
-        st.cg.assign(&NsVar::pset(p0, "z"), &LinExpr::constant(5));
-        st.cg.assign(&NsVar::pset(p1, "z"), &LinExpr::constant(5));
+        st.cg.assign(NsVar::pset(p0, "y"), &LinExpr::constant(1));
+        st.cg.assign(NsVar::pset(p1, "y"), &LinExpr::constant(2));
+        st.cg.assign(NsVar::pset(p0, "z"), &LinExpr::constant(5));
+        st.cg.assign(NsVar::pset(p1, "z"), &LinExpr::constant(5));
         st.merge_psets();
         assert_eq!(st.psets.len(), 1);
         let m = st.psets[0].id;
-        assert_eq!(st.cg.const_of(&NsVar::pset(m, "y")), None);
-        assert_eq!(st.cg.const_of(&NsVar::pset(m, "z")), Some(5));
+        assert_eq!(st.cg.const_of(NsVar::pset(m, "y")), None);
+        assert_eq!(st.cg.const_of(NsVar::pset(m, "z")), Some(5));
         // Bounds survive: y in [1..2].
-        assert!(st.cg.implies_le(&NsVar::pset(m, "y"), &NsVar::Zero, 2));
-        assert!(st.cg.implies_le(&NsVar::Zero, &NsVar::pset(m, "y"), -1));
+        assert!(st.cg.implies_le(NsVar::pset(m, "y"), &NsVar::Zero, 2));
+        assert!(st.cg.implies_le(&NsVar::Zero, NsVar::pset(m, "y"), -1));
     }
 
     #[test]
     fn drop_empty_removes_provably_empty() {
         let mut st = initial();
-        let empty = ProcRange::from_exprs(
-            LinExpr::of_var(NsVar::Np),
-            LinExpr::var_plus(NsVar::Np, -1),
-        );
+        let empty =
+            ProcRange::from_exprs(LinExpr::of_var(NsVar::Np), LinExpr::var_plus(NsVar::Np, -1));
         let rest = ProcRange::all_procs();
-        st.split_pset(0, vec![(empty, CfgNodeId(5), false), (rest, CfgNodeId(6), false)]);
+        st.split_pset(
+            0,
+            vec![(empty, CfgNodeId(5), false), (rest, CfgNodeId(6), false)],
+        );
         let all_known = st.drop_empty_psets();
         assert!(all_known);
         assert_eq!(st.psets.len(), 1);
@@ -576,7 +618,7 @@ mod tests {
         assert_eq!(st.psets[1].id, PsetId(1));
         // Constraints moved with the renaming.
         let mut cg = st.cg.clone();
-        assert!(cg.implies_le(&NsVar::id_of(PsetId(0)), &NsVar::Zero, 1));
+        assert!(cg.implies_le(NsVar::id_of(PsetId(0)), &NsVar::Zero, 1));
     }
 
     #[test]
@@ -606,10 +648,7 @@ mod tests {
         let i = NsVar::pset(st.psets[0].id, "i");
         st.cg.assert_eq_const(&i, 1);
         // Install a range whose ub mentions i.
-        st.psets[0].range = ProcRange::from_exprs(
-            LinExpr::constant(0),
-            LinExpr::of_var(i.clone()),
-        );
+        st.psets[0].range = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::of_var(i.clone()));
         st.rewrite_aliases_on_assign(&i, Some(1)); // i := i + 1
         assert!(st.psets[0]
             .range
@@ -628,9 +667,9 @@ mod tests {
         let b = ProcRange::from_exprs(LinExpr::constant(1), LinExpr::var_plus(NsVar::Np, -1));
         st.split_pset(0, vec![(a, CfgNodeId(5), false), (b, CfgNodeId(6), false)]);
         let keep = st.psets[1].id;
-        st.cg.assert_eq_const(&NsVar::pset(keep, "v"), 3);
+        st.cg.assert_eq_const(NsVar::pset(keep, "v"), 3);
         st.remove_pset(0);
         assert_eq!(st.psets.len(), 1);
-        assert_eq!(st.cg.const_of(&NsVar::pset(keep, "v")), Some(3));
+        assert_eq!(st.cg.const_of(NsVar::pset(keep, "v")), Some(3));
     }
 }

@@ -8,7 +8,7 @@
 use std::collections::BTreeMap;
 use std::fmt;
 
-use crate::var::{NsVar, PsetId};
+use crate::var::{PsetId, VarId};
 
 /// The flat lattice over one variable: unknown (⊤ of the flat lattice) or
 /// a known constant. Absent variables are unassigned (bottom).
@@ -20,10 +20,12 @@ pub enum ConstVal {
     Unknown,
 }
 
-/// A map from namespaced variables to flat constant values.
+/// A map from interned variables to flat constant values. Namespace
+/// operations are bit tests on the packed [`VarId`] keys — no string
+/// traffic.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct ConstEnv {
-    vals: BTreeMap<NsVar, ConstVal>,
+    vals: BTreeMap<VarId, ConstVal>,
 }
 
 impl ConstEnv {
@@ -34,19 +36,19 @@ impl ConstEnv {
     }
 
     /// Sets `v` to a known constant.
-    pub fn set_const(&mut self, v: NsVar, c: i64) {
-        self.vals.insert(v, ConstVal::Known(c));
+    pub fn set_const(&mut self, v: impl Into<VarId>, c: i64) {
+        self.vals.insert(v.into(), ConstVal::Known(c));
     }
 
     /// Sets `v` to unknown.
-    pub fn set_unknown(&mut self, v: NsVar) {
-        self.vals.insert(v, ConstVal::Unknown);
+    pub fn set_unknown(&mut self, v: impl Into<VarId>) {
+        self.vals.insert(v.into(), ConstVal::Unknown);
     }
 
     /// The constant value of `v`, if known.
     #[must_use]
-    pub fn const_of(&self, v: &NsVar) -> Option<i64> {
-        match self.vals.get(v) {
+    pub fn const_of(&self, v: impl Into<VarId>) -> Option<i64> {
+        match self.vals.get(&v.into()) {
             Some(ConstVal::Known(c)) => Some(*c),
             _ => None,
         }
@@ -54,8 +56,8 @@ impl ConstEnv {
 
     /// The lattice value of `v` (`None` = never assigned).
     #[must_use]
-    pub fn get(&self, v: &NsVar) -> Option<ConstVal> {
-        self.vals.get(v).copied()
+    pub fn get(&self, v: impl Into<VarId>) -> Option<ConstVal> {
+        self.vals.get(&v.into()).copied()
     }
 
     /// Number of tracked variables.
@@ -76,15 +78,15 @@ impl ConstEnv {
     #[must_use]
     pub fn join(&self, other: &ConstEnv) -> ConstEnv {
         let mut out = BTreeMap::new();
-        for (k, v) in &self.vals {
-            let merged = match (v, other.vals.get(k)) {
+        for (&k, v) in &self.vals {
+            let merged = match (v, other.vals.get(&k)) {
                 (ConstVal::Known(a), Some(ConstVal::Known(b))) if a == b => ConstVal::Known(*a),
                 _ => ConstVal::Unknown,
             };
-            out.insert(k.clone(), merged);
+            out.insert(k, merged);
         }
-        for k in other.vals.keys() {
-            out.entry(k.clone()).or_insert(ConstVal::Unknown);
+        for &k in other.vals.keys() {
+            out.entry(k).or_insert(ConstVal::Unknown);
         }
         ConstEnv { vals: out }
     }
@@ -103,7 +105,7 @@ impl ConstEnv {
 
     /// Copies every variable of namespace `src` into namespace `dst`.
     pub fn clone_namespace(&mut self, src: PsetId, dst: PsetId) {
-        let copies: Vec<(NsVar, ConstVal)> = self
+        let copies: Vec<(VarId, ConstVal)> = self
             .vals
             .iter()
             .filter(|(k, _)| k.namespace() == Some(src))
@@ -118,7 +120,7 @@ impl ConstEnv {
     }
 
     /// Iterates over all entries.
-    pub fn iter(&self) -> impl Iterator<Item = (&NsVar, &ConstVal)> {
+    pub fn iter(&self) -> impl Iterator<Item = (&VarId, &ConstVal)> {
         self.vals.iter()
     }
 }
@@ -143,6 +145,7 @@ impl fmt::Display for ConstEnv {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::var::NsVar;
 
     fn v(p: u32, name: &str) -> NsVar {
         NsVar::pset(PsetId(p), name)
@@ -152,11 +155,11 @@ mod tests {
     fn set_and_get() {
         let mut e = ConstEnv::new();
         e.set_const(v(0, "x"), 5);
-        assert_eq!(e.const_of(&v(0, "x")), Some(5));
+        assert_eq!(e.const_of(v(0, "x")), Some(5));
         e.set_unknown(v(0, "x"));
-        assert_eq!(e.const_of(&v(0, "x")), None);
-        assert_eq!(e.get(&v(0, "x")), Some(ConstVal::Unknown));
-        assert_eq!(e.get(&v(0, "y")), None);
+        assert_eq!(e.const_of(v(0, "x")), None);
+        assert_eq!(e.get(v(0, "x")), Some(ConstVal::Unknown));
+        assert_eq!(e.get(v(0, "y")), None);
     }
 
     #[test]
@@ -170,10 +173,10 @@ mod tests {
         b.set_const(v(0, "y"), 9);
         b.set_const(v(0, "only_b"), 4);
         let j = a.join(&b);
-        assert_eq!(j.const_of(&v(0, "x")), Some(1));
-        assert_eq!(j.const_of(&v(0, "y")), None);
-        assert_eq!(j.get(&v(0, "only_a")), Some(ConstVal::Unknown));
-        assert_eq!(j.get(&v(0, "only_b")), Some(ConstVal::Unknown));
+        assert_eq!(j.const_of(v(0, "x")), Some(1));
+        assert_eq!(j.const_of(v(0, "y")), None);
+        assert_eq!(j.get(v(0, "only_a")), Some(ConstVal::Unknown));
+        assert_eq!(j.get(v(0, "only_b")), Some(ConstVal::Unknown));
     }
 
     #[test]
@@ -182,17 +185,17 @@ mod tests {
         e.set_const(v(0, "x"), 1);
         e.set_const(v(1, "x"), 2);
         let renamed = e.rename_namespace(PsetId(0), PsetId(7));
-        assert_eq!(renamed.const_of(&v(7, "x")), Some(1));
-        assert_eq!(renamed.const_of(&v(1, "x")), Some(2));
+        assert_eq!(renamed.const_of(v(7, "x")), Some(1));
+        assert_eq!(renamed.const_of(v(1, "x")), Some(2));
 
         let mut e2 = e.clone();
         e2.clone_namespace(PsetId(1), PsetId(3));
-        assert_eq!(e2.const_of(&v(3, "x")), Some(2));
-        assert_eq!(e2.const_of(&v(1, "x")), Some(2));
+        assert_eq!(e2.const_of(v(3, "x")), Some(2));
+        assert_eq!(e2.const_of(v(1, "x")), Some(2));
 
         e2.drop_namespace(PsetId(1));
-        assert_eq!(e2.get(&v(1, "x")), None);
-        assert_eq!(e2.const_of(&v(3, "x")), Some(2));
+        assert_eq!(e2.get(v(1, "x")), None);
+        assert_eq!(e2.const_of(v(3, "x")), Some(2));
     }
 
     #[test]

@@ -1,18 +1,29 @@
 //! Constraint graphs (§VII-A): conjunctions of difference constraints
-//! `x ≤ y + c` over namespaced variables, stored as a difference-bound
-//! matrix with instrumented transitive closure.
+//! `x ≤ y + c` over interned variables, stored as a dense difference-bound
+//! matrix keyed by [`VarId`] with instrumented, *lazy* transitive closure.
+//!
+//! Writes record dirty edges; [`ConstraintGraph::close`] is a no-op when
+//! nothing changed and otherwise drains the dirty set with per-edge O(n²)
+//! incremental propagation, falling back to the full O(n³) Floyd–Warshall
+//! pass only when enough of the matrix was touched to make that cheaper.
 
 use std::collections::HashMap;
 use std::fmt;
+use std::hash::{BuildHasherDefault, Hasher};
 use std::time::Instant;
 
 use crate::linexpr::LinExpr;
 use crate::stats;
-use crate::var::{NsVar, PsetId};
+use crate::var::{PsetId, VarId};
 
 /// "No constraint". Kept well below `i64::MAX` so bound additions cannot
 /// overflow; any sum reaching `INF` is clamped back to `INF`.
 const INF: i64 = i64::MAX / 4;
+
+/// The widening threshold ladder used by [`ConstraintGraph::widen`] when
+/// the client supplies none (see
+/// [`ConstraintGraph::widen_with_thresholds`]).
+pub const DEFAULT_WIDEN_THRESHOLDS: [i64; 7] = [-2, -1, 0, 1, 2, 4, 8];
 
 fn add(a: i64, b: i64) -> i64 {
     if a >= INF || b >= INF {
@@ -22,12 +33,40 @@ fn add(a: i64, b: i64) -> i64 {
     }
 }
 
+/// A packed `VarId` is already well-mixed enough for an identity-style
+/// hash: one multiply by a 64-bit golden-ratio constant replaces SipHash
+/// on the hot index lookups.
+#[derive(Default)]
+struct IdHasher(u64);
+
+impl Hasher for IdHasher {
+    fn finish(&self) -> u64 {
+        self.0
+    }
+
+    fn write(&mut self, bytes: &[u8]) {
+        for &b in bytes {
+            self.0 = (self.0 ^ u64::from(b)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        }
+    }
+
+    fn write_u32(&mut self, v: u32) {
+        self.0 = u64::from(v).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+    }
+}
+
+type IdMap = HashMap<VarId, usize, BuildHasherDefault<IdHasher>>;
+
 /// A conjunction of difference constraints `x ≤ y + c`.
 ///
-/// The distinguished variable [`NsVar::Zero`] is always present, so unary
+/// The distinguished variable [`VarId::ZERO`] is always present, so unary
 /// bounds are expressed as differences against it (`x ≤ 5` is
 /// `x ≤ Zero + 5`). An inconsistent conjunction (negative cycle) is the
 /// explicit bottom element, reported by [`ConstraintGraph::is_bottom`].
+///
+/// Every variable-taking method accepts `impl Into<VarId>`, so call sites
+/// may pass a packed [`VarId`] or a rich [`crate::NsVar`] (by value or
+/// reference) interchangeably.
 ///
 /// # Example
 ///
@@ -43,13 +82,18 @@ fn add(a: i64, b: i64) -> i64 {
 /// ```
 #[derive(Clone)]
 pub struct ConstraintGraph {
-    vars: Vec<NsVar>,
-    index: HashMap<NsVar, usize>,
-    /// Row-major `n*n` bound matrix; `m[i*n + j] = c` means
-    /// `vars[i] ≤ vars[j] + c`.
+    vars: Vec<VarId>,
+    index: IdMap,
+    /// Row-major bound matrix with stride `cap ≥ n`; `m[i*cap + j] = c`
+    /// means `vars[i] ≤ vars[j] + c`. The capacity grows geometrically so
+    /// adding a variable does not reallocate the whole matrix.
     m: Vec<i64>,
+    cap: usize,
     closed: bool,
     infeasible: bool,
+    /// Edges written since the matrix was last closed (only tracked while
+    /// `closed`; an unclosed matrix is fully re-closed anyway).
+    dirty: Vec<(u32, u32)>,
 }
 
 impl Default for ConstraintGraph {
@@ -59,17 +103,19 @@ impl Default for ConstraintGraph {
 }
 
 impl ConstraintGraph {
-    /// An unconstrained, feasible graph containing only [`NsVar::Zero`].
+    /// An unconstrained, feasible graph containing only [`VarId::ZERO`].
     #[must_use]
     pub fn new() -> ConstraintGraph {
         let mut g = ConstraintGraph {
             vars: Vec::new(),
-            index: HashMap::new(),
+            index: IdMap::default(),
             m: Vec::new(),
+            cap: 0,
             closed: true,
             infeasible: false,
+            dirty: Vec::new(),
         };
-        g.ensure_var(&NsVar::Zero);
+        g.ensure_var(VarId::ZERO);
         g
     }
 
@@ -81,7 +127,11 @@ impl ConstraintGraph {
         g
     }
 
-    /// True if the constraints are unsatisfiable.
+    /// True if the constraints are known unsatisfiable. Detection of a
+    /// contradiction introduced by a deferred edge happens at the next
+    /// [`ConstraintGraph::close`] (the engine always closes before
+    /// checking); the common direct cycle is caught eagerly at
+    /// [`ConstraintGraph::assert_le`] time.
     #[must_use]
     pub fn is_bottom(&self) -> bool {
         self.infeasible
@@ -95,14 +145,14 @@ impl ConstraintGraph {
 
     /// All tracked variables.
     #[must_use]
-    pub fn variables(&self) -> &[NsVar] {
+    pub fn variables(&self) -> &[VarId] {
         &self.vars
     }
 
     /// True if `v` is tracked.
     #[must_use]
-    pub fn has_var(&self, v: &NsVar) -> bool {
-        self.index.contains_key(v)
+    pub fn has_var(&self, v: impl Into<VarId>) -> bool {
+        self.index.contains_key(&v.into())
     }
 
     fn n(&self) -> usize {
@@ -110,37 +160,51 @@ impl ConstraintGraph {
     }
 
     fn at(&self, i: usize, j: usize) -> i64 {
-        self.m[i * self.n() + j]
+        self.m[i * self.cap + j]
     }
 
     fn set(&mut self, i: usize, j: usize, c: i64) {
-        let n = self.n();
-        self.m[i * n + j] = c;
+        self.m[i * self.cap + j] = c;
+    }
+
+    /// True if every recorded bound is already propagated — no closure
+    /// work pending.
+    fn is_effectively_closed(&self) -> bool {
+        self.infeasible || (self.closed && self.dirty.is_empty())
     }
 
     /// Adds `v` (unconstrained) if missing; returns its index.
-    pub fn ensure_var(&mut self, v: &NsVar) -> usize {
-        if let Some(&i) = self.index.get(v) {
+    pub fn ensure_var(&mut self, v: impl Into<VarId>) -> usize {
+        let v = v.into();
+        if let Some(&i) = self.index.get(&v) {
             return i;
         }
         let old_n = self.n();
-        let new_n = old_n + 1;
-        let mut m = vec![INF; new_n * new_n];
-        for i in 0..old_n {
-            for j in 0..old_n {
-                m[i * new_n + j] = self.m[i * old_n + j];
+        if old_n == self.cap {
+            let new_cap = (old_n + 1).next_power_of_two().max(8);
+            let mut m = vec![INF; new_cap * new_cap];
+            for i in 0..old_n {
+                m[i * new_cap..i * new_cap + old_n]
+                    .copy_from_slice(&self.m[i * self.cap..i * self.cap + old_n]);
+            }
+            self.m = m;
+            self.cap = new_cap;
+        } else {
+            // Clear the stale row/column left behind by compaction.
+            for k in 0..=old_n {
+                self.m[old_n * self.cap + k] = INF;
+                self.m[k * self.cap + old_n] = INF;
             }
         }
-        m[old_n * new_n + old_n] = 0;
-        self.m = m;
-        self.vars.push(v.clone());
-        self.index.insert(v.clone(), old_n);
+        self.set(old_n, old_n, 0);
+        self.vars.push(v);
+        self.index.insert(v, old_n);
         // An unconstrained variable cannot invalidate closure.
         old_n
     }
 
     /// Runs the full O(n³) Floyd–Warshall closure (instrumented).
-    pub fn close(&mut self) {
+    fn full_close(&mut self) {
         if self.infeasible {
             return;
         }
@@ -170,46 +234,13 @@ impl ConstraintGraph {
         stats::record_full(n, start.elapsed().as_nanos() as u64);
     }
 
-    fn ensure_closed(&mut self) {
-        if !self.closed {
-            self.close();
-        }
-    }
-
-    /// Asserts `x ≤ y + c`.
-    ///
-    /// Missing variables are added. If the matrix was closed, an O(n²)
-    /// incremental update (instrumented) restores closure; otherwise the
-    /// edge is recorded and closure is deferred.
-    pub fn assert_le(&mut self, x: &NsVar, y: &NsVar, c: i64) {
-        if self.infeasible {
-            return;
-        }
-        let i = self.ensure_var(x);
-        let j = self.ensure_var(y);
-        if i == j {
-            if c < 0 {
-                self.infeasible = true;
-            }
-            return;
-        }
-        if c >= self.at(i, j) {
-            return; // No new information.
-        }
-        self.set(i, j, c);
-        if !self.closed {
-            return;
-        }
-        if stats::force_full_closure() {
-            // Ablation mode: behave like the paper's unoptimized
-            // prototype and re-run the full O(n³) closure.
-            self.closed = false;
-            self.close();
-            return;
-        }
+    /// Propagates the single edge `vars[i] ≤ vars[j] + m[i][j]` through an
+    /// otherwise closed matrix: the O(n²) incremental step (instrumented).
+    fn propagate_edge(&mut self, i: usize, j: usize) {
         let start = Instant::now();
         let n = self.n();
-        // Propagate paths p -> i -> j -> q through the new edge.
+        let c = self.at(i, j);
+        // Paths p -> i -> j -> q through the new edge.
         for p in 0..n {
             let pi = self.at(p, i);
             if pi >= INF {
@@ -232,58 +263,134 @@ impl ConstraintGraph {
         stats::record_incremental(n, start.elapsed().as_nanos() as u64);
     }
 
+    /// Restores closure. A no-op when nothing changed since the last
+    /// closure; otherwise drains the dirty edges one incremental O(n²)
+    /// step each, or falls back to one full O(n³) pass when the dirty set
+    /// is large enough (or the matrix was never closed).
+    ///
+    /// Draining sequentially is complete: each propagation runs against a
+    /// matrix already closed with respect to all previously drained
+    /// edges, so every shortest path using several new edges is built up
+    /// edge by edge.
+    pub fn close(&mut self) {
+        if self.infeasible {
+            return;
+        }
+        if !self.closed {
+            self.dirty.clear();
+            self.full_close();
+            return;
+        }
+        if self.dirty.is_empty() {
+            return;
+        }
+        if self.dirty.len() * 2 >= self.n() {
+            self.dirty.clear();
+            self.closed = false;
+            self.full_close();
+            return;
+        }
+        let dirty = std::mem::take(&mut self.dirty);
+        for (i, j) in dirty {
+            if self.infeasible {
+                break;
+            }
+            self.propagate_edge(i as usize, j as usize);
+        }
+    }
+
+    fn ensure_closed(&mut self) {
+        self.close();
+    }
+
+    /// Asserts `x ≤ y + c`.
+    ///
+    /// Missing variables are added. The edge is recorded and closure is
+    /// deferred to the next query or explicit [`ConstraintGraph::close`];
+    /// only a direct contradiction (`y ≤ x + c'` with `c + c' < 0`) is
+    /// detected immediately.
+    pub fn assert_le(&mut self, x: impl Into<VarId>, y: impl Into<VarId>, c: i64) {
+        if self.infeasible {
+            return;
+        }
+        let i = self.ensure_var(x.into());
+        let j = self.ensure_var(y.into());
+        if i == j {
+            if c < 0 {
+                self.infeasible = true;
+            }
+            return;
+        }
+        if c >= self.at(i, j) {
+            return; // No new information.
+        }
+        self.set(i, j, c);
+        if !self.closed {
+            return; // A full closure is pending anyway.
+        }
+        if stats::force_full_closure() {
+            // Ablation mode: behave like the paper's unoptimized
+            // prototype and re-run the full O(n³) closure immediately.
+            self.dirty.clear();
+            self.closed = false;
+            self.full_close();
+            return;
+        }
+        if add(c, self.at(j, i)) < 0 {
+            self.infeasible = true;
+            return;
+        }
+        self.dirty.push((i as u32, j as u32));
+    }
+
     /// Asserts `x = y + c`.
-    pub fn assert_eq_offset(&mut self, x: &NsVar, y: &NsVar, c: i64) {
+    pub fn assert_eq_offset(&mut self, x: impl Into<VarId>, y: impl Into<VarId>, c: i64) {
+        let (x, y) = (x.into(), y.into());
         self.assert_le(x, y, c);
         self.assert_le(y, x, -c);
     }
 
     /// Asserts `x = c`.
-    pub fn assert_eq_const(&mut self, x: &NsVar, c: i64) {
-        self.assert_eq_offset(x, &NsVar::Zero, c);
+    pub fn assert_eq_const(&mut self, x: impl Into<VarId>, c: i64) {
+        self.assert_eq_offset(x.into(), VarId::ZERO, c);
     }
 
     /// Asserts `x = e` for a linear expression.
-    pub fn assert_eq_expr(&mut self, x: &NsVar, e: &LinExpr) {
-        match &e.var {
-            Some(v) => self.assert_eq_offset(x, v, e.offset),
-            None => self.assert_eq_const(x, e.offset),
+    pub fn assert_eq_expr(&mut self, x: impl Into<VarId>, e: &LinExpr) {
+        match e.var {
+            Some(v) => self.assert_eq_offset(x.into(), v, e.offset),
+            None => self.assert_eq_const(x.into(), e.offset),
         }
     }
 
     /// Asserts `x ≤ e`.
-    pub fn assert_le_expr(&mut self, x: &NsVar, e: &LinExpr) {
-        match &e.var {
-            Some(v) => self.assert_le(x, v, e.offset),
-            None => self.assert_le(x, &NsVar::Zero, e.offset),
-        }
+    pub fn assert_le_expr(&mut self, x: impl Into<VarId>, e: &LinExpr) {
+        self.assert_le(x.into(), e.var.unwrap_or(VarId::ZERO), e.offset);
     }
 
     /// Asserts `e ≤ x`.
-    pub fn assert_ge_expr(&mut self, x: &NsVar, e: &LinExpr) {
-        match &e.var {
-            Some(v) => self.assert_le(v, x, -e.offset),
-            None => self.assert_le(&NsVar::Zero, x, -e.offset),
-        }
+    pub fn assert_ge_expr(&mut self, x: impl Into<VarId>, e: &LinExpr) {
+        self.assert_le(e.var.unwrap_or(VarId::ZERO), x.into(), -e.offset);
     }
 
     /// The tightest known `c` with `x ≤ y + c`, or `None` if unconstrained
     /// (or either variable is untracked).
     #[must_use = "returns the bound without modifying the graph"]
-    pub fn le_bound(&mut self, x: &NsVar, y: &NsVar) -> Option<i64> {
+    pub fn le_bound(&mut self, x: impl Into<VarId>, y: impl Into<VarId>) -> Option<i64> {
+        let (x, y) = (x.into(), y.into());
+        self.ensure_closed();
         if self.infeasible {
             return Some(i64::MIN / 4); // Bottom entails everything.
         }
-        self.ensure_closed();
-        let i = *self.index.get(x)?;
-        let j = *self.index.get(y)?;
+        let i = *self.index.get(&x)?;
+        let j = *self.index.get(&y)?;
         let c = self.at(i, j);
         (c < INF).then_some(c)
     }
 
     /// True if the constraints imply `x ≤ y + c`.
-    pub fn implies_le(&mut self, x: &NsVar, y: &NsVar, c: i64) -> bool {
-        match self.le_bound(x, y) {
+    pub fn implies_le(&mut self, x: impl Into<VarId>, y: impl Into<VarId>, c: i64) -> bool {
+        match self.le_bound(x.into(), y.into()) {
             Some(b) => b <= c,
             None => false,
         }
@@ -291,7 +398,9 @@ impl ConstraintGraph {
 
     /// `Some(c)` if the constraints imply `x = y + c`. Returns `None` on
     /// bottom (an unreachable state pins nothing down usefully).
-    pub fn eq_offset(&mut self, x: &NsVar, y: &NsVar) -> Option<i64> {
+    pub fn eq_offset(&mut self, x: impl Into<VarId>, y: impl Into<VarId>) -> Option<i64> {
+        let (x, y) = (x.into(), y.into());
+        self.ensure_closed();
         if self.infeasible {
             return None;
         }
@@ -301,28 +410,38 @@ impl ConstraintGraph {
     }
 
     /// The constant value of `x` if the constraints pin it down.
-    pub fn const_of(&mut self, x: &NsVar) -> Option<i64> {
-        self.eq_offset(x, &NsVar::Zero)
+    pub fn const_of(&mut self, x: impl Into<VarId>) -> Option<i64> {
+        self.eq_offset(x.into(), VarId::ZERO)
     }
 
     /// Every expression `y + c` (with `y ≠ x`) that provably equals `x`,
     /// including `Zero + c` for constants. This powers the paper's
-    /// multi-expression process-set bounds (Fig 5's `[1,i..1,i]`).
-    pub fn equalities_of(&mut self, x: &NsVar) -> Vec<LinExpr> {
+    /// multi-expression process-set bounds (Fig 5's `[1,i..1,i]`). A
+    /// single scan of `x`'s row/column of the closed matrix — no clones,
+    /// no per-pair lookups.
+    pub fn equalities_of(&mut self, x: impl Into<VarId>) -> Vec<LinExpr> {
+        let x = x.into();
         if self.infeasible || !self.has_var(x) {
             return Vec::new();
         }
         self.ensure_closed();
+        if self.infeasible {
+            return Vec::new();
+        }
+        let i = self.index[&x];
         let mut out = Vec::new();
-        for y in self.vars.clone() {
-            if &y == x {
+        for j in 0..self.n() {
+            if j == i {
                 continue;
             }
-            if let Some(c) = self.eq_offset(x, &y) {
-                if y == NsVar::Zero {
-                    out.push(LinExpr::constant(c));
+            let up = self.at(i, j);
+            let down = self.at(j, i);
+            if up < INF && down < INF && up == -down {
+                let y = self.vars[j];
+                if y == VarId::ZERO {
+                    out.push(LinExpr::constant(up));
                 } else {
-                    out.push(LinExpr::var_plus(y, c));
+                    out.push(LinExpr::var_plus(y, up));
                 }
             }
         }
@@ -332,7 +451,7 @@ impl ConstraintGraph {
 
     /// Evaluates a linear expression to a constant if possible.
     pub fn eval_expr(&mut self, e: &LinExpr) -> Option<i64> {
-        match &e.var {
+        match e.var {
             None => Some(e.offset),
             Some(v) => self.const_of(v).map(|c| c + e.offset),
         }
@@ -343,15 +462,13 @@ impl ConstraintGraph {
     /// equal.
     pub fn compare_exprs(&mut self, a: &LinExpr, b: &LinExpr) -> Option<std::cmp::Ordering> {
         use std::cmp::Ordering;
-        let (av, bv) = (
-            a.var.clone().unwrap_or(NsVar::Zero),
-            b.var.clone().unwrap_or(NsVar::Zero),
-        );
+        let av = a.var.unwrap_or(VarId::ZERO);
+        let bv = b.var.unwrap_or(VarId::ZERO);
         let delta = a.offset - b.offset;
         // a - b ≤ hi where av ≤ bv + u gives hi = u + delta;
         // a - b ≥ lo where bv ≤ av + l gives lo = delta - l.
-        let hi = self.le_bound(&av, &bv).map(|u| u + delta);
-        let lo = self.le_bound(&bv, &av).map(|l| delta - l);
+        let hi = self.le_bound(av, bv).map(|u| u + delta);
+        let lo = self.le_bound(bv, av).map(|l| delta - l);
         match (hi, lo) {
             (Some(0), Some(0)) => Some(Ordering::Equal),
             (Some(hi), _) if hi < 0 => Some(Ordering::Less),
@@ -362,9 +479,9 @@ impl ConstraintGraph {
 
     /// True if the graph proves `a ≤ b` (for linear expressions).
     pub fn proves_le(&mut self, a: &LinExpr, b: &LinExpr) -> bool {
-        let av = a.var.clone().unwrap_or(NsVar::Zero);
-        let bv = b.var.clone().unwrap_or(NsVar::Zero);
-        match self.le_bound(&av, &bv) {
+        let av = a.var.unwrap_or(VarId::ZERO);
+        let bv = b.var.unwrap_or(VarId::ZERO);
+        match self.le_bound(av, bv) {
             Some(u) => u + a.offset - b.offset <= 0,
             None => false,
         }
@@ -377,12 +494,13 @@ impl ConstraintGraph {
 
     /// Removes all constraints mentioning `x` (keeping consequences
     /// routed through it), leaving `x` tracked but unconstrained.
-    pub fn havoc(&mut self, x: &NsVar) {
+    pub fn havoc(&mut self, x: impl Into<VarId>) {
+        let x = x.into();
         if self.infeasible {
             return;
         }
         self.ensure_closed();
-        let Some(&i) = self.index.get(x) else {
+        let Some(&i) = self.index.get(&x) else {
             self.ensure_var(x);
             return;
         };
@@ -396,11 +514,12 @@ impl ConstraintGraph {
 
     /// Assigns `x := e`. Handles the self-referential case `x := x + c`
     /// by translating `x`'s constraints.
-    pub fn assign(&mut self, x: &NsVar, e: &LinExpr) {
+    pub fn assign(&mut self, x: impl Into<VarId>, e: &LinExpr) {
+        let x = x.into();
         if self.infeasible {
             return;
         }
-        if e.var.as_ref() == Some(x) {
+        if e.var == Some(x) {
             // x := x + c — shift every bound involving x.
             let c = e.offset;
             self.ensure_closed();
@@ -426,41 +545,50 @@ impl ConstraintGraph {
     }
 
     /// Assigns `x` a completely unknown value.
-    pub fn assign_unknown(&mut self, x: &NsVar) {
-        self.havoc(x);
+    pub fn assign_unknown(&mut self, x: impl Into<VarId>) {
+        self.havoc(x.into());
+    }
+
+    /// Compacts the matrix in place onto the (ascending) kept indices.
+    /// Reads always sit at or beyond the write cursor, so no scratch
+    /// matrix is needed; the capacity is retained for reuse.
+    fn compact_keep(&mut self, keep: &[usize]) {
+        let cap = self.cap;
+        for (a, &oa) in keep.iter().enumerate() {
+            for (b, &ob) in keep.iter().enumerate() {
+                self.m[a * cap + b] = self.m[oa * cap + ob];
+            }
+        }
+        self.vars = keep.iter().map(|&k| self.vars[k]).collect();
+        self.index.clear();
+        for (k, &v) in self.vars.iter().enumerate() {
+            self.index.insert(v, k);
+        }
     }
 
     /// Removes `x` entirely (projecting the constraints onto the rest).
-    pub fn remove_var(&mut self, x: &NsVar) {
+    pub fn remove_var(&mut self, x: impl Into<VarId>) {
+        let x = x.into();
         if !self.has_var(x) {
             return;
         }
         self.ensure_closed();
-        let i = self.index[x];
-        let old_n = self.n();
-        let keep: Vec<usize> = (0..old_n).filter(|&k| k != i).collect();
-        let new_n = keep.len();
-        let mut m = vec![INF; new_n * new_n];
-        for (a, &oa) in keep.iter().enumerate() {
-            for (b, &ob) in keep.iter().enumerate() {
-                m[a * new_n + b] = self.m[oa * old_n + ob];
-            }
-        }
-        self.vars.remove(i);
-        self.m = m;
-        self.index.clear();
-        for (k, v) in self.vars.iter().enumerate() {
-            self.index.insert(v.clone(), k);
-        }
+        let i = self.index[&x];
+        let keep: Vec<usize> = (0..self.n()).filter(|&k| k != i).collect();
+        self.compact_keep(&keep);
     }
 
-    /// Removes every variable owned by process set `p`.
+    /// Removes every variable owned by process set `p` in one projection
+    /// pass.
     pub fn drop_namespace(&mut self, p: PsetId) {
-        let doomed: Vec<NsVar> =
-            self.vars.iter().filter(|v| v.namespace() == Some(p)).cloned().collect();
-        for v in doomed {
-            self.remove_var(&v);
+        if !self.vars.iter().any(|v| v.namespace() == Some(p)) {
+            return;
         }
+        self.ensure_closed();
+        let keep: Vec<usize> = (0..self.n())
+            .filter(|&k| self.vars[k].namespace() != Some(p))
+            .collect();
+        self.compact_keep(&keep);
     }
 
     /// Renames every variable of namespace `from` into namespace `to`.
@@ -483,8 +611,8 @@ impl ConstraintGraph {
             }
         }
         self.index.clear();
-        for (k, v) in self.vars.iter().enumerate() {
-            self.index.insert(v.clone(), k);
+        for (k, &v) in self.vars.iter().enumerate() {
+            self.index.insert(v, k);
         }
     }
 
@@ -500,19 +628,15 @@ impl ConstraintGraph {
             return;
         }
         self.ensure_closed();
-        let src_vars: Vec<(usize, NsVar)> = self
-            .vars
-            .iter()
-            .enumerate()
-            .filter(|(_, v)| v.namespace() == Some(src))
-            .map(|(i, v)| (i, v.clone()))
+        let src_idx: Vec<usize> = (0..self.n())
+            .filter(|&i| self.vars[i].namespace() == Some(src))
             .collect();
         // Add the copies.
         let mut pairs: Vec<(usize, usize)> = Vec::new(); // (src index, dst index)
-        for (si, v) in &src_vars {
-            let copy = v.renamed(src, dst);
-            let di = self.ensure_var(&copy);
-            pairs.push((*si, di));
+        for &si in &src_idx {
+            let copy = self.vars[si].renamed(src, dst);
+            let di = self.ensure_var(copy);
+            pairs.push((si, di));
         }
         // Copy constraints. Internal (dst-dst) pairs mirror the src-src
         // bounds; dst-to-external pairs mirror src-to-external bounds.
@@ -525,14 +649,14 @@ impl ConstraintGraph {
             .map(|k| self.vars[k].namespace() == Some(src))
             .collect();
         for &(si, di) in &pairs {
-            for k in 0..n {
+            for (k, &k_is_src) in is_src.iter().enumerate().take(n) {
                 if k == di {
                     continue;
                 }
                 let mirror = match src_of.get(&k) {
-                    Some(&sk) => sk,          // k is a fellow copy
-                    None if is_src[k] => continue, // never relate copy to original
-                    None => k,                // external variable
+                    Some(&sk) => sk,              // k is a fellow copy
+                    None if k_is_src => continue, // never relate copy to original
+                    None => k,                    // external variable
                 };
                 let down = self.at(si, mirror);
                 if down < self.at(di, k) {
@@ -552,7 +676,6 @@ impl ConstraintGraph {
         // process-set split; any residual un-closure only loses
         // precision, never soundness (INF reads as "no constraint").
         if self.closed {
-            let n = self.n();
             for &(si, di) in &pairs {
                 let mut down = INF;
                 let mut up = INF;
@@ -574,7 +697,8 @@ impl ConstraintGraph {
     }
 
     /// Least upper bound: keeps each bound only at the weaker of the two
-    /// values, over the intersection of the variable sets.
+    /// values, over the intersection of the variable sets. Operands that
+    /// are already closed are borrowed, not cloned.
     #[must_use]
     pub fn join(&self, other: &ConstraintGraph) -> ConstraintGraph {
         if self.infeasible {
@@ -583,28 +707,41 @@ impl ConstraintGraph {
         if other.infeasible {
             return self.clone();
         }
-        let mut a = self.clone();
-        a.ensure_closed();
-        let mut b = other.clone();
-        b.ensure_closed();
+        let a_store;
+        let a = if self.is_effectively_closed() {
+            self
+        } else {
+            let mut g = self.clone();
+            g.ensure_closed();
+            a_store = g;
+            &a_store
+        };
+        let b_store;
+        let b = if other.is_effectively_closed() {
+            other
+        } else {
+            let mut g = other.clone();
+            g.ensure_closed();
+            b_store = g;
+            &b_store
+        };
         let mut out = ConstraintGraph::new();
-        let common: Vec<NsVar> =
-            a.vars.iter().filter(|v| b.has_var(v)).cloned().collect();
-        for v in &common {
-            out.ensure_var(v);
+        // (index in a, index in b, index in out) per common variable.
+        let mut triples: Vec<(usize, usize, usize)> = Vec::new();
+        for (ai, &v) in a.vars.iter().enumerate() {
+            if let Some(&bi) = b.index.get(&v) {
+                let oi = out.ensure_var(v);
+                triples.push((ai, bi, oi));
+            }
         }
-        out.closed = false;
-        for x in &common {
-            for y in &common {
-                if x == y {
+        for &(ai, bi, oi) in &triples {
+            for &(aj, bj, oj) in &triples {
+                if oi == oj {
                     continue;
                 }
-                let (ai, aj) = (a.index[x], a.index[y]);
-                let (bi, bj) = (b.index[x], b.index[y]);
                 let bound = a.at(ai, aj).max(b.at(bi, bj));
                 if bound < INF {
-                    let (i, j) = (out.index[x], out.index[y]);
-                    out.set(i, j, bound);
+                    out.set(oi, oj, bound);
                 }
             }
         }
@@ -613,50 +750,78 @@ impl ConstraintGraph {
         out
     }
 
-    /// Widening: keeps a bound only if the newer state did not weaken it.
-    /// A weakened bound is snapped up to the smallest *threshold* in a
-    /// small fixed set that still accommodates the newer bound (widening
-    /// with thresholds — needed to retain loop facts like `i ≤ np` in
-    /// Fig 5, whose exit edge derives `i = np`); beyond the largest
-    /// threshold the bound is dropped to ∞. The finite threshold set
-    /// guarantees a finite ascending chain. The result is deliberately
-    /// *not* re-closed (re-closing a widened DBM can defeat termination).
+    /// Widening with the default threshold ladder
+    /// ([`DEFAULT_WIDEN_THRESHOLDS`]).
     #[must_use]
     pub fn widen(&self, newer: &ConstraintGraph) -> ConstraintGraph {
+        self.widen_with_thresholds(newer, &DEFAULT_WIDEN_THRESHOLDS)
+    }
+
+    /// Widening: keeps a bound only if the newer state did not weaken it.
+    /// A weakened bound is snapped up to the smallest *threshold* in the
+    /// given ascending set that still accommodates the newer bound
+    /// (widening with thresholds — needed to retain loop facts like
+    /// `i ≤ np` in Fig 5, whose exit edge derives `i = np`); beyond the
+    /// largest threshold the bound is dropped to ∞. A finite threshold
+    /// set guarantees a finite ascending chain. The result is
+    /// deliberately *not* re-closed (re-closing a widened DBM can defeat
+    /// termination).
+    #[must_use]
+    pub fn widen_with_thresholds(
+        &self,
+        newer: &ConstraintGraph,
+        thresholds: &[i64],
+    ) -> ConstraintGraph {
         if self.infeasible {
             return newer.clone();
         }
         if newer.infeasible {
             return self.clone();
         }
-        let mut a = self.clone();
-        a.ensure_closed();
-        let mut b = newer.clone();
-        b.ensure_closed();
+        let a_store;
+        let a = if self.is_effectively_closed() {
+            self
+        } else {
+            let mut g = self.clone();
+            g.ensure_closed();
+            a_store = g;
+            &a_store
+        };
+        let b_store;
+        let b = if newer.is_effectively_closed() {
+            newer
+        } else {
+            let mut g = newer.clone();
+            g.ensure_closed();
+            b_store = g;
+            &b_store
+        };
         let mut out = ConstraintGraph::new();
-        let common: Vec<NsVar> =
-            a.vars.iter().filter(|v| b.has_var(v)).cloned().collect();
-        for v in &common {
-            out.ensure_var(v);
+        let mut triples: Vec<(usize, usize, usize)> = Vec::new();
+        for (ai, &v) in a.vars.iter().enumerate() {
+            if let Some(&bi) = b.index.get(&v) {
+                let oi = out.ensure_var(v);
+                triples.push((ai, bi, oi));
+            }
         }
-        for x in &common {
-            for y in &common {
-                if x == y {
+        for &(ai, bi, oi) in &triples {
+            for &(aj, bj, oj) in &triples {
+                if oi == oj {
                     continue;
                 }
-                let (ai, aj) = (a.index[x], a.index[y]);
-                let (bi, bj) = (b.index[x], b.index[y]);
                 let old = a.at(ai, aj);
                 let new = b.at(bi, bj);
                 let widened = if new <= old {
                     old
                 } else {
-                    const THRESHOLDS: [i64; 7] = [-2, -1, 0, 1, 2, 4, 8];
-                    THRESHOLDS.iter().copied().find(|&t| t >= new).unwrap_or(INF)
+                    thresholds
+                        .iter()
+                        .copied()
+                        .find(|&t| t >= new)
+                        .unwrap_or(INF)
                 };
                 if widened < INF {
-                    let (i, j) = (out.index[x], out.index[y]);
-                    out.set(i, j, widened);
+                    out.set(oi, oj, widened);
                 }
             }
         }
@@ -675,15 +840,34 @@ impl ConstraintGraph {
         if other.infeasible {
             return false;
         }
-        let mut b = other.clone();
-        b.ensure_closed();
-        for x in &b.vars.clone() {
-            for y in &b.vars.clone() {
-                if x == y {
+        self.ensure_closed();
+        if self.infeasible {
+            return true;
+        }
+        let b_store;
+        let b = if other.is_effectively_closed() {
+            other
+        } else {
+            let mut g = other.clone();
+            g.ensure_closed();
+            b_store = g;
+            &b_store
+        };
+        for (i, &x) in b.vars.iter().enumerate() {
+            for (j, &y) in b.vars.iter().enumerate() {
+                if i == j {
                     continue;
                 }
-                let bound = b.at(b.index[x], b.index[y]);
-                if bound < INF && !self.implies_le(x, y, bound) {
+                let bound = b.at(i, j);
+                if bound >= INF {
+                    continue;
+                }
+                // `self` must imply x ≤ y + bound; an untracked or
+                // unconstrained pair implies nothing.
+                let (Some(&si), Some(&sj)) = (self.index.get(&x), self.index.get(&y)) else {
+                    return false;
+                };
+                if self.at(si, sj) > bound {
                     return false;
                 }
             }
@@ -702,7 +886,12 @@ impl fmt::Debug for ConstraintGraph {
         for i in 0..n {
             for j in 0..n {
                 if i != j && self.at(i, j) < INF {
-                    constraints.push(format!("{} <= {}+{}", self.vars[i], self.vars[j], self.at(i, j)));
+                    constraints.push(format!(
+                        "{} <= {}+{}",
+                        self.vars[i],
+                        self.vars[j],
+                        self.at(i, j)
+                    ));
                 }
             }
         }
@@ -719,6 +908,7 @@ impl fmt::Display for ConstraintGraph {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::var::NsVar;
 
     fn v(name: &str) -> NsVar {
         NsVar::pset(PsetId(0), name)
@@ -727,25 +917,25 @@ mod tests {
     #[test]
     fn transitivity_through_closure() {
         let mut g = ConstraintGraph::new();
-        g.assert_le(&v("a"), &v("b"), 2);
-        g.assert_le(&v("b"), &v("c"), 3);
-        assert_eq!(g.le_bound(&v("a"), &v("c")), Some(5));
+        g.assert_le(v("a"), v("b"), 2);
+        g.assert_le(v("b"), v("c"), 3);
+        assert_eq!(g.le_bound(v("a"), v("c")), Some(5));
     }
 
     #[test]
     fn constants_via_zero() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&v("x"), 5);
-        assert_eq!(g.const_of(&v("x")), Some(5));
-        g.assert_eq_offset(&v("y"), &v("x"), 2);
-        assert_eq!(g.const_of(&v("y")), Some(7));
+        g.assert_eq_const(v("x"), 5);
+        assert_eq!(g.const_of(v("x")), Some(5));
+        g.assert_eq_offset(v("y"), v("x"), 2);
+        assert_eq!(g.const_of(v("y")), Some(7));
     }
 
     #[test]
     fn negative_cycle_is_bottom() {
         let mut g = ConstraintGraph::new();
-        g.assert_le(&v("a"), &v("b"), -1);
-        g.assert_le(&v("b"), &v("a"), -1);
+        g.assert_le(v("a"), v("b"), -1);
+        g.assert_le(v("b"), v("a"), -1);
         g.close();
         assert!(g.is_bottom());
     }
@@ -753,130 +943,143 @@ mod tests {
     #[test]
     fn contradictory_constants_are_bottom() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&v("x"), 1);
-        g.assert_eq_const(&v("x"), 2);
+        g.assert_eq_const(v("x"), 1);
+        g.assert_eq_const(v("x"), 2);
+        g.close();
         assert!(g.is_bottom());
     }
 
     #[test]
     fn self_edge_negative_is_bottom() {
         let mut g = ConstraintGraph::new();
-        g.assert_le(&v("a"), &v("a"), -1);
+        g.assert_le(v("a"), v("a"), -1);
         assert!(g.is_bottom());
     }
 
     #[test]
     fn havoc_keeps_routed_consequences() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_offset(&v("a"), &v("b"), 0);
-        g.assert_eq_offset(&v("b"), &v("c"), 0);
-        g.havoc(&v("b"));
+        g.assert_eq_offset(v("a"), v("b"), 0);
+        g.assert_eq_offset(v("b"), v("c"), 0);
+        g.havoc(v("b"));
         // a = c survives even though it was only known through b.
-        assert_eq!(g.eq_offset(&v("a"), &v("c")), Some(0));
-        assert_eq!(g.eq_offset(&v("a"), &v("b")), None);
+        assert_eq!(g.eq_offset(v("a"), v("c")), Some(0));
+        assert_eq!(g.eq_offset(v("a"), v("b")), None);
     }
 
     #[test]
     fn assign_self_increment_shifts_bounds() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&v("i"), 1);
-        g.assign(&v("i"), &LinExpr::var_plus(v("i"), 1));
-        assert_eq!(g.const_of(&v("i")), Some(2));
+        g.assert_eq_const(v("i"), 1);
+        g.assign(v("i"), &LinExpr::var_plus(v("i"), 1));
+        assert_eq!(g.const_of(v("i")), Some(2));
     }
 
     #[test]
     fn assign_var_links_and_breaks_old() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&v("x"), 10);
-        g.assign(&v("y"), &LinExpr::var_plus(v("x"), -1));
-        assert_eq!(g.const_of(&v("y")), Some(9));
-        g.assign(&v("x"), &LinExpr::constant(0));
+        g.assert_eq_const(v("x"), 10);
+        g.assign(v("y"), &LinExpr::var_plus(v("x"), -1));
+        assert_eq!(g.const_of(v("y")), Some(9));
+        g.assign(v("x"), &LinExpr::constant(0));
         // y keeps its old value; the link was to x's *old* value.
-        assert_eq!(g.const_of(&v("y")), Some(9));
+        assert_eq!(g.const_of(v("y")), Some(9));
     }
 
     #[test]
     fn assign_self_preserves_relations_to_others() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_offset(&v("i"), &NsVar::Np, -3); // i = np - 3
-        g.assign(&v("i"), &LinExpr::var_plus(v("i"), 1));
-        assert_eq!(g.eq_offset(&v("i"), &NsVar::Np), Some(-2));
+        g.assert_eq_offset(v("i"), &NsVar::Np, -3); // i = np - 3
+        g.assign(v("i"), &LinExpr::var_plus(v("i"), 1));
+        assert_eq!(g.eq_offset(v("i"), &NsVar::Np), Some(-2));
     }
 
     #[test]
     fn remove_var_projects() {
         let mut g = ConstraintGraph::new();
-        g.assert_le(&v("a"), &v("b"), 1);
-        g.assert_le(&v("b"), &v("c"), 1);
-        g.remove_var(&v("b"));
-        assert!(!g.has_var(&v("b")));
-        assert_eq!(g.le_bound(&v("a"), &v("c")), Some(2));
+        g.assert_le(v("a"), v("b"), 1);
+        g.assert_le(v("b"), v("c"), 1);
+        g.remove_var(v("b"));
+        assert!(!g.has_var(v("b")));
+        assert_eq!(g.le_bound(v("a"), v("c")), Some(2));
     }
 
     #[test]
     fn join_keeps_common_weaker_bounds() {
         let mut g1 = ConstraintGraph::new();
-        g1.assert_eq_const(&v("x"), 1);
+        g1.assert_eq_const(v("x"), 1);
         let mut g2 = ConstraintGraph::new();
-        g2.assert_eq_const(&v("x"), 3);
+        g2.assert_eq_const(v("x"), 3);
         let mut j = g1.join(&g2);
-        assert_eq!(j.const_of(&v("x")), None);
-        assert_eq!(j.le_bound(&v("x"), &NsVar::Zero), Some(3)); // x <= 3
-        assert_eq!(j.le_bound(&NsVar::Zero, &v("x")), Some(-1)); // x >= 1
+        assert_eq!(j.const_of(v("x")), None);
+        assert_eq!(j.le_bound(v("x"), &NsVar::Zero), Some(3)); // x <= 3
+        assert_eq!(j.le_bound(&NsVar::Zero, v("x")), Some(-1)); // x >= 1
     }
 
     #[test]
     fn join_drops_one_sided_vars() {
         let mut g1 = ConstraintGraph::new();
-        g1.assert_eq_const(&v("x"), 1);
+        g1.assert_eq_const(v("x"), 1);
         let g2 = ConstraintGraph::new();
         let j = g1.join(&g2);
-        assert!(!j.has_var(&v("x")));
+        assert!(!j.has_var(v("x")));
     }
 
     #[test]
     fn join_with_bottom_is_identity() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&v("x"), 4);
+        g.assert_eq_const(v("x"), 4);
         let mut j1 = g.join(&ConstraintGraph::bottom());
         let mut j2 = ConstraintGraph::bottom().join(&g);
-        assert_eq!(j1.const_of(&v("x")), Some(4));
-        assert_eq!(j2.const_of(&v("x")), Some(4));
+        assert_eq!(j1.const_of(v("x")), Some(4));
+        assert_eq!(j2.const_of(v("x")), Some(4));
     }
 
     #[test]
     fn widen_drops_growing_bounds_keeps_stable() {
         // i = 1 widened with i = 2 under i <= np-1 in both.
         let mut g1 = ConstraintGraph::new();
-        g1.assert_eq_const(&v("i"), 1);
-        g1.assert_le(&v("i"), &NsVar::Np, -1);
+        g1.assert_eq_const(v("i"), 1);
+        g1.assert_le(v("i"), &NsVar::Np, -1);
         g1.assert_le(&NsVar::Zero, &NsVar::Np, -2); // np >= 2
         let mut g2 = ConstraintGraph::new();
-        g2.assert_eq_const(&v("i"), 2);
-        g2.assert_le(&v("i"), &NsVar::Np, -1);
+        g2.assert_eq_const(v("i"), 2);
+        g2.assert_le(v("i"), &NsVar::Np, -1);
         g2.assert_le(&NsVar::Zero, &NsVar::Np, -2);
         let mut w = g1.widen(&g2);
         // Upper bound by constant grew 1 -> 2: snapped to the threshold 2
         // (widening with thresholds). Lower bound (i >= 1) held.
         // Relation i <= np - 1 held.
-        assert_eq!(w.le_bound(&v("i"), &NsVar::Zero), Some(2));
-        assert_eq!(w.le_bound(&NsVar::Zero, &v("i")), Some(-1));
-        assert!(w.implies_le(&v("i"), &NsVar::Np, -1));
+        assert_eq!(w.le_bound(v("i"), &NsVar::Zero), Some(2));
+        assert_eq!(w.le_bound(&NsVar::Zero, v("i")), Some(-1));
+        assert!(w.implies_le(v("i"), &NsVar::Np, -1));
         // Repeated widening eventually drops the growing bound entirely.
         let mut g3 = ConstraintGraph::new();
-        g3.assert_eq_const(&v("i"), 100);
+        g3.assert_eq_const(v("i"), 100);
         let mut w2 = w.widen(&g3);
-        assert_eq!(w2.le_bound(&v("i"), &NsVar::Zero), None);
+        assert_eq!(w2.le_bound(v("i"), &NsVar::Zero), None);
+    }
+
+    #[test]
+    fn widen_with_custom_thresholds() {
+        let mut g1 = ConstraintGraph::new();
+        g1.assert_le(v("i"), &NsVar::Zero, 1);
+        let mut g2 = ConstraintGraph::new();
+        g2.assert_le(v("i"), &NsVar::Zero, 9);
+        let mut w = g1.widen_with_thresholds(&g2, &[0, 16, 64]);
+        assert_eq!(w.le_bound(v("i"), &NsVar::Zero), Some(16));
+        let mut dropped = g1.widen_with_thresholds(&g2, &[0, 4]);
+        assert_eq!(dropped.le_bound(v("i"), &NsVar::Zero), None);
     }
 
     #[test]
     fn entails_is_reflexive_and_detects_strengthening() {
         let mut g1 = ConstraintGraph::new();
-        g1.assert_eq_const(&v("x"), 5);
+        g1.assert_eq_const(v("x"), 5);
         let snapshot = g1.clone();
         assert!(g1.entails(&snapshot));
         let mut weaker = ConstraintGraph::new();
-        weaker.assert_le(&v("x"), &NsVar::Zero, 10);
+        weaker.assert_le(v("x"), &NsVar::Zero, 10);
         assert!(g1.entails(&weaker));
         let mut wk = weaker.clone();
         assert!(!wk.entails(&g1.clone()));
@@ -903,29 +1106,29 @@ mod tests {
     #[test]
     fn rename_namespace_moves_constraints() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&NsVar::pset(PsetId(2), "k"), 9);
+        g.assert_eq_const(NsVar::pset(PsetId(2), "k"), 9);
         g.rename_namespace(PsetId(2), PsetId(5));
-        assert_eq!(g.const_of(&NsVar::pset(PsetId(5), "k")), Some(9));
-        assert!(!g.has_var(&NsVar::pset(PsetId(2), "k")));
+        assert_eq!(g.const_of(NsVar::pset(PsetId(5), "k")), Some(9));
+        assert!(!g.has_var(NsVar::pset(PsetId(2), "k")));
     }
 
     #[test]
     fn drop_namespace_removes_all_set_vars() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&NsVar::pset(PsetId(1), "a"), 1);
-        g.assert_eq_const(&NsVar::pset(PsetId(1), "b"), 2);
-        g.assert_eq_const(&NsVar::pset(PsetId(2), "c"), 3);
+        g.assert_eq_const(NsVar::pset(PsetId(1), "a"), 1);
+        g.assert_eq_const(NsVar::pset(PsetId(1), "b"), 2);
+        g.assert_eq_const(NsVar::pset(PsetId(2), "c"), 3);
         g.drop_namespace(PsetId(1));
-        assert!(!g.has_var(&NsVar::pset(PsetId(1), "a")));
-        assert_eq!(g.const_of(&NsVar::pset(PsetId(2), "c")), Some(3));
+        assert!(!g.has_var(NsVar::pset(PsetId(1), "a")));
+        assert_eq!(g.const_of(NsVar::pset(PsetId(2), "c")), Some(3));
     }
 
     #[test]
     fn equalities_of_lists_all_aliases() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&v("i"), 1);
-        g.assert_eq_const(&v("one"), 1);
-        let eqs = g.equalities_of(&v("i"));
+        g.assert_eq_const(v("i"), 1);
+        g.assert_eq_const(v("one"), 1);
+        let eqs = g.equalities_of(v("i"));
         assert!(eqs.contains(&LinExpr::constant(1)));
         assert!(eqs.contains(&LinExpr::of_var(v("one"))));
     }
@@ -933,7 +1136,7 @@ mod tests {
     #[test]
     fn proves_le_and_eq_on_expressions() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_offset(&v("i"), &NsVar::Np, 0); // i = np
+        g.assert_eq_offset(v("i"), &NsVar::Np, 0); // i = np
         assert!(g.proves_eq(
             &LinExpr::var_plus(v("i"), -1),
             &LinExpr::var_plus(NsVar::Np, -1)
@@ -946,7 +1149,7 @@ mod tests {
     fn compare_exprs_detects_equal_and_strict() {
         use std::cmp::Ordering;
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&v("i"), 4);
+        g.assert_eq_const(v("i"), 4);
         assert_eq!(
             g.compare_exprs(&LinExpr::of_var(v("i")), &LinExpr::constant(4)),
             Some(Ordering::Equal)
@@ -969,7 +1172,8 @@ mod tests {
     fn closure_stats_are_recorded() {
         crate::stats::ClosureStats::reset();
         let mut g = ConstraintGraph::new();
-        g.assert_le(&v("a"), &v("b"), 1); // incremental (graph closed)
+        g.assert_le(v("a"), v("b"), 1);
+        g.close(); // drains the one dirty edge incrementally
         g.closed = false;
         g.close(); // full
         let s = crate::stats::ClosureStats::snapshot();
@@ -978,9 +1182,23 @@ mod tests {
     }
 
     #[test]
+    fn close_is_noop_when_clean() {
+        crate::stats::ClosureStats::reset();
+        let mut g = ConstraintGraph::new();
+        g.assert_le(v("a"), v("b"), 1);
+        g.close();
+        let before = crate::stats::ClosureStats::snapshot();
+        g.close();
+        g.close();
+        let after = crate::stats::ClosureStats::snapshot().since(&before);
+        assert_eq!(after.full_closures, 0);
+        assert_eq!(after.incremental_closures, 0);
+    }
+
+    #[test]
     fn eval_expr_resolves_constants() {
         let mut g = ConstraintGraph::new();
-        g.assert_eq_const(&v("n"), 6);
+        g.assert_eq_const(v("n"), 6);
         assert_eq!(g.eval_expr(&LinExpr::var_plus(v("n"), -2)), Some(4));
         assert_eq!(g.eval_expr(&LinExpr::constant(3)), Some(3));
         assert_eq!(g.eval_expr(&LinExpr::of_var(v("unknown"))), None);
@@ -989,8 +1207,8 @@ mod tests {
     #[test]
     fn incremental_matches_full_closure() {
         // Property-style check: building a random-ish chain via
-        // assert_le (incremental) matches rebuilding with a single full
-        // closure.
+        // assert_le (lazy dirty edges, drained on query) matches
+        // rebuilding with a single full closure.
         let edges = [
             ("a", "b", 3),
             ("b", "c", -1),
@@ -1001,13 +1219,13 @@ mod tests {
         ];
         let mut incr = ConstraintGraph::new();
         for (x, y, c) in edges {
-            incr.assert_le(&v(x), &v(y), c);
+            incr.assert_le(v(x), v(y), c);
         }
         let mut full = ConstraintGraph::new();
         full.closed = false;
         for (x, y, c) in edges {
-            let i = full.ensure_var(&v(x));
-            let j = full.ensure_var(&v(y));
+            let i = full.ensure_var(v(x));
+            let j = full.ensure_var(v(y));
             let cur = full.at(i, j);
             if c < cur {
                 full.set(i, j, c);
@@ -1017,12 +1235,57 @@ mod tests {
         for x in ["a", "b", "c", "d"] {
             for y in ["a", "b", "c", "d"] {
                 assert_eq!(
-                    incr.le_bound(&v(x), &v(y)),
-                    full.le_bound(&v(x), &v(y)),
+                    incr.le_bound(v(x), v(y)),
+                    full.le_bound(v(x), v(y)),
                     "{x} vs {y}"
                 );
             }
         }
+    }
+
+    #[test]
+    fn lazy_drain_matches_full_closure() {
+        // A dirty set small relative to n takes the per-edge incremental
+        // path; the result must equal a from-scratch full closure even
+        // when the drained edges interact.
+        let names = ["a", "b", "c", "d", "e", "f", "g", "h"];
+        let mut g = ConstraintGraph::new();
+        for w in names.windows(2) {
+            g.assert_le(v(w[0]), v(w[1]), 1);
+        }
+        g.close();
+        crate::stats::ClosureStats::reset();
+        g.assert_le(v("h"), v("a"), 2); // closes a non-negative cycle
+        g.assert_le(v("b"), v("g"), -4); // tighter than the chain path
+        let mut full = g.clone();
+        full.closed = false;
+        full.dirty.clear();
+        full.close();
+        g.close();
+        let s = crate::stats::ClosureStats::snapshot();
+        assert_eq!(s.incremental_closures, 2, "both edges drained per-edge");
+        for x in names {
+            for y in names {
+                assert_eq!(
+                    g.le_bound(v(x), v(y)),
+                    full.le_bound(v(x), v(y)),
+                    "{x} vs {y}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn large_dirty_set_falls_back_to_full_closure() {
+        let mut g = ConstraintGraph::new();
+        for (k, name) in ["a", "b", "c"].iter().enumerate() {
+            g.assert_le(v(name), &NsVar::Zero, k as i64);
+        }
+        crate::stats::ClosureStats::reset();
+        g.close(); // 3 dirty edges vs n = 4 (2*3 >= 4): full fallback
+        let s = crate::stats::ClosureStats::snapshot();
+        assert_eq!(s.full_closures, 1);
+        assert_eq!(s.incremental_closures, 0);
     }
 }
 
@@ -1030,6 +1293,7 @@ mod tests {
 mod edge_case_tests {
     use super::*;
     use crate::stats;
+    use crate::var::NsVar;
 
     fn v(name: &str) -> NsVar {
         NsVar::pset(PsetId(0), name)
@@ -1039,8 +1303,8 @@ mod edge_case_tests {
     #[should_panic(expected = "rename collision")]
     fn rename_collision_panics() {
         let mut g = ConstraintGraph::new();
-        g.ensure_var(&NsVar::pset(PsetId(0), "x"));
-        g.ensure_var(&NsVar::pset(PsetId(1), "x"));
+        g.ensure_var(NsVar::pset(PsetId(0), "x"));
+        g.ensure_var(NsVar::pset(PsetId(1), "x"));
         g.rename_namespace(PsetId(0), PsetId(1));
     }
 
@@ -1048,21 +1312,21 @@ mod edge_case_tests {
     #[should_panic(expected = "not empty")]
     fn clone_into_occupied_namespace_panics() {
         let mut g = ConstraintGraph::new();
-        g.ensure_var(&NsVar::pset(PsetId(0), "x"));
-        g.ensure_var(&NsVar::pset(PsetId(1), "y"));
+        g.ensure_var(NsVar::pset(PsetId(0), "x"));
+        g.ensure_var(NsVar::pset(PsetId(1), "y"));
         g.clone_namespace(PsetId(0), PsetId(1));
     }
 
     #[test]
     fn operations_on_bottom_are_inert() {
         let mut g = ConstraintGraph::bottom();
-        g.assert_le(&v("a"), &v("b"), 1);
-        g.assign(&v("a"), &LinExpr::constant(5));
-        g.havoc(&v("a"));
+        g.assert_le(v("a"), v("b"), 1);
+        g.assign(v("a"), &LinExpr::constant(5));
+        g.havoc(v("a"));
         g.close();
         assert!(g.is_bottom());
-        assert_eq!(g.const_of(&v("a")), None);
-        assert!(g.equalities_of(&v("a")).is_empty());
+        assert_eq!(g.const_of(v("a")), None);
+        assert!(g.equalities_of(v("a")).is_empty());
     }
 
     #[test]
@@ -1070,14 +1334,14 @@ mod edge_case_tests {
         // An ever-growing bound must pass through the threshold ladder
         // and reach "no constraint" in finitely many widenings.
         let mut cur = ConstraintGraph::new();
-        cur.assert_le(&v("x"), &NsVar::Zero, -10);
+        cur.assert_le(v("x"), &NsVar::Zero, -10);
         let mut steps = 0;
         loop {
             let mut next = ConstraintGraph::new();
-            next.assert_le(&v("x"), &NsVar::Zero, -10 + steps * 7);
+            next.assert_le(v("x"), &NsVar::Zero, -10 + steps * 7);
             let w = cur.widen(&next);
             let mut probe = w.clone();
-            if probe.le_bound(&v("x"), &NsVar::Zero).is_none() {
+            if probe.le_bound(v("x"), &NsVar::Zero).is_none() {
                 break; // Reached top for this bound.
             }
             cur = w;
@@ -1090,31 +1354,52 @@ mod edge_case_tests {
     fn force_full_closure_switch_changes_instrumentation() {
         stats::ClosureStats::reset();
         let mut g = ConstraintGraph::new();
-        g.assert_le(&v("a"), &v("b"), 1);
+        g.assert_le(v("a"), v("b"), 1);
+        g.close();
         let before = stats::ClosureStats::snapshot();
         assert!(before.incremental_closures >= 1);
 
         stats::set_force_full_closure(true);
         let mut g2 = ConstraintGraph::new();
-        g2.assert_le(&v("a"), &v("b"), 1);
-        g2.assert_le(&v("b"), &v("c"), 1);
+        g2.assert_le(v("a"), v("b"), 1);
+        g2.assert_le(v("b"), v("c"), 1);
         stats::set_force_full_closure(false);
         let after = stats::ClosureStats::snapshot().since(&before);
         assert!(after.full_closures >= 1, "{after:?}");
         // Behaviour is unchanged, only the algorithm differs.
-        assert_eq!(g2.le_bound(&v("a"), &v("c")), Some(2));
+        assert_eq!(g2.le_bound(v("a"), v("c")), Some(2));
     }
 
     #[test]
     fn join_of_disjoint_carriers_is_unconstrained() {
         let mut g1 = ConstraintGraph::new();
-        g1.assert_eq_const(&v("only_left"), 1);
+        g1.assert_eq_const(v("only_left"), 1);
         let mut g2 = ConstraintGraph::new();
-        g2.assert_eq_const(&v("only_right"), 2);
+        g2.assert_eq_const(v("only_right"), 2);
         let mut j = g1.join(&g2);
-        assert!(!j.has_var(&v("only_left")));
-        assert!(!j.has_var(&v("only_right")));
+        assert!(!j.has_var(v("only_left")));
+        assert!(!j.has_var(v("only_right")));
         assert!(!j.is_bottom());
         assert_eq!(j.le_bound(&NsVar::Zero, &NsVar::Zero), Some(0));
+    }
+
+    #[test]
+    fn capacity_growth_and_compaction_reuse() {
+        // Push past several capacity doublings, then remove and re-add:
+        // the matrix must stay consistent through in-place compaction.
+        let mut g = ConstraintGraph::new();
+        for k in 0..20 {
+            g.assert_eq_const(v(&format!("x{k}")), k);
+        }
+        for k in (0..20).step_by(2) {
+            g.remove_var(v(&format!("x{k}")));
+        }
+        for k in (1..20).step_by(2) {
+            assert_eq!(g.const_of(v(&format!("x{k}"))), Some(k), "x{k}");
+        }
+        // Re-added variables land on recycled slots and start fresh.
+        g.assert_eq_const(v("x0"), 41);
+        assert_eq!(g.const_of(v("x0")), Some(41));
+        assert_eq!(g.const_of(v("x7")), Some(7));
     }
 }

@@ -8,11 +8,13 @@
 //!    (so invariants can relate variables of different process sets), and
 //! 2. every process set gets its own copy of the special variable `id`.
 //!
-//! The constraint graph is a difference-bound matrix (DBM) with full
-//! O(n³) transitive closure and an O(n²) single-edge incremental variant.
-//! Both entry points are instrumented through [`stats::ClosureStats`],
-//! which is how the benches reproduce the §IX profile (closure counts,
-//! average variable counts, share of runtime).
+//! The constraint graph is a difference-bound matrix (DBM), dense over
+//! interned [`var::VarId`] handles, with full O(n³) transitive closure
+//! and an O(n²) single-edge incremental variant driven by a lazy dirty
+//! set ([`ConstraintGraph::close`] is a no-op when nothing changed). Both
+//! closure paths are instrumented through [`stats::ClosureStats`], which
+//! is how the benches reproduce the §IX profile (closure counts, average
+//! variable counts, share of runtime).
 //!
 //! The crate also provides [`constenv::ConstEnv`], a flat
 //! constant-propagation lattice used by the Fig 2 client and by the
@@ -24,8 +26,8 @@ pub mod linexpr;
 pub mod stats;
 pub mod var;
 
-pub use constenv::ConstEnv;
-pub use constraint_graph::ConstraintGraph;
+pub use constenv::{ConstEnv, ConstVal};
+pub use constraint_graph::{ConstraintGraph, DEFAULT_WIDEN_THRESHOLDS};
 pub use linexpr::LinExpr;
 pub use stats::{force_full_closure, set_force_full_closure, ClosureStats};
-pub use var::{NsVar, PsetId};
+pub use var::{intern_name, with_table, NsVar, PsetId, VarId, VarKind, VarTable, MAX_PSET_ID};

@@ -3,14 +3,16 @@
 
 use std::fmt;
 
-use crate::var::{NsVar, PsetId};
+use crate::var::{NsVar, PsetId, VarId};
 
 /// A linear expression of the form `var + offset` or a bare constant
-/// (`var` absent).
-#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+/// (`var` absent). The base variable is an interned [`VarId`], making the
+/// whole expression an 16-byte `Copy` value: alias sets in process-set
+/// bounds and constraint-graph equality lists move without allocating.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
 pub struct LinExpr {
     /// The optional base variable.
-    pub var: Option<NsVar>,
+    pub var: Option<VarId>,
     /// The constant offset.
     pub offset: i64,
 }
@@ -19,25 +21,37 @@ impl LinExpr {
     /// A bare constant.
     #[must_use]
     pub fn constant(c: i64) -> LinExpr {
-        LinExpr { var: None, offset: c }
+        LinExpr {
+            var: None,
+            offset: c,
+        }
     }
 
     /// `var + 0`.
     #[must_use]
-    pub fn of_var(var: NsVar) -> LinExpr {
-        LinExpr { var: Some(var), offset: 0 }
+    pub fn of_var(var: impl Into<VarId>) -> LinExpr {
+        LinExpr {
+            var: Some(var.into()),
+            offset: 0,
+        }
     }
 
     /// `var + c`.
     #[must_use]
-    pub fn var_plus(var: NsVar, c: i64) -> LinExpr {
-        LinExpr { var: Some(var), offset: c }
+    pub fn var_plus(var: impl Into<VarId>, c: i64) -> LinExpr {
+        LinExpr {
+            var: Some(var.into()),
+            offset: c,
+        }
     }
 
     /// Adds a constant.
     #[must_use]
     pub fn plus(&self, c: i64) -> LinExpr {
-        LinExpr { var: self.var.clone(), offset: self.offset + c }
+        LinExpr {
+            var: self.var,
+            offset: self.offset + c,
+        }
     }
 
     /// True if this is a bare constant.
@@ -52,10 +66,14 @@ impl LinExpr {
         self.var.is_none().then_some(self.offset)
     }
 
-    /// Rewrites a per-set base variable from namespace `from` to `to`.
+    /// Rewrites a per-set base variable from namespace `from` to `to` —
+    /// pure bit math on the packed id.
     #[must_use]
     pub fn renamed(&self, from: PsetId, to: PsetId) -> LinExpr {
-        LinExpr { var: self.var.as_ref().map(|v| v.renamed(from, to)), offset: self.offset }
+        LinExpr {
+            var: self.var.map(|v| v.renamed(from, to)),
+            offset: self.offset,
+        }
     }
 
     /// The difference `self - other` when both share the same base
@@ -89,6 +107,12 @@ impl From<NsVar> for LinExpr {
     }
 }
 
+impl From<VarId> for LinExpr {
+    fn from(v: VarId) -> LinExpr {
+        LinExpr::of_var(v)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -102,6 +126,7 @@ mod tests {
         assert!(!v.is_constant());
         assert_eq!(v.as_constant(), None);
         assert_eq!(v.plus(1), LinExpr::of_var(NsVar::Np));
+        assert_eq!(v.var, Some(VarId::NP));
     }
 
     #[test]
@@ -119,14 +144,17 @@ mod tests {
         assert_eq!(a.diff_if_comparable(&b), Some(2));
         let c = LinExpr::constant(3);
         assert_eq!(a.diff_if_comparable(&c), None);
-        assert_eq!(LinExpr::constant(7).diff_if_comparable(&LinExpr::constant(4)), Some(3));
+        assert_eq!(
+            LinExpr::constant(7).diff_if_comparable(&LinExpr::constant(4)),
+            Some(3)
+        );
     }
 
     #[test]
     fn renamed_rewrites_base() {
         let x = LinExpr::var_plus(NsVar::pset(PsetId(0), "i"), 1);
         let y = x.renamed(PsetId(0), PsetId(9));
-        assert_eq!(y.var, Some(NsVar::pset(PsetId(9), "i")));
+        assert_eq!(y.var, Some(VarId::from(NsVar::pset(PsetId(9), "i"))));
         assert_eq!(y.offset, 1);
     }
 }

@@ -124,11 +124,11 @@ fn convert(
                     }
                 },
                 BinOp::Div => match (lv, rv) {
-                    (Value::Scalar(a), Value::Scalar(b)) => Value::Scalar(
-                        ctx.div_exact(&a, &b).ok_or_else(|| {
+                    (Value::Scalar(a), Value::Scalar(b)) => {
+                        Value::Scalar(ctx.div_exact(&a, &b).ok_or_else(|| {
                             ExprToHsmError::Unsupported(format!("inexact division {a}/{b}"))
-                        })?,
-                    ),
+                        })?)
+                    }
                     (Value::Seq(h), Value::Scalar(q)) => Value::Seq(h.div(&q, ctx)?),
                     _ => {
                         return Err(ExprToHsmError::Unsupported(
@@ -181,13 +181,15 @@ fn binary_add(l: Value, r: Value, ctx: &AssumptionCtx) -> Result<Value, ExprToHs
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpl_lang::parse_program;
     use mpl_lang::ast::StmtKind;
+    use mpl_lang::parse_program;
 
     /// Parses `send 0 -> <expr>;` and extracts the destination expression.
     fn dest_expr(src: &str) -> Expr {
         let p = parse_program(&format!("send 0 -> {src};")).unwrap();
-        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         dest.clone()
     }
 
@@ -239,7 +241,10 @@ mod tests {
         let mut vars = BTreeMap::new();
         vars.insert("i".to_owned(), SymPoly::sym("i"));
         let h = expr_to_hsm(&dest_expr("i"), &id, &vars, &ctx).unwrap();
-        assert!(h.seq_eq(&Hsm::constant(SymPoly::sym("i"), SymPoly::constant(1)), &ctx));
+        assert!(h.seq_eq(
+            &Hsm::constant(SymPoly::sym("i"), SymPoly::constant(1)),
+            &ctx
+        ));
     }
 
     #[test]
@@ -279,7 +284,10 @@ mod tests {
         // Composition with the receive expression is the identity
         // (§VIII-B1): substitute the send HSM for id.
         let composed = expr_to_hsm(&expr, &send, &grid_vars(), &ctx).unwrap();
-        assert!(composed.is_identity_on(&SymPoly::zero(), &np, &ctx), "got {composed}");
+        assert!(
+            composed.is_identity_on(&SymPoly::zero(), &np, &ctx),
+            "got {composed}"
+        );
     }
 
     #[test]
@@ -287,19 +295,24 @@ mod tests {
         // 2*nrows*((id/2) % nrows) + 2*(id/(2*nrows)) + id % 2 on a
         // nrows x 2*nrows grid.
         let ctx = rect_ctx();
-        let expr =
-            dest_expr("2 * nrows * ((id / 2) % nrows) + 2 * (id / (2 * nrows)) + id % 2");
+        let expr = dest_expr("2 * nrows * ((id / 2) % nrows) + 2 * (id / (2 * nrows)) + id % 2");
         let send = expr_to_hsm(&expr, &all_procs(&ctx), &grid_vars(), &ctx).unwrap();
         // The paper's claimed image HSM: [[[0:2,1] : nrows, 2*nrows] : nrows, 2].
         let expected = Hsm::leaf(SymPoly::zero())
             .repeat(SymPoly::constant(2), SymPoly::constant(1))
-            .repeat(SymPoly::sym("nrows"), SymPoly::constant(2) * SymPoly::sym("nrows"))
+            .repeat(
+                SymPoly::sym("nrows"),
+                SymPoly::constant(2) * SymPoly::sym("nrows"),
+            )
             .repeat(SymPoly::sym("nrows"), SymPoly::constant(2));
         assert!(send.seq_eq(&expected, &ctx), "got {send}");
         let np = ctx.normalize(&SymPoly::sym("np"));
         assert!(send.is_surjection_onto(&SymPoly::zero(), &np, &ctx));
         let composed = expr_to_hsm(&expr, &send, &grid_vars(), &ctx).unwrap();
-        assert!(composed.is_identity_on(&SymPoly::zero(), &np, &ctx), "got {composed}");
+        assert!(
+            composed.is_identity_on(&SymPoly::zero(), &np, &ctx),
+            "got {composed}"
+        );
     }
 
     #[test]
@@ -347,16 +360,16 @@ mod tests {
     #[test]
     fn rect_composition_concrete_check() {
         let ctx = rect_ctx();
-        let expr =
-            dest_expr("2 * nrows * ((id / 2) % nrows) + 2 * (id / (2 * nrows)) + id % 2");
+        let expr = dest_expr("2 * nrows * ((id / 2) % nrows) + 2 * (id / (2 * nrows)) + id % 2");
         let send = expr_to_hsm(&expr, &all_procs(&ctx), &grid_vars(), &ctx).unwrap();
         let mut b = BTreeMap::new();
         b.insert("nrows".to_owned(), 2);
         b.insert("ncols".to_owned(), 4);
         b.insert("np".to_owned(), 8);
         let got = send.concretize(&b).unwrap();
-        let want: Vec<i64> =
-            (0..8).map(|id| 2 * 2 * ((id / 2) % 2) + 2 * (id / 4) + id % 2).collect();
+        let want: Vec<i64> = (0..8)
+            .map(|id| 2 * 2 * ((id / 2) % 2) + 2 * (id / 4) + id % 2)
+            .collect();
         assert_eq!(got, want);
     }
 }
@@ -374,7 +387,9 @@ mod shift_tests {
 
     fn expr(src: &str) -> mpl_lang::ast::Expr {
         let p = parse_program(&format!("send 0 -> {src};")).unwrap();
-        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Send { dest, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         dest.clone()
     }
 
@@ -418,7 +433,11 @@ mod shift_tests {
             &ctx
         ));
         let composed = expr_to_hsm(&expr("id - 1"), &sent, &BTreeMap::new(), &ctx).unwrap();
-        assert!(composed.is_identity_on(&(np() - SymPoly::constant(2)), &SymPoly::constant(1), &ctx));
+        assert!(composed.is_identity_on(
+            &(np() - SymPoly::constant(2)),
+            &SymPoly::constant(1),
+            &ctx
+        ));
     }
 
     #[test]
@@ -427,6 +446,10 @@ mod shift_tests {
         let id = Hsm::range(SymPoly::constant(1), np() - SymPoly::constant(3));
         let sent = expr_to_hsm(&expr("id + 1"), &id, &BTreeMap::new(), &ctx).unwrap();
         let composed = expr_to_hsm(&expr("id - 2"), &sent, &BTreeMap::new(), &ctx).unwrap();
-        assert!(!composed.is_identity_on(&SymPoly::constant(1), &(np() - SymPoly::constant(3)), &ctx));
+        assert!(!composed.is_identity_on(
+            &SymPoly::constant(1),
+            &(np() - SymPoly::constant(3)),
+            &ctx
+        ));
     }
 }

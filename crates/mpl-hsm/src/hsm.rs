@@ -48,7 +48,9 @@ pub struct HsmError {
 
 impl HsmError {
     fn new(reason: impl Into<String>) -> HsmError {
-        HsmError { reason: reason.into() }
+        HsmError {
+            reason: reason.into(),
+        }
     }
 }
 
@@ -64,7 +66,10 @@ impl Hsm {
     /// The single-element sequence `⟨v⟩`.
     #[must_use]
     pub fn leaf(v: SymPoly) -> Hsm {
-        Hsm { base: v, levels: Vec::new() }
+        Hsm {
+            base: v,
+            levels: Vec::new(),
+        }
     }
 
     /// The paper's `[self : rep, stride]`: repeats the whole sequence.
@@ -214,8 +219,7 @@ impl Hsm {
                         &(levels[i].rep.clone() * levels[i].stride.clone()),
                     );
                     if fits {
-                        let rep =
-                            ctx.normalize(&(levels[i].rep.clone() * levels[j].rep.clone()));
+                        let rep = ctx.normalize(&(levels[i].rep.clone() * levels[j].rep.clone()));
                         let stride = levels[i].stride.clone();
                         let (a, b) = (i.min(j), i.max(j));
                         levels.remove(b);
@@ -228,7 +232,10 @@ impl Hsm {
             }
         }
         levels.sort();
-        Hsm { base: start.base, levels }
+        Hsm {
+            base: start.base,
+            levels,
+        }
     }
 
     /// True if `self` and `other` provably denote the same *multiset* of
@@ -276,11 +283,12 @@ impl Hsm {
         let levels = la
             .into_iter()
             .zip(lb)
-            .map(|(x, y)| {
-                Level::new(x.rep, ctx.normalize(&(x.stride + y.stride)))
-            })
+            .map(|(x, y)| Level::new(x.rep, ctx.normalize(&(x.stride + y.stride))))
             .collect();
-        Ok(Hsm { base: ctx.normalize(&(a.base + b.base)), levels })
+        Ok(Hsm {
+            base: ctx.normalize(&(a.base + b.base)),
+            levels,
+        })
     }
 
     /// Aligns two level lists (innermost first) to a common refinement,
@@ -341,7 +349,10 @@ impl Hsm {
                 .levels
                 .iter()
                 .map(|l| {
-                    Level::new(l.rep.clone(), ctx.normalize(&(l.stride.clone() * k.clone())))
+                    Level::new(
+                        l.rep.clone(),
+                        ctx.normalize(&(l.stride.clone() * k.clone())),
+                    )
                 })
                 .collect(),
         }
@@ -385,7 +396,10 @@ impl Hsm {
                 Class::Low => Level::new(level.rep, SymPoly::zero()),
             })
             .collect();
-        Ok(Hsm { base: parts.base_hi, levels })
+        Ok(Hsm {
+            base: parts.base_hi,
+            levels,
+        })
     }
 
     /// Modulus of every element by `q` (Table I, generalized like
@@ -417,7 +431,10 @@ impl Hsm {
                 Class::Low => level,
             })
             .collect();
-        Ok(Hsm { base: parts.base_lo, levels })
+        Ok(Hsm {
+            base: parts.base_lo,
+            levels,
+        })
     }
 
     /// Shared decomposition for `div`/`modulo`: writes every element as
@@ -454,17 +471,12 @@ impl Hsm {
                         (!r2.is_one() && r2.provably_pos()).then_some((r1, r2))
                     });
                 if let Some((r1, r2)) = split {
-                    lo_max = lo_max
-                        + level.stride.clone() * (r1.clone() - SymPoly::constant(1));
+                    lo_max = lo_max + level.stride.clone() * (r1.clone() - SymPoly::constant(1));
                     levels.push((Level::new(r1, level.stride.clone()), Class::Low));
-                    levels.push((
-                        Level::new(r2, q.clone()),
-                        Class::High(SymPoly::constant(1)),
-                    ));
+                    levels.push((Level::new(r2, q.clone()), Class::High(SymPoly::constant(1))));
                     continue;
                 }
-                lo_max = lo_max
-                    + level.stride.clone() * (level.rep.clone() - SymPoly::constant(1));
+                lo_max = lo_max + level.stride.clone() * (level.rep.clone() - SymPoly::constant(1));
                 levels.push((level, Class::Low));
             } else {
                 return Err(HsmError::new(format!(
@@ -481,7 +493,11 @@ impl Hsm {
                 ctx.normalize(&lo_max)
             )));
         }
-        Ok(Classified { base_hi, base_lo, levels })
+        Ok(Classified {
+            base_hi,
+            base_lo,
+            levels,
+        })
     }
 }
 
@@ -552,7 +568,10 @@ mod tests {
         // And structurally: base 0, levels (3,2),(5,0).
         let canon = m.seq_canonical(&ctx());
         assert_eq!(canon.base, c(0));
-        assert_eq!(canon.levels, vec![Level::new(c(3), c(2)), Level::new(c(5), c(0))]);
+        assert_eq!(
+            canon.levels,
+            vec![Level::new(c(3), c(2)), Level::new(c(5), c(0))]
+        );
     }
 
     #[test]
@@ -692,7 +711,9 @@ mod tests {
 
     #[test]
     fn display_uses_paper_syntax() {
-        let h = Hsm::leaf(c(0)).repeat(s("nrows"), s("nrows")).repeat(s("nrows"), c(1));
+        let h = Hsm::leaf(c(0))
+            .repeat(s("nrows"), s("nrows"))
+            .repeat(s("nrows"), c(1));
         assert_eq!(h.to_string(), "[[0 : nrows, nrows] : nrows, 1]");
         assert_eq!(Hsm::leaf(c(7)).to_string(), "7");
     }
@@ -722,7 +743,9 @@ mod tests {
         ];
         for (h, q) in cases {
             let ctx = ctx();
-            let d = h.div(&c(q), &ctx).unwrap_or_else(|e| panic!("div {h} by {q}: {e}"));
+            let d = h
+                .div(&c(q), &ctx)
+                .unwrap_or_else(|e| panic!("div {h} by {q}: {e}"));
             let m = h
                 .modulo(&c(q), &ctx)
                 .unwrap_or_else(|e| panic!("mod {h} by {q}: {e}"));
@@ -739,7 +762,9 @@ mod tests {
     #[test]
     fn set_canonical_telescopes_transpose_image() {
         // levels (nrows, nrows), (nrows, 1) telescope to (nrows², 1).
-        let h = Hsm::leaf(c(0)).repeat(s("nrows"), s("nrows")).repeat(s("nrows"), c(1));
+        let h = Hsm::leaf(c(0))
+            .repeat(s("nrows"), s("nrows"))
+            .repeat(s("nrows"), c(1));
         let canon = h.set_canonical(&ctx());
         assert_eq!(canon.levels.len(), 1);
         assert_eq!(canon.levels[0].rep, s("nrows") * s("nrows"));

@@ -144,7 +144,9 @@ impl SymPoly {
         let mut hi = SymPoly::zero();
         let mut lo = SymPoly::zero();
         for (m, c) in &self.terms {
-            let term = SymPoly { terms: BTreeMap::from([(m.clone(), *c)]) };
+            let term = SymPoly {
+                terms: BTreeMap::from([(m.clone(), *c)]),
+            };
             match term.try_div_exact(q) {
                 Some(d) => hi = hi + d,
                 None => lo = lo + term,
@@ -178,7 +180,11 @@ impl SymPoly {
         for (mono, c) in &self.terms {
             let mut factor = SymPoly::constant(*c);
             for (s, e) in mono {
-                let base = if s == sym { replacement.clone() } else { SymPoly::sym(s.clone()) };
+                let base = if s == sym {
+                    replacement.clone()
+                } else {
+                    SymPoly::sym(s.clone())
+                };
                 for _ in 0..*e {
                     factor = factor * base.clone();
                 }
@@ -196,7 +202,12 @@ impl SymPoly {
     #[must_use]
     pub fn provably_nonneg(&self) -> bool {
         let mut shifted = self.clone();
-        for s in self.symbols().into_iter().map(str::to_owned).collect::<Vec<_>>() {
+        for s in self
+            .symbols()
+            .into_iter()
+            .map(str::to_owned)
+            .collect::<Vec<_>>()
+        {
             let repl = SymPoly::constant(1) + SymPoly::sym(format!("__shift_{s}"));
             shifted = shifted.subst(&s, &repl);
         }
@@ -232,7 +243,9 @@ impl Sub for SymPoly {
 impl Neg for SymPoly {
     type Output = SymPoly;
     fn neg(self) -> SymPoly {
-        SymPoly { terms: self.terms.into_iter().map(|(m, c)| (m, -c)).collect() }
+        SymPoly {
+            terms: self.terms.into_iter().map(|(m, c)| (m, -c)).collect(),
+        }
     }
 }
 
@@ -425,7 +438,10 @@ mod tests {
         );
         assert_eq!(p.try_div_exact(&(c(3)).clone()), None);
         assert_eq!(p.try_div_exact(&(s("nrows") * s("nrows"))), None);
-        assert_eq!(SymPoly::zero().try_div_exact(&s("q")), Some(SymPoly::zero()));
+        assert_eq!(
+            SymPoly::zero().try_div_exact(&s("q")),
+            Some(SymPoly::zero())
+        );
     }
 
     #[test]

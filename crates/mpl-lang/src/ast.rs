@@ -32,7 +32,14 @@ impl BinOp {
     pub fn is_boolean(self) -> bool {
         matches!(
             self,
-            BinOp::Eq | BinOp::Ne | BinOp::Lt | BinOp::Le | BinOp::Gt | BinOp::Ge | BinOp::And | BinOp::Or
+            BinOp::Eq
+                | BinOp::Ne
+                | BinOp::Lt
+                | BinOp::Le
+                | BinOp::Gt
+                | BinOp::Ge
+                | BinOp::And
+                | BinOp::Or
         )
     }
 }
@@ -171,7 +178,10 @@ impl Stmt {
     /// builders in [`crate::corpus`]).
     #[must_use]
     pub fn synthetic(kind: StmtKind) -> Stmt {
-        Stmt { kind, span: Span::default() }
+        Stmt {
+            kind,
+            span: Span::default(),
+        }
     }
 }
 
@@ -181,12 +191,21 @@ pub enum StmtKind {
     /// `x := e;`
     Assign { name: String, value: Expr },
     /// `if c then .. else .. end`
-    If { cond: Expr, then_branch: Vec<Stmt>, else_branch: Vec<Stmt> },
+    If {
+        cond: Expr,
+        then_branch: Vec<Stmt>,
+        else_branch: Vec<Stmt>,
+    },
     /// `while c do .. end`
     While { cond: Expr, body: Vec<Stmt> },
     /// `for v := a to b do .. end` — inclusive upper bound, as in the
     /// paper's `for i=1 to np-1`.
-    For { var: String, from: Expr, to: Expr, body: Vec<Stmt> },
+    For {
+        var: String,
+        from: Expr,
+        to: Expr,
+        body: Vec<Stmt>,
+    },
     /// `send value -> dest;`
     Send { value: Expr, dest: Expr },
     /// `recv var <- src;`
@@ -221,9 +240,11 @@ impl Program {
                 .iter()
                 .map(|s| {
                     1 + match &s.kind {
-                        StmtKind::If { then_branch, else_branch, .. } => {
-                            count(then_branch) + count(else_branch)
-                        }
+                        StmtKind::If {
+                            then_branch,
+                            else_branch,
+                            ..
+                        } => count(then_branch) + count(else_branch),
                         StmtKind::While { body, .. } | StmtKind::For { body, .. } => count(body),
                         _ => 0,
                     }
@@ -252,7 +273,11 @@ impl fmt::Display for Program {
             let pad = "  ".repeat(indent);
             match &stmt.kind {
                 StmtKind::Assign { name, value } => writeln!(f, "{pad}{name} := {value};"),
-                StmtKind::If { cond, then_branch, else_branch } => {
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                } => {
                     writeln!(f, "{pad}if {cond} then")?;
                     write_block(f, then_branch, indent + 1)?;
                     if !else_branch.is_empty() {
@@ -266,7 +291,12 @@ impl fmt::Display for Program {
                     write_block(f, body, indent + 1)?;
                     writeln!(f, "{pad}end")
                 }
-                StmtKind::For { var, from, to, body } => {
+                StmtKind::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                } => {
                     writeln!(f, "{pad}for {var} := {from} to {to} do")?;
                     write_block(f, body, indent + 1)?;
                     writeln!(f, "{pad}end")

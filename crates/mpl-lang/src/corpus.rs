@@ -65,7 +65,15 @@ fn entry(
 ) -> CorpusProgram {
     let program = parse_program(&source)
         .unwrap_or_else(|e| panic!("corpus program `{name}` failed to parse: {e}\n{source}"));
-    CorpusProgram { name, paper_ref, description, source, program, hint, min_procs }
+    CorpusProgram {
+        name,
+        paper_ref,
+        description,
+        source,
+        program,
+        hint,
+        min_procs,
+    }
 }
 
 /// Figure 2: processes 0 and 1 exchange a value initialized to 5 by
@@ -666,9 +674,7 @@ pub fn repeated_exchanges(k: usize) -> CorpusProgram {
         body0.push_str(&format!("  send {i} -> 1;\n  recv y <- 1;\n"));
         body1.push_str("  recv y <- 0;\n  send y -> 0;\n");
     }
-    let src = format!(
-        "if id = 0 then\n{body0}else\n  if id = 1 then\n{body1}  end\nend\n"
-    );
+    let src = format!("if id = 0 then\n{body0}else\n  if id = 1 then\n{body1}  end\nend\n");
     entry(
         "repeated_exchanges",
         "scaling knob",
@@ -731,7 +737,10 @@ mod tests {
     #[test]
     fn concrete_grid_programs_parse() {
         for rect in [false, true] {
-            let dims = GridDims::Concrete { nrows: 2, ncols: if rect { 4 } else { 2 } };
+            let dims = GridDims::Concrete {
+                nrows: 2,
+                ncols: if rect { 4 } else { 2 },
+            };
             let p = if rect {
                 nas_cg_transpose_rect(dims)
             } else {
@@ -753,7 +762,11 @@ mod tests {
                 let f = |p: i64| 2 * nrows * ((p / 2) % nrows) + 2 * (p / (2 * nrows)) + p % 2;
                 let partner = f(rank);
                 assert!((0..np).contains(&partner));
-                assert_eq!(f(partner), rank, "not an involution at rank {rank}, nrows {nrows}");
+                assert_eq!(
+                    f(partner),
+                    rank,
+                    "not an involution at rank {rank}, nrows {nrows}"
+                );
             }
         }
     }
@@ -773,8 +786,8 @@ mod tests {
     fn display_of_corpus_round_trips() {
         for p in all() {
             let printed = p.program.to_string();
-            let reparsed = crate::parse_program(&printed)
-                .unwrap_or_else(|e| panic!("{}: {e}", p.name));
+            let reparsed =
+                crate::parse_program(&printed).unwrap_or_else(|e| panic!("{}: {e}", p.name));
             // Spans differ between the two sources; compare printed forms.
             assert_eq!(printed, reparsed.to_string(), "{}", p.name);
         }

@@ -31,7 +31,12 @@ struct Lexer<'a> {
 
 impl<'a> Lexer<'a> {
     fn new(src: &'a str) -> Self {
-        Lexer { src: src.as_bytes(), pos: 0, line: 1, col: 1 }
+        Lexer {
+            src: src.as_bytes(),
+            pos: 0,
+            line: 1,
+            col: 1,
+        }
     }
 
     fn peek(&self) -> Option<u8> {
@@ -55,7 +60,12 @@ impl<'a> Lexer<'a> {
     }
 
     fn here(&self) -> Span {
-        Span { start: self.pos, end: self.pos, line: self.line, col: self.col }
+        Span {
+            start: self.pos,
+            end: self.pos,
+            line: self.line,
+            col: self.col,
+        }
     }
 
     fn skip_trivia(&mut self) {
@@ -82,7 +92,10 @@ impl<'a> Lexer<'a> {
         self.skip_trivia();
         let mut span = self.here();
         let Some(c) = self.peek() else {
-            return Ok(Token { kind: TokenKind::Eof, span });
+            return Ok(Token {
+                kind: TokenKind::Eof,
+                span,
+            });
         };
 
         let kind = match c {
@@ -100,7 +113,10 @@ impl<'a> Lexer<'a> {
             }
             b'a'..=b'z' | b'A'..=b'Z' | b'_' => {
                 let start = self.pos;
-                while matches!(self.peek(), Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')) {
+                while matches!(
+                    self.peek(),
+                    Some(b'a'..=b'z' | b'A'..=b'Z' | b'0'..=b'9' | b'_')
+                ) {
                     self.bump();
                 }
                 let text = std::str::from_utf8(&self.src[start..self.pos]).expect("ascii ident");
@@ -112,7 +128,10 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     TokenKind::Assign
                 } else {
-                    return Err(LexError { span, message: "expected `:=`".into() });
+                    return Err(LexError {
+                        span,
+                        message: "expected `:=`".into(),
+                    });
                 }
             }
             b';' => {
@@ -162,7 +181,10 @@ impl<'a> Lexer<'a> {
                     self.bump();
                     TokenKind::Ne
                 } else {
-                    return Err(LexError { span, message: "expected `!=`".into() });
+                    return Err(LexError {
+                        span,
+                        message: "expected `!=`".into(),
+                    });
                 }
             }
             b'<' => {
@@ -288,7 +310,10 @@ mod tests {
 
     #[test]
     fn distinguishes_lt_le_backarrow() {
-        assert_eq!(kinds("< <= <-")[..3], [TokenKind::Lt, TokenKind::Le, TokenKind::BackArrow]);
+        assert_eq!(
+            kinds("< <= <-")[..3],
+            [TokenKind::Lt, TokenKind::Le, TokenKind::BackArrow]
+        );
     }
 
     #[test]
@@ -314,7 +339,10 @@ mod tests {
     #[test]
     fn tracks_line_numbers() {
         let toks = tokenize("x := 1;\ny := 2;").unwrap();
-        let y = toks.iter().find(|t| t.kind == TokenKind::Ident("y".into())).unwrap();
+        let y = toks
+            .iter()
+            .find(|t| t.kind == TokenKind::Ident("y".into()))
+            .unwrap();
         assert_eq!(y.span.line, 2);
         assert_eq!(y.span.col, 1);
     }

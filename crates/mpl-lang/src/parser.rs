@@ -53,7 +53,10 @@ impl Error for ParseError {}
 
 impl From<LexError> for ParseError {
     fn from(e: LexError) -> Self {
-        ParseError { span: e.span, message: e.message }
+        ParseError {
+            span: e.span,
+            message: e.message,
+        }
     }
 }
 
@@ -104,7 +107,9 @@ impl Parser {
         match &self.peek().kind {
             TokenKind::Ident(_) => {
                 let t = self.bump();
-                let TokenKind::Ident(name) = t.kind else { unreachable!() };
+                let TokenKind::Ident(name) = t.kind else {
+                    unreachable!()
+                };
                 Ok((name, t.span))
             }
             other => {
@@ -115,7 +120,10 @@ impl Parser {
     }
 
     fn error_here(&self, message: &str) -> ParseError {
-        ParseError { span: self.peek().span, message: message.to_owned() }
+        ParseError {
+            span: self.peek().span,
+            message: message.to_owned(),
+        }
     }
 
     fn parse_program(&mut self) -> Result<Program, ParseError> {
@@ -148,7 +156,11 @@ impl Parser {
                     Vec::new()
                 };
                 self.expect(&TokenKind::End)?;
-                StmtKind::If { cond, then_branch, else_branch }
+                StmtKind::If {
+                    cond,
+                    then_branch,
+                    else_branch,
+                }
             }
             TokenKind::While => {
                 self.bump();
@@ -171,7 +183,12 @@ impl Parser {
                 self.expect(&TokenKind::Do)?;
                 let body = self.parse_block(&[TokenKind::End])?;
                 self.expect(&TokenKind::End)?;
-                StmtKind::For { var, from, to, body }
+                StmtKind::For {
+                    var,
+                    from,
+                    to,
+                    body,
+                }
             }
             TokenKind::Send => {
                 self.bump();
@@ -214,14 +231,16 @@ impl Parser {
                 StmtKind::Assign { name, value }
             }
             other => {
-                return Err(self.error_here(&format!(
-                    "expected a statement, found {}",
-                    other.describe()
-                )))
+                return Err(
+                    self.error_here(&format!("expected a statement, found {}", other.describe()))
+                )
             }
         };
         let end = self.tokens[self.pos.saturating_sub(1)].span;
-        Ok(Stmt { kind, span: start.merge(end) })
+        Ok(Stmt {
+            kind,
+            span: start.merge(end),
+        })
     }
 
     fn parse_expr(&mut self) -> Result<Expr, ParseError> {
@@ -379,7 +398,9 @@ mod tests {
     #[test]
     fn parses_assignment_with_precedence() {
         let p = parse_program("x := 1 + 2 * 3;").unwrap();
-        let StmtKind::Assign { value, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(
             *value,
             Expr::binary(
@@ -393,7 +414,9 @@ mod tests {
     #[test]
     fn parses_parenthesized_grouping() {
         let p = parse_program("x := (1 + 2) * 3;").unwrap();
-        let StmtKind::Assign { value, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(
             *value,
             Expr::binary(
@@ -407,7 +430,14 @@ mod tests {
     #[test]
     fn parses_if_else() {
         let p = parse_program("if id = 0 then x := 1; else x := 2; end").unwrap();
-        let StmtKind::If { cond, then_branch, else_branch } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::If {
+            cond,
+            then_branch,
+            else_branch,
+        } = &p.stmts[0].kind
+        else {
+            panic!()
+        };
         assert_eq!(*cond, Expr::binary(BinOp::Eq, Expr::Id, Expr::Int(0)));
         assert_eq!(then_branch.len(), 1);
         assert_eq!(else_branch.len(), 1);
@@ -416,7 +446,9 @@ mod tests {
     #[test]
     fn parses_if_without_else() {
         let p = parse_program("if id < np then skip; end").unwrap();
-        let StmtKind::If { else_branch, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::If { else_branch, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         assert!(else_branch.is_empty());
     }
 
@@ -424,7 +456,15 @@ mod tests {
     fn parses_for_with_paper_syntax() {
         // The paper writes `for i=1 to np-1`.
         let p = parse_program("for i = 1 to np - 1 do send 0 -> i; end").unwrap();
-        let StmtKind::For { var, from, to, body } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::For {
+            var,
+            from,
+            to,
+            body,
+        } = &p.stmts[0].kind
+        else {
+            panic!()
+        };
         assert_eq!(var, "i");
         assert_eq!(*from, Expr::Int(1));
         assert_eq!(*to, Expr::binary(BinOp::Sub, Expr::Np, Expr::Int(1)));
@@ -435,7 +475,9 @@ mod tests {
     fn parses_send_recv() {
         let p = parse_program("send x + 1 -> id + 1; recv y <- id - 1;").unwrap();
         assert!(matches!(p.stmts[0].kind, StmtKind::Send { .. }));
-        let StmtKind::Recv { var, src } = &p.stmts[1].kind else { panic!() };
+        let StmtKind::Recv { var, src } = &p.stmts[1].kind else {
+            panic!()
+        };
         assert_eq!(var, "y");
         assert_eq!(*src, Expr::binary(BinOp::Sub, Expr::Id, Expr::Int(1)));
     }
@@ -456,16 +498,22 @@ mod tests {
     #[test]
     fn parses_negative_literals() {
         let p = parse_program("x := -5;").unwrap();
-        let StmtKind::Assign { value, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::Assign { value, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         assert_eq!(*value, Expr::Int(-5));
     }
 
     #[test]
     fn parses_logical_operators() {
         let p = parse_program("if id = 0 or id = np - 1 and not (x < 2) then skip; end").unwrap();
-        let StmtKind::If { cond, .. } = &p.stmts[0].kind else { panic!() };
+        let StmtKind::If { cond, .. } = &p.stmts[0].kind else {
+            panic!()
+        };
         // `and` binds tighter than `or`.
-        let Expr::Binary(BinOp::Or, _, rhs) = cond else { panic!("expected or at top") };
+        let Expr::Binary(BinOp::Or, _, rhs) = cond else {
+            panic!("expected or at top")
+        };
         assert!(matches!(**rhs, Expr::Binary(BinOp::And, _, _)));
     }
 
@@ -509,89 +557,106 @@ mod tests {
 mod proptests {
     use super::*;
     use crate::ast::{BinOp, Expr, Program, Stmt, StmtKind};
-    use proptest::prelude::*;
+    use mpl_rng::Rng64;
 
-    /// Identifier strategy that avoids MPL keywords (`or`, `do`, …) —
+    /// A random identifier avoiding MPL keywords (`or`, `do`, …) —
     /// reserved words cannot round-trip as variable names.
-    fn arb_ident() -> impl Strategy<Value = String> {
-        "[a-w][a-z0-9_]{0,6}".prop_map(|name| {
-            const KEYWORDS: &[&str] = &[
-                "if", "then", "else", "end", "while", "do", "for", "to", "send",
-                "recv", "receive", "print", "assume", "assert", "skip", "id",
-                "me", "np", "and", "or", "not", "true", "false",
-            ];
-            if KEYWORDS.contains(&name.as_str()) {
-                format!("v_{name}")
-            } else {
-                name
-            }
-        })
-    }
-
-    fn arb_expr() -> impl Strategy<Value = Expr> {
-        let leaf = prop_oneof![
-            (-1000i64..1000).prop_map(Expr::Int),
-            Just(Expr::Id),
-            Just(Expr::Np),
-            arb_ident().prop_map(Expr::Var),
+    fn gen_ident(rng: &mut Rng64) -> String {
+        const FIRST: &[u8] = b"abcdefghijklmnopqrstuvw";
+        const REST: &[u8] = b"abcdefghijklmnopqrstuvwxyz0123456789_";
+        const KEYWORDS: &[&str] = &[
+            "if", "then", "else", "end", "while", "do", "for", "to", "send", "recv", "receive",
+            "print", "assume", "assert", "skip", "id", "me", "np", "and", "or", "not", "true",
+            "false",
         ];
-        leaf.prop_recursive(4, 32, 2, |inner| {
-            (
-                inner.clone(),
-                prop_oneof![
-                    Just(BinOp::Add),
-                    Just(BinOp::Sub),
-                    Just(BinOp::Mul),
-                    Just(BinOp::Div),
-                    Just(BinOp::Mod),
-                ],
-                inner,
-            )
-                .prop_map(|(l, op, r)| Expr::binary(op, l, r))
-        })
-    }
-
-    fn arb_stmt(depth: u32) -> BoxedStrategy<Stmt> {
-        let assign = (arb_ident(), arb_expr())
-            .prop_map(|(name, value)| Stmt::synthetic(StmtKind::Assign { name, value }));
-        let send = (arb_expr(), arb_expr())
-            .prop_map(|(value, dest)| Stmt::synthetic(StmtKind::Send { value, dest }));
-        let recv = (arb_ident(), arb_expr())
-            .prop_map(|(var, src)| Stmt::synthetic(StmtKind::Recv { var, src }));
-        let print = arb_expr().prop_map(|e| Stmt::synthetic(StmtKind::Print(e)));
-        let leaf = prop_oneof![assign, send, recv, print];
-        if depth == 0 {
-            return leaf.boxed();
+        let mut name = String::new();
+        name.push(*rng.pick(FIRST) as char);
+        for _ in 0..rng.index(7) {
+            name.push(*rng.pick(REST) as char);
         }
-        let cond = || {
-            (arb_expr(), arb_expr()).prop_map(|(l, r)| Expr::binary(BinOp::Le, l, r))
-        };
-        let iff = (
-            cond(),
-            proptest::collection::vec(arb_stmt(depth - 1), 0..3),
-            proptest::collection::vec(arb_stmt(depth - 1), 0..3),
-        )
-            .prop_map(|(cond, then_branch, else_branch)| {
-                Stmt::synthetic(StmtKind::If { cond, then_branch, else_branch })
-            });
-        let whil = (cond(), proptest::collection::vec(arb_stmt(depth - 1), 0..3))
-            .prop_map(|(cond, body)| Stmt::synthetic(StmtKind::While { cond, body }));
-        prop_oneof![3 => leaf, 1 => iff, 1 => whil].boxed()
+        if KEYWORDS.contains(&name.as_str()) {
+            format!("v_{name}")
+        } else {
+            name
+        }
     }
 
-    proptest! {
-        #![proptest_config(ProptestConfig::with_cases(128))]
+    fn gen_expr(rng: &mut Rng64, depth: u32) -> Expr {
+        if depth > 0 && rng.index(3) == 0 {
+            let op = *rng.pick(&[BinOp::Add, BinOp::Sub, BinOp::Mul, BinOp::Div, BinOp::Mod]);
+            let l = gen_expr(rng, depth - 1);
+            let r = gen_expr(rng, depth - 1);
+            return Expr::binary(op, l, r);
+        }
+        match rng.index(4) {
+            0 => Expr::Int(rng.i64_in(-1000, 1000)),
+            1 => Expr::Id,
+            2 => Expr::Np,
+            _ => Expr::Var(gen_ident(rng)),
+        }
+    }
 
-        /// Display ∘ parse is the identity on printed programs: any AST we
-        /// can build pretty-prints to something that parses back to the
-        /// same printed form.
-        #[test]
-        fn display_parse_round_trip(stmts in proptest::collection::vec(arb_stmt(2), 1..6)) {
+    fn gen_stmts(rng: &mut Rng64, depth: u32, max: usize) -> Vec<Stmt> {
+        (0..rng.index(max + 1))
+            .map(|_| gen_stmt(rng, depth))
+            .collect()
+    }
+
+    fn gen_stmt(rng: &mut Rng64, depth: u32) -> Stmt {
+        let leaf = |rng: &mut Rng64| match rng.index(4) {
+            0 => Stmt::synthetic(StmtKind::Assign {
+                name: gen_ident(rng),
+                value: gen_expr(rng, 4),
+            }),
+            1 => Stmt::synthetic(StmtKind::Send {
+                value: gen_expr(rng, 4),
+                dest: gen_expr(rng, 4),
+            }),
+            2 => Stmt::synthetic(StmtKind::Recv {
+                var: gen_ident(rng),
+                src: gen_expr(rng, 4),
+            }),
+            _ => Stmt::synthetic(StmtKind::Print(gen_expr(rng, 4))),
+        };
+        if depth == 0 {
+            return leaf(rng);
+        }
+        // 3:1:1 odds of leaf : if : while, as in the original strategy.
+        match rng.index(5) {
+            0 => {
+                let cond = Expr::binary(BinOp::Le, gen_expr(rng, 4), gen_expr(rng, 4));
+                Stmt::synthetic(StmtKind::If {
+                    cond,
+                    then_branch: gen_stmts(rng, depth - 1, 2),
+                    else_branch: gen_stmts(rng, depth - 1, 2),
+                })
+            }
+            1 => {
+                let cond = Expr::binary(BinOp::Le, gen_expr(rng, 4), gen_expr(rng, 4));
+                Stmt::synthetic(StmtKind::While {
+                    cond,
+                    body: gen_stmts(rng, depth - 1, 2),
+                })
+            }
+            _ => leaf(rng),
+        }
+    }
+
+    /// Display ∘ parse is the identity on printed programs: any AST we
+    /// can build pretty-prints to something that parses back to the
+    /// same printed form.
+    #[test]
+    fn display_parse_round_trip() {
+        let mut rng = Rng64::seed_from_u64(0x5EED_1234);
+        for case in 0..128 {
+            let stmts: Vec<Stmt> = (0..1 + rng.index(5))
+                .map(|_| gen_stmt(&mut rng, 2))
+                .collect();
             let program = Program::new(stmts);
             let printed = program.to_string();
-            let reparsed = parse_program(&printed)
-                .unwrap_or_else(|e| panic!("{e}\n{printed}"));
-            prop_assert_eq!(printed, reparsed.to_string());
+            let reparsed =
+                parse_program(&printed).unwrap_or_else(|e| panic!("case {case}: {e}\n{printed}"));
+            assert_eq!(printed, reparsed.to_string(), "case {case}");
         }
     }
 }

@@ -23,8 +23,16 @@ impl Span {
         Span {
             start: self.start.min(other.start),
             end: self.end.max(other.end),
-            line: if self.start <= other.start { self.line } else { other.line },
-            col: if self.start <= other.start { self.col } else { other.col },
+            line: if self.start <= other.start {
+                self.line
+            } else {
+                other.line
+            },
+            col: if self.start <= other.start {
+                self.col
+            } else {
+                other.col
+            },
         }
     }
 }
@@ -65,26 +73,26 @@ pub enum TokenKind {
     False,
 
     // Punctuation and operators.
-    Assign,   // :=
-    Semi,     // ;
-    LParen,   // (
-    RParen,   // )
-    Arrow,    // ->
+    Assign,    // :=
+    Semi,      // ;
+    LParen,    // (
+    RParen,    // )
+    Arrow,     // ->
     BackArrow, // <-
-    Plus,     // +
-    Minus,    // -
-    Star,     // *
-    Slash,    // /
-    Percent,  // %
-    Eq,       // =
-    Ne,       // !=
-    Lt,       // <
-    Le,       // <=
-    Gt,       // >
-    Ge,       // >=
-    And,      // and
-    Or,       // or
-    Not,      // not
+    Plus,      // +
+    Minus,     // -
+    Star,      // *
+    Slash,     // /
+    Percent,   // %
+    Eq,        // =
+    Ne,        // !=
+    Lt,        // <
+    Le,        // <=
+    Gt,        // >
+    Ge,        // >=
+    And,       // and
+    Or,        // or
+    Not,       // not
 
     /// End of input.
     Eof,
@@ -152,8 +160,18 @@ mod tests {
 
     #[test]
     fn span_merge_covers_both() {
-        let a = Span { start: 0, end: 3, line: 1, col: 1 };
-        let b = Span { start: 10, end: 12, line: 2, col: 4 };
+        let a = Span {
+            start: 0,
+            end: 3,
+            line: 1,
+            col: 1,
+        };
+        let b = Span {
+            start: 10,
+            end: 12,
+            line: 2,
+            col: 4,
+        };
         let m = a.merge(b);
         assert_eq!(m.start, 0);
         assert_eq!(m.end, 12);

@@ -86,13 +86,14 @@ impl Bound {
                     extra.insert(alias.plus(e.offset));
                 }
             } else {
+                // Rank variables are identified by bit test on the packed
+                // id; the snapshot of `Copy` ids costs one memcpy.
                 for v in cg.variables().to_vec() {
-                    let mpl_domains::NsVar::Pset(_, name) = &v else { continue };
-                    if name != "id" {
+                    if !v.is_rank_id() {
                         continue;
                     }
-                    if let Some(cv) = cg.const_of(&v) {
-                        extra.insert(LinExpr::var_plus(v.clone(), e.offset - cv));
+                    if let Some(cv) = cg.const_of(v) {
+                        extra.insert(LinExpr::var_plus(v, e.offset - cv));
                     }
                 }
             }
@@ -103,13 +104,17 @@ impl Bound {
     /// The bound shifted by a constant (`b + c`).
     #[must_use]
     pub fn plus(&self, c: i64) -> Bound {
-        Bound { exprs: self.exprs.iter().map(|e| e.plus(c)).collect() }
+        Bound {
+            exprs: self.exprs.iter().map(|e| e.plus(c)).collect(),
+        }
     }
 
     /// Rewrites per-set base variables from namespace `from` to `to`.
     #[must_use]
     pub fn renamed(&self, from: PsetId, to: PsetId) -> Bound {
-        Bound { exprs: self.exprs.iter().map(|e| e.renamed(from, to)).collect() }
+        Bound {
+            exprs: self.exprs.iter().map(|e| e.renamed(from, to)).collect(),
+        }
     }
 
     /// Widening: keeps only the aliases present in both bounds (the
@@ -117,7 +122,9 @@ impl Bound {
     /// bound if the two have nothing in common.
     #[must_use]
     pub fn widen(&self, newer: &Bound) -> Bound {
-        Bound { exprs: self.exprs.intersection(&newer.exprs).cloned().collect() }
+        Bound {
+            exprs: self.exprs.intersection(&newer.exprs).cloned().collect(),
+        }
     }
 
     /// Compares two bounds using the constraint graph; `None` when no
@@ -152,17 +159,18 @@ impl Bound {
 
     /// True if the graph proves `self ≤ other`.
     pub fn provably_le(&self, cg: &mut ConstraintGraph, other: &Bound) -> bool {
-        matches!(self.compare(cg, other), Some(Ordering::Less | Ordering::Equal))
-            || self
-                .exprs
-                .iter()
-                .any(|a| other.exprs.iter().any(|b| cg.proves_le(a, b)))
+        matches!(
+            self.compare(cg, other),
+            Some(Ordering::Less | Ordering::Equal)
+        ) || self
+            .exprs
+            .iter()
+            .any(|a| other.exprs.iter().any(|b| cg.proves_le(a, b)))
     }
 
     /// True if the graph proves `self < other`.
     pub fn provably_lt(&self, cg: &mut ConstraintGraph, other: &Bound) -> bool {
-        self.compare(cg, other) == Some(Ordering::Less)
-            || self.plus(1).provably_le(cg, other)
+        self.compare(cg, other) == Some(Ordering::Less) || self.plus(1).provably_le(cg, other)
     }
 
     /// When [`Bound::compare`] is inconclusive, a representative pair of
@@ -176,7 +184,7 @@ impl Bound {
         if self.is_vacant() || other.is_vacant() || self.compare(cg, other).is_some() {
             return None;
         }
-        Some((self.rep().clone(), other.rep().clone()))
+        Some((*self.rep(), *other.rep()))
     }
 }
 
@@ -222,7 +230,7 @@ mod tests {
     #[test]
     fn graph_facts_resolve_cross_variable_comparisons() {
         let mut cg = ConstraintGraph::new();
-        cg.assert_eq_const(&var("i"), 1);
+        cg.assert_eq_const(var("i"), 1);
         let a = Bound::of(LinExpr::of_var(var("i")));
         let b = Bound::constant(1);
         assert!(a.provably_eq(&mut cg, &b));
@@ -233,7 +241,7 @@ mod tests {
     #[test]
     fn saturate_collects_aliases() {
         let mut cg = ConstraintGraph::new();
-        cg.assert_eq_const(&var("i"), 1);
+        cg.assert_eq_const(var("i"), 1);
         let mut b = Bound::of(LinExpr::of_var(var("i")));
         b.saturate(&mut cg);
         assert!(b.exprs().contains(&LinExpr::constant(1)));
@@ -243,7 +251,7 @@ mod tests {
     #[test]
     fn saturate_shifts_alias_offsets() {
         let mut cg = ConstraintGraph::new();
-        cg.assert_eq_const(&var("i"), 4);
+        cg.assert_eq_const(var("i"), 4);
         let mut b = Bound::of(LinExpr::var_plus(var("i"), -1));
         b.saturate(&mut cg);
         assert!(b.exprs().contains(&LinExpr::constant(3)));
@@ -252,11 +260,11 @@ mod tests {
     #[test]
     fn widen_keeps_common_aliases() {
         let mut cg = ConstraintGraph::new();
-        cg.assert_eq_const(&var("i"), 1);
+        cg.assert_eq_const(var("i"), 1);
         let mut first = Bound::of(LinExpr::of_var(var("i")));
         first.saturate(&mut cg); // {i, 1}
         let mut cg2 = ConstraintGraph::new();
-        cg2.assert_eq_const(&var("i"), 2);
+        cg2.assert_eq_const(var("i"), 2);
         let mut second = Bound::of(LinExpr::of_var(var("i")));
         second.saturate(&mut cg2); // {i, 2}
         let w = first.widen(&second);
@@ -275,7 +283,7 @@ mod tests {
     #[test]
     fn rep_prefers_constants() {
         let mut cg = ConstraintGraph::new();
-        cg.assert_eq_const(&var("i"), 7);
+        cg.assert_eq_const(var("i"), 7);
         let mut b = Bound::of(LinExpr::of_var(var("i")));
         b.saturate(&mut cg);
         assert_eq!(b.rep(), &LinExpr::constant(7));
@@ -294,7 +302,9 @@ mod tests {
     fn renamed_rewrites_namespaced_bases() {
         let b = Bound::of(LinExpr::of_var(var("i")));
         let r = b.renamed(PsetId(0), PsetId(4));
-        assert!(r.exprs().contains(&LinExpr::of_var(NsVar::pset(PsetId(4), "i"))));
+        assert!(r
+            .exprs()
+            .contains(&LinExpr::of_var(NsVar::pset(PsetId(4), "i"))));
     }
 
     #[test]

@@ -51,7 +51,7 @@ impl ProcRange {
     /// A singleton `[e..e]`.
     #[must_use]
     pub fn singleton(e: LinExpr) -> ProcRange {
-        ProcRange::from_exprs(e.clone(), e)
+        ProcRange::from_exprs(e, e)
     }
 
     /// Saturates both bounds with every alias the graph knows.
@@ -234,7 +234,7 @@ mod tests {
     #[test]
     fn singleton_detection() {
         let mut cg = ConstraintGraph::new();
-        cg.assert_eq_const(&var("i"), 3);
+        cg.assert_eq_const(var("i"), 3);
         let r = ProcRange::from_exprs(LinExpr::of_var(var("i")), LinExpr::constant(3));
         assert!(r.is_singleton(&mut cg));
         assert_eq!(r.is_empty(&mut cg), Some(false));
@@ -266,12 +266,14 @@ mod tests {
         // Receivers [1..np-1]; matched [i..i] with i = 1 → remainder
         // [2..np-1], i.e. [i+1..np-1].
         let mut cg = cg_np(3);
-        cg.assert_eq_const(&var("i"), 1);
+        cg.assert_eq_const(var("i"), 1);
         let receivers = ProcRange::from_exprs(LinExpr::constant(1), np_minus(1));
         let mut matched = ProcRange::singleton(LinExpr::of_var(var("i")));
         matched.saturate(&mut cg);
         let out = receivers.subtract(&mut cg, &matched).unwrap();
-        let SubtractOutcome::One(rem) = out else { panic!("expected one remainder") };
+        let SubtractOutcome::One(rem) = out else {
+            panic!("expected one remainder")
+        };
         assert!(rem.lb.provably_eq(&mut cg, &Bound::constant(2)));
         // The remainder's lower bound also carries the symbolic alias i+1.
         assert!(rem.lb.exprs().contains(&LinExpr::var_plus(var("i"), 1)));
@@ -281,7 +283,10 @@ mod tests {
     fn subtract_whole_is_empty() {
         let mut cg = cg_np(2);
         let r = ProcRange::from_exprs(LinExpr::constant(1), np_minus(1));
-        assert_eq!(r.subtract(&mut cg, &r.clone()), Some(SubtractOutcome::Empty));
+        assert_eq!(
+            r.subtract(&mut cg, &r.clone()),
+            Some(SubtractOutcome::Empty)
+        );
     }
 
     #[test]
@@ -321,15 +326,13 @@ mod tests {
         // First iteration: released set [1..1] with ub aliases {1, i};
         // second: [1..2] with ub aliases {2, i}. Widening leaves [1..i].
         let mut cg1 = ConstraintGraph::new();
-        cg1.assert_eq_const(&var("i"), 1);
-        let mut first =
-            ProcRange::from_exprs(LinExpr::constant(1), LinExpr::of_var(var("i")));
+        cg1.assert_eq_const(var("i"), 1);
+        let mut first = ProcRange::from_exprs(LinExpr::constant(1), LinExpr::of_var(var("i")));
         first.saturate(&mut cg1);
 
         let mut cg2 = ConstraintGraph::new();
-        cg2.assert_eq_const(&var("i"), 2);
-        let mut second =
-            ProcRange::from_exprs(LinExpr::constant(1), LinExpr::of_var(var("i")));
+        cg2.assert_eq_const(var("i"), 2);
+        let mut second = ProcRange::from_exprs(LinExpr::constant(1), LinExpr::of_var(var("i")));
         second.saturate(&mut cg2);
 
         let w = first.widen(&second);

@@ -1,0 +1,155 @@
+//! # mpl-rng — deterministic in-tree pseudo-random numbers
+//!
+//! A tiny seeded generator (SplitMix64, Steele et al., OOPSLA'14 — the
+//! stream-splitting mixer used to seed xorshift-family generators) used
+//! for simulator schedules, randomized property suites and bench input
+//! generation. It exists so the workspace resolves and builds with **no
+//! registry access**: the default feature set of every crate pulls zero
+//! external dependencies (the `ext-deps` feature on downstream crates is
+//! a reserved no-op hook; see the workspace README).
+//!
+//! The generator is *not* cryptographic and makes no cross-version
+//! stability promise beyond "same seed, same sequence within one build".
+
+/// A seeded SplitMix64 generator.
+///
+/// ```
+/// use mpl_rng::Rng64;
+/// let mut a = Rng64::seed_from_u64(7);
+/// let mut b = Rng64::seed_from_u64(7);
+/// assert_eq!(a.next_u64(), b.next_u64());
+/// ```
+#[derive(Debug, Clone)]
+pub struct Rng64 {
+    state: u64,
+}
+
+impl Rng64 {
+    /// Creates a generator from a seed (any value, including 0).
+    #[must_use]
+    pub fn seed_from_u64(seed: u64) -> Rng64 {
+        Rng64 { state: seed }
+    }
+
+    /// The next raw 64-bit output.
+    pub fn next_u64(&mut self) -> u64 {
+        self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.state;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+
+    /// A uniform index in `0..len` (Lemire multiply-shift reduction).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `len == 0`.
+    pub fn index(&mut self, len: usize) -> usize {
+        assert!(len > 0, "Rng64::index on empty range");
+        let r = u128::from(self.next_u64());
+        ((r * len as u128) >> 64) as usize
+    }
+
+    /// A uniform value in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn i64_in(&mut self, lo: i64, hi: i64) -> i64 {
+        assert!(lo < hi, "Rng64::i64_in empty range {lo}..{hi}");
+        let span = hi.wrapping_sub(lo) as u64;
+        let r = u128::from(self.next_u64());
+        lo.wrapping_add(((r * u128::from(span)) >> 64) as i64)
+    }
+
+    /// A uniform value in the half-open range `lo..hi`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `lo >= hi`.
+    pub fn u64_in(&mut self, lo: u64, hi: u64) -> u64 {
+        assert!(lo < hi, "Rng64::u64_in empty range {lo}..{hi}");
+        let r = u128::from(self.next_u64());
+        lo + ((r * u128::from(hi - lo)) >> 64) as u64
+    }
+
+    /// A fair coin flip.
+    pub fn flip(&mut self) -> bool {
+        self.next_u64() & 1 == 1
+    }
+
+    /// A uniformly chosen element of `xs`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `xs` is empty.
+    pub fn pick<'a, T>(&mut self, xs: &'a [T]) -> &'a T {
+        &xs[self.index(xs.len())]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = Rng64::seed_from_u64(42);
+        let mut b = Rng64::seed_from_u64(42);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+        let mut c = Rng64::seed_from_u64(43);
+        assert_ne!(Rng64::seed_from_u64(42).next_u64(), c.next_u64());
+    }
+
+    #[test]
+    fn index_stays_in_range_and_covers() {
+        let mut rng = Rng64::seed_from_u64(1);
+        let mut seen = [false; 7];
+        for _ in 0..1000 {
+            let i = rng.index(7);
+            assert!(i < 7);
+            seen[i] = true;
+        }
+        assert!(seen.iter().all(|&s| s), "all buckets hit: {seen:?}");
+    }
+
+    #[test]
+    fn i64_in_respects_bounds() {
+        let mut rng = Rng64::seed_from_u64(2);
+        for _ in 0..1000 {
+            let v = rng.i64_in(-5, 5);
+            assert!((-5..5).contains(&v), "{v}");
+        }
+        // Negative-only and single-value-wide ranges.
+        for _ in 0..100 {
+            assert!((-9..-3).contains(&rng.i64_in(-9, -3)));
+            assert_eq!(rng.i64_in(4, 5), 4);
+        }
+    }
+
+    #[test]
+    fn u64_in_respects_bounds() {
+        let mut rng = Rng64::seed_from_u64(3);
+        for _ in 0..1000 {
+            let v = rng.u64_in(2, 12);
+            assert!((2..12).contains(&v), "{v}");
+        }
+    }
+
+    #[test]
+    fn pick_and_flip() {
+        let mut rng = Rng64::seed_from_u64(4);
+        let xs = ["a", "b", "c"];
+        let mut heads = 0;
+        for _ in 0..200 {
+            assert!(xs.contains(rng.pick(&xs)));
+            if rng.flip() {
+                heads += 1;
+            }
+        }
+        assert!((40..160).contains(&heads), "flip badly skewed: {heads}");
+    }
+}

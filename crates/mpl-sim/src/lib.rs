@@ -32,7 +32,5 @@
 pub mod machine;
 pub mod topology;
 
-pub use machine::{
-    ExecError, Outcome, RunStatus, Schedule, SendMode, SimConfig, Simulator,
-};
+pub use machine::{ExecError, Outcome, RunStatus, Schedule, SendMode, SimConfig, Simulator};
 pub use topology::{RuntimeTopology, TopologyEdge};

@@ -6,8 +6,7 @@ use std::fmt;
 
 use mpl_cfg::{Cfg, CfgNode, CfgNodeId, EdgeKind};
 use mpl_lang::ast::{BinOp, Expr, Program, UnOp};
-use rand::rngs::StdRng;
-use rand::{Rng, SeedableRng};
+use mpl_rng::Rng64;
 
 /// How `send` behaves (paper §III).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -203,7 +202,11 @@ impl Simulator {
     #[must_use]
     pub fn from_cfg(cfg: Cfg, np: u64) -> Simulator {
         assert!(np > 0, "need at least one process");
-        Simulator { cfg, np, config: SimConfig::default() }
+        Simulator {
+            cfg,
+            np,
+            config: SimConfig::default(),
+        }
     }
 
     /// Replaces the configuration.
@@ -239,7 +242,7 @@ impl Simulator {
         let mut channels: HashMap<(u64, u64), VecDeque<InFlight>> = HashMap::new();
         let mut topology = crate::topology::RuntimeTopology::new();
         let mut rng = match self.config.schedule {
-            Schedule::Random { seed } => Some(StdRng::seed_from_u64(seed)),
+            Schedule::Random { seed } => Some(Rng64::seed_from_u64(seed)),
             Schedule::RoundRobin => None,
         };
 
@@ -255,8 +258,7 @@ impl Simulator {
             }
 
             if runnable.is_empty() {
-                let all_done =
-                    procs.iter().all(|p| p.pc == self.cfg.exit());
+                let all_done = procs.iter().all(|p| p.pc == self.cfg.exit());
                 let status = if all_done {
                     RunStatus::Completed
                 } else {
@@ -271,7 +273,11 @@ impl Simulator {
                 let mut leaks: Vec<LeakedMessage> = Vec::new();
                 for (&(s, r), q) in &channels {
                     for m in q {
-                        leaks.push(LeakedMessage { send_node: m.send_node, sender: s, receiver: r });
+                        leaks.push(LeakedMessage {
+                            send_node: m.send_node,
+                            sender: s,
+                            receiver: r,
+                        });
                     }
                 }
                 leaks.sort_unstable();
@@ -287,7 +293,7 @@ impl Simulator {
             }
 
             let rank = match &mut rng {
-                Some(rng) => runnable[rng.gen_range(0..runnable.len())],
+                Some(rng) => runnable[rng.index(runnable.len())],
                 None => {
                     // Round-robin: first runnable at or after `rr_next`.
                     let pick = runnable
@@ -303,7 +309,9 @@ impl Simulator {
             self.step(rank, &mut procs, &mut channels, &mut topology)?;
             steps += 1;
             if steps >= self.config.max_steps {
-                return Err(ExecError::StepLimitExceeded { limit: self.config.max_steps });
+                return Err(ExecError::StepLimitExceeded {
+                    limit: self.config.max_steps,
+                });
             }
         }
     }
@@ -370,13 +378,20 @@ impl Simulator {
             CfgNode::Assume(e) => {
                 let v = self.eval(rank, &e, &procs[rank as usize].store)?;
                 if v == 0 {
-                    return Err(ExecError::AssumeViolated { rank, expr: e.to_string() });
+                    return Err(ExecError::AssumeViolated {
+                        rank,
+                        expr: e.to_string(),
+                    });
                 }
                 procs[rank as usize].pc = self.cfg.sole_succ(pc);
             }
             CfgNode::Branch { cond } => {
                 let v = self.eval(rank, &cond, &procs[rank as usize].store)?;
-                let kind = if v != 0 { EdgeKind::True } else { EdgeKind::False };
+                let kind = if v != 0 {
+                    EdgeKind::True
+                } else {
+                    EdgeKind::False
+                };
                 let next = self
                     .cfg
                     .succ_along(pc, kind)
@@ -393,7 +408,11 @@ impl Simulator {
                         channels
                             .entry((rank, dest))
                             .or_default()
-                            .push_back(InFlight { value: v, send_node: pc, stamp });
+                            .push_back(InFlight {
+                                value: v,
+                                send_node: pc,
+                                stamp,
+                            });
                         procs[rank as usize].pc = self.cfg.sole_succ(pc);
                     }
                     SendMode::Rendezvous => {
@@ -411,8 +430,7 @@ impl Simulator {
                         });
                         procs[rank as usize].clock += 1;
                         let stamp = procs[rank as usize].clock;
-                        procs[dest as usize].clock =
-                            procs[dest as usize].clock.max(stamp) + 1;
+                        procs[dest as usize].clock = procs[dest as usize].clock.max(stamp) + 1;
                         procs[dest as usize].store.insert(var, v);
                         procs[dest as usize].pc = self.cfg.sole_succ(recv_pc);
                         procs[rank as usize].pc = self.cfg.sole_succ(pc);
@@ -448,7 +466,11 @@ impl Simulator {
     ) -> Result<u64, ExecError> {
         let v = self.eval(rank, expr, store)?;
         if v < 0 || (v as u64) >= self.np {
-            return Err(ExecError::PartnerOutOfRange { rank, partner: v, np: self.np });
+            return Err(ExecError::PartnerOutOfRange {
+                rank,
+                partner: v,
+                np: self.np,
+            });
         }
         // Self-messages are legal (a buffered send to oneself, as on the
         // diagonal of a transpose exchange); under rendezvous semantics a
@@ -456,15 +478,25 @@ impl Simulator {
         Ok(v as u64)
     }
 
-    fn eval(&self, rank: u64, expr: &Expr, store: &BTreeMap<String, i64>) -> Result<i64, ExecError> {
+    fn eval(
+        &self,
+        rank: u64,
+        expr: &Expr,
+        store: &BTreeMap<String, i64>,
+    ) -> Result<i64, ExecError> {
         Ok(match expr {
             Expr::Int(n) => *n,
             Expr::Bool(b) => i64::from(*b),
             Expr::Id => rank as i64,
             Expr::Np => self.np as i64,
-            Expr::Var(name) => *store.get(name).ok_or_else(|| {
-                ExecError::UninitializedVariable { rank, name: name.clone() }
-            })?,
+            Expr::Var(name) => {
+                *store
+                    .get(name)
+                    .ok_or_else(|| ExecError::UninitializedVariable {
+                        rank,
+                        name: name.clone(),
+                    })?
+            }
             Expr::Unary(UnOp::Neg, e) => -self.eval(rank, e, store)?,
             Expr::Unary(UnOp::Not, e) => i64::from(self.eval(rank, e, store)? == 0),
             Expr::Binary(op, l, r) => {
@@ -507,7 +539,9 @@ mod tests {
     use mpl_lang::parse_program;
 
     fn run(src: &str, np: u64) -> Outcome {
-        Simulator::new(&parse_program(src).unwrap(), np).run().unwrap()
+        Simulator::new(&parse_program(src).unwrap(), np)
+            .run()
+            .unwrap()
     }
 
     #[test]
@@ -595,7 +629,10 @@ mod tests {
         assert_eq!(out.topology.rank_pairs().len(), 4);
 
         let cfg_out = Simulator::new(&p.program, 4)
-            .with_config(SimConfig { send_mode: SendMode::Rendezvous, ..SimConfig::default() })
+            .with_config(SimConfig {
+                send_mode: SendMode::Rendezvous,
+                ..SimConfig::default()
+            })
             .run()
             .unwrap();
         // With blocking sends every process is stuck at `send`.
@@ -657,8 +694,11 @@ mod tests {
 
     #[test]
     fn rendezvous_matches_buffered_for_paired_patterns() {
-        for prog in [corpus::fig2_exchange(), corpus::exchange_with_root(), corpus::fanout_broadcast()]
-        {
+        for prog in [
+            corpus::fig2_exchange(),
+            corpus::exchange_with_root(),
+            corpus::fanout_broadcast(),
+        ] {
             let buffered = Simulator::new(&prog.program, 4).run().unwrap();
             let rendezvous = Simulator::new(&prog.program, 4)
                 .with_config(SimConfig {
@@ -674,31 +714,42 @@ mod tests {
 
     #[test]
     fn uninitialized_read_is_an_error() {
-        let err = Simulator::new(&parse_program("y := q + 1;").unwrap(), 2).run().unwrap_err();
+        let err = Simulator::new(&parse_program("y := q + 1;").unwrap(), 2)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, ExecError::UninitializedVariable { .. }));
     }
 
     #[test]
     fn division_by_zero_is_an_error() {
-        let err = Simulator::new(&parse_program("x := 1 / 0;").unwrap(), 1).run().unwrap_err();
+        let err = Simulator::new(&parse_program("x := 1 / 0;").unwrap(), 1)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, ExecError::DivisionByZero { .. }));
     }
 
     #[test]
     fn assume_violation_is_an_error() {
-        let err = Simulator::new(&parse_program("assume np = 3;").unwrap(), 2).run().unwrap_err();
+        let err = Simulator::new(&parse_program("assume np = 3;").unwrap(), 2)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, ExecError::AssumeViolated { .. }));
     }
 
     #[test]
     fn partner_out_of_range_is_an_error() {
-        let err = Simulator::new(&parse_program("send 1 -> np;").unwrap(), 2).run().unwrap_err();
+        let err = Simulator::new(&parse_program("send 1 -> np;").unwrap(), 2)
+            .run()
+            .unwrap_err();
         assert!(matches!(err, ExecError::PartnerOutOfRange { .. }));
     }
 
     #[test]
     fn step_limit_catches_infinite_loop() {
-        let config = SimConfig { max_steps: 1000, ..SimConfig::default() };
+        let config = SimConfig {
+            max_steps: 1000,
+            ..SimConfig::default()
+        };
         let err = run_cfg_err(config, "while true do skip; end", 1);
         assert!(matches!(err, ExecError::StepLimitExceeded { .. }));
     }
@@ -717,7 +768,10 @@ mod tests {
         initial.insert("nrows".to_owned(), 3i64);
         initial.insert("ncols".to_owned(), 3i64);
         let out = Simulator::new(&p.program, 9)
-            .with_config(SimConfig { initial_vars: initial, ..SimConfig::default() })
+            .with_config(SimConfig {
+                initial_vars: initial,
+                ..SimConfig::default()
+            })
             .run()
             .unwrap();
         assert!(out.is_complete());
@@ -745,7 +799,10 @@ mod clock_tests {
     use mpl_lang::corpus;
 
     fn path(prog: &corpus::CorpusProgram, np: u64) -> u64 {
-        Simulator::new(&prog.program, np).run().unwrap().critical_path()
+        Simulator::new(&prog.program, np)
+            .run()
+            .unwrap()
+            .critical_path()
     }
 
     #[test]
@@ -755,7 +812,10 @@ mod clock_tests {
         let p8 = path(&prog, 8);
         let p16 = path(&prog, 16);
         assert!(p8 >= 14, "got {p8}");
-        assert!(p16 >= 2 * p8 - 4, "p8={p8} p16={p16}: expected linear growth");
+        assert!(
+            p16 >= 2 * p8 - 4,
+            "p8={p8} p16={p16}: expected linear growth"
+        );
     }
 
     #[test]
@@ -813,7 +873,9 @@ mod fifo_tests {
         let src = "\
             if id = 0 then\n  send 10 -> 1;\n  send 20 -> 1;\n\
             else\n  if id = 1 then\n    recv a <- 0;\n    recv b <- 0;\n  end\nend\n";
-        let out = Simulator::new(&parse_program(src).unwrap(), 2).run().unwrap();
+        let out = Simulator::new(&parse_program(src).unwrap(), 2)
+            .run()
+            .unwrap();
         assert!(out.is_complete());
         assert_eq!(out.stores[1]["a"], 10);
         assert_eq!(out.stores[1]["b"], 20);
@@ -864,7 +926,9 @@ mod fifo_tests {
             if id = 0 then\n  send 100 -> 2;\n  send 101 -> 2;\nelse\n\
             if id = 1 then\n  send 200 -> 2;\n  send 201 -> 2;\nelse\n\
             if id = 2 then\n  recv a <- 0;\n  recv b <- 1;\n  recv c <- 0;\n  recv d <- 1;\nend end end\n";
-        let out = Simulator::new(&parse_program(src).unwrap(), 3).run().unwrap();
+        let out = Simulator::new(&parse_program(src).unwrap(), 3)
+            .run()
+            .unwrap();
         assert!(out.is_complete());
         assert_eq!(out.stores[2]["a"], 100);
         assert_eq!(out.stores[2]["b"], 200);

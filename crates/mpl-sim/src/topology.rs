@@ -63,7 +63,10 @@ impl RuntimeTopology {
     /// comparable with the static analysis' `matches` component.
     #[must_use]
     pub fn site_pairs(&self) -> BTreeSet<(CfgNodeId, CfgNodeId)> {
-        self.edges.iter().map(|e| (e.send_node, e.recv_node)).collect()
+        self.edges
+            .iter()
+            .map(|e| (e.send_node, e.recv_node))
+            .collect()
     }
 
     /// Number of recorded deliveries (distinct edges).

@@ -46,6 +46,9 @@ fn main() {
     let result = analyze_cfg(&cfg, &AnalysisConfig::default());
     let diags = diagnose(&cfg, &result);
     println!("=== {} ===", prog.name);
-    println!("static diagnostics: {}", if diags.is_empty() { "none ✓" } else { "?" });
+    println!(
+        "static diagnostics: {}",
+        if diags.is_empty() { "none ✓" } else { "?" }
+    );
     assert!(diags.is_empty());
 }

@@ -20,7 +20,9 @@ use mpl_sim::{SimConfig, Simulator};
 
 fn dest_of(src: &str) -> mpl_lang::ast::Expr {
     let p = parse_program(&format!("send 0 -> {src};")).unwrap();
-    let StmtKind::Send { dest, .. } = &p.stmts[0].kind else { unreachable!() };
+    let StmtKind::Send { dest, .. } = &p.stmts[0].kind else {
+        unreachable!()
+    };
     dest.clone()
 }
 
@@ -53,8 +55,14 @@ fn main() {
 
     // --- Full pCFG analysis, both grid shapes ----------------------------
     for (label, prog) in [
-        ("square", corpus::nas_cg_transpose_square(GridDims::Symbolic)),
-        ("rectangular (ncols = 2*nrows)", corpus::nas_cg_transpose_rect(GridDims::Symbolic)),
+        (
+            "square",
+            corpus::nas_cg_transpose_square(GridDims::Symbolic),
+        ),
+        (
+            "rectangular (ncols = 2*nrows)",
+            corpus::nas_cg_transpose_rect(GridDims::Symbolic),
+        ),
     ] {
         println!("\n=== pCFG analysis: {label} grid ===");
         let cart = analyze(&prog.program, &AnalysisConfig::default());
@@ -64,11 +72,17 @@ fn main() {
         }
         let simple = analyze(
             &prog.program,
-            &AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() },
+            &AnalysisConfig {
+                client: Client::Simple,
+                ..AnalysisConfig::default()
+            },
         );
         println!("simple (§VII) client verdict:     {:?}", simple.verdict);
         assert!(cart.is_exact());
-        assert!(!simple.is_exact(), "the simple client cannot match the transpose");
+        assert!(
+            !simple.is_exact(),
+            "the simple client cannot match the transpose"
+        );
     }
 
     // --- Concrete cross-check --------------------------------------------

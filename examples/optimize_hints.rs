@@ -11,8 +11,8 @@ use mpl_sim::Simulator;
 
 fn main() {
     println!(
-        "{:<26} {:<10} {:<20} {:<22} {}",
-        "program", "verdict", "static pattern", "runtime pattern(np=8)", "hint"
+        "{:<26} {:<10} {:<20} {:<22} hint",
+        "program", "verdict", "static pattern", "runtime pattern(np=8)"
     );
     println!("{}", "-".repeat(110));
     for prog in corpus::all() {

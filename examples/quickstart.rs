@@ -43,16 +43,22 @@ end
             "print at {} for ranks {}: {}",
             p.node,
             p.range,
-            p.value.map_or("unknown".to_owned(), |v| format!("constant {v}"))
+            p.value
+                .map_or("unknown".to_owned(), |v| format!("constant {v}"))
         );
     }
 
     // Ground truth: run the same CFG on 8 concrete processes.
-    let outcome = Simulator::from_cfg(cfg, 8).run().expect("simulation succeeds");
+    let outcome = Simulator::from_cfg(cfg, 8)
+        .run()
+        .expect("simulation succeeds");
     println!("\n=== simulator (np = 8) ===");
     println!("completed: {}", outcome.is_complete());
     print!("{}", outcome.topology);
-    println!("rank 0 printed {:?}, rank 1 printed {:?}", outcome.prints[0], outcome.prints[1]);
+    println!(
+        "rank 0 printed {:?}, rank 1 printed {:?}",
+        outcome.prints[0], outcome.prints[1]
+    );
 
     // The static site-level topology covers exactly the runtime one.
     assert!(topo.is_exact());

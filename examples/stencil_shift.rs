@@ -18,7 +18,10 @@ fn main() {
         let cfg = Cfg::build(&prog.program);
         let result = analyze_cfg(
             &cfg,
-            &AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() },
+            &AnalysisConfig {
+                client: Client::Simple,
+                ..AnalysisConfig::default()
+            },
         );
         println!("verdict: {:?}", result.verdict);
         let topo = StaticTopology::from_result(&result);
@@ -38,7 +41,10 @@ fn main() {
                 topo.covers(&outcome.topology.site_pairs()),
                 "static topology must cover np={np}"
             );
-            println!("np = {np:>2}: covered {} runtime messages ✓", outcome.topology.len());
+            println!(
+                "np = {np:>2}: covered {} runtime messages ✓",
+                outcome.topology.len()
+            );
         }
         println!();
     }
@@ -48,13 +54,22 @@ fn main() {
     let cfg = Cfg::build(&prog.program);
     let result = analyze_cfg(
         &cfg,
-        &AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() },
+        &AnalysisConfig {
+            client: Client::Simple,
+            ..AnalysisConfig::default()
+        },
     );
     println!("verdict: {:?}", result.verdict);
     for e in &result.events {
         println!("  match: {e}");
     }
-    let outcome = Simulator::from_cfg(cfg, 16).run().expect("simulation succeeds");
+    let outcome = Simulator::from_cfg(cfg, 16)
+        .run()
+        .expect("simulation succeeds");
     assert!(outcome.is_complete());
-    println!("simulator: {} messages delivered, no leaks: {}", outcome.topology.len(), outcome.leaks.is_empty());
+    println!(
+        "simulator: {} messages delivered, no leaks: {}",
+        outcome.topology.len(),
+        outcome.leaks.is_empty()
+    );
 }

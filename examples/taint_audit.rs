@@ -5,9 +5,7 @@
 //! Run with `cargo run -p mpl-examples --bin taint_audit`.
 
 use mpl_cfg::Cfg;
-use mpl_core::{
-    analyze_cfg, info_flow, info_flow_with_pairs, mpi_cfg_topology, AnalysisConfig,
-};
+use mpl_core::{analyze_cfg, info_flow, info_flow_with_pairs, mpi_cfg_topology, AnalysisConfig};
 use mpl_lang::parse_program;
 
 fn main() {
@@ -43,10 +41,16 @@ end
     println!("=== pCFG-based taint (exact matches as flow edges) ===");
     let precise = info_flow(&cfg, &result);
     let tainted = precise.tainted_from(&["secret"]);
-    println!("tainted: {}", tainted.iter().cloned().collect::<Vec<_>>().join(", "));
+    println!(
+        "tainted: {}",
+        tainted.iter().cloned().collect::<Vec<_>>().join(", ")
+    );
     let leaks = precise.leaking_prints(&["secret"]);
     for node in &leaks {
-        println!("possible leak at print {node} (line {})", cfg.span(*node).line);
+        println!(
+            "possible leak at print {node} (line {})",
+            cfg.span(*node).line
+        );
     }
     assert_eq!(leaks.len(), 1, "only rank 1's print can leak");
 
@@ -60,7 +64,10 @@ end
     let coarse = info_flow_with_pairs(&cfg, baseline.pairs());
     let coarse_leaks = coarse.leaking_prints(&["secret"]);
     for node in &coarse_leaks {
-        println!("possible leak at print {node} (line {})", cfg.span(*node).line);
+        println!(
+            "possible leak at print {node} (line {})",
+            cfg.span(*node).line
+        );
     }
     assert!(coarse_leaks.len() > leaks.len());
     println!(

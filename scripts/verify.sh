@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Offline tier-1 verification: formatting, lints, and the full test
+# suite, with zero registry access (the default workspace has no
+# external dependencies; see README "ext-deps").
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== cargo fmt --check =="
+cargo fmt --all --check
+
+echo "== cargo clippy -D warnings =="
+cargo clippy --workspace --all-targets --offline -- -D warnings
+
+echo "== cargo test --workspace =="
+cargo test --workspace --offline -q
+
+echo "verify: OK"

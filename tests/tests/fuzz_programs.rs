@@ -1,6 +1,6 @@
-//! Randomized end-to-end soundness: generate structured MPL programs
-//! (random local computation wrapped around randomly-parameterized
-//! communication skeletons), then check that
+//! Randomized end-to-end soundness (seeded, in-tree RNG): generate
+//! structured MPL programs (random local computation wrapped around
+//! randomly-parameterized communication skeletons), then check that
 //!
 //! * the simulator completes and is schedule-oblivious,
 //! * whenever the analysis answers "exact", its topology covers every
@@ -10,45 +10,37 @@
 use mpl_cfg::Cfg;
 use mpl_core::{analyze_cfg, AnalysisConfig, StaticTopology};
 use mpl_lang::parse_program;
+use mpl_rng::Rng64;
 use mpl_sim::{Schedule, SimConfig, Simulator};
-use proptest::prelude::*;
 
 /// A random side-effect-free arithmetic expression over the given
-/// variables plus `id`/`np` and literals. Divisors are non-zero literals.
-fn arb_expr(vars: Vec<String>) -> impl Strategy<Value = String> {
-    let leaf = prop_oneof![
-        (-20i64..20).prop_map(|c| c.to_string()),
-        Just("id".to_owned()),
-        Just("np".to_owned()),
-        proptest::sample::select(vars).prop_map(|v| v),
-    ];
-    leaf.prop_recursive(3, 16, 2, |inner| {
-        (inner.clone(), prop_oneof![Just("+"), Just("-"), Just("*")], inner).prop_map(
-            |(l, op, r)| format!("({l} {op} {r})"),
-        )
-    })
+/// variables plus `id`/`np` and literals.
+fn gen_expr(rng: &mut Rng64, vars: &[String], depth: u32) -> String {
+    if depth > 0 && rng.index(2) == 0 {
+        let op = *rng.pick(&["+", "-", "*"]);
+        let l = gen_expr(rng, vars, depth - 1);
+        let r = gen_expr(rng, vars, depth - 1);
+        return format!("({l} {op} {r})");
+    }
+    match rng.index(4) {
+        0 => rng.i64_in(-20, 20).to_string(),
+        1 => "id".to_owned(),
+        2 => "np".to_owned(),
+        _ => rng.pick(vars).clone(),
+    }
 }
 
 /// A prologue of chained assignments `v0 := e; v1 := e; ...`.
-fn arb_prologue(n: usize) -> impl Strategy<Value = (String, Vec<String>)> {
-    let mut strat: BoxedStrategy<(String, Vec<String>)> =
-        Just((String::new(), vec!["seed".to_owned()]))
-            .prop_map(|(s, v)| (format!("{s}seed := 1;\n"), v))
-            .boxed();
+fn gen_prologue(rng: &mut Rng64, n: usize) -> (String, Vec<String>) {
+    let mut src = "seed := 1;\n".to_owned();
+    let mut vars = vec!["seed".to_owned()];
     for i in 0..n {
-        strat = strat
-            .prop_flat_map(move |(src, vars)| {
-                let name = format!("v{i}");
-                let vars2 = vars.clone();
-                arb_expr(vars).prop_map(move |e| {
-                    let mut vs = vars2.clone();
-                    vs.push(name.clone());
-                    (format!("{src}{name} := {e};\n"), vs)
-                })
-            })
-            .boxed();
+        let name = format!("v{i}");
+        let e = gen_expr(rng, &vars, 3);
+        src.push_str(&format!("{name} := {e};\n"));
+        vars.push(name);
     }
-    strat
+    (src, vars)
 }
 
 /// A communication skeleton template using `payload` as the sent value.
@@ -72,18 +64,15 @@ fn skeleton(kind: u8, payload: &str) -> String {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    #[test]
-    fn random_programs_are_sound_and_oblivious(
-        (prologue, vars) in arb_prologue(4),
-        kind in 0u8..4,
-        payload_idx in 0usize..4,
-        np in 4u64..9,
-        seed in 0u64..1000,
-    ) {
-        let payload = vars[payload_idx % vars.len()].clone();
+#[test]
+fn random_programs_are_sound_and_oblivious() {
+    let mut rng = Rng64::seed_from_u64(0xF022);
+    for _ in 0..48 {
+        let (prologue, vars) = gen_prologue(&mut rng, 4);
+        let kind = rng.index(4) as u8;
+        let payload = rng.pick(&vars).clone();
+        let np = rng.u64_in(4, 9);
+        let seed = rng.u64_in(0, 1000);
         let src = format!("{prologue}{}", skeleton(kind, &payload));
         let program = parse_program(&src).unwrap_or_else(|e| panic!("{e}\n{src}"));
         let cfg = Cfg::build(&program);
@@ -92,48 +81,62 @@ proptest! {
         let base = Simulator::from_cfg(Cfg::build(&program), np)
             .run()
             .unwrap_or_else(|e| panic!("{e}\n{src}"));
-        prop_assert!(base.is_complete(), "skeleton programs always complete:\n{src}");
-        prop_assert!(base.leaks.is_empty());
+        assert!(
+            base.is_complete(),
+            "skeleton programs always complete:\n{src}"
+        );
+        assert!(base.leaks.is_empty());
 
         // Schedule independence.
         let alt = Simulator::from_cfg(Cfg::build(&program), np)
-            .with_config(SimConfig { schedule: Schedule::Random { seed }, ..SimConfig::default() })
+            .with_config(SimConfig {
+                schedule: Schedule::Random { seed },
+                ..SimConfig::default()
+            })
             .run()
             .unwrap();
-        prop_assert_eq!(&base.stores, &alt.stores);
-        prop_assert_eq!(&base.topology, &alt.topology);
-        prop_assert_eq!(&base.clocks, &alt.clocks);
+        assert_eq!(&base.stores, &alt.stores);
+        assert_eq!(&base.topology, &alt.topology);
+        assert_eq!(&base.clocks, &alt.clocks);
 
         // Analysis soundness (exact verdicts only promise coverage).
         let result = analyze_cfg(&cfg, &AnalysisConfig::default());
         if result.is_exact() {
             let topo = StaticTopology::from_result(&result);
-            prop_assert!(
+            assert!(
                 topo.covers(&base.topology.site_pairs()),
                 "static {:?} misses runtime {:?}\n{src}",
                 topo.site_pairs(),
                 base.topology.site_pairs()
             );
-            prop_assert!(result.leaks.is_empty(), "exact verdict reported a leak on a leak-free program");
+            assert!(
+                result.leaks.is_empty(),
+                "exact verdict reported a leak on a leak-free program"
+            );
         }
     }
+}
 
-    /// Constant payloads must propagate to the receivers' prints whenever
-    /// the prologue pins the payload to a constant.
-    #[test]
-    fn constant_payloads_propagate(c in -50i64..50, kind in 0u8..3) {
+/// Constant payloads must propagate to the receivers' prints whenever the
+/// prologue pins the payload to a constant.
+#[test]
+fn constant_payloads_propagate() {
+    let mut rng = Rng64::seed_from_u64(0xF023);
+    for _ in 0..48 {
+        let c = rng.i64_in(-50, 50);
+        let kind = rng.index(3) as u8;
         let src = format!("x := {c};\n{}", skeleton(kind, "x"));
         let program = parse_program(&src).unwrap();
         let result = mpl_core::analyze(&program, &AnalysisConfig::default());
-        prop_assert!(result.is_exact(), "{:?}\n{src}", result.verdict);
+        assert!(result.is_exact(), "{:?}\n{src}", result.verdict);
         for p in &result.prints {
-            prop_assert_eq!(p.value, Some(c), "print fact {:?}\n{}", p, src);
+            assert_eq!(p.value, Some(c), "print fact {p:?}\n{src}");
         }
         // And the simulator agrees.
         let out = Simulator::new(&program, 5).run().unwrap();
         for prints in &out.prints {
             for v in prints {
-                prop_assert_eq!(*v, c);
+                assert_eq!(*v, c);
             }
         }
     }

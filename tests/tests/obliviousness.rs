@@ -4,8 +4,8 @@
 //! schedule.
 
 use mpl_lang::corpus;
+use mpl_rng::Rng64;
 use mpl_sim::{Schedule, SimConfig, Simulator};
-use proptest::prelude::*;
 
 fn deterministic_corpus() -> Vec<corpus::CorpusProgram> {
     vec![
@@ -46,14 +46,15 @@ fn all_corpus_programs_are_schedule_oblivious() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(48))]
-
-    /// Any (seed, np) combination leaves the observable outcome of the
-    /// exchange-with-root program unchanged.
-    #[test]
-    fn exchange_with_root_oblivious(seed in 0u64..10_000, np in 2u64..12) {
-        let prog = corpus::exchange_with_root();
+/// Any (seed, np) combination leaves the observable outcome of the
+/// exchange-with-root program unchanged.
+#[test]
+fn exchange_with_root_oblivious() {
+    let mut rng = Rng64::seed_from_u64(0x0B11);
+    let prog = corpus::exchange_with_root();
+    for _ in 0..48 {
+        let seed = rng.u64_in(0, 10_000);
+        let np = rng.u64_in(2, 12);
         let base = Simulator::new(&prog.program, np).run().unwrap();
         let alt = Simulator::new(&prog.program, np)
             .with_config(SimConfig {
@@ -62,13 +63,18 @@ proptest! {
             })
             .run()
             .unwrap();
-        prop_assert_eq!(base.stores, alt.stores);
-        prop_assert_eq!(base.topology, alt.topology);
+        assert_eq!(base.stores, alt.stores, "seed {seed} np {np}");
+        assert_eq!(base.topology, alt.topology, "seed {seed} np {np}");
     }
+}
 
-    /// Same for the concrete square transpose.
-    #[test]
-    fn transpose_oblivious(seed in 0u64..10_000, nrows in 2i64..5) {
+/// Same for the concrete square transpose.
+#[test]
+fn transpose_oblivious() {
+    let mut rng = Rng64::seed_from_u64(0x0B12);
+    for _ in 0..48 {
+        let seed = rng.u64_in(0, 10_000);
+        let nrows = rng.i64_in(2, 5);
         let prog = corpus::nas_cg_transpose_square(corpus::GridDims::Concrete {
             nrows,
             ncols: nrows,
@@ -82,7 +88,7 @@ proptest! {
             })
             .run()
             .unwrap();
-        prop_assert_eq!(base.stores, alt.stores);
-        prop_assert_eq!(base.topology, alt.topology);
+        assert_eq!(base.stores, alt.stores, "seed {seed} nrows {nrows}");
+        assert_eq!(base.topology, alt.topology, "seed {seed} nrows {nrows}");
     }
 }

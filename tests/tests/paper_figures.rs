@@ -10,8 +10,13 @@ use mpl_sim::Simulator;
 
 fn check_covers_runtime(prog: &CorpusProgram, client: Client, nps: &[u64]) -> StaticTopology {
     let cfg = Cfg::build(&prog.program);
-    let result =
-        analyze_cfg(&cfg, &AnalysisConfig { client, ..AnalysisConfig::default() });
+    let result = analyze_cfg(
+        &cfg,
+        &AnalysisConfig {
+            client,
+            ..AnalysisConfig::default()
+        },
+    );
     assert!(
         result.is_exact(),
         "{}: expected exact verdict, got {:?}",
@@ -23,7 +28,11 @@ fn check_covers_runtime(prog: &CorpusProgram, client: Client, nps: &[u64]) -> St
         let outcome = Simulator::from_cfg(Cfg::build(&prog.program), np)
             .run()
             .unwrap_or_else(|e| panic!("{} np={np}: {e}", prog.name));
-        assert!(outcome.is_complete(), "{} np={np} did not complete", prog.name);
+        assert!(
+            outcome.is_complete(),
+            "{} np={np} did not complete",
+            prog.name
+        );
         assert!(
             topo.covers(&outcome.topology.site_pairs()),
             "{} np={np}: static {:?} misses runtime {:?}",
@@ -52,8 +61,11 @@ fn e1_fig2_constant_propagation() {
     // Both prints provably output 5 — the headline of Fig 2.
     let prog = corpus::fig2_exchange();
     let result = mpl_core::analyze(&prog.program, &AnalysisConfig::default());
-    let constant_prints: Vec<_> =
-        result.prints.iter().filter(|p| p.value == Some(5)).collect();
+    let constant_prints: Vec<_> = result
+        .prints
+        .iter()
+        .filter(|p| p.value == Some(5))
+        .collect();
     assert_eq!(constant_prints.len(), 2, "{:?}", result.prints);
 }
 
@@ -61,7 +73,11 @@ fn e1_fig2_constant_propagation() {
 fn e2_fig5_exchange_with_root() {
     let prog = corpus::exchange_with_root();
     let topo = check_covers_runtime(&prog, Client::Simple, &[4, 5, 8, 13]);
-    assert_eq!(topo.site_pairs().len(), 2, "root send->worker recv, worker send->root recv");
+    assert_eq!(
+        topo.site_pairs().len(),
+        2,
+        "root send->worker recv, worker send->root recv"
+    );
     let result = mpl_core::analyze(&prog.program, &AnalysisConfig::default());
     assert_eq!(classify(&result), Pattern::ExchangeWithRoot);
 }
@@ -86,7 +102,10 @@ fn e3_fig6_transpose_square_symbolic() {
     // for HSMs.
     let simple = mpl_core::analyze(
         &prog.program,
-        &AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() },
+        &AnalysisConfig {
+            client: Client::Simple,
+            ..AnalysisConfig::default()
+        },
     );
     assert!(matches!(simple.verdict, Verdict::Top { .. }));
 }
@@ -149,13 +168,19 @@ fn e4_stencil_2d_concrete() {
         let cfg = Cfg::build(&prog.program);
         let result = analyze_cfg(
             &cfg,
-            &AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() },
+            &AnalysisConfig {
+                client: Client::Simple,
+                ..AnalysisConfig::default()
+            },
         );
         assert!(result.is_exact(), "{nrows}x{ncols}: {:?}", result.verdict);
         let topo = StaticTopology::from_result(&result);
         let outcome = Simulator::from_cfg(cfg, np).run().unwrap();
         assert!(outcome.is_complete());
-        assert!(topo.covers(&outcome.topology.site_pairs()), "{nrows}x{ncols}");
+        assert!(
+            topo.covers(&outcome.topology.site_pairs()),
+            "{nrows}x{ncols}"
+        );
         assert_eq!(outcome.topology.len(), ((nrows - 1) * ncols) as usize);
     }
 }
@@ -194,7 +219,10 @@ fn const_relay_propagates_through_hops() {
     let prog = corpus::const_relay();
     check_covers_runtime(&prog, Client::Simple, &[4, 6]);
     let result = mpl_core::analyze(&prog.program, &AnalysisConfig::default());
-    assert_eq!(result.prints.iter().filter(|p| p.value == Some(11)).count(), 3);
+    assert_eq!(
+        result.prints.iter().filter(|p| p.value == Some(11)).count(),
+        3
+    );
 }
 
 #[test]
@@ -211,7 +239,11 @@ fn extension_tree_broadcast_is_top_but_runs() {
     // behaviour that motivates collective replacement.
     let prog = corpus::tree_broadcast();
     let result = mpl_core::analyze(&prog.program, &AnalysisConfig::default());
-    assert!(matches!(result.verdict, Verdict::Top { .. }), "{:?}", result.verdict);
+    assert!(
+        matches!(result.verdict, Verdict::Top { .. }),
+        "{:?}",
+        result.verdict
+    );
     for np in [4u64, 16, 32] {
         let out = Simulator::new(&prog.program, np).run().unwrap();
         assert!(out.is_complete());
@@ -237,7 +269,16 @@ fn fanout_vs_tree_critical_path_contrast() {
     let fan = corpus::fanout_broadcast();
     let tree = corpus::tree_broadcast();
     let np = 32;
-    let fan_path = Simulator::new(&fan.program, np).run().unwrap().critical_path();
-    let tree_path = Simulator::new(&tree.program, np).run().unwrap().critical_path();
-    assert!(fan_path >= 3 * tree_path, "fan {fan_path} vs tree {tree_path}");
+    let fan_path = Simulator::new(&fan.program, np)
+        .run()
+        .unwrap()
+        .critical_path();
+    let tree_path = Simulator::new(&tree.program, np)
+        .run()
+        .unwrap()
+        .critical_path();
+    assert!(
+        fan_path >= 3 * tree_path,
+        "fan {fan_path} vs tree {tree_path}"
+    );
 }

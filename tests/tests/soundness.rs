@@ -1,4 +1,5 @@
-//! Soundness properties of the whole pipeline, checked with proptest:
+//! Soundness properties of the whole pipeline, checked on randomized
+//! (seeded, in-tree RNG) program families:
 //!
 //! * whenever the static analysis reports an *exact* verdict, its
 //!   statement-level topology covers every message of every concrete
@@ -9,8 +10,8 @@
 use mpl_cfg::Cfg;
 use mpl_core::{analyze_cfg, AnalysisConfig, Client, StaticTopology, Verdict};
 use mpl_lang::{corpus, parse_program};
+use mpl_rng::Rng64;
 use mpl_sim::Simulator;
-use proptest::prelude::*;
 
 /// Analyzes `src` and, if exact, checks coverage for each np.
 fn assert_sound(src: &str, nps: &[u64]) {
@@ -52,7 +53,9 @@ fn corpus_exact_verdicts_are_sound_for_many_np() {
         }
         let topo = StaticTopology::from_result(&result);
         for &np in &nps {
-            let outcome = Simulator::from_cfg(Cfg::build(&prog.program), np).run().unwrap();
+            let outcome = Simulator::from_cfg(Cfg::build(&prog.program), np)
+                .run()
+                .unwrap();
             if !outcome.is_complete() {
                 panic!("{}: exact verdict but deadlock at np={np}", prog.name);
             }
@@ -79,7 +82,9 @@ fn exact_verdict_never_hides_a_leak() {
             continue;
         }
         for np in [4u64, 7] {
-            let outcome = Simulator::from_cfg(Cfg::build(&prog.program), np).run().unwrap();
+            let outcome = Simulator::from_cfg(Cfg::build(&prog.program), np)
+                .run()
+                .unwrap();
             assert!(
                 outcome.leaks.is_empty(),
                 "{}: static no-leak but runtime leaked at np={np}",
@@ -89,15 +94,15 @@ fn exact_verdict_never_hides_a_leak() {
     }
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(40))]
-
-    /// Broadcast family: the root relays `v` to everyone; the analysis
-    /// must stay exact and sound for any payload and any direction of
-    /// the loop bound expression.
-    #[test]
-    fn broadcast_family_sound(v in -100i64..100, skip_last in proptest::bool::ANY) {
-        let bound = if skip_last { "np - 2" } else { "np - 1" };
+/// Broadcast family: the root relays `v` to everyone; the analysis must
+/// stay exact and sound for any payload and any direction of the loop
+/// bound expression.
+#[test]
+fn broadcast_family_sound() {
+    let mut rng = Rng64::seed_from_u64(0x50D0);
+    for _ in 0..40 {
+        let v = rng.i64_in(-100, 100);
+        let bound = if rng.flip() { "np - 2" } else { "np - 1" };
         let src = format!(
             "x := {v};\n\
              if id = 0 then\n  for i = 1 to {bound} do\n    send x -> i;\n  end\n\
@@ -105,21 +110,30 @@ proptest! {
         );
         assert_sound(&src, &[4, 6, 9]);
     }
+}
 
-    /// Pair exchange between rank 0 and a random fixed partner.
-    #[test]
-    fn pair_family_sound(partner in 1i64..4, v in -50i64..50) {
+/// Pair exchange between rank 0 and a random fixed partner.
+#[test]
+fn pair_family_sound() {
+    let mut rng = Rng64::seed_from_u64(0x50D1);
+    for _ in 0..40 {
         // min_np = 4 guarantees the partner exists.
+        let partner = rng.i64_in(1, 4);
+        let v = rng.i64_in(-50, 50);
         let src = format!(
             "if id = 0 then\n  x := {v};\n  send x -> {partner};\n  recv y <- {partner};\n\
              else\n  if id = {partner} then\n    recv y <- 0;\n    send y -> 0;\n  end\nend\n"
         );
         assert_sound(&src, &[4, 5, 8]);
     }
+}
 
-    /// Exchange-with-root carrying a random payload expression.
-    #[test]
-    fn exchange_family_sound(v in 0i64..1000) {
+/// Exchange-with-root carrying a random payload expression.
+#[test]
+fn exchange_family_sound() {
+    let mut rng = Rng64::seed_from_u64(0x50D2);
+    for _ in 0..40 {
+        let v = rng.i64_in(0, 1000);
         let src = format!(
             "x := {v};\n\
              if id = 0 then\n  for i = 1 to np - 1 do\n    send x -> i;\n    recv y <- i;\n  end\n\
@@ -127,28 +141,36 @@ proptest! {
         );
         assert_sound(&src, &[4, 7, 10]);
     }
+}
 
-    /// The verdict enum is exhaustive: every corpus program lands in one
-    /// of the three verdicts and the result is internally consistent.
-    #[test]
-    fn verdicts_partition(idx in 0usize..17) {
-        let all = corpus::all();
-        let prog = &all[idx % all.len()];
+/// The verdict enum is exhaustive: every corpus program lands in one of
+/// the three verdicts and the result is internally consistent.
+#[test]
+fn verdicts_partition() {
+    let all = corpus::all();
+    for prog in &all {
         let result = mpl_core::analyze(&prog.program, &AnalysisConfig::default());
         match &result.verdict {
             Verdict::Exact => {}
-            Verdict::Deadlock { blocked } => prop_assert!(!blocked.is_empty()),
-            Verdict::Top { reason } => prop_assert!(!reason.is_empty()),
+            Verdict::Deadlock { blocked } => assert!(!blocked.is_empty()),
+            Verdict::Top { reason } => assert!(!reason.is_empty()),
         }
         // The simple client is never *more* capable than the cartesian
         // one on this corpus: if simple succeeds, cartesian does too.
         let simple = mpl_core::analyze(
             &prog.program,
-            &AnalysisConfig { client: Client::Simple, ..AnalysisConfig::default() },
+            &AnalysisConfig {
+                client: Client::Simple,
+                ..AnalysisConfig::default()
+            },
         );
         if simple.is_exact() {
-            prop_assert!(result.is_exact(), "{}: simple exact but cartesian {:?}",
-                prog.name, result.verdict);
+            assert!(
+                result.is_exact(),
+                "{}: simple exact but cartesian {:?}",
+                prog.name,
+                result.verdict
+            );
         }
     }
 }
