@@ -16,10 +16,10 @@ use std::hint::black_box;
 fn main() {
     let closure = Group::new("ablation_closure");
     for prog in [corpus::exchange_with_root(), corpus::fanout_broadcast()] {
-        let config = AnalysisConfig {
-            client: Client::Simple,
-            ..AnalysisConfig::default()
-        };
+        let config = AnalysisConfig::builder()
+            .client(Client::Simple)
+            .build()
+            .expect("valid config");
         set_force_full_closure(false);
         closure.bench(&format!("{}_incremental", prog.name), || {
             black_box(analyze(&prog.program, &config))
@@ -38,10 +38,10 @@ fn main() {
         corpus::nearest_neighbor_shift(),
     ] {
         for client in [Client::Simple, Client::Cartesian] {
-            let config = AnalysisConfig {
-                client,
-                ..AnalysisConfig::default()
-            };
+            let config = AnalysisConfig::builder()
+                .client(client)
+                .build()
+                .expect("valid config");
             client_group.bench(&format!("{}_{:?}", prog.name, client), || {
                 black_box(analyze(&prog.program, &config))
             });

@@ -39,10 +39,10 @@ fn main() {
         ),
     ];
     for (name, prog, client) in entries {
-        let config = AnalysisConfig {
-            client,
-            ..AnalysisConfig::default()
-        };
+        let config = AnalysisConfig::builder()
+            .client(client)
+            .build()
+            .expect("valid config");
         analysis.bench(name, || black_box(analyze(&prog.program, &config)));
     }
     drop(analysis);
@@ -66,10 +66,10 @@ fn main() {
     let scaling = Group::new("program_scaling");
     for k in [1usize, 4, 16, 32] {
         let prog = corpus::repeated_exchanges(k);
-        let config = AnalysisConfig {
-            client: Client::Simple,
-            ..AnalysisConfig::default()
-        };
+        let config = AnalysisConfig::builder()
+            .client(Client::Simple)
+            .build()
+            .expect("valid config");
         scaling.bench(&format!("exchanges_{k}"), || {
             black_box(analyze(&prog.program, &config))
         });

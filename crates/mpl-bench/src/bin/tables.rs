@@ -17,6 +17,49 @@ fn main() {
     pattern_table_e10();
     mpicfg_precision_table();
     critical_path_table();
+    parallel_batch_table_e15();
+}
+
+/// E15: wall time for the full-corpus batch analysis at 1/2/4/8 workers
+/// (the `mpl-runtime` work-stealing pool behind `mpl analyze-corpus`).
+/// Speedup is relative to one worker; on a single-core host it stays
+/// near 1× and only reflects pool overhead.
+fn parallel_batch_table_e15() {
+    use mpl_core::{BatchAnalyzer, BatchJob};
+    use std::time::Instant;
+
+    println!("================================================================");
+    println!("Parallel batch analysis: corpus wall time by worker count (E15)");
+    println!("================================================================");
+    println!(
+        "{:<10} {:>12} {:>10} {:>10} {:>8}",
+        "jobs", "wall", "speedup", "programs", "exact"
+    );
+    println!("{}", "-".repeat(56));
+    let mut base = None;
+    for workers in [1usize, 2, 4, 8] {
+        let mut batch = BatchAnalyzer::new().workers(workers);
+        for prog in corpus::all() {
+            batch.push(BatchJob::new(
+                prog.name,
+                prog.program,
+                AnalysisConfig::default(),
+            ));
+        }
+        let start = Instant::now();
+        let report = batch.run();
+        let wall = start.elapsed();
+        let baseline = *base.get_or_insert(wall);
+        println!(
+            "{:<10} {:>12.2?} {:>9.2}x {:>10} {:>8}",
+            workers,
+            wall,
+            baseline.as_secs_f64() / wall.as_secs_f64().max(1e-9),
+            report.summary.programs,
+            report.summary.exact
+        );
+    }
+    println!();
 }
 
 /// Precision against the MPI-CFG baseline (paper §II): statement pairs
@@ -223,15 +266,15 @@ fn figures_e1_to_e4() {
     for (prog, client, note) in entries {
         let result = mpl_core::analyze(
             &prog.program,
-            &AnalysisConfig {
-                client,
-                ..AnalysisConfig::default()
-            },
+            &AnalysisConfig::builder()
+                .client(client)
+                .build()
+                .expect("valid config"),
         );
         let verdict = match &result.verdict {
             Verdict::Exact => "exact",
             Verdict::Deadlock { .. } => "deadlock",
-            Verdict::Top { .. } => "⊤",
+            _ => "⊤",
         };
         println!(
             "{:<26} {:<10} {:<10} {:<8} {}",
@@ -262,7 +305,7 @@ fn pattern_table_e10() {
         let verdict = match &result.verdict {
             Verdict::Exact => "exact",
             Verdict::Deadlock { .. } => "deadlock",
-            Verdict::Top { .. } => "⊤",
+            _ => "⊤",
         };
         let pattern = classify(&result);
         let mut config = SimConfig::default();

@@ -56,10 +56,10 @@ impl ProfiledRun {
 /// so concurrent thread-local activity never needs a global reset.
 #[must_use]
 pub fn profiled_run(prog: &CorpusProgram, client: Client) -> ProfiledRun {
-    let config = AnalysisConfig {
-        client,
-        ..AnalysisConfig::default()
-    };
+    let config = AnalysisConfig::builder()
+        .client(client)
+        .build()
+        .expect("default-based config is valid");
     let start = Instant::now();
     let result = analyze(&prog.program, &config);
     let total = start.elapsed();

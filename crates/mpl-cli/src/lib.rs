@@ -2,6 +2,7 @@
 //!
 //! ```text
 //! mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace]
+//! mpl analyze-corpus  [--jobs N] [--client C] [--min-np N] [--json] [--timing]
 //! mpl run     <file> --np N [--seed S] [--rendezvous] [--set var=val]...
 //! mpl check   <file>                  # diagnostics; exit 1 on findings
 //! mpl dot     <file>                  # Graphviz CFG
@@ -12,18 +13,23 @@
 //!
 //! All command logic lives here (returning the rendered output and an
 //! exit code) so it is unit-testable; `main.rs` only forwards.
+//!
+//! Flag parsing is strict: every command declares the flags it accepts,
+//! and an unknown flag or malformed value is an error (exit code 2 from
+//! the binary) rather than being silently ignored.
 
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt::Write as _;
+use std::str::FromStr;
 
 use mpl_cfg::Cfg;
 use mpl_core::diagnostics::diagnose;
 use mpl_core::{
-    analyze_cfg, classify, info_flow, mpi_cfg_topology, AnalysisConfig, Client, StaticTopology,
-    Verdict,
+    analyze_cfg, classify, info_flow, mpi_cfg_topology, AnalysisConfig, BatchAnalyzer, BatchJob,
+    BatchReport, Client, StaticTopology, Verdict,
 };
-use mpl_lang::parse_program;
+use mpl_lang::{corpus, parse_program};
 use mpl_sim::{Schedule, SendMode, SimConfig, Simulator};
 
 /// A rendered command outcome.
@@ -39,9 +45,82 @@ fn ok(text: String) -> CmdOutput {
     CmdOutput { text, code: 0 }
 }
 
+/// Parsed command-line flags, validated against a per-command spec.
+///
+/// Value flags may repeat (`--set a=1 --set b=2`); [`Flags::value`]
+/// returns the last occurrence, [`Flags::values`] all of them.
+#[derive(Debug, Default)]
+struct Flags {
+    values: BTreeMap<String, Vec<String>>,
+    switches: Vec<String>,
+}
+
+impl Flags {
+    /// Parses `args` strictly: every argument must be a flag named in
+    /// `value_flags` (consumes the following argument) or `switch_flags`.
+    fn parse(
+        args: &[String],
+        value_flags: &[&str],
+        switch_flags: &[&str],
+    ) -> Result<Flags, String> {
+        let mut flags = Flags::default();
+        let mut i = 0;
+        while i < args.len() {
+            let arg = args[i].as_str();
+            if value_flags.contains(&arg) {
+                let Some(value) = args.get(i + 1) else {
+                    return Err(format!("missing value for `{arg}`"));
+                };
+                flags
+                    .values
+                    .entry(arg.to_owned())
+                    .or_default()
+                    .push(value.clone());
+                i += 2;
+            } else if switch_flags.contains(&arg) {
+                flags.switches.push(arg.to_owned());
+                i += 1;
+            } else {
+                return Err(format!("unknown argument `{arg}`"));
+            }
+        }
+        Ok(flags)
+    }
+
+    /// The last value given for `name`, if any.
+    fn value(&self, name: &str) -> Option<&str> {
+        self.values
+            .get(name)
+            .and_then(|v| v.last())
+            .map(String::as_str)
+    }
+
+    /// Every value given for `name`, in order.
+    fn values(&self, name: &str) -> &[String] {
+        self.values.get(name).map_or(&[], Vec::as_slice)
+    }
+
+    /// True if the switch `name` was given.
+    fn switch(&self, name: &str) -> bool {
+        self.switches.iter().any(|s| s == name)
+    }
+
+    /// Parses the value of `name` as `T`, or returns `default` when the
+    /// flag is absent. Malformed values report the flag they came from.
+    fn parse_value<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+        match self.value(name) {
+            None => Ok(default),
+            Some(raw) => raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for `{name}`")),
+        }
+    }
+}
+
 /// Runs a full command line (without the leading program name) against
 /// `source` (the contents of the program file named in `args[1]` — the
-/// caller resolves the path so this stays testable).
+/// caller resolves the path so this stays testable). `analyze-corpus`
+/// takes no file; its `source` is ignored.
 ///
 /// # Errors
 ///
@@ -50,17 +129,29 @@ pub fn run_command(args: &[String], source: &str) -> Result<CmdOutput, Box<dyn E
     let Some(cmd) = args.first() else {
         return Err(usage().into());
     };
+    if cmd == "analyze-corpus" {
+        return cmd_analyze_corpus(&args[1..]).map_err(Into::into);
+    }
     let program = parse_program(source)?;
     let cfg = Cfg::build(&program);
     let rest = &args[2.min(args.len())..];
     match cmd.as_str() {
         "analyze" => cmd_analyze(&cfg, rest),
         "run" => cmd_run(&cfg, rest),
-        "check" => cmd_check(&cfg),
-        "dot" => Ok(ok(mpl_cfg::dot::to_dot(&cfg, "mpl"))),
+        "check" => cmd_check(&cfg, rest),
+        "dot" => {
+            Flags::parse(rest, &[], &[])?;
+            Ok(ok(mpl_cfg::dot::to_dot(&cfg, "mpl")))
+        }
         "flow" => cmd_flow(&cfg, rest),
-        "mpicfg" => cmd_mpicfg(&cfg),
-        "rewrite" => cmd_rewrite(&program, &cfg),
+        "mpicfg" => {
+            Flags::parse(rest, &[], &[])?;
+            cmd_mpicfg(&cfg)
+        }
+        "rewrite" => {
+            Flags::parse(rest, &[], &[])?;
+            cmd_rewrite(&program, &cfg)
+        }
         other => Err(format!("unknown command `{other}`\n{}", usage()).into()),
     }
 }
@@ -70,6 +161,7 @@ pub fn run_command(args: &[String], source: &str) -> Result<CmdOutput, Box<dyn E
 pub fn usage() -> &'static str {
     "usage:\n  \
      mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace] [--stats]\n  \
+     mpl analyze-corpus  [--jobs N] [--client simple|cartesian] [--min-np N] [--json] [--timing]\n  \
      mpl run     <file> --np N [--seed S] [--rendezvous] [--set var=val]...\n  \
      mpl check   <file>\n  \
      mpl dot     <file>\n  \
@@ -78,31 +170,25 @@ pub fn usage() -> &'static str {
      mpl rewrite <file>"
 }
 
-fn flag_value<'a>(args: &'a [String], name: &str) -> Option<&'a str> {
-    args.iter()
-        .position(|a| a == name)
-        .and_then(|i| args.get(i + 1))
-        .map(String::as_str)
+fn parse_client(flags: &Flags) -> Result<Client, String> {
+    match flags.value("--client") {
+        Some("simple") => Ok(Client::Simple),
+        Some("cartesian") | None => Ok(Client::Cartesian),
+        Some(other) => Err(format!("unknown client `{other}`")),
+    }
 }
 
 fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
-    let client = match flag_value(args, "--client") {
-        Some("simple") => Client::Simple,
-        Some("cartesian") | None => Client::Cartesian,
-        Some(other) => return Err(format!("unknown client `{other}`").into()),
-    };
-    let min_np = match flag_value(args, "--min-np") {
-        Some(v) => v.parse()?,
-        None => AnalysisConfig::default().min_np,
-    };
-    let trace = args.iter().any(|a| a == "--trace");
-    let stats = args.iter().any(|a| a == "--stats");
-    let config = AnalysisConfig {
-        client,
-        min_np,
-        trace,
-        ..AnalysisConfig::default()
-    };
+    let flags = Flags::parse(args, &["--client", "--min-np"], &["--trace", "--stats"])?;
+    let client = parse_client(&flags)?;
+    let min_np = flags.parse_value("--min-np", AnalysisConfig::default().min_np)?;
+    let trace = flags.switch("--trace");
+    let stats = flags.switch("--stats");
+    let config = AnalysisConfig::builder()
+        .client(client)
+        .min_np(min_np)
+        .trace(trace)
+        .build()?;
     let result = analyze_cfg(cfg, &config);
 
     let mut out = String::new();
@@ -147,24 +233,214 @@ fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> 
     Ok(CmdOutput { text: out, code })
 }
 
+/// Escapes a string for embedding in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a verdict as a stable lowercase tag plus an optional machine
+/// reason code (for `Top`).
+fn verdict_tag(verdict: &Verdict) -> (&'static str, Option<String>) {
+    match verdict {
+        Verdict::Exact => ("exact", None),
+        Verdict::Deadlock { .. } => ("deadlock", None),
+        Verdict::Top { reason } => ("top", Some(reason.code().to_owned())),
+        _ => ("unknown", None),
+    }
+}
+
+/// Runs the whole built-in corpus through [`BatchAnalyzer`].
+///
+/// Output is deterministic for any `--jobs` value; only the `--timing`
+/// fields (wall times) vary between runs, so reproducibility checks must
+/// omit that switch. Exit code 0 on a completed batch — the corpus
+/// intentionally contains deadlocking and inconclusive programs, so a
+/// non-exact verdict is not a CLI failure here (unlike `mpl analyze`).
+fn cmd_analyze_corpus(args: &[String]) -> Result<CmdOutput, String> {
+    let flags = Flags::parse(
+        args,
+        &["--jobs", "--client", "--min-np"],
+        &["--json", "--timing"],
+    )?;
+    let jobs: usize = flags.parse_value("--jobs", 1)?;
+    if jobs == 0 {
+        return Err("invalid value `0` for `--jobs`".to_owned());
+    }
+    let client = parse_client(&flags)?;
+    let min_np: i64 = flags.parse_value("--min-np", AnalysisConfig::default().min_np)?;
+    let json = flags.switch("--json");
+    let timing = flags.switch("--timing");
+
+    let mut batch = BatchAnalyzer::new().workers(jobs);
+    for prog in corpus::all() {
+        let config = AnalysisConfig::builder()
+            .client(client)
+            .min_np(min_np.max(i64::try_from(prog.min_procs).unwrap_or(i64::MAX)))
+            .build()
+            .map_err(|e| e.to_string())?;
+        batch.push(BatchJob::new(prog.name, prog.program, config));
+    }
+    let report = batch.run();
+
+    let text = if json {
+        render_corpus_json(&report, client, timing)
+    } else {
+        render_corpus_text(&report, timing)
+    };
+    Ok(ok(text))
+}
+
+/// Compact `send->recv` topology listing (deterministic: the match set
+/// is ordered).
+fn topology_list(result: &mpl_core::AnalysisResult) -> Vec<String> {
+    result
+        .matches
+        .iter()
+        .map(|(s, r)| format!("{s}->{r}"))
+        .collect()
+}
+
+fn render_corpus_text(report: &BatchReport, timing: bool) -> String {
+    let mut out = String::new();
+    for rec in &report.records {
+        let (tag, reason) = verdict_tag(&rec.result.verdict);
+        let _ = write!(out, "{}: verdict={tag}", rec.name);
+        if let Some(code) = reason {
+            let _ = write!(out, " reason={code}");
+        }
+        let _ = write!(
+            out,
+            " matches={} leaks={} steps={}",
+            rec.result.matches.len(),
+            rec.result.leaks.len(),
+            rec.result.steps
+        );
+        let topo = topology_list(&rec.result);
+        if !topo.is_empty() {
+            let _ = write!(out, " topology={}", topo.join(","));
+        }
+        if timing {
+            let _ = write!(out, " wall_ms={:.3}", rec.wall_nanos as f64 / 1e6);
+        }
+        let _ = writeln!(out);
+    }
+    let s = &report.summary;
+    let _ = write!(
+        out,
+        "summary: programs={} exact={} deadlock={} top={} matches={} leaks={} steps={}",
+        s.programs, s.exact, s.deadlock, s.top, s.matches, s.leaks, s.steps
+    );
+    if timing {
+        let _ = write!(
+            out,
+            " cpu_ms={:.3} workers={}",
+            s.wall_nanos as f64 / 1e6,
+            report.workers
+        );
+    }
+    let _ = writeln!(out);
+    let _ = writeln!(
+        out,
+        "closures: full={} incremental={}",
+        s.closure.full_closures, s.closure.incremental_closures
+    );
+    out
+}
+
+fn render_corpus_json(report: &BatchReport, client: Client, timing: bool) -> String {
+    let client_tag = match client {
+        Client::Simple => "simple",
+        Client::Cartesian => "cartesian",
+        _ => "unknown",
+    };
+    let mut out = String::new();
+    for rec in &report.records {
+        let (tag, reason) = verdict_tag(&rec.result.verdict);
+        let reason_json = match &reason {
+            Some(code) => format!("\"{}\"", json_escape(code)),
+            None => "null".to_owned(),
+        };
+        let topo = topology_list(&rec.result)
+            .iter()
+            .map(|p| format!("\"{}\"", json_escape(p)))
+            .collect::<Vec<_>>()
+            .join(",");
+        let _ = write!(
+            out,
+            "{{\"type\":\"program\",\"name\":\"{}\",\"client\":\"{client_tag}\",\
+             \"verdict\":\"{tag}\",\"reason\":{reason_json},\"matches\":{},\"leaks\":{},\
+             \"steps\":{},\"topology\":[{topo}]",
+            json_escape(&rec.name),
+            rec.result.matches.len(),
+            rec.result.leaks.len(),
+            rec.result.steps
+        );
+        if timing {
+            let _ = write!(out, ",\"wall_nanos\":{}", rec.wall_nanos);
+        }
+        let _ = writeln!(out, "}}");
+    }
+    let s = &report.summary;
+    let _ = write!(
+        out,
+        "{{\"type\":\"summary\",\"programs\":{},\"exact\":{},\"deadlock\":{},\"top\":{},\
+         \"matches\":{},\"leaks\":{},\"steps\":{},\"full_closures\":{},\
+         \"incremental_closures\":{}",
+        s.programs,
+        s.exact,
+        s.deadlock,
+        s.top,
+        s.matches,
+        s.leaks,
+        s.steps,
+        s.closure.full_closures,
+        s.closure.incremental_closures
+    );
+    if timing {
+        let _ = write!(
+            out,
+            ",\"cpu_nanos\":{},\"workers\":{}",
+            s.wall_nanos, report.workers
+        );
+    }
+    let _ = writeln!(out, "}}");
+    out
+}
+
 fn cmd_run(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
-    let np: u64 = flag_value(args, "--np").ok_or("missing --np")?.parse()?;
+    let flags = Flags::parse(args, &["--np", "--seed", "--set"], &["--rendezvous"])?;
+    let np: u64 = flags
+        .value("--np")
+        .ok_or("missing --np")?
+        .parse()
+        .map_err(|_| "invalid value for `--np`")?;
     let mut config = SimConfig::default();
-    if let Some(seed) = flag_value(args, "--seed") {
+    if let Some(seed) = flags.value("--seed") {
         config.schedule = Schedule::Random {
-            seed: seed.parse()?,
+            seed: seed.parse().map_err(|_| "invalid value for `--seed`")?,
         };
     }
-    if args.iter().any(|a| a == "--rendezvous") {
+    if flags.switch("--rendezvous") {
         config.send_mode = SendMode::Rendezvous;
     }
     let mut initial: BTreeMap<String, i64> = BTreeMap::new();
-    for (i, a) in args.iter().enumerate() {
-        if a == "--set" {
-            let kv = args.get(i + 1).ok_or("missing value after --set")?;
-            let (k, v) = kv.split_once('=').ok_or("expected --set var=val")?;
-            initial.insert(k.to_owned(), v.parse()?);
-        }
+    for kv in flags.values("--set") {
+        let (k, v) = kv.split_once('=').ok_or("expected --set var=val")?;
+        initial.insert(k.to_owned(), v.parse()?);
     }
     config.initial_vars = initial;
 
@@ -190,7 +466,8 @@ fn cmd_run(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
     Ok(CmdOutput { text: out, code })
 }
 
-fn cmd_check(cfg: &Cfg) -> Result<CmdOutput, Box<dyn Error>> {
+fn cmd_check(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
+    Flags::parse(args, &[], &[])?;
     let result = analyze_cfg(cfg, &AnalysisConfig::default());
     let diags = diagnose(cfg, &result);
     let mut out = String::new();
@@ -208,7 +485,9 @@ fn cmd_check(cfg: &Cfg) -> Result<CmdOutput, Box<dyn Error>> {
 }
 
 fn cmd_flow(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
-    let sources: Vec<&str> = flag_value(args, "--source")
+    let flags = Flags::parse(args, &["--source"], &[])?;
+    let sources: Vec<&str> = flags
+        .value("--source")
         .ok_or("missing --source")?
         .split(',')
         .collect();
@@ -290,11 +569,15 @@ fn cmd_mpicfg(cfg: &Cfg) -> Result<CmdOutput, Box<dyn Error>> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use mpl_lang::corpus;
 
     fn run(args: &[&str], source: &str) -> CmdOutput {
         let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
         run_command(&args, source).expect("command runs")
+    }
+
+    fn run_err(args: &[&str], source: &str) -> String {
+        let args: Vec<String> = args.iter().map(|s| (*s).to_owned()).collect();
+        run_command(&args, source).unwrap_err().to_string()
     }
 
     #[test]
@@ -402,6 +685,70 @@ mod tests {
             .map(|s| (*s).to_owned())
             .collect();
         assert!(run_command(&args, "x := 1;").is_err());
+    }
+
+    #[test]
+    fn unknown_flags_are_rejected_not_ignored() {
+        let err = run_err(&["analyze", "f.mpl", "--bogus"], "x := 1;");
+        assert!(err.contains("unknown argument `--bogus`"), "{err}");
+        let err = run_err(&["check", "f.mpl", "--verbose"], "x := 1;");
+        assert!(err.contains("unknown argument `--verbose`"), "{err}");
+        let err = run_err(&["dot", "f.mpl", "extra"], "x := 1;");
+        assert!(err.contains("unknown argument `extra`"), "{err}");
+    }
+
+    #[test]
+    fn malformed_flag_values_are_rejected() {
+        let err = run_err(&["analyze", "f.mpl", "--min-np", "many"], "x := 1;");
+        assert!(err.contains("invalid value `many` for `--min-np`"), "{err}");
+        let err = run_err(&["analyze", "f.mpl", "--min-np"], "x := 1;");
+        assert!(err.contains("missing value for `--min-np`"), "{err}");
+        let err = run_err(&["run", "f.mpl", "--np", "four"], "x := 1;");
+        assert!(err.contains("invalid value for `--np`"), "{err}");
+        let err = run_err(&["analyze-corpus", "--jobs", "zero"], "");
+        assert!(err.contains("invalid value `zero` for `--jobs`"), "{err}");
+        let err = run_err(&["analyze-corpus", "--jobs", "0"], "");
+        assert!(err.contains("invalid value `0` for `--jobs`"), "{err}");
+    }
+
+    #[test]
+    fn analyze_corpus_covers_whole_corpus() {
+        let out = run(&["analyze-corpus"], "");
+        assert_eq!(out.code, 0);
+        let n = corpus::all().len();
+        assert!(out.text.contains(&format!("summary: programs={n}")));
+        for prog in corpus::all() {
+            assert!(out.text.contains(prog.name), "missing {}", prog.name);
+        }
+        assert!(out.text.contains("closures: full="));
+    }
+
+    #[test]
+    fn analyze_corpus_is_deterministic_across_jobs() {
+        let base = run(&["analyze-corpus"], "");
+        for jobs in ["2", "4", "8"] {
+            let par = run(&["analyze-corpus", "--jobs", jobs], "");
+            assert_eq!(base.text, par.text, "output diverged at --jobs {jobs}");
+        }
+        let base_json = run(&["analyze-corpus", "--json"], "");
+        let par_json = run(&["analyze-corpus", "--json", "--jobs", "8"], "");
+        assert_eq!(base_json.text, par_json.text);
+    }
+
+    #[test]
+    fn analyze_corpus_json_lines_are_well_formed() {
+        let out = run(&["analyze-corpus", "--json", "--jobs", "2"], "");
+        let lines: Vec<&str> = out.text.lines().collect();
+        assert_eq!(lines.len(), corpus::all().len() + 1);
+        for line in &lines {
+            assert!(line.starts_with('{') && line.ends_with('}'), "{line}");
+        }
+        assert!(lines[0].contains("\"type\":\"program\""));
+        assert!(lines.last().unwrap().contains("\"type\":\"summary\""));
+        // Timing fields only appear with --timing.
+        assert!(!out.text.contains("wall_nanos"));
+        let timed = run(&["analyze-corpus", "--json", "--timing"], "");
+        assert!(timed.text.contains("wall_nanos"));
     }
 
     #[test]

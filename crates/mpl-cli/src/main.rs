@@ -4,15 +4,21 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    let Some(path) = args.get(1) else {
-        eprintln!("{}", mpl_cli::usage());
-        return ExitCode::from(2);
-    };
-    let source = match std::fs::read_to_string(path) {
-        Ok(s) => s,
-        Err(e) => {
-            eprintln!("cannot read {path}: {e}");
+    // `analyze-corpus` runs the built-in corpus and takes no file
+    // argument; every other command names a program file in args[1].
+    let source = if args.first().is_some_and(|c| c == "analyze-corpus") {
+        String::new()
+    } else {
+        let Some(path) = args.get(1) else {
+            eprintln!("{}", mpl_cli::usage());
             return ExitCode::from(2);
+        };
+        match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("cannot read {path}: {e}");
+                return ExitCode::from(2);
+            }
         }
     };
     match mpl_cli::run_command(&args, &source) {

@@ -132,6 +132,43 @@ fn binary_usage_on_no_args() {
 }
 
 #[test]
+fn binary_analyze_corpus_runs_without_file() {
+    let out = Command::new(env!("CARGO_BIN_EXE_mpl"))
+        .args(["analyze-corpus", "--jobs", "2"])
+        .output()
+        .expect("spawn mpl");
+    assert_eq!(out.status.code(), Some(0));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("summary: programs="), "{stdout}");
+    assert!(stdout.contains("fig2_exchange"), "{stdout}");
+}
+
+#[test]
+fn binary_rejects_unknown_flags_with_exit_2() {
+    // A bad flag must produce an error on stderr and exit code 2 —
+    // distinct from 0 (clean) and 1 (findings) — not be ignored.
+    let (_, stderr, code) = run_mpl(&["analyze", "--frobnicate"], EXCHANGE);
+    assert_eq!(code, 2, "stderr: {stderr}");
+    assert!(
+        stderr.contains("unknown argument `--frobnicate`"),
+        "{stderr}"
+    );
+
+    let (_, stderr, code) = run_mpl(&["analyze", "--min-np", "lots"], EXCHANGE);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("invalid value `lots` for `--min-np`"),
+        "{stderr}"
+    );
+
+    let out = Command::new(env!("CARGO_BIN_EXE_mpl"))
+        .args(["analyze-corpus", "--jobs", "-3"])
+        .output()
+        .expect("spawn mpl");
+    assert_eq!(out.status.code(), Some(2));
+}
+
+#[test]
 fn shipped_sample_programs_work() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/programs");
     let run_on = |cmd: &str, file: &str, extra: &[&str]| {

@@ -1,0 +1,298 @@
+//! Parallel batch analysis: fan a corpus of independent analysis jobs
+//! across a worker pool and merge the results deterministically.
+//!
+//! Each job is a `(program, config)` pair analyzed by [`engine::analyze`]
+//! on whichever worker picks it up. Jobs never interact — the engine is a
+//! pure function of its inputs apart from two pieces of thread-local
+//! state, both of which this module brings under control:
+//!
+//! * the **variable interner** ([`mpl_domains::VarTable`]): name indices
+//!   (and hence packed `VarId`s) depend on the order names were first
+//!   interned on the thread, so a worker that has already analyzed other
+//!   programs carries their history. [`BatchAnalyzer::run`] resets the
+//!   calling thread's table before every job, so each analysis starts
+//!   from the identical fresh-table state no matter which worker runs it;
+//! * the **closure counters** ([`mpl_domains::ClosureStats`]): the engine
+//!   already reports per-run deltas in [`AnalysisResult::closure_stats`],
+//!   which this module sums field-wise into the fleet total.
+//!
+//! Results are collected by *submission index*, not completion order
+//! (see [`mpl_runtime::run_ordered`]), so [`BatchReport::records`] is
+//! byte-identical for any worker count. Only [`JobRecord::wall_nanos`]
+//! and [`BatchSummary::wall_nanos`] vary between runs; callers that need
+//! reproducible output (golden tests, corpus diffs) must exclude them.
+
+use std::time::Instant;
+
+use mpl_domains::ClosureStats;
+use mpl_lang::ast::Program;
+
+use crate::engine::{analyze, AnalysisConfig, AnalysisResult, Verdict};
+
+/// One unit of batch work: a named program plus the configuration to
+/// analyze it under.
+#[derive(Debug, Clone)]
+pub struct BatchJob {
+    /// Display name (typically the corpus program name).
+    pub name: String,
+    /// The program to analyze.
+    pub program: Program,
+    /// Engine configuration for this job.
+    pub config: AnalysisConfig,
+}
+
+impl BatchJob {
+    /// Creates a job.
+    #[must_use]
+    pub fn new(name: impl Into<String>, program: Program, config: AnalysisConfig) -> BatchJob {
+        BatchJob {
+            name: name.into(),
+            program,
+            config,
+        }
+    }
+}
+
+/// The outcome of one batch job.
+#[derive(Debug, Clone)]
+pub struct JobRecord {
+    /// The job's display name.
+    pub name: String,
+    /// The analysis result.
+    pub result: AnalysisResult,
+    /// Wall-clock time for this job in nanoseconds. **Not deterministic**
+    /// — excluded from reproducible output.
+    pub wall_nanos: u64,
+}
+
+/// Aggregated statistics over a whole batch.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct BatchSummary {
+    /// Total number of jobs run.
+    pub programs: usize,
+    /// Jobs whose verdict was [`Verdict::Exact`].
+    pub exact: usize,
+    /// Jobs whose verdict was [`Verdict::Deadlock`].
+    pub deadlock: usize,
+    /// Jobs whose verdict was [`Verdict::Top`].
+    pub top: usize,
+    /// Total message leaks found across all jobs.
+    pub leaks: usize,
+    /// Total send/recv matches established across all jobs.
+    pub matches: usize,
+    /// Total engine steps across all jobs.
+    pub steps: u64,
+    /// Sum of per-job wall times in nanoseconds (CPU work, not batch
+    /// wall time). **Not deterministic.**
+    pub wall_nanos: u64,
+    /// Field-wise merge of every job's closure counters.
+    pub closure: ClosureStats,
+}
+
+impl BatchSummary {
+    /// Folds one record into the summary.
+    fn absorb(&mut self, record: &JobRecord) {
+        self.programs += 1;
+        match &record.result.verdict {
+            Verdict::Exact => self.exact += 1,
+            Verdict::Deadlock { .. } => self.deadlock += 1,
+            Verdict::Top { .. } => self.top += 1,
+        }
+        self.leaks += record.result.leaks.len();
+        self.matches += record.result.matches.len();
+        self.steps += record.result.steps;
+        self.wall_nanos += record.wall_nanos;
+        self.closure.merge(&record.result.closure_stats);
+    }
+}
+
+/// A completed batch: per-job records in submission order plus the
+/// aggregated summary.
+#[derive(Debug, Clone)]
+pub struct BatchReport {
+    /// One record per job, in the order the jobs were added.
+    pub records: Vec<JobRecord>,
+    /// Aggregated statistics.
+    pub summary: BatchSummary,
+    /// Number of workers the batch ran with.
+    pub workers: usize,
+}
+
+/// Builder/runner for a parallel batch of analysis jobs.
+///
+/// ```
+/// use mpl_core::{AnalysisConfig, BatchAnalyzer, BatchJob};
+/// use mpl_lang::corpus;
+///
+/// let mut batch = BatchAnalyzer::new().workers(4);
+/// for prog in corpus::all() {
+///     batch.push(BatchJob::new(prog.name, prog.program, AnalysisConfig::default()));
+/// }
+/// let report = batch.run();
+/// assert_eq!(report.summary.programs, corpus::all().len());
+/// ```
+#[derive(Debug, Default)]
+pub struct BatchAnalyzer {
+    jobs: Vec<BatchJob>,
+    workers: usize,
+}
+
+impl BatchAnalyzer {
+    /// Creates an empty batch that will run inline (one worker).
+    #[must_use]
+    pub fn new() -> BatchAnalyzer {
+        BatchAnalyzer {
+            jobs: Vec::new(),
+            workers: 1,
+        }
+    }
+
+    /// Sets the worker count (clamped to at least 1).
+    #[must_use]
+    pub fn workers(mut self, workers: usize) -> BatchAnalyzer {
+        self.workers = workers.max(1);
+        self
+    }
+
+    /// Appends a job. Jobs run (logically) in insertion order and their
+    /// records appear in the same order in the report.
+    pub fn push(&mut self, job: BatchJob) {
+        self.jobs.push(job);
+    }
+
+    /// Appends a job, builder style.
+    #[must_use]
+    pub fn job(mut self, job: BatchJob) -> BatchAnalyzer {
+        self.push(job);
+        self
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.jobs.len()
+    }
+
+    /// True if no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.jobs.is_empty()
+    }
+
+    /// Runs every job across the worker pool and merges the results.
+    ///
+    /// Deterministic: apart from the wall-time fields, the report is
+    /// identical for any worker count.
+    #[must_use]
+    pub fn run(self) -> BatchReport {
+        let workers = self.workers;
+        let records = mpl_runtime::run_ordered(workers, self.jobs, |_, job| {
+            // Fresh interner per job: VarId assignment must not depend on
+            // which programs this worker thread analyzed before.
+            mpl_domains::reset_table();
+            let start = Instant::now();
+            let result = analyze(&job.program, &job.config);
+            JobRecord {
+                name: job.name,
+                result,
+                wall_nanos: start.elapsed().as_nanos() as u64,
+            }
+        });
+        let mut summary = BatchSummary::default();
+        for record in &records {
+            summary.absorb(record);
+        }
+        BatchReport {
+            records,
+            summary,
+            workers,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_lang::corpus;
+
+    fn corpus_batch(workers: usize) -> BatchReport {
+        let mut batch = BatchAnalyzer::new().workers(workers);
+        for prog in corpus::all() {
+            batch.push(BatchJob::new(
+                prog.name,
+                prog.program,
+                AnalysisConfig::default(),
+            ));
+        }
+        batch.run()
+    }
+
+    /// Strips the non-deterministic wall-time fields for comparison.
+    fn fingerprint(report: &BatchReport) -> Vec<String> {
+        report
+            .records
+            .iter()
+            .map(|r| {
+                format!(
+                    "{} {:?} matches={:?} leaks={:?} steps={} closure=({},{},{},{})",
+                    r.name,
+                    r.result.verdict,
+                    r.result.matches,
+                    r.result.leaks,
+                    r.result.steps,
+                    r.result.closure_stats.full_closures,
+                    r.result.closure_stats.full_closure_vars,
+                    r.result.closure_stats.incremental_closures,
+                    r.result.closure_stats.incremental_closure_vars,
+                )
+            })
+            .collect()
+    }
+
+    #[test]
+    fn records_preserve_submission_order() {
+        let report = corpus_batch(4);
+        let names: Vec<&str> = report.records.iter().map(|r| r.name.as_str()).collect();
+        let expected: Vec<&str> = corpus::all().iter().map(|p| p.name).collect();
+        assert_eq!(names, expected);
+    }
+
+    #[test]
+    fn parallel_matches_sequential() {
+        let seq = fingerprint(&corpus_batch(1));
+        for workers in [2, 4, 8] {
+            let par = fingerprint(&corpus_batch(workers));
+            assert_eq!(seq, par, "corpus results diverged at {workers} workers");
+        }
+    }
+
+    #[test]
+    fn summary_counts_are_consistent() {
+        let report = corpus_batch(3);
+        let s = report.summary;
+        assert_eq!(s.programs, corpus::all().len());
+        assert_eq!(s.programs, s.exact + s.deadlock + s.top);
+        assert_eq!(
+            s.matches,
+            report
+                .records
+                .iter()
+                .map(|r| r.result.matches.len())
+                .sum::<usize>()
+        );
+        assert_eq!(
+            s.steps,
+            report.records.iter().map(|r| r.result.steps).sum::<u64>()
+        );
+        assert!(s.exact > 0, "corpus should contain exact programs");
+        assert!(s.closure.full_closures > 0 || s.closure.incremental_closures > 0);
+    }
+
+    #[test]
+    fn empty_batch_yields_empty_report() {
+        let report = BatchAnalyzer::new().workers(8).run();
+        assert!(report.records.is_empty());
+        assert_eq!(report.summary, BatchSummary::default());
+        assert_eq!(report.workers, 8);
+    }
+}

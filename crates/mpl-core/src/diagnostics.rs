@@ -74,7 +74,7 @@ pub fn diagnose(cfg: &Cfg, result: &AnalysisResult) -> Vec<Diagnostic> {
         }
         Verdict::Top { reason } => {
             out.push(Diagnostic::Inconclusive {
-                reason: reason.clone(),
+                reason: reason.to_string(),
             });
         }
     }

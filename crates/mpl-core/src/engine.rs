@@ -22,6 +22,7 @@ use crate::state::{AnalysisState, PendingSend};
 
 /// Which client analysis instantiates the framework.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[non_exhaustive]
 pub enum Client {
     /// §VII: simple symbolic send–receive analysis (`var + c`).
     Simple,
@@ -31,7 +32,14 @@ pub enum Client {
 }
 
 /// Engine configuration.
+///
+/// Construct through [`AnalysisConfig::builder`] (which validates the
+/// knobs) or start from [`AnalysisConfig::default`]. The struct is
+/// `#[non_exhaustive]`: fields stay readable everywhere, but literal
+/// construction is reserved to this crate so knobs can be added without
+/// breaking downstream code.
 #[derive(Debug, Clone)]
+#[non_exhaustive]
 pub struct AnalysisConfig {
     /// The client analysis.
     pub client: Client,
@@ -74,8 +82,234 @@ impl Default for AnalysisConfig {
     }
 }
 
+impl AnalysisConfig {
+    /// A builder seeded with the defaults.
+    #[must_use]
+    pub fn builder() -> AnalysisConfigBuilder {
+        AnalysisConfigBuilder {
+            config: AnalysisConfig::default(),
+        }
+    }
+}
+
+/// A rejected [`AnalysisConfigBuilder`] knob combination.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum ConfigError {
+    /// `max_steps` must be at least 1 — a zero step budget would ⊤ every
+    /// program before the first transfer function.
+    ZeroStepBudget,
+    /// `max_psets` must be at least 1 — the initial state already holds
+    /// one process set.
+    ZeroPsetBudget,
+    /// `min_np` must be at least 1 (the paper's "sufficiently many
+    /// processes" regime assumes a non-empty machine).
+    MinNpTooSmall {
+        /// The rejected value.
+        got: i64,
+    },
+    /// The widening threshold ladder must be sorted ascending, or the
+    /// snap-to-next-threshold relaxation would not terminate.
+    UnsortedThresholds,
+}
+
+impl fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ConfigError::ZeroStepBudget => f.write_str("max_steps must be >= 1"),
+            ConfigError::ZeroPsetBudget => f.write_str("max_psets must be >= 1"),
+            ConfigError::MinNpTooSmall { got } => {
+                write!(f, "min_np must be >= 1 (got {got})")
+            }
+            ConfigError::UnsortedThresholds => {
+                f.write_str("widen_thresholds must be sorted ascending")
+            }
+        }
+    }
+}
+
+impl std::error::Error for ConfigError {}
+
+/// Typed, validating constructor for [`AnalysisConfig`] — the supported
+/// way to configure the engine from other crates.
+///
+/// ```
+/// use mpl_core::{AnalysisConfig, Client};
+/// let config = AnalysisConfig::builder()
+///     .client(Client::Simple)
+///     .min_np(8)
+///     .build()
+///     .expect("valid config");
+/// assert_eq!(config.min_np, 8);
+/// assert!(AnalysisConfig::builder().max_steps(0).build().is_err());
+/// ```
+#[derive(Debug, Clone)]
+pub struct AnalysisConfigBuilder {
+    config: AnalysisConfig,
+}
+
+impl AnalysisConfigBuilder {
+    /// Sets the client analysis.
+    #[must_use]
+    pub fn client(mut self, client: Client) -> Self {
+        self.config.client = client;
+        self
+    }
+
+    /// Sets the assumed lower bound on `np`.
+    #[must_use]
+    pub fn min_np(mut self, min_np: i64) -> Self {
+        self.config.min_np = min_np;
+        self
+    }
+
+    /// Sets the engine step budget.
+    #[must_use]
+    pub fn max_steps(mut self, max_steps: u64) -> Self {
+        self.config.max_steps = max_steps;
+        self
+    }
+
+    /// Sets the pCFG node-width budget (the paper's parameter `p`).
+    #[must_use]
+    pub fn max_psets(mut self, max_psets: usize) -> Self {
+        self.config.max_psets = max_psets;
+        self
+    }
+
+    /// Enables or disables depth-1 send buffering (§X aggregation).
+    #[must_use]
+    pub fn allow_pending_sends(mut self, allow: bool) -> Self {
+        self.config.allow_pending_sends = allow;
+        self
+    }
+
+    /// Sets the number of exact visits before widening kicks in.
+    #[must_use]
+    pub fn widen_delay(mut self, widen_delay: u32) -> Self {
+        self.config.widen_delay = widen_delay;
+        self
+    }
+
+    /// Sets the widening threshold ladder (must be sorted ascending).
+    #[must_use]
+    pub fn widen_thresholds(mut self, thresholds: Vec<i64>) -> Self {
+        self.config.widen_thresholds = thresholds;
+        self
+    }
+
+    /// Enables or disables the Fig 5-style trace.
+    #[must_use]
+    pub fn trace(mut self, trace: bool) -> Self {
+        self.config.trace = trace;
+        self
+    }
+
+    /// Validates and produces the configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`ConfigError`] when a knob is out of range (zero
+    /// budgets, `min_np < 1`, unsorted thresholds).
+    pub fn build(self) -> Result<AnalysisConfig, ConfigError> {
+        let c = self.config;
+        if c.max_steps == 0 {
+            return Err(ConfigError::ZeroStepBudget);
+        }
+        if c.max_psets == 0 {
+            return Err(ConfigError::ZeroPsetBudget);
+        }
+        if c.min_np < 1 {
+            return Err(ConfigError::MinNpTooSmall { got: c.min_np });
+        }
+        if c.widen_thresholds.windows(2).any(|w| w[0] > w[1]) {
+            return Err(ConfigError::UnsortedThresholds);
+        }
+        Ok(c)
+    }
+}
+
+/// Why the analysis returned ⊤, as a typed cause. `Display` renders the
+/// exact human-readable strings the engine has always reported, so logs
+/// and golden files are unchanged while callers (the `--json` corpus
+/// output, tests) can match on the cause structurally instead of by
+/// substring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopReason {
+    /// The engine step budget ([`AnalysisConfig::max_steps`]) ran out.
+    StepBudget,
+    /// More process sets coexisted than [`AnalysisConfig::max_psets`].
+    PsetBudget {
+        /// The configured bound that was exceeded.
+        max: usize,
+    },
+    /// Widening relaxed a process-set bound all the way to ±∞ — the
+    /// range abstraction lost the set.
+    AbstractionLoss,
+    /// All sets blocked on communication and no exact send–receive
+    /// match exists (matching must be exact — §VI).
+    MatchFailure {
+        /// Display form of the blocked state.
+        state: String,
+    },
+    /// An `id`-dependent branch condition did not split the process
+    /// range into provable sub-ranges.
+    SplitFailure {
+        /// The condition that could not be split.
+        cond: String,
+    },
+    /// A branch condition was not provably uniform across the set, so
+    /// steering the whole set down one edge would be unsound.
+    NonUniformCondition {
+        /// The offending condition.
+        cond: String,
+    },
+    /// The match-ambiguity case split recursed past its depth bound.
+    SplitDepthExceeded,
+}
+
+impl TopReason {
+    /// A stable, machine-readable cause code (used by the corpus JSON
+    /// output; kebab-case, never localized).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            TopReason::StepBudget => "step-budget",
+            TopReason::PsetBudget { .. } => "pset-budget",
+            TopReason::AbstractionLoss => "abstraction-loss",
+            TopReason::MatchFailure { .. } => "match-failure",
+            TopReason::SplitFailure { .. } => "split-failure",
+            TopReason::NonUniformCondition { .. } => "non-uniform-condition",
+            TopReason::SplitDepthExceeded => "split-depth-exceeded",
+        }
+    }
+}
+
+impl fmt::Display for TopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopReason::StepBudget => f.write_str("step budget exceeded"),
+            TopReason::PsetBudget { max } => write!(f, "more than {max} process sets"),
+            TopReason::AbstractionLoss => f.write_str("widening lost a process-set bound"),
+            TopReason::MatchFailure { state } => {
+                write!(f, "cannot match blocked communication in {state}")
+            }
+            TopReason::SplitFailure { cond } => {
+                write!(f, "cannot split process set on condition `{cond}`")
+            }
+            TopReason::NonUniformCondition { cond } => write!(
+                f,
+                "condition `{cond}` is not provably uniform across the process set"
+            ),
+            TopReason::SplitDepthExceeded => f.write_str("ambiguity-split depth exceeded"),
+        }
+    }
+}
+
 /// How the analysis ended.
 #[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
 pub enum Verdict {
     /// Fixpoint reached with every send–receive interaction matched
     /// exactly: the reported topology is the application's communication
@@ -90,8 +324,8 @@ pub enum Verdict {
     /// The analysis gave up (⊤): the pattern exceeds the client
     /// abstraction or the framework's exact-matching requirement.
     Top {
-        /// Why.
-        reason: String,
+        /// Why, as a typed cause.
+        reason: TopReason,
     },
 }
 
@@ -212,7 +446,7 @@ struct Engine<'a> {
     leaks: BTreeSet<CfgNodeId>,
     trace: Vec<String>,
     deadlock: Option<Vec<(CfgNodeId, String)>>,
-    top: Option<String>,
+    top: Option<TopReason>,
     steps: u64,
 }
 
@@ -266,7 +500,7 @@ impl<'a> Engine<'a> {
             }
             self.steps += 1;
             if self.steps > self.config.max_steps {
-                self.top = Some("step budget exceeded".to_owned());
+                self.top = Some(TopReason::StepBudget);
                 break;
             }
             if self.config.trace {
@@ -290,11 +524,13 @@ impl<'a> Engine<'a> {
                 s.merge_psets();
                 s.drop_empty_psets();
                 if s.any_vacant_range() {
-                    self.top = Some("widening lost a process-set bound".to_owned());
+                    self.top = Some(TopReason::AbstractionLoss);
                     continue;
                 }
                 if s.psets.len() > self.config.max_psets {
-                    self.top = Some(format!("more than {} process sets", self.config.max_psets));
+                    self.top = Some(TopReason::PsetBudget {
+                        max: self.config.max_psets,
+                    });
                     continue;
                 }
                 s.renumber_canonical();
@@ -335,7 +571,7 @@ impl<'a> Engine<'a> {
                             continue; // Converged at this location.
                         }
                         if widened.any_vacant_range() {
-                            self.top = Some("widening lost a process-set bound".to_owned());
+                            self.top = Some(TopReason::AbstractionLoss);
                             continue;
                         }
                         stored.insert(key, (widened.clone(), visits));
@@ -464,7 +700,9 @@ impl<'a> Engine<'a> {
             }
             return Vec::new();
         }
-        self.top = Some(format!("cannot match blocked communication in {st}"));
+        self.top = Some(TopReason::MatchFailure {
+            state: st.to_string(),
+        });
         Vec::new()
     }
 
@@ -669,7 +907,9 @@ impl<'a> Engine<'a> {
                 s.split_pset(idx, parts);
                 return vec![s];
             }
-            self.top = Some(format!("cannot split process set on condition `{cond}`"));
+            self.top = Some(TopReason::SplitFailure {
+                cond: cond.to_string(),
+            });
             return Vec::new();
         }
 
@@ -678,9 +918,9 @@ impl<'a> Engine<'a> {
         // every member.
         let pset = st.psets[idx].id;
         if !singleton && !cond.mentions_id() && !self.is_uniform_expr(&st, pset, cond) {
-            self.top = Some(format!(
-                "condition `{cond}` is not provably uniform across the process set"
-            ));
+            self.top = Some(TopReason::NonUniformCondition {
+                cond: cond.to_string(),
+            });
             return Vec::new();
         }
 
@@ -1008,7 +1248,7 @@ impl<'a> Engine<'a> {
     /// each, so the match proceeds one way or the other).
     fn ambiguity_split(&mut self, st: &AnalysisState, depth: u32) -> Option<Vec<AnalysisState>> {
         if depth > 8 {
-            self.top = Some("ambiguity-split depth exceeded".to_owned());
+            self.top = Some(TopReason::SplitDepthExceeded);
             return Some(Vec::new());
         }
         let matcher = self.matcher();
@@ -1648,7 +1888,10 @@ mod soundness_tests {
         let Verdict::Top { reason } = &result.verdict else {
             panic!("expected ⊤, got {:?}", result.verdict);
         };
-        assert!(reason.contains("uniform"), "{reason}");
+        assert!(
+            matches!(reason, TopReason::NonUniformCondition { .. }),
+            "{reason}"
+        );
         // The vertical phases were matched before giving up.
         assert!(result.matches.len() >= 2, "{:?}", result.matches);
         // And the simulator confirms the program itself is fine.

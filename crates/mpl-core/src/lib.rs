@@ -41,6 +41,7 @@
 //! # let _ = Client::Simple;
 //! ```
 
+pub mod batch;
 pub mod diagnostics;
 pub mod engine;
 pub mod infoflow;
@@ -53,7 +54,11 @@ pub mod session;
 pub mod state;
 pub mod topology;
 
-pub use engine::{analyze, analyze_cfg, AnalysisConfig, AnalysisResult, Client, Verdict};
+pub use batch::{BatchAnalyzer, BatchJob, BatchReport, BatchSummary, JobRecord};
+pub use engine::{
+    analyze, analyze_cfg, AnalysisConfig, AnalysisConfigBuilder, AnalysisResult, Client,
+    ConfigError, TopReason, Verdict,
+};
 pub use infoflow::{info_flow, info_flow_with_pairs, InfoFlow};
 pub use matcher::{CartesianMatcher, MatchOutcome, MatchStrategy, SimpleMatcher};
 pub use mpicfg::{mpi_cfg_topology, MpiCfgTopology};

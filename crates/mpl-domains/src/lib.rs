@@ -30,4 +30,6 @@ pub use constenv::{ConstEnv, ConstVal};
 pub use constraint_graph::{ConstraintGraph, DEFAULT_WIDEN_THRESHOLDS};
 pub use linexpr::LinExpr;
 pub use stats::{force_full_closure, set_force_full_closure, ClosureStats};
-pub use var::{intern_name, with_table, NsVar, PsetId, VarId, VarKind, VarTable, MAX_PSET_ID};
+pub use var::{
+    intern_name, reset_table, with_table, NsVar, PsetId, VarId, VarKind, VarTable, MAX_PSET_ID,
+};

@@ -84,6 +84,27 @@ impl ClosureStats {
         }
     }
 
+    /// Field-wise sum of two counter snapshots — the merge path for
+    /// aggregating per-job (and hence per-worker) deltas across a
+    /// parallel batch run. Counters are thread-local, so a fleet total
+    /// can only be built by merging the deltas each job reported.
+    #[must_use]
+    pub fn merged(&self, other: &ClosureStats) -> ClosureStats {
+        ClosureStats {
+            full_closures: self.full_closures + other.full_closures,
+            full_closure_vars: self.full_closure_vars + other.full_closure_vars,
+            incremental_closures: self.incremental_closures + other.incremental_closures,
+            incremental_closure_vars: self.incremental_closure_vars
+                + other.incremental_closure_vars,
+            closure_nanos: self.closure_nanos + other.closure_nanos,
+        }
+    }
+
+    /// In-place [`Self::merged`].
+    pub fn merge(&mut self, other: &ClosureStats) {
+        *self = self.merged(other);
+    }
+
     /// Average variable count per full closure (the paper's "52.3").
     #[must_use]
     pub fn avg_full_vars(&self) -> f64 {
@@ -157,6 +178,35 @@ mod tests {
         assert_eq!(delta.full_closures, 1);
         assert_eq!(delta.full_closure_vars, 6);
         assert_eq!(delta.closure_nanos, 20);
+    }
+
+    #[test]
+    fn merge_is_fieldwise_sum() {
+        let a = ClosureStats {
+            full_closures: 2,
+            full_closure_vars: 20,
+            incremental_closures: 5,
+            incremental_closure_vars: 55,
+            closure_nanos: 100,
+        };
+        let b = ClosureStats {
+            full_closures: 1,
+            full_closure_vars: 7,
+            incremental_closures: 3,
+            incremental_closure_vars: 33,
+            closure_nanos: 50,
+        };
+        let m = a.merged(&b);
+        assert_eq!(m.full_closures, 3);
+        assert_eq!(m.full_closure_vars, 27);
+        assert_eq!(m.incremental_closures, 8);
+        assert_eq!(m.incremental_closure_vars, 88);
+        assert_eq!(m.closure_nanos, 150);
+        // Identity and in-place variant.
+        assert_eq!(a.merged(&ClosureStats::default()), a);
+        let mut c = a;
+        c.merge(&b);
+        assert_eq!(c, m);
     }
 
     #[test]

@@ -331,6 +331,12 @@ impl VarTable {
         }
     }
 
+    /// Clears every interned name except the pre-interned `"id"`,
+    /// restoring the fresh-table state.
+    pub fn reset(&mut self) {
+        *self = VarTable::new();
+    }
+
     /// Unpacks a [`VarId`] back into its rich form.
     #[must_use]
     pub fn resolve(&self, v: VarId) -> NsVar {
@@ -357,6 +363,22 @@ pub fn with_table<R>(f: impl FnOnce(&mut VarTable) -> R) -> R {
 /// Interns a bare name in the thread-local table.
 pub fn intern_name(name: &str) -> u32 {
     with_table(|t| t.intern_name(name))
+}
+
+/// Resets the calling thread's interner to the fresh-table state.
+///
+/// Name *indices* — and therefore packed [`VarId`] words — depend on the
+/// order names were first interned on the thread, so a worker that has
+/// analyzed other programs carries their interning history. The batch
+/// runtime calls this before each job so every analysis starts from the
+/// same table and produces identical results no matter which worker (or
+/// how many workers) ran it.
+///
+/// Any `VarId` produced before the reset is invalidated (its name index
+/// may be reused for a different name); callers must not hold ids across
+/// a reset.
+pub fn reset_table() {
+    with_table(VarTable::reset);
 }
 
 #[cfg(test)]

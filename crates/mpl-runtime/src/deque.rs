@@ -1,0 +1,112 @@
+//! A mutex-guarded work-stealing deque.
+//!
+//! The owner pushes and pops at the back (LIFO — the most recently
+//! queued job is the cache-warmest); thieves steal from the front (FIFO
+//! — the oldest job, which the owner would reach last). A `Mutex` around
+//! a `VecDeque` is deliberately boring: batch jobs here are whole
+//! program analyses (micro- to milliseconds), so lock traffic is noise
+//! and the lock-free Chase–Lev machinery (and its external crate) is not
+//! worth carrying.
+
+use std::collections::VecDeque;
+use std::sync::Mutex;
+
+/// A two-ended job queue shared between one owner and any number of
+/// thieves.
+#[derive(Debug, Default)]
+pub struct StealDeque<T> {
+    inner: Mutex<VecDeque<T>>,
+}
+
+impl<T> StealDeque<T> {
+    /// An empty deque.
+    #[must_use]
+    pub fn new() -> StealDeque<T> {
+        StealDeque {
+            inner: Mutex::new(VecDeque::new()),
+        }
+    }
+
+    /// Queues a job at the owner end.
+    pub fn push(&self, job: T) {
+        self.lock().push_back(job);
+    }
+
+    /// Takes the most recently queued job (owner end).
+    pub fn pop(&self) -> Option<T> {
+        self.lock().pop_back()
+    }
+
+    /// Steals the oldest queued job (thief end).
+    pub fn steal(&self) -> Option<T> {
+        self.lock().pop_front()
+    }
+
+    /// Number of queued jobs.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// True if no jobs are queued.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.lock().is_empty()
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, VecDeque<T>> {
+        // A poisoned queue only happens if a holder panicked between
+        // push/pop; the queue itself is still structurally sound, and the
+        // pool propagates the worker panic anyway.
+        self.inner
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn owner_is_lifo_thief_is_fifo() {
+        let q = StealDeque::new();
+        q.push(1);
+        q.push(2);
+        q.push(3);
+        assert_eq!(q.len(), 3);
+        assert_eq!(q.steal(), Some(1), "thief takes the oldest");
+        assert_eq!(q.pop(), Some(3), "owner takes the newest");
+        assert_eq!(q.pop(), Some(2));
+        assert_eq!(q.pop(), None);
+        assert_eq!(q.steal(), None);
+        assert!(q.is_empty());
+    }
+
+    #[test]
+    fn shared_across_threads() {
+        let q = StealDeque::new();
+        for i in 0..64 {
+            q.push(i);
+        }
+        let taken: Vec<i32> = std::thread::scope(|s| {
+            let thief = s.spawn(|| {
+                let mut got = Vec::new();
+                while let Some(v) = q.steal() {
+                    got.push(v);
+                }
+                got
+            });
+            let mut got = Vec::new();
+            while let Some(v) = q.pop() {
+                got.push(v);
+            }
+            got.extend(thief.join().unwrap());
+            got
+        });
+        assert_eq!(taken.len(), 64, "every job taken exactly once");
+        let mut sorted = taken;
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..64).collect::<Vec<_>>());
+    }
+}

@@ -1,0 +1,248 @@
+//! The scoped worker pool: deterministic ordered fan-out.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+use crate::deque::StealDeque;
+
+/// Scheduling counters from one batch run. Purely diagnostic: these
+/// values depend on thread timing and MUST NOT flow into job results
+/// (the results themselves are deterministic; the schedule is not).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Worker threads actually spawned (0 when the batch ran inline).
+    pub workers: usize,
+    /// Jobs executed.
+    pub jobs: usize,
+    /// Jobs a worker took from another worker's deque.
+    pub steals: u64,
+}
+
+/// A fixed-width worker pool. Threads are scoped per [`Pool::run_ordered`]
+/// call — the pool holds configuration, not live threads, so it is
+/// trivially `Send` and cheap to construct.
+#[derive(Debug, Clone, Copy)]
+pub struct Pool {
+    workers: usize,
+}
+
+impl Pool {
+    /// A pool of `workers` threads; 0 is clamped to 1.
+    #[must_use]
+    pub fn new(workers: usize) -> Pool {
+        Pool {
+            workers: workers.max(1),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.workers
+    }
+
+    /// Runs `f` over every job, returning results in submission order
+    /// regardless of worker count or scheduling. `f` receives the job's
+    /// submission index alongside the job.
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on any worker.
+    pub fn run_ordered<T, R, F>(&self, jobs: Vec<T>, f: F) -> Vec<R>
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.run_ordered_stats(jobs, f).0
+    }
+
+    /// [`Self::run_ordered`] plus the run's [`PoolStats`].
+    ///
+    /// # Panics
+    ///
+    /// Propagates the first panic raised by `f` on any worker.
+    pub fn run_ordered_stats<T, R, F>(&self, jobs: Vec<T>, f: F) -> (Vec<R>, PoolStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let njobs = jobs.len();
+        let nworkers = self.workers.min(njobs);
+        if nworkers <= 1 {
+            // One worker (or zero/one jobs): run inline on the caller's
+            // thread, in submission order. This is also the reference
+            // schedule the parallel path must reproduce result-wise.
+            let out = jobs
+                .into_iter()
+                .enumerate()
+                .map(|(i, job)| f(i, job))
+                .collect();
+            return (
+                out,
+                PoolStats {
+                    workers: 0,
+                    jobs: njobs,
+                    steals: 0,
+                },
+            );
+        }
+
+        // Deal jobs round-robin onto per-worker deques (deterministic
+        // assignment; stealing rebalances at runtime).
+        let queues: Vec<StealDeque<(usize, T)>> =
+            (0..nworkers).map(|_| StealDeque::new()).collect();
+        for (i, job) in jobs.into_iter().enumerate() {
+            queues[i % nworkers].push((i, job));
+        }
+        // One result slot per job: slot `i` is written exactly once, by
+        // whichever worker ran job `i` — output order is fixed up front.
+        let slots: Vec<Mutex<Option<R>>> = (0..njobs).map(|_| Mutex::new(None)).collect();
+        let steals = AtomicU64::new(0);
+
+        std::thread::scope(|scope| {
+            for w in 0..nworkers {
+                let queues = &queues;
+                let slots = &slots;
+                let steals = &steals;
+                let f = &f;
+                scope.spawn(move || loop {
+                    // Own deque first (LIFO), then steal round-robin
+                    // from the neighbours (FIFO).
+                    let job = queues[w].pop().or_else(|| {
+                        (1..nworkers).find_map(|d| {
+                            let victim = (w + d) % nworkers;
+                            let stolen = queues[victim].steal();
+                            if stolen.is_some() {
+                                steals.fetch_add(1, Ordering::Relaxed);
+                            }
+                            stolen
+                        })
+                    });
+                    // No job list grows at runtime, so empty-everywhere
+                    // means this worker is done.
+                    let Some((i, job)) = job else { break };
+                    let result = f(i, job);
+                    *slots[i]
+                        .lock()
+                        .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
+                });
+            }
+        });
+
+        let out = slots
+            .into_iter()
+            .map(|slot| {
+                slot.into_inner()
+                    .unwrap_or_else(std::sync::PoisonError::into_inner)
+                    .expect("every job slot filled exactly once")
+            })
+            .collect();
+        (
+            out,
+            PoolStats {
+                workers: nworkers,
+                jobs: njobs,
+                steals: steals.load(Ordering::Relaxed),
+            },
+        )
+    }
+}
+
+/// Convenience free function: `Pool::new(workers).run_ordered(jobs, f)`.
+pub fn run_ordered<T, R, F>(workers: usize, jobs: Vec<T>, f: F) -> Vec<R>
+where
+    T: Send,
+    R: Send,
+    F: Fn(usize, T) -> R + Sync,
+{
+    Pool::new(workers).run_ordered(jobs, f)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    #[test]
+    fn output_order_matches_submission_order_for_any_worker_count() {
+        let jobs: Vec<u64> = (0..103).collect();
+        let expected: Vec<u64> = jobs.iter().map(|x| x * x + 1).collect();
+        for workers in [1usize, 2, 3, 4, 8, 64] {
+            let got = run_ordered(workers, jobs.clone(), |i, x| {
+                assert_eq!(i as u64, x);
+                x * x + 1
+            });
+            assert_eq!(got, expected, "workers = {workers}");
+        }
+    }
+
+    #[test]
+    fn zero_workers_clamps_to_one() {
+        let pool = Pool::new(0);
+        assert_eq!(pool.workers(), 1);
+        assert_eq!(pool.run_ordered(vec![5, 6], |_, x| x + 1), vec![6, 7]);
+    }
+
+    #[test]
+    fn empty_and_singleton_batches() {
+        let empty: Vec<i32> = Vec::new();
+        assert!(run_ordered(4, empty, |_, x: i32| x).is_empty());
+        assert_eq!(run_ordered(4, vec![9], |i, x| (i, x)), vec![(0, 9)]);
+    }
+
+    #[test]
+    fn every_job_runs_exactly_once() {
+        let ran = AtomicUsize::new(0);
+        let n = 257;
+        let out = run_ordered(8, (0..n).collect(), |_, x: usize| {
+            ran.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(ran.load(Ordering::Relaxed), n);
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn stats_report_inline_vs_threaded() {
+        let (out, stats) = Pool::new(1).run_ordered_stats(vec![1, 2, 3], |_, x| x);
+        assert_eq!(out, vec![1, 2, 3]);
+        assert_eq!(stats.workers, 0, "single-worker batches run inline");
+        assert_eq!(stats.jobs, 3);
+
+        let (out, stats) = Pool::new(4).run_ordered_stats((0..40).collect(), |_, x: i32| x);
+        assert_eq!(out.len(), 40);
+        assert_eq!(stats.workers, 4);
+        assert_eq!(stats.jobs, 40);
+    }
+
+    #[test]
+    fn stealing_rebalances_a_skewed_batch() {
+        // Job 0 (worker 0's only job under round-robin with 2 workers
+        // would be jobs 0,2,4...) busy-spins until every other job has
+        // run — which can only happen if worker 1 steals worker 0's
+        // remaining jobs. Completion of this test IS the assertion.
+        let done = AtomicUsize::new(0);
+        let n = 16;
+        let out = run_ordered(2, (0..n).collect(), |_, x: usize| {
+            if x == 0 {
+                while done.load(Ordering::Relaxed) < n - 1 {
+                    std::thread::yield_now();
+                }
+            }
+            done.fetch_add(1, Ordering::Relaxed);
+            x
+        });
+        assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn results_deterministic_across_repeated_runs() {
+        let reference = run_ordered(1, (0..50).collect(), |_, x: u64| x.wrapping_mul(2654435761));
+        for _ in 0..5 {
+            let again = run_ordered(4, (0..50).collect(), |_, x: u64| x.wrapping_mul(2654435761));
+            assert_eq!(again, reference);
+        }
+    }
+}

@@ -19,11 +19,11 @@ fn main() {
     println!("=== program ({}) ===\n{}", prog.paper_ref, prog.source);
     let cfg = Cfg::build(&prog.program);
 
-    let config = AnalysisConfig {
-        client: Client::Simple, // §VII suffices for this pattern
-        trace: true,
-        ..AnalysisConfig::default()
-    };
+    let config = AnalysisConfig::builder()
+        .client(Client::Simple) // §VII suffices for this pattern
+        .trace(true)
+        .build()
+        .expect("valid config");
     let result = analyze_cfg(&cfg, &config);
 
     println!("=== Fig 5-style engine trace (excerpt) ===");

@@ -72,10 +72,10 @@ fn main() {
         }
         let simple = analyze(
             &prog.program,
-            &AnalysisConfig {
-                client: Client::Simple,
-                ..AnalysisConfig::default()
-            },
+            &AnalysisConfig::builder()
+                .client(Client::Simple)
+                .build()
+                .expect("valid config"),
         );
         println!("simple (§VII) client verdict:     {:?}", simple.verdict);
         assert!(cart.is_exact());

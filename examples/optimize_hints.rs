@@ -21,7 +21,7 @@ fn main() {
         let verdict = match &result.verdict {
             Verdict::Exact => "exact".to_owned(),
             Verdict::Deadlock { .. } => "deadlock".to_owned(),
-            Verdict::Top { .. } => "⊤".to_owned(),
+            _ => "⊤".to_owned(),
         };
         let static_pattern = classify(&result);
         // Ground truth from one concrete run (buffered sends).

@@ -14,4 +14,18 @@ cargo clippy --workspace --all-targets --offline -- -D warnings
 echo "== cargo test --workspace =="
 cargo test --workspace --offline -q
 
+echo "== analyze-corpus determinism (jobs=1 vs jobs=4) =="
+# The batch runtime must produce byte-identical output for any worker
+# count (wall times are only printed under --timing, which we omit).
+cargo build -q -p mpl-cli --offline
+MPL=target/debug/mpl
+seq_out=$("$MPL" analyze-corpus --jobs 1)
+par_out=$("$MPL" analyze-corpus --jobs 4)
+diff <(printf '%s\n' "$seq_out") <(printf '%s\n' "$par_out") \
+  || { echo "analyze-corpus output differs between jobs=1 and jobs=4"; exit 1; }
+seq_json=$("$MPL" analyze-corpus --jobs 1 --json)
+par_json=$("$MPL" analyze-corpus --jobs 4 --json)
+diff <(printf '%s\n' "$seq_json") <(printf '%s\n' "$par_json") \
+  || { echo "analyze-corpus --json output differs between jobs=1 and jobs=4"; exit 1; }
+
 echo "verify: OK"

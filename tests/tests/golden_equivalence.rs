@@ -21,10 +21,10 @@ use mpl_lang::corpus;
 /// Renders one corpus program under one client as stable text lines.
 fn render_run(out: &mut String, name: &str, client: Client) {
     let prog = corpus::all().into_iter().find(|p| p.name == name).unwrap();
-    let config = AnalysisConfig {
-        client,
-        ..AnalysisConfig::default()
-    };
+    let config = AnalysisConfig::builder()
+        .client(client)
+        .build()
+        .expect("valid config");
     let result = analyze(&prog.program, &config);
 
     let verdict = match &result.verdict {
@@ -34,6 +34,7 @@ fn render_run(out: &mut String, name: &str, client: Client) {
             format!("deadlock at [{}]", nodes.join(", "))
         }
         Verdict::Top { reason } => format!("top: {reason}"),
+        other => format!("unexpected: {other:?}"),
     };
     let _ = writeln!(out, "{name} / {client:?}");
     let _ = writeln!(out, "  verdict: {verdict}");
@@ -127,10 +128,10 @@ fn headline_shapes_hold() {
     ];
     for &(name, client, want_matches) in cases {
         let prog = corpus::all().into_iter().find(|p| p.name == name).unwrap();
-        let config = AnalysisConfig {
-            client,
-            ..AnalysisConfig::default()
-        };
+        let config = AnalysisConfig::builder()
+            .client(client)
+            .build()
+            .expect("valid config");
         let result = analyze(&prog.program, &config);
         assert!(result.is_exact(), "{name}: {:?}", result.verdict);
         assert_eq!(result.matches.len(), want_matches, "{name}");

@@ -153,16 +153,17 @@ fn verdicts_partition() {
         match &result.verdict {
             Verdict::Exact => {}
             Verdict::Deadlock { blocked } => assert!(!blocked.is_empty()),
-            Verdict::Top { reason } => assert!(!reason.is_empty()),
+            Verdict::Top { reason } => assert!(!reason.to_string().is_empty()),
+            other => panic!("unexpected verdict {other:?}"),
         }
         // The simple client is never *more* capable than the cartesian
         // one on this corpus: if simple succeeds, cartesian does too.
         let simple = mpl_core::analyze(
             &prog.program,
-            &AnalysisConfig {
-                client: Client::Simple,
-                ..AnalysisConfig::default()
-            },
+            &AnalysisConfig::builder()
+                .client(Client::Simple)
+                .build()
+                .expect("valid config"),
         );
         if simple.is_exact() {
             assert!(
