@@ -65,9 +65,10 @@ fn main() {
             .records
             .iter()
             .map(|r| {
+                let result = r.result.as_ref().expect("fault-free corpus completes");
                 format!(
                     "{} {:?} {:?} {}",
-                    r.name, r.result.verdict, r.result.matches, r.result.steps
+                    r.name, result.verdict, result.matches, result.steps
                 )
             })
             .collect::<Vec<_>>()

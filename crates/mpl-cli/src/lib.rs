@@ -2,7 +2,8 @@
 //!
 //! ```text
 //! mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace]
-//! mpl analyze-corpus  [--jobs N] [--client C] [--min-np N] [--json] [--timing]
+//! mpl analyze-corpus  [--dir D] [--jobs N] [--client C] [--min-np N] [--timeout-ms T]
+//!                     [--retries R] [--keep-going] [--json] [--timing]
 //! mpl run     <file> --np N [--seed S] [--rendezvous] [--set var=val]...
 //! mpl check   <file>                  # diagnostics; exit 1 on findings
 //! mpl dot     <file>                  # Graphviz CFG
@@ -22,12 +23,13 @@ use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt::Write as _;
 use std::str::FromStr;
+use std::time::Duration;
 
 use mpl_cfg::Cfg;
 use mpl_core::diagnostics::diagnose;
 use mpl_core::{
     analyze_cfg, classify, info_flow, mpi_cfg_topology, AnalysisConfig, BatchAnalyzer, BatchJob,
-    BatchReport, Client, StaticTopology, Verdict,
+    BatchReport, Client, Fault, JobOutcome, StaticTopology, Verdict,
 };
 use mpl_lang::{corpus, parse_program};
 use mpl_sim::{Schedule, SendMode, SimConfig, Simulator};
@@ -161,7 +163,8 @@ pub fn run_command(args: &[String], source: &str) -> Result<CmdOutput, Box<dyn E
 pub fn usage() -> &'static str {
     "usage:\n  \
      mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace] [--stats]\n  \
-     mpl analyze-corpus  [--jobs N] [--client simple|cartesian] [--min-np N] [--json] [--timing]\n  \
+     mpl analyze-corpus  [--dir D] [--jobs N] [--client simple|cartesian] [--min-np N]\n              \
+     [--timeout-ms T] [--retries R] [--keep-going] [--json] [--timing]\n  \
      mpl run     <file> --np N [--seed S] [--rendezvous] [--set var=val]...\n  \
      mpl check   <file>\n  \
      mpl dot     <file>\n  \
@@ -263,18 +266,28 @@ fn verdict_tag(verdict: &Verdict) -> (&'static str, Option<String>) {
     }
 }
 
-/// Runs the whole built-in corpus through [`BatchAnalyzer`].
+/// Runs a corpus — the built-in one, or every `.mpl` file under `--dir`
+/// — through [`BatchAnalyzer`].
 ///
 /// Output is deterministic for any `--jobs` value; only the `--timing`
-/// fields (wall times) vary between runs, so reproducibility checks must
-/// omit that switch. Exit code 0 on a completed batch — the corpus
-/// intentionally contains deadlocking and inconclusive programs, so a
-/// non-exact verdict is not a CLI failure here (unlike `mpl analyze`).
+/// fields (wall times, panic worker ids) vary between runs, so
+/// reproducibility checks must omit that switch. A non-exact verdict is
+/// not a CLI failure here (unlike `mpl analyze`) — the corpus
+/// intentionally contains deadlocking and inconclusive programs — but a
+/// job that *fails to produce an analysis* (panicked, timed out, or
+/// unparseable) exits 1 unless `--keep-going` is given.
 fn cmd_analyze_corpus(args: &[String]) -> Result<CmdOutput, String> {
     let flags = Flags::parse(
         args,
-        &["--jobs", "--client", "--min-np"],
-        &["--json", "--timing"],
+        &[
+            "--jobs",
+            "--client",
+            "--min-np",
+            "--dir",
+            "--timeout-ms",
+            "--retries",
+        ],
+        &["--json", "--timing", "--keep-going"],
     )?;
     let jobs: usize = flags.parse_value("--jobs", 1)?;
     if jobs == 0 {
@@ -282,17 +295,27 @@ fn cmd_analyze_corpus(args: &[String]) -> Result<CmdOutput, String> {
     }
     let client = parse_client(&flags)?;
     let min_np: i64 = flags.parse_value("--min-np", AnalysisConfig::default().min_np)?;
+    let timeout_ms: u64 = flags.parse_value("--timeout-ms", 0)?;
+    let retries: u32 = flags.parse_value("--retries", 0)?;
+    let keep_going = flags.switch("--keep-going");
     let json = flags.switch("--json");
     let timing = flags.switch("--timing");
 
-    let mut batch = BatchAnalyzer::new().workers(jobs);
-    for prog in corpus::all() {
-        let config = AnalysisConfig::builder()
-            .client(client)
-            .min_np(min_np.max(i64::try_from(prog.min_procs).unwrap_or(i64::MAX)))
-            .build()
-            .map_err(|e| e.to_string())?;
-        batch.push(BatchJob::new(prog.name, prog.program, config));
+    let mut batch = BatchAnalyzer::new().workers(jobs).retries(retries);
+    if timeout_ms > 0 {
+        batch = batch.timeout(Duration::from_millis(timeout_ms));
+    }
+    if let Some(dir) = flags.value("--dir") {
+        push_corpus_dir(&mut batch, dir, client, min_np)?;
+    } else {
+        for prog in corpus::all() {
+            let config = AnalysisConfig::builder()
+                .client(client)
+                .min_np(min_np.max(i64::try_from(prog.min_procs).unwrap_or(i64::MAX)))
+                .build()
+                .map_err(|e| e.to_string())?;
+            batch.push(BatchJob::new(prog.name, prog.program, config));
+        }
     }
     let report = batch.run();
 
@@ -301,7 +324,60 @@ fn cmd_analyze_corpus(args: &[String]) -> Result<CmdOutput, String> {
     } else {
         render_corpus_text(&report, timing)
     };
-    Ok(ok(text))
+    let code = i32::from(!keep_going && report.summary.failures() > 0);
+    Ok(CmdOutput { text, code })
+}
+
+/// Queues every `.mpl` file under `dir` (sorted by file name, so job
+/// order — and hence the report — is independent of directory
+/// enumeration order). A file that fails to read or parse becomes a
+/// [`JobOutcome::Error`] record in its slot instead of aborting the run;
+/// `// mpl:fault=...` directives in the source are honored.
+fn push_corpus_dir(
+    batch: &mut BatchAnalyzer,
+    dir: &str,
+    client: Client,
+    min_np: i64,
+) -> Result<(), String> {
+    let entries = std::fs::read_dir(dir).map_err(|e| format!("cannot read `{dir}`: {e}"))?;
+    let mut paths: Vec<std::path::PathBuf> = entries
+        .filter_map(Result::ok)
+        .map(|e| e.path())
+        .filter(|p| p.extension().is_some_and(|ext| ext == "mpl"))
+        .collect();
+    paths.sort();
+    if paths.is_empty() {
+        return Err(format!("no .mpl files in `{dir}`"));
+    }
+    let config = AnalysisConfig::builder()
+        .client(client)
+        .min_np(min_np)
+        .build()
+        .map_err(|e| e.to_string())?;
+    for path in paths {
+        let name = path.file_stem().map_or_else(
+            || path.display().to_string(),
+            |s| s.to_string_lossy().into_owned(),
+        );
+        let source = match std::fs::read_to_string(&path) {
+            Ok(source) => source,
+            Err(e) => {
+                batch.push_error(name, format!("read error: {e}"));
+                continue;
+            }
+        };
+        match parse_program(&source) {
+            Ok(program) => {
+                let mut job = BatchJob::new(name, program, config.clone());
+                if let Some(fault) = Fault::from_directive(&source) {
+                    job = job.with_fault(fault);
+                }
+                batch.push(job);
+            }
+            Err(e) => batch.push_error(name, e.to_string()),
+        }
+    }
+    Ok(())
 }
 
 /// Compact `send->recv` topology listing (deterministic: the match set
@@ -317,24 +393,44 @@ fn topology_list(result: &mpl_core::AnalysisResult) -> Vec<String> {
 fn render_corpus_text(report: &BatchReport, timing: bool) -> String {
     let mut out = String::new();
     for rec in &report.records {
-        let (tag, reason) = verdict_tag(&rec.result.verdict);
-        let _ = write!(out, "{}: verdict={tag}", rec.name);
-        if let Some(code) = reason {
-            let _ = write!(out, " reason={code}");
-        }
-        let _ = write!(
-            out,
-            " matches={} leaks={} steps={}",
-            rec.result.matches.len(),
-            rec.result.leaks.len(),
-            rec.result.steps
-        );
-        let topo = topology_list(&rec.result);
-        if !topo.is_empty() {
-            let _ = write!(out, " topology={}", topo.join(","));
+        let _ = write!(out, "{}:", rec.name);
+        match &rec.result {
+            Some(result) => {
+                let (tag, reason) = verdict_tag(&result.verdict);
+                let _ = write!(out, " verdict={tag}");
+                if let Some(code) = reason {
+                    let _ = write!(out, " reason={code}");
+                }
+                if !matches!(rec.outcome, JobOutcome::Completed) {
+                    let _ = write!(out, " outcome={}", rec.outcome.code());
+                    if let JobOutcome::Degraded { attempts } = rec.outcome {
+                        let _ = write!(out, " attempts={attempts}");
+                    }
+                }
+                let _ = write!(
+                    out,
+                    " matches={} leaks={} steps={}",
+                    result.matches.len(),
+                    result.leaks.len(),
+                    result.steps
+                );
+                let topo = topology_list(result);
+                if !topo.is_empty() {
+                    let _ = write!(out, " topology={}", topo.join(","));
+                }
+            }
+            None => {
+                let _ = write!(out, " outcome={}", rec.outcome.code());
+                if let Some(detail) = rec.outcome.detail() {
+                    let _ = write!(out, " detail=\"{detail}\"");
+                }
+            }
         }
         if timing {
             let _ = write!(out, " wall_ms={:.3}", rec.wall_nanos as f64 / 1e6);
+            if let Some(worker) = rec.panic_worker {
+                let _ = write!(out, " worker={worker}");
+            }
         }
         let _ = writeln!(out);
     }
@@ -355,6 +451,11 @@ fn render_corpus_text(report: &BatchReport, timing: bool) -> String {
     let _ = writeln!(out);
     let _ = writeln!(
         out,
+        "outcomes: completed={} degraded={} timed_out={} panicked={} errors={}",
+        s.completed, s.degraded, s.timed_out, s.panicked, s.errors
+    );
+    let _ = writeln!(
+        out,
         "closures: full={} incremental={}",
         s.closure.full_closures, s.closure.incremental_closures
     );
@@ -369,28 +470,51 @@ fn render_corpus_json(report: &BatchReport, client: Client, timing: bool) -> Str
     };
     let mut out = String::new();
     for rec in &report.records {
-        let (tag, reason) = verdict_tag(&rec.result.verdict);
-        let reason_json = match &reason {
-            Some(code) => format!("\"{}\"", json_escape(code)),
-            None => "null".to_owned(),
+        let (verdict_json, reason_json, matches, leaks, steps, topo) = match &rec.result {
+            Some(result) => {
+                let (tag, reason) = verdict_tag(&result.verdict);
+                let reason_json = match &reason {
+                    Some(code) => format!("\"{}\"", json_escape(code)),
+                    None => "null".to_owned(),
+                };
+                let topo = topology_list(result)
+                    .iter()
+                    .map(|p| format!("\"{}\"", json_escape(p)))
+                    .collect::<Vec<_>>()
+                    .join(",");
+                (
+                    format!("\"{tag}\""),
+                    reason_json,
+                    result.matches.len(),
+                    result.leaks.len(),
+                    result.steps,
+                    topo,
+                )
+            }
+            None => ("null".to_owned(), "null".to_owned(), 0, 0, 0, String::new()),
         };
-        let topo = topology_list(&rec.result)
-            .iter()
-            .map(|p| format!("\"{}\"", json_escape(p)))
-            .collect::<Vec<_>>()
-            .join(",");
         let _ = write!(
             out,
             "{{\"type\":\"program\",\"name\":\"{}\",\"client\":\"{client_tag}\",\
-             \"verdict\":\"{tag}\",\"reason\":{reason_json},\"matches\":{},\"leaks\":{},\
-             \"steps\":{},\"topology\":[{topo}]",
+             \"verdict\":{verdict_json},\"reason\":{reason_json},\"outcome\":\"{}\"",
             json_escape(&rec.name),
-            rec.result.matches.len(),
-            rec.result.leaks.len(),
-            rec.result.steps
+            rec.outcome.code()
+        );
+        if let JobOutcome::Degraded { attempts } = rec.outcome {
+            let _ = write!(out, ",\"attempts\":{attempts}");
+        }
+        if let Some(detail) = rec.outcome.detail() {
+            let _ = write!(out, ",\"detail\":\"{}\"", json_escape(detail));
+        }
+        let _ = write!(
+            out,
+            ",\"matches\":{matches},\"leaks\":{leaks},\"steps\":{steps},\"topology\":[{topo}]"
         );
         if timing {
             let _ = write!(out, ",\"wall_nanos\":{}", rec.wall_nanos);
+            if let Some(worker) = rec.panic_worker {
+                let _ = write!(out, ",\"worker\":{worker}");
+            }
         }
         let _ = writeln!(out, "}}");
     }
@@ -398,12 +522,18 @@ fn render_corpus_json(report: &BatchReport, client: Client, timing: bool) -> Str
     let _ = write!(
         out,
         "{{\"type\":\"summary\",\"programs\":{},\"exact\":{},\"deadlock\":{},\"top\":{},\
+         \"completed\":{},\"degraded\":{},\"timed_out\":{},\"panicked\":{},\"errors\":{},\
          \"matches\":{},\"leaks\":{},\"steps\":{},\"full_closures\":{},\
          \"incremental_closures\":{}",
         s.programs,
         s.exact,
         s.deadlock,
         s.top,
+        s.completed,
+        s.degraded,
+        s.timed_out,
+        s.panicked,
+        s.errors,
         s.matches,
         s.leaks,
         s.steps,
@@ -749,6 +879,187 @@ mod tests {
         assert!(!out.text.contains("wall_nanos"));
         let timed = run(&["analyze-corpus", "--json", "--timing"], "");
         assert!(timed.text.contains("wall_nanos"));
+    }
+
+    /// Creates a unique scratch corpus directory populated with `files`
+    /// (name, contents) and returns its path.
+    fn scratch_corpus(label: &str, files: &[(&str, &str)]) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!("mpl-cli-test-{label}-{}", std::process::id()));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).expect("create scratch dir");
+        for (name, contents) in files {
+            std::fs::write(dir.join(name), contents).expect("write corpus file");
+        }
+        dir
+    }
+
+    #[test]
+    fn analyze_corpus_dir_isolates_faults_and_parse_errors() {
+        let good = corpus::fig2_exchange().source;
+        let poison = format!("// mpl:fault=panic\n{good}");
+        let spinner = format!("// mpl:fault=spin\n{good}");
+        let dir = scratch_corpus(
+            "faults",
+            &[
+                ("a_good.mpl", good.as_str()),
+                ("b_poison.mpl", poison.as_str()),
+                ("c_spin.mpl", spinner.as_str()),
+                ("d_broken.mpl", "x := ;"),
+                ("ignored.txt", "not a program"),
+            ],
+        );
+        let dir_arg = dir.to_str().unwrap();
+        let out = run(
+            &[
+                "analyze-corpus",
+                "--dir",
+                dir_arg,
+                "--jobs",
+                "4",
+                "--timeout-ms",
+                "200",
+                "--keep-going",
+            ],
+            "",
+        );
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(out.text.contains("a_good: verdict=exact"), "{}", out.text);
+        assert!(
+            out.text.contains("b_poison: outcome=panicked"),
+            "{}",
+            out.text
+        );
+        assert!(
+            out.text
+                .contains("c_spin: verdict=top reason=deadline outcome=timed-out"),
+            "{}",
+            out.text
+        );
+        assert!(out.text.contains("d_broken: outcome=error"), "{}", out.text);
+        assert!(
+            out.text
+                .contains("outcomes: completed=1 degraded=0 timed_out=1 panicked=1 errors=1"),
+            "{}",
+            out.text
+        );
+        // Without --keep-going the same corpus is a CLI failure.
+        let strict = run(
+            &["analyze-corpus", "--dir", dir_arg, "--timeout-ms", "200"],
+            "",
+        );
+        assert_eq!(strict.code, 1);
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_corpus_dir_output_is_deterministic_across_jobs() {
+        let good = corpus::fig2_exchange().source;
+        let poison = format!("// mpl:fault=panic\n{good}");
+        let spinner = format!("// mpl:fault=spin\n{good}");
+        let dir = scratch_corpus(
+            "determinism",
+            &[
+                ("a.mpl", good.as_str()),
+                ("b_poison.mpl", poison.as_str()),
+                ("c_spin.mpl", spinner.as_str()),
+                ("d.mpl", good.as_str()),
+            ],
+        );
+        let dir_arg = dir.to_str().unwrap();
+        let base = run(
+            &[
+                "analyze-corpus",
+                "--dir",
+                dir_arg,
+                "--timeout-ms",
+                "150",
+                "--keep-going",
+                "--json",
+            ],
+            "",
+        );
+        for jobs in ["4", "8"] {
+            let par = run(
+                &[
+                    "analyze-corpus",
+                    "--dir",
+                    dir_arg,
+                    "--jobs",
+                    jobs,
+                    "--timeout-ms",
+                    "150",
+                    "--keep-going",
+                    "--json",
+                ],
+                "",
+            );
+            assert_eq!(base.text, par.text, "diverged at --jobs {jobs}");
+        }
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_corpus_retries_degrade_top_once_fault() {
+        let good = corpus::fig2_exchange().source;
+        let flaky = format!("// mpl:fault=top-once\n{good}");
+        let dir = scratch_corpus("retries", &[("flaky.mpl", flaky.as_str())]);
+        let dir_arg = dir.to_str().unwrap();
+        // No retries: the injected budget-⊤ stands, outcome completed.
+        let out = run(&["analyze-corpus", "--dir", dir_arg], "");
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(
+            out.text.contains("flaky: verdict=top reason=step-budget"),
+            "{}",
+            out.text
+        );
+        // One retry: the second attempt recovers, outcome degraded.
+        let out = run(&["analyze-corpus", "--dir", dir_arg, "--retries", "1"], "");
+        assert_eq!(out.code, 0, "{}", out.text);
+        assert!(
+            out.text
+                .contains("flaky: verdict=exact outcome=degraded attempts=2"),
+            "{}",
+            out.text
+        );
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn analyze_corpus_json_reports_outcomes() {
+        let good = corpus::fig2_exchange().source;
+        let poison = format!("// mpl:fault=panic\n{good}");
+        let dir = scratch_corpus(
+            "json-outcomes",
+            &[("a.mpl", good.as_str()), ("b_poison.mpl", poison.as_str())],
+        );
+        let dir_arg = dir.to_str().unwrap();
+        let out = run(
+            &["analyze-corpus", "--dir", dir_arg, "--keep-going", "--json"],
+            "",
+        );
+        assert_eq!(out.code, 0);
+        let lines: Vec<&str> = out.text.lines().collect();
+        assert_eq!(lines.len(), 3);
+        assert!(
+            lines[0].contains("\"outcome\":\"completed\""),
+            "{}",
+            lines[0]
+        );
+        assert!(
+            lines[1].contains("\"outcome\":\"panicked\""),
+            "{}",
+            lines[1]
+        );
+        assert!(lines[1].contains("\"verdict\":null"), "{}", lines[1]);
+        assert!(lines[1].contains("\"detail\":\""), "{}", lines[1]);
+        assert!(
+            lines[2].contains(
+                "\"completed\":1,\"degraded\":0,\"timed_out\":0,\"panicked\":1,\"errors\":0"
+            ),
+            "{}",
+            lines[2]
+        );
+        let _ = std::fs::remove_dir_all(&dir);
     }
 
     #[test]

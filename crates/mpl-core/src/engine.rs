@@ -13,6 +13,7 @@ use mpl_cfg::{Cfg, CfgNode, CfgNodeId, EdgeKind};
 use mpl_domains::{LinExpr, VarId};
 use mpl_lang::ast::{BinOp, Expr, Program, UnOp};
 use mpl_procset::{Bound, ProcRange, SubtractOutcome};
+use mpl_runtime::CancelToken;
 
 use crate::matcher::{
     CartesianMatcher, MatchOutcome, MatchStrategy, RecvSite, SendSite, SimpleMatcher,
@@ -65,6 +66,11 @@ pub struct AnalysisConfig {
     pub widen_thresholds: Vec<i64>,
     /// Collect a human-readable Fig 5-style trace.
     pub trace: bool,
+    /// Cooperative cancellation: when set, the worklist loop polls the
+    /// token at a bounded step interval and ends the analysis with a
+    /// sound ⊤ ([`TopReason::Deadline`]) once it fires. `None` (the
+    /// default) means the run is bounded only by the step budget.
+    pub cancel: Option<CancelToken>,
 }
 
 impl Default for AnalysisConfig {
@@ -78,6 +84,7 @@ impl Default for AnalysisConfig {
             widen_delay: 6,
             widen_thresholds: mpl_domains::DEFAULT_WIDEN_THRESHOLDS.to_vec(),
             trace: false,
+            cancel: None,
         }
     }
 }
@@ -205,6 +212,15 @@ impl AnalysisConfigBuilder {
         self
     }
 
+    /// Attaches a cooperative cancellation token (deadline support). The
+    /// engine polls it every few worklist steps and returns a sound ⊤
+    /// ([`TopReason::Deadline`]) once it fires.
+    #[must_use]
+    pub fn cancel_token(mut self, token: CancelToken) -> Self {
+        self.config.cancel = Some(token);
+        self
+    }
+
     /// Validates and produces the configuration.
     ///
     /// # Errors
@@ -267,6 +283,10 @@ pub enum TopReason {
     },
     /// The match-ambiguity case split recursed past its depth bound.
     SplitDepthExceeded,
+    /// The run's cooperative deadline ([`AnalysisConfig::cancel`]) fired
+    /// before a fixpoint was reached. Sound by construction: the engine
+    /// stops with ⊤ and claims nothing about unexplored behaviour.
+    Deadline,
 }
 
 impl TopReason {
@@ -282,6 +302,7 @@ impl TopReason {
             TopReason::SplitFailure { .. } => "split-failure",
             TopReason::NonUniformCondition { .. } => "non-uniform-condition",
             TopReason::SplitDepthExceeded => "split-depth-exceeded",
+            TopReason::Deadline => "deadline",
         }
     }
 }
@@ -303,6 +324,7 @@ impl fmt::Display for TopReason {
                 "condition `{cond}` is not provably uniform across the process set"
             ),
             TopReason::SplitDepthExceeded => f.write_str("ambiguity-split depth exceeded"),
+            TopReason::Deadline => f.write_str("analysis deadline exceeded"),
         }
     }
 }
@@ -396,6 +418,26 @@ pub struct AnalysisResult {
 }
 
 impl AnalysisResult {
+    /// A bare ⊤ result that claims nothing: no matches, no leaks, no
+    /// prints, zero steps. This is the sound degenerate answer the batch
+    /// layer reports for jobs that never produced (or whose fault mode
+    /// suppressed) a real engine run — deadline expiries in particular,
+    /// where any partial progress would be wall-clock-dependent and
+    /// therefore nondeterministic.
+    #[must_use]
+    pub fn top(reason: TopReason) -> AnalysisResult {
+        AnalysisResult {
+            verdict: Verdict::Top { reason },
+            matches: BTreeSet::new(),
+            events: Vec::new(),
+            prints: Vec::new(),
+            leaks: Vec::new(),
+            steps: 0,
+            closure_stats: mpl_domains::ClosureStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
     /// True if the analysis converged with exact matching.
     #[must_use]
     pub fn is_exact(&self) -> bool {
@@ -420,6 +462,11 @@ impl AnalysisResult {
         Some(first)
     }
 }
+
+/// How many worklist steps may pass between two polls of the
+/// cancellation token — the bound behind the "engine observes
+/// cancellation within a bounded number of steps" guarantee.
+pub const CANCEL_CHECK_STEPS: u64 = 8;
 
 /// Analyzes `program` (builds its CFG internally).
 #[must_use]
@@ -502,6 +549,17 @@ impl<'a> Engine<'a> {
             if self.steps > self.config.max_steps {
                 self.top = Some(TopReason::StepBudget);
                 break;
+            }
+            // Cooperative deadline: one cheap poll every
+            // CANCEL_CHECK_STEPS worklist steps (starting at step 1, so
+            // a pre-cancelled token is observed before any real work).
+            if self.steps % CANCEL_CHECK_STEPS == 1 {
+                if let Some(token) = &self.config.cancel {
+                    if token.is_cancelled() {
+                        self.top = Some(TopReason::Deadline);
+                        break;
+                    }
+                }
             }
             if self.config.trace {
                 self.trace.push(format!("step {}: {st}", self.steps));
@@ -1733,6 +1791,62 @@ mod tests {
         let prog = corpus::stencil_2d_vertical(corpus::GridDims::Concrete { nrows: 3, ncols: 3 });
         let result = run(&prog, Client::Simple);
         assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+    }
+
+    #[test]
+    fn pre_cancelled_token_yields_deadline_top_within_bounded_steps() {
+        let prog = corpus::exchange_with_root();
+        let token = mpl_runtime::CancelToken::new();
+        token.cancel();
+        let config = AnalysisConfig::builder()
+            .cancel_token(token)
+            .build()
+            .expect("valid config");
+        let result = analyze(&prog.program, &config);
+        assert!(
+            matches!(
+                result.verdict,
+                Verdict::Top {
+                    reason: TopReason::Deadline
+                }
+            ),
+            "{:?}",
+            result.verdict
+        );
+        assert!(
+            result.steps <= CANCEL_CHECK_STEPS,
+            "cancellation observed after {} steps (bound {CANCEL_CHECK_STEPS})",
+            result.steps
+        );
+        // Sound ⊤: nothing is claimed about the program.
+        assert!(result.matches.is_empty());
+        assert!(result.leaks.is_empty());
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_perturb_the_analysis() {
+        let prog = corpus::exchange_with_root();
+        let plain = analyze(&prog.program, &AnalysisConfig::default());
+        let config = AnalysisConfig::builder()
+            .cancel_token(mpl_runtime::CancelToken::new())
+            .build()
+            .expect("valid config");
+        let tokened = analyze(&prog.program, &config);
+        assert_eq!(plain.verdict, tokened.verdict);
+        assert_eq!(plain.matches, tokened.matches);
+        assert_eq!(plain.steps, tokened.steps);
+    }
+
+    #[test]
+    fn deadline_reason_has_stable_code_and_message() {
+        assert_eq!(TopReason::Deadline.code(), "deadline");
+        assert_eq!(
+            TopReason::Deadline.to_string(),
+            "analysis deadline exceeded"
+        );
+        let bare = AnalysisResult::top(TopReason::Deadline);
+        assert!(!bare.is_exact());
+        assert_eq!(bare.steps, 0);
     }
 
     #[test]

@@ -54,10 +54,10 @@ pub mod session;
 pub mod state;
 pub mod topology;
 
-pub use batch::{BatchAnalyzer, BatchJob, BatchReport, BatchSummary, JobRecord};
+pub use batch::{BatchAnalyzer, BatchJob, BatchReport, BatchSummary, Fault, JobOutcome, JobRecord};
 pub use engine::{
     analyze, analyze_cfg, AnalysisConfig, AnalysisConfigBuilder, AnalysisResult, Client,
-    ConfigError, TopReason, Verdict,
+    ConfigError, TopReason, Verdict, CANCEL_CHECK_STEPS,
 };
 pub use infoflow::{info_flow, info_flow_with_pairs, InfoFlow};
 pub use matcher::{CartesianMatcher, MatchOutcome, MatchStrategy, SimpleMatcher};

@@ -598,7 +598,7 @@ mod tests {
         use mpl_lang::ast::StmtKind;
         let p = parse_program(&format!("send x -> {dest};")).unwrap();
         let StmtKind::Send { value, dest } = &p.stmts[0].kind else {
-            panic!()
+            panic!("`send x -> {dest}` did not parse to a Send statement")
         };
         SendSite {
             pset_idx: idx,
@@ -613,7 +613,7 @@ mod tests {
         use mpl_lang::ast::StmtKind;
         let p = parse_program(&format!("recv y <- {src};")).unwrap();
         let StmtKind::Recv { var, src } = &p.stmts[0].kind else {
-            panic!()
+            panic!("`recv y <- {src}` did not parse to a Recv statement")
         };
         RecvSite {
             pset_idx: idx,
@@ -790,7 +790,7 @@ mod tests {
         use mpl_lang::ast::StmtKind;
         let p = parse_program(&format!("send 0 -> {src};")).unwrap();
         let StmtKind::Send { dest, .. } = &p.stmts[0].kind else {
-            panic!()
+            panic!("`send 0 -> {src}` did not parse to a Send statement")
         };
         dest.clone()
     }

@@ -21,6 +21,11 @@
 //! * **No job spawns jobs.** The job list is static, so a worker may
 //!   exit as soon as every deque is empty — no termination protocol
 //!   beyond that.
+//! * **Fault isolation.** [`Pool::run_ordered_isolated`] wraps each job
+//!   in `catch_unwind`: a panicking job becomes a structured
+//!   [`JobFailure`] in its own result slot and the rest of the fleet
+//!   completes. Cooperative [`CancelToken`]s (flag + optional deadline)
+//!   let long-running jobs be asked to stop soundly.
 //!
 //! ```
 //! let squares = mpl_runtime::run_ordered(4, (0u64..32).collect(), |i, x| {
@@ -30,8 +35,10 @@
 //! assert_eq!(squares[7], 49);
 //! ```
 
+pub mod cancel;
 pub mod deque;
 pub mod pool;
 
+pub use cancel::CancelToken;
 pub use deque::StealDeque;
-pub use pool::{run_ordered, Pool, PoolStats};
+pub use pool::{run_ordered, JobFailure, Pool, PoolStats};

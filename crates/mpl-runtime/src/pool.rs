@@ -1,9 +1,35 @@
 //! The scoped worker pool: deterministic ordered fan-out.
 
+use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use crate::deque::StealDeque;
+
+/// A structured record of one job that panicked under
+/// [`Pool::run_ordered_isolated`]: the panic payload rendered to text
+/// plus the worker that ran the job. The worker id is scheduling-
+/// dependent and therefore **not deterministic** — callers producing
+/// reproducible output must exclude it (like wall times).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct JobFailure {
+    /// The panic payload (`&str`/`String` payloads verbatim, a
+    /// placeholder otherwise).
+    pub message: String,
+    /// Index of the worker the job ran on (0 when the batch ran inline).
+    pub worker: usize,
+}
+
+/// Renders a caught panic payload as text.
+fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        (*s).to_owned()
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        s.clone()
+    } else {
+        "non-string panic payload".to_owned()
+    }
+}
 
 /// Scheduling counters from one batch run. Purely diagnostic: these
 /// values depend on thread timing and MUST NOT flow into job results
@@ -68,6 +94,44 @@ impl Pool {
         R: Send,
         F: Fn(usize, T) -> R + Sync,
     {
+        self.run_ordered_inner(jobs, |_worker, i, job| f(i, job))
+    }
+
+    /// Fault-isolated [`Self::run_ordered_stats`]: each job runs under
+    /// `catch_unwind`, so one panicking job yields an `Err(`[`JobFailure`]`)`
+    /// in its submission-order slot while every other job still runs to
+    /// completion. No panic escapes this call.
+    ///
+    /// The closure is wrapped in `AssertUnwindSafe`: a panicking job's
+    /// partially-built result lives only in that job's dedicated slot,
+    /// which is replaced by the failure record, so no broken state is
+    /// ever observed across jobs.
+    pub fn run_ordered_isolated<T, R, F>(
+        &self,
+        jobs: Vec<T>,
+        f: F,
+    ) -> (Vec<Result<R, JobFailure>>, PoolStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        self.run_ordered_inner(jobs, |worker, i, job| {
+            std::panic::catch_unwind(AssertUnwindSafe(|| f(i, job))).map_err(|payload| JobFailure {
+                message: panic_message(payload.as_ref()),
+                worker,
+            })
+        })
+    }
+
+    /// Shared scheduling core: `f` receives `(worker, submission index,
+    /// job)` and its results come back in submission order.
+    fn run_ordered_inner<T, R, F>(&self, jobs: Vec<T>, f: F) -> (Vec<R>, PoolStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, usize, T) -> R + Sync,
+    {
         let njobs = jobs.len();
         let nworkers = self.workers.min(njobs);
         if nworkers <= 1 {
@@ -77,7 +141,7 @@ impl Pool {
             let out = jobs
                 .into_iter()
                 .enumerate()
-                .map(|(i, job)| f(i, job))
+                .map(|(i, job)| f(0, i, job))
                 .collect();
             return (
                 out,
@@ -123,7 +187,7 @@ impl Pool {
                     // No job list grows at runtime, so empty-everywhere
                     // means this worker is done.
                     let Some((i, job)) = job else { break };
-                    let result = f(i, job);
+                    let result = f(w, i, job);
                     *slots[i]
                         .lock()
                         .unwrap_or_else(std::sync::PoisonError::into_inner) = Some(result);
@@ -235,6 +299,56 @@ mod tests {
             x
         });
         assert_eq!(out, (0..n).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn isolated_panic_fills_its_slot_and_spares_the_fleet() {
+        for workers in [1usize, 2, 4, 8] {
+            let (out, stats) =
+                Pool::new(workers).run_ordered_isolated((0..17).collect::<Vec<u32>>(), |_, x| {
+                    assert!(x != 5, "job 5 goes down");
+                    x * 10
+                });
+            assert_eq!(stats.jobs, 17);
+            for (i, slot) in out.iter().enumerate() {
+                if i == 5 {
+                    let failure = slot.as_ref().unwrap_err();
+                    assert_eq!(failure.message, "job 5 goes down");
+                    if workers == 1 {
+                        assert_eq!(failure.worker, 0, "inline batches report worker 0");
+                    }
+                } else {
+                    assert_eq!(*slot, Ok(i as u32 * 10), "workers = {workers}");
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn isolated_formats_string_and_str_payloads() {
+        let (out, _) = Pool::new(1).run_ordered_isolated(vec![0, 1, 2], |_, x: i32| match x {
+            0 => panic!("static str payload"),
+            1 => panic!("formatted {x} payload"),
+            _ => x,
+        });
+        assert_eq!(out[0].as_ref().unwrap_err().message, "static str payload");
+        assert_eq!(out[1].as_ref().unwrap_err().message, "formatted 1 payload");
+        assert_eq!(out[2], Ok(2));
+    }
+
+    #[test]
+    fn isolated_all_jobs_panicking_still_returns() {
+        let (out, _) = Pool::new(4).run_ordered_isolated((0..8).collect::<Vec<u32>>(), |_, x| {
+            panic!("boom {x}");
+        });
+        assert_eq!(out.len(), 8);
+        for (i, slot) in out.iter().enumerate() {
+            let failure = slot.as_ref().expect_err("every job panicked");
+            assert_eq!(failure.message, format!("boom {i}"));
+        }
+        // The pool remains usable after a fully-poisoned batch.
+        let ok = Pool::new(4).run_ordered(vec![1, 2], |_, x| x + 1);
+        assert_eq!(ok, vec![2, 3]);
     }
 
     #[test]

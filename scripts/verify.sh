@@ -28,4 +28,41 @@ par_json=$("$MPL" analyze-corpus --jobs 4 --json)
 diff <(printf '%s\n' "$seq_json") <(printf '%s\n' "$par_json") \
   || { echo "analyze-corpus --json output differs between jobs=1 and jobs=4"; exit 1; }
 
+echo "== fault-injection smoke (panic + spin isolation) =="
+# An 8-program corpus with one panicking and one spinning job: the fleet
+# must complete, --keep-going must exit 0, and exactly those two jobs
+# may end non-completed. Records must stay byte-identical across worker
+# counts even with faults in the mix.
+smoke_dir=$(mktemp -d)
+trap 'rm -rf "$smoke_dir"' EXIT
+good='if id = 0 then
+  x := 5;
+  send x -> 1;
+else
+  if id = 1 then
+    recv y <- 0;
+    print y;
+  end
+end'
+for i in 0 1 2 3 4 5; do printf '%s\n' "$good" > "$smoke_dir/p$i.mpl"; done
+printf '// mpl:fault=panic\n%s\n' "$good" > "$smoke_dir/x_panic.mpl"
+printf '// mpl:fault=spin\n%s\n' "$good" > "$smoke_dir/y_spin.mpl"
+smoke_out=$("$MPL" analyze-corpus --dir "$smoke_dir" --jobs 4 --timeout-ms 200 --keep-going --json) \
+  || { echo "fault-injection run exited nonzero despite --keep-going"; exit 1; }
+panicked=$(grep -c '"outcome":"panicked"' <<< "$smoke_out")
+timed_out=$(grep -c '"outcome":"timed-out"' <<< "$smoke_out")
+completed=$(grep -c '"outcome":"completed"' <<< "$smoke_out")
+if [ "$panicked" != 1 ] || [ "$timed_out" != 1 ] || [ "$completed" != 6 ]; then
+  echo "unexpected outcomes: completed=$completed panicked=$panicked timed_out=$timed_out"
+  printf '%s\n' "$smoke_out"
+  exit 1
+fi
+smoke_seq=$("$MPL" analyze-corpus --dir "$smoke_dir" --jobs 1 --timeout-ms 200 --keep-going --json)
+diff <(printf '%s\n' "$smoke_seq") <(printf '%s\n' "$smoke_out") \
+  || { echo "faulted corpus output differs between jobs=1 and jobs=4"; exit 1; }
+# Without --keep-going the injected failures must be a nonzero exit.
+if "$MPL" analyze-corpus --dir "$smoke_dir" --jobs 4 --timeout-ms 200 >/dev/null; then
+  echo "expected nonzero exit without --keep-going"; exit 1
+fi
+
 echo "verify: OK"

@@ -16,31 +16,40 @@ fn closure_counts(c: &mpl_domains::ClosureStats) -> String {
 }
 
 /// Every deterministic field of a batch report, rendered to one string.
-/// Wall times are the only fields excluded (they vary by nature).
+/// Wall times and panic worker ids are the only fields excluded (they
+/// vary by nature).
 fn fingerprint(report: &BatchReport) -> String {
     let mut out = String::new();
     for rec in &report.records {
-        out.push_str(&format!(
-            "{}\nverdict: {:?}\nmatches: {:?}\nevents: {:?}\nleaks: {:?}\nprints: {:?}\n\
-             steps: {}\nclosure: {}\n\n",
-            rec.name,
-            rec.result.verdict,
-            rec.result.matches,
-            rec.result.events,
-            rec.result.leaks,
-            rec.result.prints,
-            rec.result.steps,
-            closure_counts(&rec.result.closure_stats),
-        ));
+        out.push_str(&format!("{}\noutcome: {:?}\n", rec.name, rec.outcome));
+        match &rec.result {
+            Some(result) => out.push_str(&format!(
+                "verdict: {:?}\nmatches: {:?}\nevents: {:?}\nleaks: {:?}\nprints: {:?}\n\
+                 steps: {}\nclosure: {}\n\n",
+                result.verdict,
+                result.matches,
+                result.events,
+                result.leaks,
+                result.prints,
+                result.steps,
+                closure_counts(&result.closure_stats),
+            )),
+            None => out.push_str("no result\n\n"),
+        }
     }
     let s = &report.summary;
     out.push_str(&format!(
-        "summary: programs={} exact={} deadlock={} top={} matches={} leaks={} steps={} \
-         closure={}\n",
+        "summary: programs={} exact={} deadlock={} top={} completed={} degraded={} \
+         timed_out={} panicked={} errors={} matches={} leaks={} steps={} closure={}\n",
         s.programs,
         s.exact,
         s.deadlock,
         s.top,
+        s.completed,
+        s.degraded,
+        s.timed_out,
+        s.panicked,
+        s.errors,
         s.matches,
         s.leaks,
         s.steps,
@@ -140,6 +149,7 @@ fn json_schema_is_pinned() {
         "\"client\":",
         "\"verdict\":",
         "\"reason\":",
+        "\"outcome\":",
         "\"matches\":",
         "\"leaks\":",
         "\"steps\":",
@@ -165,6 +175,11 @@ fn json_schema_is_pinned() {
         "\"exact\":",
         "\"deadlock\":",
         "\"top\":",
+        "\"completed\":",
+        "\"degraded\":",
+        "\"timed_out\":",
+        "\"panicked\":",
+        "\"errors\":",
         "\"matches\":",
         "\"leaks\":",
         "\"steps\":",
@@ -187,6 +202,7 @@ fn json_schema_is_pinned() {
         .expect("fig2_exchange record");
     assert!(fig2.contains("\"verdict\":\"exact\""), "{fig2}");
     assert!(fig2.contains("\"reason\":null"), "{fig2}");
+    assert!(fig2.contains("\"outcome\":\"completed\""), "{fig2}");
     assert!(fig2.contains("\"matches\":2"), "{fig2}");
     // The deadlocking pair is reported as such with no topology.
     let dead = lines
