@@ -1,0 +1,48 @@
+//! E8: cost of the observer seam. The engine is generic over
+//! `AnalysisObserver`, so the default `NoopObserver` must monomorphize
+//! to the same code as a hard-wired engine — rows 1 and 2 should be
+//! statistically indistinguishable, while the live `TraceObserver`
+//! (string formatting per step) shows what the seam saves when off.
+
+use mpl_bench::harness::Group;
+use mpl_cfg::Cfg;
+use mpl_core::observer::{NoopObserver, ObserverStack, StatsObserver, TraceObserver};
+use mpl_core::{analyze_cfg, analyze_cfg_with, AnalysisConfig, Client};
+use mpl_lang::corpus;
+use std::hint::black_box;
+
+fn main() {
+    let group = Group::new("observer_overhead");
+    let prog = corpus::mdcask_full();
+    let cfg = Cfg::build(&prog.program);
+    let config = AnalysisConfig::builder()
+        .client(Client::Simple)
+        .build()
+        .expect("valid config");
+
+    // Baseline: the public entry point with no observer attached.
+    group.bench("analyze_plain", || black_box(analyze_cfg(&cfg, &config)));
+    // The seam with the zero-cost default: should match the baseline.
+    group.bench("analyze_noop_observer", || {
+        black_box(analyze_cfg_with(&cfg, &config, &mut NoopObserver))
+    });
+    // Counter bumps only.
+    group.bench("analyze_stats_observer", || {
+        let mut stats = StatsObserver::new();
+        black_box(analyze_cfg_with(&cfg, &config, &mut stats))
+    });
+    // Full trace capture: one formatted line per step.
+    group.bench("analyze_trace_observer", || {
+        let mut tracer = TraceObserver::new();
+        black_box(analyze_cfg_with(&cfg, &config, &mut tracer))
+    });
+    // Dynamic stacking (dyn dispatch per hook) with both layers live.
+    group.bench("analyze_stacked_observers", || {
+        let mut tracer = TraceObserver::new();
+        let mut stats = StatsObserver::new();
+        let mut stack = ObserverStack::new();
+        stack.push(&mut tracer);
+        stack.push(&mut stats);
+        black_box(analyze_cfg_with(&cfg, &config, &mut stack))
+    });
+}

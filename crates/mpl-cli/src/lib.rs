@@ -28,8 +28,9 @@ use std::time::Duration;
 use mpl_cfg::Cfg;
 use mpl_core::diagnostics::diagnose;
 use mpl_core::{
-    analyze_cfg, classify, info_flow, mpi_cfg_topology, AnalysisConfig, BatchAnalyzer, BatchJob,
-    BatchReport, Client, Fault, JobOutcome, StaticTopology, Verdict,
+    analyze_cfg, analyze_cfg_with, classify, info_flow, mpi_cfg_topology, AnalysisConfig,
+    BatchAnalyzer, BatchJob, BatchReport, Client, Fault, JobOutcome, ObserverStack, StaticTopology,
+    StatsObserver, TraceObserver, Verdict,
 };
 use mpl_lang::{corpus, parse_program};
 use mpl_sim::{Schedule, SendMode, SimConfig, Simulator};
@@ -175,9 +176,8 @@ pub fn usage() -> &'static str {
 
 fn parse_client(flags: &Flags) -> Result<Client, String> {
     match flags.value("--client") {
-        Some("simple") => Ok(Client::Simple),
-        Some("cartesian") | None => Ok(Client::Cartesian),
-        Some(other) => Err(format!("unknown client `{other}`")),
+        None => Ok(Client::default()),
+        Some(tag) => Client::from_tag(tag).ok_or_else(|| format!("unknown client `{tag}`")),
     }
 }
 
@@ -190,13 +190,30 @@ fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> 
     let config = AnalysisConfig::builder()
         .client(client)
         .min_np(min_np)
-        .trace(trace)
         .build()?;
-    let result = analyze_cfg(cfg, &config);
+
+    // `--trace` and `--stats` are observer layers stacked onto the one
+    // engine run, not engine modes.
+    let mut tracer = TraceObserver::new();
+    let mut stats_obs = StatsObserver::new();
+    let result = {
+        let mut stack = ObserverStack::new();
+        if trace {
+            stack.push(&mut tracer);
+        }
+        if stats {
+            stack.push(&mut stats_obs);
+        }
+        if stack.is_empty() {
+            analyze_cfg(cfg, &config)
+        } else {
+            analyze_cfg_with(cfg, &config, &mut stack)
+        }
+    };
 
     let mut out = String::new();
     if trace {
-        for line in &result.trace {
+        for line in tracer.lines() {
             let _ = writeln!(out, "{line}");
         }
     }
@@ -231,6 +248,7 @@ fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> 
             cs.avg_incremental_vars(),
             cs.closure_time(),
         );
+        let _ = writeln!(out, "engine events: {}", stats_obs.stats());
     }
     let code = i32::from(!result.is_exact());
     Ok(CmdOutput { text: out, code })
@@ -463,11 +481,7 @@ fn render_corpus_text(report: &BatchReport, timing: bool) -> String {
 }
 
 fn render_corpus_json(report: &BatchReport, client: Client, timing: bool) -> String {
-    let client_tag = match client {
-        Client::Simple => "simple",
-        Client::Cartesian => "cartesian",
-        _ => "unknown",
-    };
+    let client_tag = client.tag();
     let mut out = String::new();
     for rec in &report.records {
         let (verdict_json, reason_json, matches, leaks, steps, topo) = match &rec.result {
@@ -731,6 +745,23 @@ mod tests {
         assert!(out.text.contains("closure stats:"));
         assert!(out.text.contains("full"));
         assert!(out.text.contains("incremental"));
+        assert!(out.text.contains("engine events:"), "{}", out.text);
+        assert!(out.text.contains("widenings"), "{}", out.text);
+    }
+
+    #[test]
+    fn analyze_trace_flag_streams_engine_steps() {
+        let prog = corpus::fig2_exchange();
+        let out = run(
+            &[
+                "analyze", "f.mpl", "--client", "simple", "--trace", "--stats",
+            ],
+            &prog.source,
+        );
+        assert_eq!(out.code, 0);
+        assert!(out.text.contains("step 1:"), "{}", out.text);
+        assert!(out.text.contains("match:"), "{}", out.text);
+        assert!(out.text.contains("engine events:"), "{}", out.text);
     }
 
     #[test]

@@ -59,7 +59,9 @@ use mpl_domains::ClosureStats;
 use mpl_lang::ast::Program;
 use mpl_runtime::CancelToken;
 
-use crate::engine::{analyze, AnalysisConfig, AnalysisResult, TopReason, Verdict};
+use crate::config::AnalysisConfig;
+use crate::engine::analyze;
+use crate::result::{AnalysisResult, TopReason, Verdict};
 
 /// A deterministic fault injected into a batch job — the test hook for
 /// the fault-tolerance machinery. Injected via [`BatchJob::with_fault`]

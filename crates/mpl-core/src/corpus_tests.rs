@@ -1,0 +1,199 @@
+//! End-to-end corpus tests for the engine: every paper-derived program
+//! run through [`crate::engine::analyze`] under the appropriate client.
+//!
+//! Kept as a separate module so `engine.rs` stays focused on the
+//! framework logic itself.
+
+use crate::engine::analyze;
+use crate::{AnalysisConfig, AnalysisResult, Client, PrintFact, Verdict};
+use mpl_lang::corpus;
+
+fn run(prog: &corpus::CorpusProgram, client: Client) -> AnalysisResult {
+    let config = AnalysisConfig {
+        client,
+        ..AnalysisConfig::default()
+    };
+    analyze(&prog.program, &config)
+}
+
+#[test]
+fn fig2_exchange_is_exact_with_constant_propagation() {
+    let prog = corpus::fig2_exchange();
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+    // Two matches: 0's send -> 1's recv, 1's send -> 0's recv.
+    assert_eq!(result.matches.len(), 2);
+    // Both prints output the constant 5 (the Fig 2 headline).
+    let fives: Vec<&PrintFact> = result
+        .prints
+        .iter()
+        .filter(|p| p.value == Some(5))
+        .collect();
+    assert_eq!(fives.len(), 2, "prints: {:?}", result.prints);
+    assert!(result.leaks.is_empty());
+}
+
+#[test]
+fn fanout_broadcast_is_exact() {
+    let prog = corpus::fanout_broadcast();
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+    assert_eq!(
+        result.matches.len(),
+        1,
+        "one send statement matches one recv"
+    );
+    assert!(result.leaks.is_empty());
+}
+
+#[test]
+fn exchange_with_root_is_exact_fig5() {
+    let prog = corpus::exchange_with_root();
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+    // Root's send matches worker recv; worker send matches root recv.
+    assert_eq!(result.matches.len(), 2, "matches: {:?}", result.matches);
+    assert!(result.leaks.is_empty());
+}
+
+#[test]
+fn gather_to_root_is_exact() {
+    let prog = corpus::gather_to_root();
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+    assert_eq!(result.matches.len(), 1);
+}
+
+#[test]
+fn nearest_neighbor_shift_is_exact() {
+    let prog = corpus::nearest_neighbor_shift();
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+    // Sends: edge 0's send, interior send; recvs: edge np-1, interior.
+    assert!(!result.matches.is_empty(), "matches: {:?}", result.matches);
+    assert!(result.leaks.is_empty());
+}
+
+#[test]
+fn transpose_square_needs_cartesian_client() {
+    let prog = corpus::nas_cg_transpose_square(corpus::GridDims::Symbolic);
+    // The simple client must give up (E3's contrast)...
+    let simple = run(&prog, Client::Simple);
+    assert!(
+        !simple.is_exact(),
+        "simple client should fail: {:?}",
+        simple.verdict
+    );
+    // ...while the HSM client matches exactly.
+    let cart = run(&prog, Client::Cartesian);
+    assert!(cart.is_exact(), "verdict: {:?}", cart.verdict);
+    assert_eq!(cart.matches.len(), 1);
+    assert!(cart
+        .events
+        .iter()
+        .all(|e| e.kind == crate::matcher::MatchKind::SelfPermutation));
+}
+
+#[test]
+fn transpose_rect_is_exact_with_cartesian_client() {
+    let prog = corpus::nas_cg_transpose_rect(corpus::GridDims::Symbolic);
+    let result = run(&prog, Client::Cartesian);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+    assert_eq!(result.matches.len(), 1);
+}
+
+#[test]
+fn message_leak_detected_statically() {
+    let prog = corpus::message_leak();
+    let result = run(&prog, Client::Simple);
+    assert_eq!(result.leaks.len(), 1, "verdict {:?}", result.verdict);
+}
+
+#[test]
+fn deadlock_pair_detected_statically() {
+    let prog = corpus::deadlock_pair();
+    let result = run(&prog, Client::Cartesian);
+    assert!(
+        matches!(result.verdict, Verdict::Deadlock { .. }),
+        "verdict: {:?}",
+        result.verdict
+    );
+}
+
+#[test]
+fn ring_uniform_is_top() {
+    // Modular wrap-around exceeds both clients (paper §X).
+    let prog = corpus::ring_uniform();
+    let result = run(&prog, Client::Cartesian);
+    assert!(
+        matches!(result.verdict, Verdict::Top { .. }),
+        "{:?}",
+        result.verdict
+    );
+}
+
+#[test]
+fn pairwise_exchange_is_top() {
+    // Parity split needs non-contiguous process sets.
+    let prog = corpus::pairwise_exchange();
+    let result = run(&prog, Client::Cartesian);
+    assert!(
+        matches!(result.verdict, Verdict::Top { .. }),
+        "{:?}",
+        result.verdict
+    );
+}
+
+#[test]
+fn const_relay_propagates_constant_through_two_hops() {
+    let prog = corpus::const_relay();
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+    let elevens = result.prints.iter().filter(|p| p.value == Some(11)).count();
+    assert_eq!(elevens, 3, "prints: {:?}", result.prints);
+}
+
+#[test]
+fn trace_collects_steps() {
+    let prog = corpus::fig2_exchange();
+    let config = AnalysisConfig {
+        trace: true,
+        ..AnalysisConfig::default()
+    };
+    let result = analyze(&prog.program, &config);
+    assert!(
+        result.trace.iter().any(|l| l.contains("match")),
+        "{:?}",
+        result.trace
+    );
+}
+
+#[test]
+fn left_shift_is_exact() {
+    let prog = corpus::left_shift();
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+}
+
+#[test]
+fn mdcask_full_is_exact() {
+    let prog = corpus::mdcask_full();
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+    // Phase 1 send->recv(b), phase 2 send->recv(y), worker send->root recv.
+    assert_eq!(result.matches.len(), 3, "matches: {:?}", result.matches);
+}
+
+#[test]
+fn scatter_indexed_is_exact() {
+    let prog = corpus::scatter_indexed();
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+}
+
+#[test]
+fn stencil_2d_vertical_concrete_is_exact() {
+    let prog = corpus::stencil_2d_vertical(corpus::GridDims::Concrete { nrows: 3, ncols: 3 });
+    let result = run(&prog, Client::Simple);
+    assert!(result.is_exact(), "verdict: {:?}", result.verdict);
+}

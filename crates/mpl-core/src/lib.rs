@@ -42,28 +42,39 @@
 //! ```
 
 pub mod batch;
+pub mod client;
+pub mod config;
+#[cfg(test)]
+mod corpus_tests;
 pub mod diagnostics;
 pub mod engine;
 pub mod infoflow;
 pub mod matcher;
 pub mod mpicfg;
 pub mod norm;
+pub mod observer;
 pub mod pattern;
+pub mod result;
 pub mod rewrite;
+pub mod scheduler;
 pub mod session;
 pub mod state;
 pub mod topology;
 
 pub use batch::{BatchAnalyzer, BatchJob, BatchReport, BatchSummary, Fault, JobOutcome, JobRecord};
-pub use engine::{
-    analyze, analyze_cfg, AnalysisConfig, AnalysisConfigBuilder, AnalysisResult, Client,
-    ConfigError, TopReason, Verdict, CANCEL_CHECK_STEPS,
-};
+pub use client::{CartesianClient, Client, ClientDomain, SymbolicClient};
+pub use config::{AnalysisConfig, AnalysisConfigBuilder, ConfigError};
+pub use engine::{analyze, analyze_cfg, analyze_cfg_with};
 pub use infoflow::{info_flow, info_flow_with_pairs, InfoFlow};
 pub use matcher::{CartesianMatcher, MatchOutcome, MatchStrategy, SimpleMatcher};
 pub use mpicfg::{mpi_cfg_topology, MpiCfgTopology};
+pub use observer::{
+    AnalysisObserver, EngineStats, NoopObserver, ObserverStack, StatsObserver, TraceObserver,
+};
 pub use pattern::{classify, classify_pairs, Pattern};
+pub use result::{AnalysisResult, MatchEvent, PrintFact, TopReason, Verdict};
 pub use rewrite::{rewrite_broadcast, RewriteError};
+pub use scheduler::CANCEL_CHECK_STEPS;
 pub use session::AnalysisSession;
 pub use state::{AnalysisState, PsetState};
 pub use topology::StaticTopology;

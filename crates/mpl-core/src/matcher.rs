@@ -20,7 +20,7 @@ use std::collections::BTreeMap;
 
 use mpl_cfg::CfgNodeId;
 use mpl_domains::{NsVar, PsetId, VarId};
-use mpl_hsm::{expr_to_hsm, AssumptionCtx, Hsm, SymPoly};
+use mpl_hsm::{compose_exprs, AssumptionCtx, Hsm, SymPoly};
 use mpl_lang::ast::{BinOp, Expr};
 use mpl_procset::{Bound, ProcRange};
 
@@ -116,6 +116,56 @@ pub trait MatchStrategy {
     ) -> Option<(mpl_domains::LinExpr, mpl_domains::LinExpr)> {
         None
     }
+
+    /// The image of the sender subset `senders` under `send`'s
+    /// destination expression — the paper's `image` operation of the
+    /// message-expression abstraction. `None` means the expression is
+    /// not representable in this strategy's abstraction.
+    fn image(
+        &self,
+        _st: &mut AnalysisState,
+        _norm: &NormCtx,
+        _send: &SendSite,
+        _senders: &ProcRange,
+    ) -> Option<ProcRange> {
+        None
+    }
+
+    /// Whether `recv.src ∘ send.dest` is provably the identity on
+    /// `senders` — the paper's `compose`/`is-identity` condition.
+    /// `Some(b)` is a proof either way; `None` means undecidable in this
+    /// strategy's abstraction.
+    fn composes_to_identity(
+        &self,
+        _st: &mut AnalysisState,
+        _send: &SendSite,
+        _recv: &RecvSite,
+        _norm: &NormCtx,
+        _senders: &ProcRange,
+        _assumes: &[Expr],
+    ) -> Option<bool> {
+        None
+    }
+}
+
+/// The image of `senders` under a linearized destination expression: a
+/// per-process `id + c` shifts the whole subset, a set-uniform
+/// expression collapses it to the one targeted rank. Shared by every
+/// arm of the simple matcher (the four arms differ only in which side
+/// is singled out, never in how the image is formed).
+fn image_of(
+    st: &mut AnalysisState,
+    dest: &mpl_domains::LinExpr,
+    id_s: VarId,
+    senders: &ProcRange,
+) -> ProcRange {
+    let mut out = if dest.var == Some(id_s) {
+        senders.plus(dest.offset)
+    } else {
+        ProcRange::singleton(*dest)
+    };
+    out.saturate(&mut st.cg);
+    out
 }
 
 /// The §VII client: `var + c` message expressions.
@@ -155,89 +205,58 @@ impl MatchStrategy for SimpleMatcher {
         let dest_uses_id = dest.var == Some(id_s);
         let src_uses_id = src.var == Some(id_r);
 
-        let outcome = match (dest_uses_id, src_uses_id) {
+        // Each case singles out the matched senders; the receivers are
+        // always their image under the destination expression.
+        let (s_procs, kind, check_r) = match (dest_uses_id, src_uses_id) {
             (true, true) => {
                 // dest = id + c, src = id + d: composition is the
                 // identity iff d = -c.
-                let (c, d) = (dest.offset, src.offset);
-                if c + d != 0 {
+                if !dest.composes_to_identity_with(&src) {
                     return None;
                 }
                 // Maximal matched senders: S ∩ (R - c).
-                let shifted_r = r_range.plus(-c);
+                let shifted_r = r_range.plus(-dest.offset);
                 let mut s_procs = intersect(st, &s_range, &shifted_r).ok()?;
                 s_procs.saturate(&mut st.cg);
-                let mut r_procs = s_procs.plus(c);
-                r_procs.saturate(&mut st.cg);
-                MatchOutcome {
+                // The intersection construction already bounds the image
+                // inside R; no containment check needed.
+                (
                     s_procs,
-                    r_procs,
-                    kind: MatchKind::Shift { offset: c },
-                }
+                    MatchKind::Shift {
+                        offset: dest.offset,
+                    },
+                    false,
+                )
             }
             (false, true) => {
                 // dest uniform t, src = id + d: the receiver at rank t
                 // expects sender t + d; only that sender matches.
-                let t = dest;
-                let mut s_procs = ProcRange::singleton(t.plus(src.offset));
+                let mut s_procs = ProcRange::singleton(dest.plus(src.offset));
                 s_procs.saturate(&mut st.cg);
-                if !s_range.provably_contains(&mut st.cg, &s_procs) {
-                    return None;
-                }
-                let mut r_procs = ProcRange::singleton(t);
-                r_procs.saturate(&mut st.cg);
-                if !r_range.provably_contains(&mut st.cg, &r_procs) {
-                    return None;
-                }
-                MatchOutcome {
-                    s_procs,
-                    r_procs,
-                    kind: MatchKind::UniformPair,
-                }
+                (s_procs, MatchKind::UniformPair, true)
             }
-            (true, false) => {
-                // dest = id + c, src uniform m: only sender m matches,
-                // landing on receiver m + c.
-                let m = src;
-                let mut s_procs = ProcRange::singleton(m);
+            (true, false) | (false, false) => {
+                // src uniform m: only sender m matches, landing on
+                // receiver m + c (per-process dest) or the uniform t.
+                // The (false, false) identity condition dest(m) = t with
+                // src(t) = m holds by construction once both singletons
+                // lie in their sets.
+                let mut s_procs = ProcRange::singleton(src);
                 s_procs.saturate(&mut st.cg);
-                if !s_range.provably_contains(&mut st.cg, &s_procs) {
-                    return None;
-                }
-                let mut r_procs = s_procs.plus(dest.offset);
-                r_procs.saturate(&mut st.cg);
-                if !r_range.provably_contains(&mut st.cg, &r_procs) {
-                    return None;
-                }
-                MatchOutcome {
-                    s_procs,
-                    r_procs,
-                    kind: MatchKind::UniformPair,
-                }
+                (s_procs, MatchKind::UniformPair, true)
             }
-            (false, false) => {
-                // dest uniform t, src uniform m: sender m to receiver t.
-                // The identity condition requires dest(m) = t with
-                // src(t) = m, which holds by construction once both
-                // singletons lie in their sets.
-                let t = dest;
-                let m = src;
-                let mut s_procs = ProcRange::singleton(m);
-                s_procs.saturate(&mut st.cg);
-                if !s_range.provably_contains(&mut st.cg, &s_procs) {
-                    return None;
-                }
-                let mut r_procs = ProcRange::singleton(t);
-                r_procs.saturate(&mut st.cg);
-                if !r_range.provably_contains(&mut st.cg, &r_procs) {
-                    return None;
-                }
-                MatchOutcome {
-                    s_procs,
-                    r_procs,
-                    kind: MatchKind::UniformPair,
-                }
-            }
+        };
+        if check_r && !s_range.provably_contains(&mut st.cg, &s_procs) {
+            return None;
+        }
+        let r_procs = image_of(st, &dest, id_s, &s_procs);
+        if check_r && !r_range.provably_contains(&mut st.cg, &r_procs) {
+            return None;
+        }
+        let outcome = MatchOutcome {
+            s_procs,
+            r_procs,
+            kind,
         };
 
         // The matched subsets must be provably non-empty.
@@ -315,6 +334,44 @@ impl MatchStrategy for SimpleMatcher {
                 })
             }
         }
+    }
+
+    fn image(
+        &self,
+        st: &mut AnalysisState,
+        norm: &NormCtx,
+        send: &SendSite,
+        senders: &ProcRange,
+    ) -> Option<ProcRange> {
+        let ps = st.psets[send.pset_idx].id;
+        let consts = st.consts.clone();
+        let dest = norm.linearize_resolved(&send.dest, ps, &consts, &mut st.cg)?;
+        Some(image_of(st, &dest, VarId::id_of(ps), senders))
+    }
+
+    fn composes_to_identity(
+        &self,
+        st: &mut AnalysisState,
+        send: &SendSite,
+        recv: &RecvSite,
+        norm: &NormCtx,
+        _senders: &ProcRange,
+        _assumes: &[Expr],
+    ) -> Option<bool> {
+        if send.pset_idx == recv.pset_idx {
+            return None;
+        }
+        let ps = st.psets[send.pset_idx].id;
+        let pr = st.psets[recv.pset_idx].id;
+        let consts = st.consts.clone();
+        let dest = norm.linearize_resolved(&send.dest, ps, &consts, &mut st.cg)?;
+        let src = norm.linearize_resolved(&recv.src, pr, &consts, &mut st.cg)?;
+        // Only the shift form is decidable by offset algebra; the
+        // singleton cases are decided by containment, not composition.
+        if dest.var == Some(VarId::id_of(ps)) && src.var == Some(VarId::id_of(pr)) {
+            return Some(dest.composes_to_identity_with(&src));
+        }
+        None
     }
 }
 
@@ -403,6 +460,67 @@ fn intersect(
 #[derive(Debug, Clone, Copy, Default)]
 pub struct CartesianMatcher;
 
+impl CartesianMatcher {
+    /// The §VII strategy this one extends: everything outside the HSM
+    /// fragment is delegated here, so the simple matching rules live in
+    /// exactly one place.
+    pub(crate) const fn base(&self) -> &'static SimpleMatcher {
+        &SimpleMatcher
+    }
+}
+
+/// The send and composed (recv ∘ send) HSMs for a whole-set pair, with
+/// the sender/receiver set polynomials — the shared §VIII pipeline
+/// behind both full matching and the bare identity query.
+struct HsmComposition {
+    ctx: AssumptionCtx,
+    s_lb: SymPoly,
+    s_n: SymPoly,
+    r_lb: SymPoly,
+    r_n: SymPoly,
+    h_send: Hsm,
+    composed: Hsm,
+}
+
+/// Builds the HSM composition for `send`/`recv` over the given sender
+/// and receiver ranges. `None` when either range or expression leaves
+/// the HSM fragment.
+fn hsm_composition(
+    st: &mut AnalysisState,
+    norm: &NormCtx,
+    send: &SendSite,
+    recv: &RecvSite,
+    s_range: &ProcRange,
+    r_range: &ProcRange,
+    assumes: &[Expr],
+) -> Option<HsmComposition> {
+    let ctx = build_assumption_ctx(st, norm, assumes);
+    let ps = st.psets[send.pset_idx].id;
+    let pr = st.psets[recv.pset_idx].id;
+
+    let (s_lb, s_n) = range_to_polys(st, s_range, &ctx)?;
+    let (r_lb, r_n) = range_to_polys(st, r_range, &ctx)?;
+    if !ctx.pos(&s_n) || !ctx.pos(&r_n) {
+        return None;
+    }
+
+    let vars_s = uniform_vars(st, norm, &send.dest, ps)?;
+    let vars_r = uniform_vars(st, norm, &recv.src, pr)?;
+
+    let id_s = Hsm::range(s_lb.clone(), s_n.clone());
+    let (h_send, composed) =
+        compose_exprs(&send.dest, &recv.src, &id_s, &vars_s, &vars_r, &ctx).ok()?;
+    Some(HsmComposition {
+        ctx,
+        s_lb,
+        s_n,
+        r_lb,
+        r_n,
+        h_send,
+        composed,
+    })
+}
+
 impl MatchStrategy for CartesianMatcher {
     fn name(&self) -> &'static str {
         "cartesian-hsm"
@@ -416,35 +534,20 @@ impl MatchStrategy for CartesianMatcher {
         norm: &NormCtx,
         assumes: &[Expr],
     ) -> Option<MatchOutcome> {
-        if let Some(out) = SimpleMatcher.try_match(st, send, recv, norm, assumes) {
+        if let Some(out) = self.base().try_match(st, send, recv, norm, assumes) {
             return Some(out);
         }
         // Whole-set HSM matching (the transpose pattern): both sets are
         // matched in full.
-        let ctx = build_assumption_ctx(st, norm, assumes);
-        let ps = st.psets[send.pset_idx].id;
-        let pr = st.psets[recv.pset_idx].id;
         let s_range = st.psets[send.pset_idx].range.clone();
         let r_range = st.psets[recv.pset_idx].range.clone();
-
-        let (s_lb, s_n) = range_to_polys(st, &s_range, &ctx)?;
-        let (r_lb, r_n) = range_to_polys(st, &r_range, &ctx)?;
-        if !ctx.pos(&s_n) || !ctx.pos(&r_n) {
-            return None;
-        }
-
-        let vars_s = uniform_vars(st, norm, &send.dest, ps)?;
-        let vars_r = uniform_vars(st, norm, &recv.src, pr)?;
-
-        let id_s = Hsm::range(s_lb.clone(), s_n.clone());
-        let h_send = expr_to_hsm(&send.dest, &id_s, &vars_s, &ctx).ok()?;
+        let c = hsm_composition(st, norm, send, recv, &s_range, &r_range, assumes)?;
         // Surjection of the send expression onto the receiver set.
-        if !h_send.is_surjection_onto(&r_lb, &r_n, &ctx) {
+        if !c.h_send.is_surjection_onto(&c.r_lb, &c.r_n, &c.ctx) {
             return None;
         }
         // Composition (recv ∘ send) must be the identity on the senders.
-        let composed = expr_to_hsm(&recv.src, &h_send, &vars_r, &ctx).ok()?;
-        if !composed.is_identity_on(&s_lb, &s_n, &ctx) {
+        if !c.composed.is_identity_on(&c.s_lb, &c.s_n, &c.ctx) {
             return None;
         }
         Some(MatchOutcome {
@@ -461,7 +564,41 @@ impl MatchStrategy for CartesianMatcher {
         recv: &RecvSite,
         norm: &NormCtx,
     ) -> Option<(mpl_domains::LinExpr, mpl_domains::LinExpr)> {
-        SimpleMatcher.split_hint(st, send, recv, norm)
+        self.base().split_hint(st, send, recv, norm)
+    }
+
+    fn image(
+        &self,
+        st: &mut AnalysisState,
+        norm: &NormCtx,
+        send: &SendSite,
+        senders: &ProcRange,
+    ) -> Option<ProcRange> {
+        self.base().image(st, norm, send, senders)
+    }
+
+    fn composes_to_identity(
+        &self,
+        st: &mut AnalysisState,
+        send: &SendSite,
+        recv: &RecvSite,
+        norm: &NormCtx,
+        senders: &ProcRange,
+        assumes: &[Expr],
+    ) -> Option<bool> {
+        if let Some(b) = self
+            .base()
+            .composes_to_identity(st, send, recv, norm, senders, assumes)
+        {
+            return Some(b);
+        }
+        // HSM proof of identity over the sender subset (a proof only —
+        // a failed HSM identity is "undecidable", not "false").
+        let senders = senders.clone();
+        let c = hsm_composition(st, norm, send, recv, &senders, &senders, assumes)?;
+        c.composed
+            .is_identity_on(&c.s_lb, &c.s_n, &c.ctx)
+            .then_some(true)
     }
 }
 

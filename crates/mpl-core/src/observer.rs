@@ -1,0 +1,430 @@
+//! Zero-cost analysis observers.
+//!
+//! The engine is generic over an [`AnalysisObserver`] and invokes its
+//! hooks at every interesting point of the worklist loop (steps, splits,
+//! merges, matches, widenings, ⊤). All hooks have empty default bodies,
+//! so the default [`NoopObserver`] monomorphizes to nothing — the
+//! observed engine compiles to the same code as a hard-wired loop (the
+//! `observer_overhead` bench in `mpl-bench` keeps this honest).
+//!
+//! Three concrete observers cover the existing consumers:
+//!
+//! * [`TraceObserver`] renders the Fig 5-style human trace (the exact
+//!   strings the engine used to push into `AnalysisResult::trace`);
+//! * [`StatsObserver`] counts engine events and captures the final
+//!   [`crate::result::AnalysisResult`]'s closure statistics;
+//! * [`ObserverStack`] composes any number of observers so the CLI and
+//!   batch layers can stack `--trace` and `--stats` independently.
+
+use std::fmt;
+
+use mpl_domains::LinExpr;
+
+use crate::result::{AnalysisResult, MatchEvent, TopReason};
+use crate::state::AnalysisState;
+
+/// Hooks invoked by the engine's worklist loop.
+///
+/// Every method has an empty default body: implement only what you need.
+/// Hook arguments are passed by reference and are cheap to ignore — the
+/// engine never formats or clones anything on an observer's behalf, so a
+/// no-op implementation costs nothing.
+pub trait AnalysisObserver {
+    /// A state was popped from the worklist (`step` is 1-based).
+    fn on_step(&mut self, step: u64, st: &AnalysisState) {
+        let _ = (step, st);
+    }
+
+    /// A blocked send was buffered (§X depth-1 aggregation) on pset
+    /// `pset_idx`, observed before the buffering is applied to `st`.
+    fn on_promote(&mut self, pset_idx: usize, st: &AnalysisState) {
+        let _ = (pset_idx, st);
+    }
+
+    /// The state forked on the undecidable comparison `a <=> b` (the §VI
+    /// match-ambiguity split).
+    fn on_split(&mut self, a: &LinExpr, b: &LinExpr) {
+        let _ = (a, b);
+    }
+
+    /// Compatible process sets were merged: `before` psets became
+    /// `after`.
+    fn on_merge(&mut self, before: usize, after: usize) {
+        let _ = (before, after);
+    }
+
+    /// A send–receive match was established.
+    fn on_match(&mut self, event: &MatchEvent) {
+        let _ = event;
+    }
+
+    /// A matcher-proposed match could not be applied (releasing the
+    /// subsets failed); the engine keeps looking.
+    fn on_match_rejected(&mut self) {}
+
+    /// A recurring pCFG location was widened after `visits` visits.
+    fn on_widen(&mut self, visits: u32, widened: &AnalysisState) {
+        let _ = (visits, widened);
+    }
+
+    /// The analysis gave up with ⊤ for `reason` (may fire more than once
+    /// if several successor states independently hit a budget; the last
+    /// reason wins in the result).
+    fn on_top(&mut self, reason: &TopReason) {
+        let _ = reason;
+    }
+
+    /// A state reached the pCFG exit with every set at `Exit`.
+    fn on_terminal(&mut self, st: &AnalysisState) {
+        let _ = st;
+    }
+
+    /// The run finished; `result` is the final [`AnalysisResult`] about
+    /// to be returned (trace not yet attached).
+    fn on_complete(&mut self, result: &AnalysisResult) {
+        let _ = result;
+    }
+}
+
+/// The default observer: every hook is a no-op. Monomorphized engine
+/// code using it is identical to an unobserved loop.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct NoopObserver;
+
+impl AnalysisObserver for NoopObserver {}
+
+/// Renders the Fig 5-style trace the engine used to collect inline.
+///
+/// The strings are byte-identical to the historical `trace: true`
+/// output, so `mpl analyze --trace` is unchanged.
+#[derive(Debug, Clone, Default)]
+pub struct TraceObserver {
+    lines: Vec<String>,
+}
+
+impl TraceObserver {
+    /// An empty trace.
+    #[must_use]
+    pub fn new() -> TraceObserver {
+        TraceObserver::default()
+    }
+
+    /// The trace lines collected so far.
+    #[must_use]
+    pub fn lines(&self) -> &[String] {
+        &self.lines
+    }
+
+    /// Consumes the observer, returning the collected lines.
+    #[must_use]
+    pub fn into_lines(self) -> Vec<String> {
+        self.lines
+    }
+}
+
+impl AnalysisObserver for TraceObserver {
+    fn on_step(&mut self, step: u64, st: &AnalysisState) {
+        self.lines.push(format!("step {step}: {st}"));
+    }
+
+    fn on_promote(&mut self, pset_idx: usize, st: &AnalysisState) {
+        self.lines
+            .push(format!("promote pending send on pset {pset_idx}: {st}"));
+    }
+
+    fn on_split(&mut self, a: &LinExpr, b: &LinExpr) {
+        self.lines.push(format!("split on {a} <= {b} vs {b} < {a}"));
+    }
+
+    fn on_match(&mut self, event: &MatchEvent) {
+        self.lines.push(format!("match: {event}"));
+    }
+
+    fn on_match_rejected(&mut self) {
+        self.lines.push("  (match could not be applied)".to_owned());
+    }
+
+    fn on_terminal(&mut self, st: &AnalysisState) {
+        self.lines.push(format!("terminal: {st}"));
+    }
+}
+
+/// Counts of engine events collected by a [`StatsObserver`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+#[non_exhaustive]
+pub struct EngineStats {
+    /// Worklist states processed.
+    pub steps: u64,
+    /// Pending-send promotions (§X aggregation).
+    pub promotions: u64,
+    /// Match-ambiguity forks.
+    pub splits: u64,
+    /// Process-set merges (count of merge events, not sets removed).
+    pub merges: u64,
+    /// Established send–receive matches.
+    pub matches: u64,
+    /// Matcher proposals that could not be applied.
+    pub rejected_matches: u64,
+    /// Widenings applied at recurring locations.
+    pub widenings: u64,
+    /// ⊤ events observed (the result reports only the last).
+    pub tops: u64,
+    /// Terminal states reached.
+    pub terminals: u64,
+}
+
+impl fmt::Display for EngineStats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} steps, {} matches ({} rejected), {} splits, {} merges, \
+             {} widenings, {} promotions, {} terminals, {} tops",
+            self.steps,
+            self.matches,
+            self.rejected_matches,
+            self.splits,
+            self.merges,
+            self.widenings,
+            self.promotions,
+            self.terminals,
+            self.tops,
+        )
+    }
+}
+
+/// Counts engine events and captures the final result's closure
+/// statistics (the §IX profile quantities measured by
+/// [`crate::session::AnalysisSession`]).
+#[derive(Debug, Clone, Default)]
+pub struct StatsObserver {
+    stats: EngineStats,
+    closure: Option<mpl_domains::ClosureStats>,
+}
+
+impl StatsObserver {
+    /// A fresh, all-zero collector.
+    #[must_use]
+    pub fn new() -> StatsObserver {
+        StatsObserver::default()
+    }
+
+    /// The event counts collected so far.
+    #[must_use]
+    pub fn stats(&self) -> &EngineStats {
+        &self.stats
+    }
+
+    /// The run's closure-operation statistics, available once the engine
+    /// has completed (from [`AnalysisObserver::on_complete`]).
+    #[must_use]
+    pub fn closure_stats(&self) -> Option<&mpl_domains::ClosureStats> {
+        self.closure.as_ref()
+    }
+}
+
+impl AnalysisObserver for StatsObserver {
+    fn on_step(&mut self, _step: u64, _st: &AnalysisState) {
+        self.stats.steps += 1;
+    }
+
+    fn on_promote(&mut self, _pset_idx: usize, _st: &AnalysisState) {
+        self.stats.promotions += 1;
+    }
+
+    fn on_split(&mut self, _a: &LinExpr, _b: &LinExpr) {
+        self.stats.splits += 1;
+    }
+
+    fn on_merge(&mut self, _before: usize, _after: usize) {
+        self.stats.merges += 1;
+    }
+
+    fn on_match(&mut self, _event: &MatchEvent) {
+        self.stats.matches += 1;
+    }
+
+    fn on_match_rejected(&mut self) {
+        self.stats.rejected_matches += 1;
+    }
+
+    fn on_widen(&mut self, _visits: u32, _widened: &AnalysisState) {
+        self.stats.widenings += 1;
+    }
+
+    fn on_top(&mut self, _reason: &TopReason) {
+        self.stats.tops += 1;
+    }
+
+    fn on_terminal(&mut self, _st: &AnalysisState) {
+        self.stats.terminals += 1;
+    }
+
+    fn on_complete(&mut self, result: &AnalysisResult) {
+        self.closure = Some(result.closure_stats);
+    }
+}
+
+/// Composes observers: every hook fans out to each layer in push order.
+///
+/// ```
+/// use mpl_core::observer::{ObserverStack, StatsObserver, TraceObserver};
+/// let mut tracer = TraceObserver::new();
+/// let mut stats = StatsObserver::new();
+/// let mut stack = ObserverStack::new();
+/// stack.push(&mut tracer);
+/// stack.push(&mut stats);
+/// // pass `&mut stack` to `analyze_cfg_with`...
+/// ```
+#[derive(Default)]
+pub struct ObserverStack<'a> {
+    layers: Vec<&'a mut dyn AnalysisObserver>,
+}
+
+impl<'a> ObserverStack<'a> {
+    /// An empty stack (equivalent to [`NoopObserver`], minus the
+    /// per-hook virtual dispatch).
+    #[must_use]
+    pub fn new() -> ObserverStack<'a> {
+        ObserverStack { layers: Vec::new() }
+    }
+
+    /// Adds an observer layer; hooks fire in push order.
+    pub fn push(&mut self, observer: &'a mut dyn AnalysisObserver) {
+        self.layers.push(observer);
+    }
+
+    /// True if no layers are stacked.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl AnalysisObserver for ObserverStack<'_> {
+    fn on_step(&mut self, step: u64, st: &AnalysisState) {
+        for layer in &mut self.layers {
+            layer.on_step(step, st);
+        }
+    }
+
+    fn on_promote(&mut self, pset_idx: usize, st: &AnalysisState) {
+        for layer in &mut self.layers {
+            layer.on_promote(pset_idx, st);
+        }
+    }
+
+    fn on_split(&mut self, a: &LinExpr, b: &LinExpr) {
+        for layer in &mut self.layers {
+            layer.on_split(a, b);
+        }
+    }
+
+    fn on_merge(&mut self, before: usize, after: usize) {
+        for layer in &mut self.layers {
+            layer.on_merge(before, after);
+        }
+    }
+
+    fn on_match(&mut self, event: &MatchEvent) {
+        for layer in &mut self.layers {
+            layer.on_match(event);
+        }
+    }
+
+    fn on_match_rejected(&mut self) {
+        for layer in &mut self.layers {
+            layer.on_match_rejected();
+        }
+    }
+
+    fn on_widen(&mut self, visits: u32, widened: &AnalysisState) {
+        for layer in &mut self.layers {
+            layer.on_widen(visits, widened);
+        }
+    }
+
+    fn on_top(&mut self, reason: &TopReason) {
+        for layer in &mut self.layers {
+            layer.on_top(reason);
+        }
+    }
+
+    fn on_terminal(&mut self, st: &AnalysisState) {
+        for layer in &mut self.layers {
+            layer.on_terminal(st);
+        }
+    }
+
+    fn on_complete(&mut self, result: &AnalysisResult) {
+        for layer in &mut self.layers {
+            layer.on_complete(result);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::AnalysisConfig;
+    use crate::engine::{analyze, analyze_cfg_with};
+    use mpl_cfg::Cfg;
+    use mpl_lang::corpus;
+
+    #[test]
+    fn trace_observer_reproduces_legacy_trace() {
+        let prog = corpus::fig2_exchange();
+        let config = AnalysisConfig {
+            trace: true,
+            ..AnalysisConfig::default()
+        };
+        let legacy = analyze(&prog.program, &config);
+        let mut tracer = TraceObserver::new();
+        let untraced = AnalysisConfig::default();
+        let observed = analyze_cfg_with(&Cfg::build(&prog.program), &untraced, &mut tracer);
+        assert_eq!(legacy.trace, tracer.lines());
+        assert_eq!(legacy.verdict, observed.verdict);
+        assert_eq!(legacy.steps, observed.steps);
+    }
+
+    #[test]
+    fn stats_observer_counts_steps_and_matches() {
+        let prog = corpus::fig2_exchange();
+        let mut stats = StatsObserver::new();
+        let result = analyze_cfg_with(
+            &Cfg::build(&prog.program),
+            &AnalysisConfig::default(),
+            &mut stats,
+        );
+        assert_eq!(stats.stats().steps, result.steps);
+        assert_eq!(stats.stats().matches as usize, result.events.len());
+        assert_eq!(
+            stats.closure_stats().copied(),
+            Some(result.closure_stats),
+            "on_complete must capture the session's closure delta"
+        );
+        // The Display form is a single line.
+        assert!(!stats.stats().to_string().contains('\n'));
+    }
+
+    #[test]
+    fn observer_stack_fans_out_to_all_layers() {
+        let prog = corpus::exchange_with_root();
+        let mut tracer = TraceObserver::new();
+        let mut stats = StatsObserver::new();
+        let result = {
+            let mut stack = ObserverStack::new();
+            assert!(stack.is_empty());
+            stack.push(&mut tracer);
+            stack.push(&mut stats);
+            assert!(!stack.is_empty());
+            analyze_cfg_with(
+                &Cfg::build(&prog.program),
+                &AnalysisConfig::default(),
+                &mut stack,
+            )
+        };
+        assert!(result.is_exact());
+        assert_eq!(stats.stats().steps, result.steps);
+        assert!(tracer.lines().len() as u64 >= result.steps);
+    }
+}

@@ -1,0 +1,310 @@
+//! Analysis outcomes: verdicts, ⊤ causes, match events, print facts.
+//!
+//! These are the data the engine reports and the only types most
+//! consumers need; they are independent of the worklist loop so that
+//! observers ([`crate::observer`]), the batch runtime and the CLI can
+//! share them without pulling in engine internals.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use mpl_cfg::CfgNodeId;
+
+/// Why the analysis returned ⊤, as a typed cause. `Display` renders the
+/// exact human-readable strings the engine has always reported, so logs
+/// and golden files are unchanged while callers (the `--json` corpus
+/// output, tests) can match on the cause structurally instead of by
+/// substring.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum TopReason {
+    /// The engine step budget ([`crate::config::AnalysisConfig::max_steps`])
+    /// ran out.
+    StepBudget,
+    /// More process sets coexisted than
+    /// [`crate::config::AnalysisConfig::max_psets`].
+    PsetBudget {
+        /// The configured bound that was exceeded.
+        max: usize,
+    },
+    /// Widening relaxed a process-set bound all the way to ±∞ — the
+    /// range abstraction lost the set.
+    AbstractionLoss,
+    /// All sets blocked on communication and no exact send–receive
+    /// match exists (matching must be exact — §VI).
+    MatchFailure {
+        /// Display form of the blocked state.
+        state: String,
+    },
+    /// An `id`-dependent branch condition did not split the process
+    /// range into provable sub-ranges.
+    SplitFailure {
+        /// The condition that could not be split.
+        cond: String,
+    },
+    /// A branch condition was not provably uniform across the set, so
+    /// steering the whole set down one edge would be unsound.
+    NonUniformCondition {
+        /// The offending condition.
+        cond: String,
+    },
+    /// The match-ambiguity case split recursed past its depth bound.
+    SplitDepthExceeded,
+    /// The run's cooperative deadline
+    /// ([`crate::config::AnalysisConfig::cancel`]) fired before a
+    /// fixpoint was reached. Sound by construction: the engine stops
+    /// with ⊤ and claims nothing about unexplored behaviour.
+    Deadline,
+}
+
+impl TopReason {
+    /// A stable, machine-readable cause code (used by the corpus JSON
+    /// output; kebab-case, never localized).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            TopReason::StepBudget => "step-budget",
+            TopReason::PsetBudget { .. } => "pset-budget",
+            TopReason::AbstractionLoss => "abstraction-loss",
+            TopReason::MatchFailure { .. } => "match-failure",
+            TopReason::SplitFailure { .. } => "split-failure",
+            TopReason::NonUniformCondition { .. } => "non-uniform-condition",
+            TopReason::SplitDepthExceeded => "split-depth-exceeded",
+            TopReason::Deadline => "deadline",
+        }
+    }
+}
+
+impl fmt::Display for TopReason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopReason::StepBudget => f.write_str("step budget exceeded"),
+            TopReason::PsetBudget { max } => write!(f, "more than {max} process sets"),
+            TopReason::AbstractionLoss => f.write_str("widening lost a process-set bound"),
+            TopReason::MatchFailure { state } => {
+                write!(f, "cannot match blocked communication in {state}")
+            }
+            TopReason::SplitFailure { cond } => {
+                write!(f, "cannot split process set on condition `{cond}`")
+            }
+            TopReason::NonUniformCondition { cond } => write!(
+                f,
+                "condition `{cond}` is not provably uniform across the process set"
+            ),
+            TopReason::SplitDepthExceeded => f.write_str("ambiguity-split depth exceeded"),
+            TopReason::Deadline => f.write_str("analysis deadline exceeded"),
+        }
+    }
+}
+
+/// How the analysis ended.
+#[derive(Debug, Clone, PartialEq, Eq)]
+#[non_exhaustive]
+pub enum Verdict {
+    /// Fixpoint reached with every send–receive interaction matched
+    /// exactly: the reported topology is the application's communication
+    /// topology.
+    Exact,
+    /// The analysis proved that blocked receives can never be satisfied —
+    /// a guaranteed deadlock (§I error detection).
+    Deadlock {
+        /// The blocked (CFG node, process range) pairs.
+        blocked: Vec<(CfgNodeId, String)>,
+    },
+    /// The analysis gave up (⊤): the pattern exceeds the client
+    /// abstraction or the framework's exact-matching requirement.
+    Top {
+        /// Why, as a typed cause.
+        reason: TopReason,
+    },
+}
+
+/// One recorded send–receive match with its process subsets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MatchEvent {
+    /// The send statement.
+    pub send_node: CfgNodeId,
+    /// The receive statement.
+    pub recv_node: CfgNodeId,
+    /// Matched sender ranks (display form).
+    pub s_procs: String,
+    /// Matched receiver ranks (display form).
+    pub r_procs: String,
+    /// The shape of the match.
+    pub kind: crate::matcher::MatchKind,
+    /// The sender rank, when the matched senders are one known constant.
+    pub s_const: Option<i64>,
+    /// The receiver rank, when the matched receivers are one known
+    /// constant.
+    pub r_const: Option<i64>,
+}
+
+impl fmt::Display for MatchEvent {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}@{} -> {}@{}",
+            self.send_node, self.s_procs, self.recv_node, self.r_procs
+        )
+    }
+}
+
+/// A constant-propagation fact at a `print` statement (the Fig 2 client's
+/// observable output).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PrintFact {
+    /// The print statement.
+    pub node: CfgNodeId,
+    /// The process range executing it (display form).
+    pub range: String,
+    /// The printed value, if proven constant.
+    pub value: Option<i64>,
+}
+
+/// The result of a pCFG analysis.
+///
+/// Equality compares everything, including `closure_stats` (which holds
+/// wall-clock nanos) — normalize that field first when comparing results
+/// of separate runs for semantic equivalence.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AnalysisResult {
+    /// Terminal verdict.
+    pub verdict: Verdict,
+    /// All established (send node, recv node) matches — the static
+    /// communication topology at statement granularity.
+    pub matches: BTreeSet<(CfgNodeId, CfgNodeId)>,
+    /// Matches with their process subsets.
+    pub events: Vec<MatchEvent>,
+    /// Constant-propagation facts at prints.
+    pub prints: Vec<PrintFact>,
+    /// Send statements whose messages are provably never received
+    /// (message leaks, §I error detection).
+    pub leaks: Vec<CfgNodeId>,
+    /// Engine steps taken.
+    pub steps: u64,
+    /// Closure operations performed during this run (full and incremental
+    /// counts with average variable sizes — the §IX profile quantities).
+    pub closure_stats: mpl_domains::ClosureStats,
+    /// Optional trace (when `AnalysisConfig::trace`).
+    pub trace: Vec<String>,
+}
+
+impl AnalysisResult {
+    /// A bare ⊤ result that claims nothing: no matches, no leaks, no
+    /// prints, zero steps. This is the sound degenerate answer the batch
+    /// layer reports for jobs that never produced (or whose fault mode
+    /// suppressed) a real engine run — deadline expiries in particular,
+    /// where any partial progress would be wall-clock-dependent and
+    /// therefore nondeterministic.
+    #[must_use]
+    pub fn top(reason: TopReason) -> AnalysisResult {
+        AnalysisResult {
+            verdict: Verdict::Top { reason },
+            matches: BTreeSet::new(),
+            events: Vec::new(),
+            prints: Vec::new(),
+            leaks: Vec::new(),
+            steps: 0,
+            closure_stats: mpl_domains::ClosureStats::default(),
+            trace: Vec::new(),
+        }
+    }
+
+    /// True if the analysis converged with exact matching.
+    #[must_use]
+    pub fn is_exact(&self) -> bool {
+        self.verdict == Verdict::Exact
+    }
+
+    /// The constant printed at `node`, if every reaching process set
+    /// prints the same proven constant.
+    #[must_use]
+    pub fn printed_constant(&self, node: CfgNodeId) -> Option<i64> {
+        let mut vals = self
+            .prints
+            .iter()
+            .filter(|p| p.node == node)
+            .map(|p| p.value);
+        let first = vals.next()??;
+        for v in vals {
+            if v != Some(first) {
+                return None;
+            }
+        }
+        Some(first)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::collections::BTreeMap;
+
+    /// Every `TopReason` variant, with representative payloads. Extend
+    /// this list when adding a variant — the tests below catch code
+    /// collisions and Display drift for whatever is listed here.
+    fn all_reasons() -> Vec<TopReason> {
+        vec![
+            TopReason::StepBudget,
+            TopReason::PsetBudget { max: 12 },
+            TopReason::AbstractionLoss,
+            TopReason::MatchFailure {
+                state: "{0:[0..np-1]@n3}".to_owned(),
+            },
+            TopReason::SplitFailure {
+                cond: "id < k".to_owned(),
+            },
+            TopReason::NonUniformCondition {
+                cond: "parity = 0".to_owned(),
+            },
+            TopReason::SplitDepthExceeded,
+            TopReason::Deadline,
+        ]
+    }
+
+    #[test]
+    fn top_reason_codes_are_unique_and_kebab_case() {
+        let mut seen: BTreeMap<&'static str, TopReason> = BTreeMap::new();
+        for reason in all_reasons() {
+            let code = reason.code();
+            assert!(
+                code.chars().all(|c| c.is_ascii_lowercase() || c == '-'),
+                "code `{code}` is not kebab-case"
+            );
+            assert!(!code.starts_with('-') && !code.ends_with('-'), "{code}");
+            if let Some(prev) = seen.insert(code, reason.clone()) {
+                panic!("code `{code}` collides: {prev:?} vs {reason:?}");
+            }
+        }
+        assert_eq!(seen.len(), 8, "keep all_reasons() exhaustive");
+    }
+
+    #[test]
+    fn top_reason_display_round_trips_through_code() {
+        // Display strings must be stable, distinct per variant, and
+        // consistent with code(): two reasons with different codes must
+        // never render the same message (machine and human outputs stay
+        // in one-to-one correspondence).
+        let mut by_display: BTreeMap<String, &'static str> = BTreeMap::new();
+        for reason in all_reasons() {
+            let rendered = reason.to_string();
+            assert!(!rendered.is_empty());
+            if let Some(prev_code) = by_display.insert(rendered.clone(), reason.code()) {
+                panic!(
+                    "display `{rendered}` is shared by codes `{prev_code}` and `{}`",
+                    reason.code()
+                );
+            }
+        }
+        // Spot-check the exact legacy strings golden files rely on.
+        assert_eq!(TopReason::StepBudget.to_string(), "step budget exceeded");
+        assert_eq!(
+            TopReason::PsetBudget { max: 7 }.to_string(),
+            "more than 7 process sets"
+        );
+        assert_eq!(
+            TopReason::Deadline.to_string(),
+            "analysis deadline exceeded"
+        );
+    }
+}

@@ -1,0 +1,265 @@
+//! The worklist scheduler: exploration order, budgets, cancellation and
+//! widening-delay bookkeeping, extracted from the engine loop.
+//!
+//! States are keyed by their pCFG location (the `location_key`: the
+//! ordered (CFG node, pending?) pairs of their process sets) and explored
+//! FIFO — the deterministic order the golden corpus pins byte-for-byte.
+//! The scheduler owns the three fixpoint policies of §VI:
+//!
+//! * **budgets** — the step budget and (via [`Scheduler::next`]'s polling)
+//!   the cooperative deadline;
+//! * **delayed widening** — a recurring location is explored exactly for
+//!   the first `widen_delay` visits, then widened with thresholds until
+//!   it converges;
+//! * **admission** — a successor state is queued only if it brings new
+//!   information at its location (`same_as` dedup / widening progress).
+
+use std::collections::{HashMap, VecDeque};
+
+use mpl_cfg::CfgNodeId;
+use mpl_runtime::CancelToken;
+
+use crate::client::ClientDomain;
+use crate::config::AnalysisConfig;
+use crate::observer::AnalysisObserver;
+use crate::result::TopReason;
+use crate::state::AnalysisState;
+
+/// How many worklist steps may pass between two polls of the
+/// cancellation token — the bound behind the "engine observes
+/// cancellation within a bounded number of steps" guarantee.
+pub const CANCEL_CHECK_STEPS: u64 = 8;
+
+/// The engine's worklist with its budget and widening bookkeeping.
+pub struct Scheduler {
+    work: VecDeque<AnalysisState>,
+    /// Best-known state and visit count per pCFG location.
+    stored: HashMap<Vec<(CfgNodeId, bool)>, (AnalysisState, u32)>,
+    steps: u64,
+    max_steps: u64,
+    widen_delay: u32,
+    cancel: Option<CancelToken>,
+}
+
+impl Scheduler {
+    /// A scheduler configured from the engine knobs (step budget,
+    /// widening delay, cancellation token).
+    #[must_use]
+    pub fn new(config: &AnalysisConfig) -> Scheduler {
+        Scheduler {
+            work: VecDeque::new(),
+            stored: HashMap::new(),
+            steps: 0,
+            max_steps: config.max_steps,
+            widen_delay: config.widen_delay,
+            cancel: config.cancel.clone(),
+        }
+    }
+
+    /// Seeds the worklist with the initial state (counted as the first
+    /// visit of its location).
+    pub fn seed(&mut self, init: AnalysisState) {
+        self.stored.insert(init.location_key(), (init.clone(), 1));
+        self.work.push_back(init);
+    }
+
+    /// Worklist steps taken so far (1-based on the first [`Self::tick`]).
+    #[must_use]
+    pub fn steps(&self) -> u64 {
+        self.steps
+    }
+
+    /// Pops the next state to explore.
+    ///
+    /// Returns `None` when the worklist is exhausted (fixpoint), and
+    /// `Some(Err(reason))` when a budget ran out: the step budget, or —
+    /// polled every [`CANCEL_CHECK_STEPS`] steps, starting at step 1 so a
+    /// pre-cancelled token is observed before any real work — the
+    /// cooperative deadline.
+    pub fn tick(&mut self) -> Option<Result<AnalysisState, TopReason>> {
+        let st = self.work.pop_front()?;
+        self.steps += 1;
+        if self.steps > self.max_steps {
+            return Some(Err(TopReason::StepBudget));
+        }
+        if self.steps % CANCEL_CHECK_STEPS == 1 {
+            if let Some(token) = &self.cancel {
+                if token.is_cancelled() {
+                    return Some(Err(TopReason::Deadline));
+                }
+            }
+        }
+        Some(Ok(st))
+    }
+
+    /// Offers a successor state for exploration.
+    ///
+    /// The first `widen_delay` visits of a location are explored exactly
+    /// (dropped only if identical to the stored state); later visits are
+    /// widened against the stored state via the client's
+    /// [`ClientDomain::widen`] until convergence. Returns
+    /// `Some(TopReason::AbstractionLoss)` when widening relaxed a
+    /// process-set bound to ±∞.
+    pub fn admit<O: AnalysisObserver>(
+        &mut self,
+        s: AnalysisState,
+        domain: &dyn ClientDomain,
+        thresholds: &[i64],
+        observer: &mut O,
+    ) -> Option<TopReason> {
+        let key = s.location_key();
+        match self.stored.get(&key) {
+            None => {
+                self.stored.insert(key, (s.clone(), 1));
+                self.work.push_back(s);
+            }
+            Some((old, visits)) => {
+                let visits = visits + 1;
+                if visits <= self.widen_delay {
+                    // Delayed widening: explore the state exactly
+                    // (bounded concrete chains finish precisely),
+                    // but stop if nothing changed.
+                    if s.same_as(old) {
+                        return None;
+                    }
+                    self.stored.insert(key, (s.clone(), visits));
+                    self.work.push_back(s);
+                    return None;
+                }
+                let widened = domain.widen(old, &s, thresholds);
+                if widened.same_as(old) {
+                    return None; // Converged at this location.
+                }
+                if widened.any_vacant_range() {
+                    return Some(TopReason::AbstractionLoss);
+                }
+                observer.on_widen(visits, &widened);
+                self.stored.insert(key, (widened.clone(), visits));
+                self.work.push_back(widened);
+            }
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod widen_delay_tests {
+    use crate::client::Client;
+    use crate::config::AnalysisConfig;
+    use crate::engine::analyze;
+    use crate::result::Verdict;
+    use mpl_lang::corpus;
+
+    #[test]
+    fn immediate_widening_loses_concrete_chains() {
+        // The delayed-widening knob: with no delay, the 4-block stencil
+        // chain on a 4x4 grid is destructively merged; with the default
+        // delay it completes exactly.
+        let prog = corpus::stencil_2d_vertical(corpus::GridDims::Concrete { nrows: 4, ncols: 4 });
+        let eager = AnalysisConfig {
+            client: Client::Simple,
+            widen_delay: 0,
+            ..AnalysisConfig::default()
+        };
+        let result = analyze(&prog.program, &eager);
+        assert!(
+            matches!(result.verdict, Verdict::Top { .. }),
+            "eager widening should lose the chain: {:?}",
+            result.verdict
+        );
+        let default = AnalysisConfig {
+            client: Client::Simple,
+            ..AnalysisConfig::default()
+        };
+        assert!(analyze(&prog.program, &default).is_exact());
+    }
+
+    #[test]
+    fn symbolic_loops_converge_under_any_delay() {
+        for delay in [0u32, 2, 6, 12] {
+            let config = AnalysisConfig {
+                client: Client::Simple,
+                widen_delay: delay,
+                ..AnalysisConfig::default()
+            };
+            let result = analyze(&corpus::exchange_with_root().program, &config);
+            assert!(result.is_exact(), "delay {delay}: {:?}", result.verdict);
+        }
+    }
+}
+
+#[cfg(test)]
+mod cancel_tests {
+    use super::CANCEL_CHECK_STEPS;
+    use crate::config::AnalysisConfig;
+    use crate::engine::analyze;
+    use crate::result::{AnalysisResult, TopReason, Verdict};
+    use mpl_lang::corpus;
+
+    #[test]
+    fn pre_cancelled_token_yields_deadline_top_within_bounded_steps() {
+        let prog = corpus::exchange_with_root();
+        let token = mpl_runtime::CancelToken::new();
+        token.cancel();
+        let config = AnalysisConfig::builder()
+            .cancel_token(token)
+            .build()
+            .expect("valid config");
+        let result = analyze(&prog.program, &config);
+        assert!(
+            matches!(
+                result.verdict,
+                Verdict::Top {
+                    reason: TopReason::Deadline
+                }
+            ),
+            "{:?}",
+            result.verdict
+        );
+        assert!(
+            result.steps <= CANCEL_CHECK_STEPS,
+            "cancellation observed after {} steps (bound {CANCEL_CHECK_STEPS})",
+            result.steps
+        );
+        // Sound ⊤: nothing is claimed about the program.
+        assert!(result.matches.is_empty());
+        assert!(result.leaks.is_empty());
+    }
+
+    #[test]
+    fn uncancelled_token_does_not_perturb_the_analysis() {
+        let prog = corpus::exchange_with_root();
+        let plain = analyze(&prog.program, &AnalysisConfig::default());
+        let config = AnalysisConfig::builder()
+            .cancel_token(mpl_runtime::CancelToken::new())
+            .build()
+            .expect("valid config");
+        let tokened = analyze(&prog.program, &config);
+        assert_eq!(plain.verdict, tokened.verdict);
+        assert_eq!(plain.matches, tokened.matches);
+        assert_eq!(plain.steps, tokened.steps);
+    }
+
+    #[test]
+    fn deadline_reason_has_stable_code_and_message() {
+        assert_eq!(TopReason::Deadline.code(), "deadline");
+        assert_eq!(
+            TopReason::Deadline.to_string(),
+            "analysis deadline exceeded"
+        );
+        let bare = AnalysisResult::top(TopReason::Deadline);
+        assert!(!bare.is_exact());
+        assert_eq!(bare.steps, 0);
+    }
+
+    #[test]
+    fn step_budget_yields_top() {
+        let prog = corpus::exchange_with_root();
+        let config = AnalysisConfig {
+            max_steps: 3,
+            ..AnalysisConfig::default()
+        };
+        let result = analyze(&prog.program, &config);
+        assert!(matches!(result.verdict, Verdict::Top { .. }));
+    }
+}

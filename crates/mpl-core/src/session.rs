@@ -12,7 +12,9 @@
 //!   snaps to (paper §VI fixpoint acceleration), configurable per run;
 //! * **closure stats** — a [`ClosureStats`] baseline captured when the
 //!   session starts, so the per-run delta (the §IX profile numbers) can
-//!   be reported without resetting global counters.
+//!   be reported without resetting global counters. The engine stamps the
+//!   delta into [`crate::result::AnalysisResult::closure_stats`], where a
+//!   [`crate::observer::StatsObserver`] picks it up via `on_complete`.
 
 use mpl_domains::{intern_name, ClosureStats, PsetId, VarId, DEFAULT_WIDEN_THRESHOLDS};
 

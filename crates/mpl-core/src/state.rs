@@ -622,6 +622,35 @@ mod tests {
     }
 
     #[test]
+    fn merge_psets_is_idempotent() {
+        let mut st = initial();
+        let a = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(3));
+        let b = ProcRange::from_exprs(LinExpr::constant(4), LinExpr::var_plus(NsVar::Np, -1));
+        st.split_pset(0, vec![(a, CfgNodeId(7), false), (b, CfgNodeId(7), false)]);
+        st.merge_psets();
+        let once = st.clone();
+        st.merge_psets();
+        assert_eq!(st.psets.len(), once.psets.len());
+        assert!(st.same_as(&once));
+    }
+
+    #[test]
+    fn renumber_canonical_is_idempotent() {
+        let mut st = initial();
+        let a = ProcRange::from_exprs(LinExpr::constant(0), LinExpr::constant(1));
+        let b = ProcRange::from_exprs(LinExpr::constant(2), LinExpr::var_plus(NsVar::Np, -1));
+        st.split_pset(0, vec![(b, CfgNodeId(9), false), (a, CfgNodeId(3), false)]);
+        st.renumber_canonical();
+        let once = st.clone();
+        st.renumber_canonical();
+        assert_eq!(
+            st.psets.iter().map(|p| p.id).collect::<Vec<_>>(),
+            once.psets.iter().map(|p| p.id).collect::<Vec<_>>()
+        );
+        assert!(st.same_as(&once));
+    }
+
+    #[test]
     fn location_key_reflects_nodes_and_pendings() {
         let mut st = initial();
         assert_eq!(st.location_key(), vec![(CfgNodeId(0), false)]);

@@ -82,6 +82,16 @@ impl LinExpr {
     pub fn diff_if_comparable(&self, other: &LinExpr) -> Option<i64> {
         (self.var == other.var).then(|| self.offset - other.offset)
     }
+
+    /// True if composing this map with `other` yields the identity —
+    /// the §VII matching condition for a send destination `id + c` and a
+    /// receive source `id + d`: `(id + c) + d = id` iff `c + d = 0`.
+    /// Only the offsets participate; the base variables live in different
+    /// process-set namespaces and both denote the local rank.
+    #[must_use]
+    pub fn composes_to_identity_with(&self, other: &LinExpr) -> bool {
+        self.offset + other.offset == 0
+    }
 }
 
 impl fmt::Display for LinExpr {
@@ -147,6 +157,19 @@ mod tests {
         assert_eq!(
             LinExpr::constant(7).diff_if_comparable(&LinExpr::constant(4)),
             Some(3)
+        );
+    }
+
+    #[test]
+    fn composition_identity_is_offset_cancellation() {
+        // dest = id + 1 composed with src = id - 1 is the identity…
+        let dest = LinExpr::var_plus(NsVar::pset(PsetId(0), "id"), 1);
+        let src = LinExpr::var_plus(NsVar::pset(PsetId(1), "id"), -1);
+        assert!(dest.composes_to_identity_with(&src));
+        // …and the relation is symmetric; mismatched offsets are not.
+        assert!(src.composes_to_identity_with(&dest));
+        assert!(
+            !dest.composes_to_identity_with(&LinExpr::var_plus(NsVar::pset(PsetId(1), "id"), -2))
         );
     }
 

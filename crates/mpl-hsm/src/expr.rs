@@ -74,6 +74,32 @@ pub fn expr_to_hsm(
     }
 }
 
+/// Composes a receive source expression with a send destination
+/// expression over the sender set: builds the send HSM over `id_hsm`
+/// (the senders' `id` range) and threads it through the receive
+/// expression, yielding `(send, recv ∘ send)`.
+///
+/// This is the §VIII matching pipeline in one call — the caller checks
+/// the send HSM for surjectivity onto the receiver set and the composed
+/// HSM for identity on the sender set.
+///
+/// # Errors
+///
+/// Returns [`ExprToHsmError`] when either expression leaves the
+/// supported fragment.
+pub fn compose_exprs(
+    send_dest: &Expr,
+    recv_src: &Expr,
+    id_hsm: &Hsm,
+    vars_send: &BTreeMap<String, SymPoly>,
+    vars_recv: &BTreeMap<String, SymPoly>,
+    ctx: &AssumptionCtx,
+) -> Result<(Hsm, Hsm), ExprToHsmError> {
+    let h_send = expr_to_hsm(send_dest, id_hsm, vars_send, ctx)?;
+    let composed = expr_to_hsm(recv_src, &h_send, vars_recv, ctx)?;
+    Ok((h_send, composed))
+}
+
 fn convert(
     expr: &Expr,
     id_hsm: &Hsm,
@@ -271,6 +297,37 @@ mod tests {
             .repeat(SymPoly::sym("nrows"), SymPoly::sym("nrows"))
             .repeat(SymPoly::sym("nrows"), SymPoly::constant(1));
         assert!(h.seq_eq(&expected, &ctx), "got {h}");
+    }
+
+    #[test]
+    fn compose_exprs_pipelines_send_then_recv() {
+        // The one-call composition must agree with the two explicit
+        // expr_to_hsm steps on the transpose pattern.
+        let ctx = square_ctx();
+        let expr = dest_expr("(id % nrows) * nrows + id / nrows");
+        let (send, composed) = compose_exprs(
+            &expr,
+            &expr,
+            &all_procs(&ctx),
+            &grid_vars(),
+            &grid_vars(),
+            &ctx,
+        )
+        .unwrap();
+        let send2 = expr_to_hsm(&expr, &all_procs(&ctx), &grid_vars(), &ctx).unwrap();
+        assert!(send.seq_eq(&send2, &ctx));
+        let np = ctx.normalize(&SymPoly::sym("np"));
+        assert!(composed.is_identity_on(&SymPoly::zero(), &np, &ctx));
+        // A fragment error in either half propagates.
+        assert!(compose_exprs(
+            &dest_expr("mystery"),
+            &expr,
+            &all_procs(&ctx),
+            &grid_vars(),
+            &grid_vars(),
+            &ctx
+        )
+        .is_err());
     }
 
     #[test]

@@ -39,6 +39,6 @@ pub mod expr;
 pub mod hsm;
 pub mod symval;
 
-pub use expr::{expr_to_hsm, ExprToHsmError};
+pub use expr::{compose_exprs, expr_to_hsm, ExprToHsmError};
 pub use hsm::{Hsm, HsmError, Level};
 pub use symval::{AssumptionCtx, SymPoly};

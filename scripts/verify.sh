@@ -28,6 +28,14 @@ par_json=$("$MPL" analyze-corpus --jobs 4 --json)
 diff <(printf '%s\n' "$seq_json") <(printf '%s\n' "$par_json") \
   || { echo "analyze-corpus --json output differs between jobs=1 and jobs=4"; exit 1; }
 
+echo "== analyze-corpus golden JSON (byte-identical) =="
+# The corpus report is a public, deterministic artifact: any refactor of
+# the engine/scheduler/observer layering must reproduce it byte for
+# byte. Regenerate tests/tests/golden_corpus.json only for an
+# *intentional* behavior change.
+diff <("$MPL" analyze-corpus --json) tests/tests/golden_corpus.json \
+  || { echo "analyze-corpus --json diverged from tests/tests/golden_corpus.json"; exit 1; }
+
 echo "== fault-injection smoke (panic + spin isolation) =="
 # An 8-program corpus with one panicking and one spinning job: the fleet
 # must complete, --keep-going must exit 0, and exactly those two jobs

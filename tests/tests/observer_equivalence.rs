@@ -1,0 +1,78 @@
+//! Observer-layer equivalence suite: attaching observers must never
+//! change what the engine computes.
+//!
+//! Runs the full corpus under both clients three ways — no observer
+//! (plain `analyze_cfg`), a `TraceObserver`, and a stacked
+//! `TraceObserver` + `StatsObserver` — and asserts the analysis results
+//! are identical apart from the `trace` field, that the collected trace
+//! matches the legacy `config.trace` output line for line, and that the
+//! stats counters agree with the result they were collected from.
+
+use mpl_cfg::Cfg;
+use mpl_core::observer::{ObserverStack, StatsObserver, TraceObserver};
+use mpl_core::{analyze_cfg, analyze_cfg_with, AnalysisConfig, AnalysisResult, Client};
+use mpl_lang::corpus;
+
+/// Strips the trace and wall-clock-bearing closure stats so results
+/// from separate runs compare on semantics alone.
+fn sans_trace(mut r: AnalysisResult) -> AnalysisResult {
+    r.trace = Vec::new();
+    r.closure_stats = Default::default();
+    r
+}
+
+#[test]
+fn observers_do_not_perturb_any_corpus_verdict() {
+    for prog in corpus::all() {
+        let cfg = Cfg::build(&prog.program);
+        for client in [Client::Simple, Client::Cartesian] {
+            let config = AnalysisConfig::builder()
+                .client(client)
+                .build()
+                .expect("valid config");
+            let plain = analyze_cfg(&cfg, &config);
+
+            let mut tracer = TraceObserver::new();
+            let traced = analyze_cfg_with(&cfg, &config, &mut tracer);
+            assert_eq!(
+                sans_trace(plain.clone()),
+                sans_trace(traced),
+                "TraceObserver changed the result of {} under {client:?}",
+                prog.name
+            );
+
+            let mut tracer2 = TraceObserver::new();
+            let mut stats = StatsObserver::new();
+            let stacked = {
+                let mut stack = ObserverStack::new();
+                stack.push(&mut tracer2);
+                stack.push(&mut stats);
+                analyze_cfg_with(&cfg, &config, &mut stack)
+            };
+            assert_eq!(
+                sans_trace(plain.clone()),
+                sans_trace(stacked.clone()),
+                "stacked observers changed the result of {} under {client:?}",
+                prog.name
+            );
+            assert_eq!(tracer.lines(), tracer2.lines(), "{}", prog.name);
+            assert_eq!(stats.stats().steps, stacked.steps, "{}", prog.name);
+
+            // The trace collected through the observer is the same text
+            // the legacy `config.trace` path produces.
+            let legacy_config = AnalysisConfig::builder()
+                .client(client)
+                .trace(true)
+                .build()
+                .expect("valid config");
+            let legacy = analyze_cfg(&cfg, &legacy_config);
+            assert_eq!(
+                legacy.trace,
+                tracer.lines(),
+                "trace text diverged on {} under {client:?}",
+                prog.name
+            );
+            assert_eq!(sans_trace(legacy), sans_trace(plain), "{}", prog.name);
+        }
+    }
+}
