@@ -10,15 +10,44 @@
 //!
 //! Run with `cargo run -p mpl-bench --bin profile --release`.
 //! Pass `--ablation` to add the full-reclose ablation (the unoptimized
-//! prototype behaviour, §IX roadmap).
+//! prototype behaviour, §IX roadmap). Pass `--check` to fail (exit 1)
+//! unless the per-phase breakdown accounts for the measured total on the
+//! mid-size programs — the smoke test `scripts/verify.sh` runs.
 
-use mpl_bench::profiled_run;
+use mpl_bench::{profiled_run, ProfiledRun};
 use mpl_core::Client;
 use mpl_domains::set_force_full_closure;
 use mpl_lang::corpus::{self, GridDims};
 
+/// The phase breakdown must explain the run: on programs large enough to
+/// be out of timer noise, `|phase_sum - total| <= 10% of total`.
+fn check_phase_coverage(runs: &[ProfiledRun]) -> bool {
+    let mut ok = true;
+    for run in runs {
+        // Sub-millisecond runs are dominated by timer granularity.
+        if run.profile.total.as_micros() < 2_000 {
+            continue;
+        }
+        let sum = run.profile.phase_sum().as_secs_f64();
+        let total = run.profile.total.as_secs_f64();
+        let gap = (total - sum).abs() / total;
+        let verdict = if gap <= 0.10 { "ok" } else { "FAIL" };
+        println!(
+            "phase check {:<26} sum {:>9.2?} of {:>9.2?} (gap {:>5.1}%) {}",
+            run.name,
+            run.profile.phase_sum(),
+            run.profile.total,
+            100.0 * gap,
+            verdict,
+        );
+        ok &= gap <= 0.10;
+    }
+    ok
+}
+
 fn main() {
     let ablation = std::env::args().any(|a| a == "--ablation");
+    let check = std::env::args().any(|a| a == "--check");
 
     println!("================================================================");
     println!("§IX profile — closure operations during pCFG analysis (E6)");
@@ -45,11 +74,14 @@ fn main() {
             corpus::nas_cg_transpose_rect(GridDims::Symbolic),
             Client::Cartesian,
         ),
-        // The paper's variable-count regime (52-66 vars per graph).
+        // The paper's variable-count regime (52-66 vars per graph) and
+        // beyond (the E18 state-sharing stress row).
         (corpus::exchange_with_root_wide(24), Client::Simple),
         (corpus::exchange_with_root_wide(48), Client::Simple),
+        (corpus::exchange_with_root_wide(96), Client::Simple),
     ];
 
+    let mut runs = Vec::new();
     for (prog, client) in &programs {
         let run = profiled_run(prog, *client);
         println!(
@@ -64,6 +96,39 @@ fn main() {
             run.total,
             100.0 * run.closure_share(),
         );
+        runs.push(run);
+    }
+
+    println!();
+    println!("================================================================");
+    println!("per-phase engine breakdown (E18)");
+    println!("================================================================");
+    println!(
+        "{:<26} {:>10} {:>10} {:>10} {:>10} {:>10} {:>7} {:>10}",
+        "program", "transfer", "match", "join/widen", "admission", "total", "stored", "~bytes"
+    );
+    println!("{}", "-".repeat(100));
+    for run in &runs {
+        let p = &run.profile;
+        println!(
+            "{:<26} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?} {:>10.2?} {:>7} {:>10}",
+            run.name,
+            p.transfer,
+            p.matching,
+            p.join_widen,
+            p.admission,
+            p.total,
+            p.stored.locations,
+            p.stored.approx_bytes,
+        );
+    }
+
+    if check {
+        println!();
+        if !check_phase_coverage(&runs) {
+            eprintln!("phase breakdown does not account for the measured totals");
+            std::process::exit(1);
+        }
     }
 
     if ablation {

@@ -18,7 +18,9 @@ pub mod harness;
 
 use std::time::{Duration, Instant};
 
-use mpl_core::{analyze, AnalysisConfig, AnalysisResult, Client};
+use mpl_core::{
+    analyze_cfg_with, AnalysisConfig, AnalysisResult, Client, EngineProfile, StatsObserver,
+};
 use mpl_domains::ClosureStats;
 use mpl_lang::corpus::CorpusProgram;
 
@@ -35,6 +37,8 @@ pub struct ProfiledRun {
     pub total: Duration,
     /// Closure counters accumulated during the run.
     pub closure: ClosureStats,
+    /// Per-phase engine breakdown (E18).
+    pub profile: EngineProfile,
 }
 
 impl ProfiledRun {
@@ -60,15 +64,22 @@ pub fn profiled_run(prog: &CorpusProgram, client: Client) -> ProfiledRun {
         .client(client)
         .build()
         .expect("default-based config is valid");
+    let cfg = mpl_cfg::Cfg::build(&prog.program);
+    let mut stats = StatsObserver::new();
     let start = Instant::now();
-    let result = analyze(&prog.program, &config);
+    let result = analyze_cfg_with(&cfg, &config, &mut stats);
     let total = start.elapsed();
     let closure = result.closure_stats;
+    let profile = stats
+        .profile()
+        .copied()
+        .expect("StatsObserver captures the engine profile on completion");
     ProfiledRun {
         name: prog.name,
         client,
         result,
         total,
         closure,
+        profile,
     }
 }

@@ -249,6 +249,14 @@ fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> 
             cs.closure_time(),
         );
         let _ = writeln!(out, "engine events: {}", stats_obs.stats());
+        if let Some(profile) = stats_obs.profile() {
+            let _ = writeln!(out, "engine phases: {profile}");
+            let _ = writeln!(
+                out,
+                "stored states: {} locations, ~{} bytes (shared substructure deduplicated)",
+                profile.stored.locations, profile.stored.approx_bytes,
+            );
+        }
     }
     let code = i32::from(!result.is_exact());
     Ok(CmdOutput { text: out, code })
@@ -747,6 +755,8 @@ mod tests {
         assert!(out.text.contains("incremental"));
         assert!(out.text.contains("engine events:"), "{}", out.text);
         assert!(out.text.contains("widenings"), "{}", out.text);
+        assert!(out.text.contains("engine phases:"), "{}", out.text);
+        assert!(out.text.contains("stored states:"), "{}", out.text);
     }
 
     #[test]

@@ -20,6 +20,7 @@
 //! `mpl_core::engine::{analyze, AnalysisConfig, …}` imports keep working.
 
 use std::collections::{BTreeMap, BTreeSet};
+use std::time::Instant;
 
 use mpl_cfg::{Cfg, CfgNode, CfgNodeId, EdgeKind};
 use mpl_domains::{LinExpr, VarId};
@@ -29,7 +30,7 @@ use mpl_procset::{ProcRange, SubtractOutcome};
 use crate::client::ClientDomain;
 use crate::matcher::{MatchOutcome, RecvSite, SendSite};
 use crate::norm::NormCtx;
-use crate::observer::{AnalysisObserver, NoopObserver, TraceObserver};
+use crate::observer::{AnalysisObserver, EngineProfile, NoopObserver, TraceObserver};
 use crate::scheduler::Scheduler;
 use crate::state::{AnalysisState, PendingSend};
 
@@ -137,6 +138,12 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
     }
 
     fn run(mut self) -> AnalysisResult {
+        // Phase timing is opt-in (a few percent of timer calls): queried
+        // once so untimed runs skip every `Instant::now`.
+        let timing = self.observer.timing_enabled();
+        let mut profile = EngineProfile::default();
+        let run_start = Instant::now();
+
         let mut init = AnalysisState::initial(self.cfg.entry(), self.config.min_np);
         self.domain.rename(&mut init);
         self.scheduler.seed(init);
@@ -156,57 +163,49 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
                 }
             };
             self.observer.on_step(self.scheduler.steps(), &st);
+            // A step with an unblocked set is a transfer step; with every
+            // set blocked it is a matching step (match / split / promote).
+            let is_transfer = st.psets.iter().any(|p| {
+                !matches!(
+                    self.cfg.node(p.node),
+                    CfgNode::Send { .. } | CfgNode::Recv { .. } | CfgNode::Exit
+                )
+            });
+            let step_start = timing.then(Instant::now);
             let successors = self.step(st);
+            if let Some(t) = step_start {
+                let dt = t.elapsed();
+                if is_transfer {
+                    profile.transfer += dt;
+                } else {
+                    profile.matching += dt;
+                }
+            }
             for mut s in successors {
-                // An inconsistent constraint graph marks an infeasible
-                // path: under it every range would look empty and the
-                // state would collapse to a bogus terminal.
-                s.cg.close();
-                if s.cg.is_bottom() || s.psets.is_empty() {
-                    continue; // Infeasible path.
+                let norm_start = timing.then(Instant::now);
+                let keep = self.normalize_successor(&mut s);
+                if let Some(t) = norm_start {
+                    profile.join_widen += t.elapsed();
                 }
-                if !s.drop_empty_psets() {
-                    // A possibly-empty set would make matching unsound.
-                    // Keep going only if it never participates in a
-                    // match; conservatively we continue (matching demands
-                    // provable non-emptiness anyway).
-                }
-                let before = s.psets.len();
-                self.domain.join(&mut s);
-                s.drop_empty_psets();
-                if s.psets.len() < before {
-                    self.observer.on_merge(before, s.psets.len());
-                }
-                if s.any_vacant_range() {
-                    self.give_up(TopReason::AbstractionLoss);
+                if !keep {
                     continue;
-                }
-                if s.psets.len() > self.config.max_psets {
-                    self.give_up(TopReason::PsetBudget {
-                        max: self.config.max_psets,
-                    });
-                    continue;
-                }
-                self.domain.rename(&mut s);
-                // Re-saturate range bounds against the current facts so
-                // loop-invariant aliases (e.g. a wavefront's own `id`)
-                // are present before widening intersects alias sets.
-                for i in 0..s.psets.len() {
-                    let mut range = s.psets[i].range.clone();
-                    range.saturate(&mut s.cg);
-                    s.psets[i].range = range;
                 }
                 self.matches.extend(s.matches.iter().cloned());
                 if self.is_terminal(&s) {
                     self.finish_terminal(&s);
                     continue;
                 }
-                if let Some(reason) = self.scheduler.admit(
+                let admit_start = timing.then(Instant::now);
+                let rejected = self.scheduler.admit(
                     s,
                     self.domain,
                     &self.session.widen_thresholds,
                     &mut *self.observer,
-                ) {
+                );
+                if let Some(t) = admit_start {
+                    profile.admission += t.elapsed();
+                }
+                if let Some(reason) = rejected {
                     self.give_up(reason);
                 }
             }
@@ -234,7 +233,61 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
             trace: Vec::new(),
         };
         self.observer.on_complete(&result);
+        profile.total = run_start.elapsed();
+        profile.stored = self.scheduler.stored_stats();
+        self.observer.on_profile(&profile);
         result
+    }
+
+    /// Normalizes a successor state in place: closes the constraint
+    /// graph, drops infeasible paths and provably-empty sets, merges
+    /// compatible sets, renames canonically and re-saturates range
+    /// bounds. Returns `false` if the state must be discarded (the ⊤
+    /// causes are recorded here).
+    fn normalize_successor(&mut self, s: &mut AnalysisState) -> bool {
+        // An inconsistent constraint graph marks an infeasible path:
+        // under it every range would look empty and the state would
+        // collapse to a bogus terminal.
+        s.cg.close();
+        if s.cg.is_bottom() || s.psets.is_empty() {
+            return false; // Infeasible path.
+        }
+        if !s.drop_empty_psets() {
+            // A possibly-empty set would make matching unsound.
+            // Keep going only if it never participates in a
+            // match; conservatively we continue (matching demands
+            // provable non-emptiness anyway).
+        }
+        let before = s.psets.len();
+        self.domain.join(s);
+        s.drop_empty_psets();
+        if s.psets.len() < before {
+            self.observer.on_merge(before, s.psets.len());
+        }
+        if s.any_vacant_range() {
+            self.give_up(TopReason::AbstractionLoss);
+            return false;
+        }
+        if s.psets.len() > self.config.max_psets {
+            self.give_up(TopReason::PsetBudget {
+                max: self.config.max_psets,
+            });
+            return false;
+        }
+        self.domain.rename(s);
+        // Re-saturate range bounds against the current facts so
+        // loop-invariant aliases (e.g. a wavefront's own `id`)
+        // are present before widening intersects alias sets.
+        for i in 0..s.psets.len() {
+            let mut range = s.psets[i].range.clone();
+            range.saturate(&mut s.cg);
+            s.psets[i].range = range;
+        }
+        // Close once more so the state is admitted transitively closed:
+        // equal states then share one fingerprint (the O(1) dedup path),
+        // and later match probes against it are read-only — no CoW copy.
+        s.cg.close();
+        true
     }
 
     fn is_terminal(&self, st: &AnalysisState) -> bool {

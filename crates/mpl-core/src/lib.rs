@@ -58,6 +58,7 @@ pub mod result;
 pub mod rewrite;
 pub mod scheduler;
 pub mod session;
+pub mod share;
 pub mod state;
 pub mod topology;
 
@@ -69,12 +70,14 @@ pub use infoflow::{info_flow, info_flow_with_pairs, InfoFlow};
 pub use matcher::{CartesianMatcher, MatchOutcome, MatchStrategy, SimpleMatcher};
 pub use mpicfg::{mpi_cfg_topology, MpiCfgTopology};
 pub use observer::{
-    AnalysisObserver, EngineStats, NoopObserver, ObserverStack, StatsObserver, TraceObserver,
+    AnalysisObserver, EngineProfile, EngineStats, NoopObserver, ObserverStack, StatsObserver,
+    TraceObserver,
 };
 pub use pattern::{classify, classify_pairs, Pattern};
 pub use result::{AnalysisResult, MatchEvent, PrintFact, TopReason, Verdict};
 pub use rewrite::{rewrite_broadcast, RewriteError};
-pub use scheduler::CANCEL_CHECK_STEPS;
+pub use scheduler::{LocationKey, StoredStats, CANCEL_CHECK_STEPS};
 pub use session::AnalysisSession;
+pub use share::Shared;
 pub use state::{AnalysisState, PsetState};
 pub use topology::StaticTopology;

@@ -17,11 +17,72 @@
 //!   batch layers can stack `--trace` and `--stats` independently.
 
 use std::fmt;
+use std::time::Duration;
 
 use mpl_domains::LinExpr;
 
 use crate::result::{AnalysisResult, MatchEvent, TopReason};
+use crate::scheduler::StoredStats;
 use crate::state::AnalysisState;
+
+/// Per-phase wall-clock breakdown of one engine run, plus the final
+/// location-store footprint.
+///
+/// The phases partition the worklist loop body: `transfer` (advancing
+/// unblocked process sets), `matching` (blocked steps: send–receive
+/// matching, ambiguity splits, pending-send promotion), `join_widen`
+/// (successor normalization: closure, empty-set dropping, merging,
+/// canonical renumbering, bound saturation) and `admission` (dedup /
+/// widening against stored states, including the state clones it takes).
+/// Their sum is the loop body; `total` additionally covers worklist
+/// bookkeeping, so `sum ≈ total` within a few percent.
+///
+/// Phase timing is collected only when the observer opts in via
+/// [`AnalysisObserver::timing_enabled`] — the timer calls cost a few
+/// percent, so the default engine loop skips them entirely.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct EngineProfile {
+    /// Time advancing unblocked process sets (CFG transfer functions).
+    pub transfer: Duration,
+    /// Time in blocked steps: matching, ambiguity splits, promotions.
+    pub matching: Duration,
+    /// Time normalizing successor states (close / merge / renumber /
+    /// saturate).
+    pub join_widen: Duration,
+    /// Time admitting successors (clone + dedup + widening).
+    pub admission: Duration,
+    /// Wall-clock time of the whole engine run.
+    pub total: Duration,
+    /// Final footprint of the scheduler's per-location state store.
+    pub stored: StoredStats,
+}
+
+impl EngineProfile {
+    /// The sum of the four phase timers.
+    #[must_use]
+    pub fn phase_sum(&self) -> Duration {
+        self.transfer + self.matching + self.join_widen + self.admission
+    }
+}
+
+impl fmt::Display for EngineProfile {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "transfer {:?}, match {:?}, join/widen {:?}, admission {:?} \
+             (sum {:?} of {:?} total); {} stored locations, ~{} bytes",
+            self.transfer,
+            self.matching,
+            self.join_widen,
+            self.admission,
+            self.phase_sum(),
+            self.total,
+            self.stored.locations,
+            self.stored.approx_bytes,
+        )
+    }
+}
 
 /// Hooks invoked by the engine's worklist loop.
 ///
@@ -83,6 +144,21 @@ pub trait AnalysisObserver {
     /// to be returned (trace not yet attached).
     fn on_complete(&mut self, result: &AnalysisResult) {
         let _ = result;
+    }
+
+    /// Whether the engine should collect per-phase wall-clock timings for
+    /// this observer. Queried once at the start of a run; defaults to
+    /// `false` so unobserved runs pay no timer calls.
+    fn timing_enabled(&self) -> bool {
+        false
+    }
+
+    /// The run's [`EngineProfile`]. Fired once per run, after
+    /// [`AnalysisObserver::on_complete`]. The phase timers are zero
+    /// unless [`AnalysisObserver::timing_enabled`] returned `true`;
+    /// `total` and `stored` are always populated.
+    fn on_profile(&mut self, profile: &EngineProfile) {
+        let _ = profile;
     }
 }
 
@@ -199,6 +275,7 @@ impl fmt::Display for EngineStats {
 pub struct StatsObserver {
     stats: EngineStats,
     closure: Option<mpl_domains::ClosureStats>,
+    profile: Option<EngineProfile>,
 }
 
 impl StatsObserver {
@@ -219,6 +296,13 @@ impl StatsObserver {
     #[must_use]
     pub fn closure_stats(&self) -> Option<&mpl_domains::ClosureStats> {
         self.closure.as_ref()
+    }
+
+    /// The run's per-phase profile, available once the engine has
+    /// completed (from [`AnalysisObserver::on_profile`]).
+    #[must_use]
+    pub fn profile(&self) -> Option<&EngineProfile> {
+        self.profile.as_ref()
     }
 }
 
@@ -261,6 +345,14 @@ impl AnalysisObserver for StatsObserver {
 
     fn on_complete(&mut self, result: &AnalysisResult) {
         self.closure = Some(result.closure_stats);
+    }
+
+    fn timing_enabled(&self) -> bool {
+        true
+    }
+
+    fn on_profile(&mut self, profile: &EngineProfile) {
+        self.profile = Some(*profile);
     }
 }
 
@@ -358,6 +450,16 @@ impl AnalysisObserver for ObserverStack<'_> {
     fn on_complete(&mut self, result: &AnalysisResult) {
         for layer in &mut self.layers {
             layer.on_complete(result);
+        }
+    }
+
+    fn timing_enabled(&self) -> bool {
+        self.layers.iter().any(|layer| layer.timing_enabled())
+    }
+
+    fn on_profile(&mut self, profile: &EngineProfile) {
+        for layer in &mut self.layers {
+            layer.on_profile(profile);
         }
     }
 }

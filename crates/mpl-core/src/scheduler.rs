@@ -16,7 +16,6 @@
 
 use std::collections::{HashMap, VecDeque};
 
-use mpl_cfg::CfgNodeId;
 use mpl_runtime::CancelToken;
 
 use crate::client::ClientDomain;
@@ -30,11 +29,52 @@ use crate::state::AnalysisState;
 /// cancellation within a bounded number of steps" guarantee.
 pub const CANCEL_CHECK_STEPS: u64 = 8;
 
+/// An interned pCFG location: an index into the scheduler's slot table.
+/// Replaces the per-step `Vec<(CfgNodeId, bool)>` allocation of
+/// [`AnalysisState::location_key`] — the key is hashed once
+/// ([`AnalysisState::location_fingerprint`]) and passed by value.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LocationKey(u32);
+
+impl LocationKey {
+    /// The slot index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Best-known state per location, with its cached state fingerprint and
+/// the location's visit count.
+struct Slot {
+    state: AnalysisState,
+    fp: u64,
+    visits: u32,
+}
+
+/// A snapshot of the scheduler's location store, for `--stats` memory
+/// reporting.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct StoredStats {
+    /// Number of distinct pCFG locations with a stored state.
+    pub locations: usize,
+    /// Estimated heap bytes of the stored states, counting each
+    /// CoW-shared component allocation once.
+    pub approx_bytes: usize,
+}
+
 /// The engine's worklist with its budget and widening bookkeeping.
 pub struct Scheduler {
     work: VecDeque<AnalysisState>,
-    /// Best-known state and visit count per pCFG location.
-    stored: HashMap<Vec<(CfgNodeId, bool)>, (AnalysisState, u32)>,
+    /// Best-known state, cached fingerprint and visit count per interned
+    /// location.
+    stored: Vec<Slot>,
+    /// Location fingerprint → slot index.
+    loc_index: HashMap<u64, u32>,
+    /// Debug-only collision guard: the full location key per slot.
+    #[cfg(debug_assertions)]
+    loc_keys: Vec<Vec<(mpl_cfg::CfgNodeId, bool)>>,
     steps: u64,
     max_steps: u64,
     widen_delay: u32,
@@ -48,7 +88,10 @@ impl Scheduler {
     pub fn new(config: &AnalysisConfig) -> Scheduler {
         Scheduler {
             work: VecDeque::new(),
-            stored: HashMap::new(),
+            stored: Vec::new(),
+            loc_index: HashMap::new(),
+            #[cfg(debug_assertions)]
+            loc_keys: Vec::new(),
             steps: 0,
             max_steps: config.max_steps,
             widen_delay: config.widen_delay,
@@ -56,10 +99,58 @@ impl Scheduler {
         }
     }
 
+    /// Interns the state's pCFG location, returning a stable by-value
+    /// key. `None` if the location has never been stored.
+    fn lookup(&self, s: &AnalysisState) -> Option<LocationKey> {
+        let key = self
+            .loc_index
+            .get(&s.location_fingerprint())
+            .map(|&i| LocationKey(i));
+        #[cfg(debug_assertions)]
+        if let Some(k) = key {
+            debug_assert_eq!(
+                self.loc_keys[k.index()],
+                s.location_key(),
+                "location fingerprint collision"
+            );
+        }
+        key
+    }
+
+    /// Allocates a slot for a location not seen before.
+    fn insert_slot(&mut self, s: &AnalysisState, fp: u64) -> LocationKey {
+        let idx = u32::try_from(self.stored.len()).expect("location count overflow");
+        self.loc_index.insert(s.location_fingerprint(), idx);
+        #[cfg(debug_assertions)]
+        self.loc_keys.push(s.location_key());
+        self.stored.push(Slot {
+            state: s.clone(),
+            fp,
+            visits: 1,
+        });
+        LocationKey(idx)
+    }
+
+    /// Location-store size and estimated memory, each CoW-shared
+    /// allocation counted once.
+    #[must_use]
+    pub fn stored_stats(&self) -> StoredStats {
+        let mut seen = std::collections::HashSet::new();
+        let mut bytes = 0;
+        for slot in &self.stored {
+            bytes += slot.state.approx_bytes(&mut seen);
+        }
+        StoredStats {
+            locations: self.stored.len(),
+            approx_bytes: bytes,
+        }
+    }
+
     /// Seeds the worklist with the initial state (counted as the first
     /// visit of its location).
     pub fn seed(&mut self, init: AnalysisState) {
-        self.stored.insert(init.location_key(), (init.clone(), 1));
+        let fp = init.fingerprint();
+        self.insert_slot(&init, fp);
         self.work.push_back(init);
     }
 
@@ -100,6 +191,11 @@ impl Scheduler {
     /// [`ClientDomain::widen`] until convergence. Returns
     /// `Some(TopReason::AbstractionLoss)` when widening relaxed a
     /// process-set bound to ±∞.
+    ///
+    /// Dedup is O(1) in the common no-new-info case: the offered state's
+    /// fingerprint is compared against the fingerprint cached with the
+    /// stored state, and only a mismatch falls back to the full
+    /// [`AnalysisState::same_as_slow`] walk.
     pub fn admit<O: AnalysisObserver>(
         &mut self,
         s: AnalysisState,
@@ -107,37 +203,56 @@ impl Scheduler {
         thresholds: &[i64],
         observer: &mut O,
     ) -> Option<TopReason> {
-        let key = s.location_key();
-        match self.stored.get(&key) {
-            None => {
-                self.stored.insert(key, (s.clone(), 1));
-                self.work.push_back(s);
+        let s_fp = s.fingerprint();
+        let Some(key) = self.lookup(&s) else {
+            self.insert_slot(&s, s_fp);
+            self.work.push_back(s);
+            return None;
+        };
+        let slot = &self.stored[key.index()];
+        let visits = slot.visits + 1;
+        if visits <= self.widen_delay {
+            // Delayed widening: explore the state exactly (bounded
+            // concrete chains finish precisely), but stop if nothing
+            // changed.
+            if s_fp == slot.fp {
+                debug_assert!(
+                    s.structurally_eq(&slot.state),
+                    "state fingerprint collision at admission"
+                );
+                return None;
             }
-            Some((old, visits)) => {
-                let visits = visits + 1;
-                if visits <= self.widen_delay {
-                    // Delayed widening: explore the state exactly
-                    // (bounded concrete chains finish precisely),
-                    // but stop if nothing changed.
-                    if s.same_as(old) {
-                        return None;
-                    }
-                    self.stored.insert(key, (s.clone(), visits));
-                    self.work.push_back(s);
-                    return None;
-                }
-                let widened = domain.widen(old, &s, thresholds);
-                if widened.same_as(old) {
-                    return None; // Converged at this location.
-                }
-                if widened.any_vacant_range() {
-                    return Some(TopReason::AbstractionLoss);
-                }
-                observer.on_widen(visits, &widened);
-                self.stored.insert(key, (widened.clone(), visits));
-                self.work.push_back(widened);
+            if s.same_as_slow(&slot.state) {
+                return None;
             }
+            let slot = &mut self.stored[key.index()];
+            slot.state = s.clone();
+            slot.fp = s_fp;
+            slot.visits = visits;
+            self.work.push_back(s);
+            return None;
         }
+        let widened = domain.widen(&slot.state, &s, thresholds);
+        let w_fp = widened.fingerprint();
+        if w_fp == slot.fp {
+            debug_assert!(
+                widened.structurally_eq(&slot.state),
+                "state fingerprint collision at widening"
+            );
+            return None; // Converged at this location.
+        }
+        if widened.same_as_slow(&slot.state) {
+            return None; // Converged at this location.
+        }
+        if widened.any_vacant_range() {
+            return Some(TopReason::AbstractionLoss);
+        }
+        observer.on_widen(visits, &widened);
+        let slot = &mut self.stored[key.index()];
+        slot.state = widened.clone();
+        slot.fp = w_fp;
+        slot.visits = visits;
+        self.work.push_back(widened);
         None
     }
 }

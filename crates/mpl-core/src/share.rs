@@ -1,0 +1,129 @@
+//! Copy-on-write sharing for analysis-state components.
+//!
+//! The engine's successor generation clones whole [`crate::AnalysisState`]s
+//! on every edge, match probe and admission. Wrapping the heavy components
+//! in [`Shared`] turns those clones into reference-count bumps: the clone
+//! is O(components), and the first *mutation* of a component through
+//! `DerefMut` materializes a private copy via [`Arc::make_mut`]. Reads go
+//! through `Deref` and never copy.
+//!
+//! Sharing is sound because abstract states are values: no analysis step
+//! observes the identity of a component, only its content, and widening
+//! builds fresh components rather than editing stored ones in place.
+
+use std::fmt;
+use std::ops::{Deref, DerefMut};
+use std::sync::Arc;
+
+/// A transparently copy-on-write `T`: cheap to clone, copied on first
+/// mutable access when shared.
+pub struct Shared<T: Clone>(Arc<T>);
+
+impl<T: Clone> Shared<T> {
+    /// Wraps a fresh value (refcount 1 — first mutation is free).
+    pub fn new(value: T) -> Shared<T> {
+        Shared(Arc::new(value))
+    }
+
+    /// True if both wrappers share one allocation. Used as an equality
+    /// fast path; `false` says nothing about content.
+    #[must_use]
+    pub fn ptr_eq(a: &Shared<T>, b: &Shared<T>) -> bool {
+        Arc::ptr_eq(&a.0, &b.0)
+    }
+
+    /// A stable identity for the current allocation, for byte-accounting
+    /// shared stores without double-counting. Invalidated by mutation.
+    #[must_use]
+    pub fn heap_id(this: &Shared<T>) -> usize {
+        Arc::as_ptr(&this.0) as usize
+    }
+}
+
+impl<T: Clone> Clone for Shared<T> {
+    fn clone(&self) -> Shared<T> {
+        Shared(Arc::clone(&self.0))
+    }
+}
+
+impl<T: Clone> Deref for Shared<T> {
+    type Target = T;
+
+    fn deref(&self) -> &T {
+        &self.0
+    }
+}
+
+impl<T: Clone> DerefMut for Shared<T> {
+    fn deref_mut(&mut self) -> &mut T {
+        Arc::make_mut(&mut self.0)
+    }
+}
+
+impl<T: Clone> From<T> for Shared<T> {
+    fn from(value: T) -> Shared<T> {
+        Shared::new(value)
+    }
+}
+
+impl<T: Clone + Default> Default for Shared<T> {
+    fn default() -> Shared<T> {
+        Shared::new(T::default())
+    }
+}
+
+impl<T: Clone + PartialEq> PartialEq for Shared<T> {
+    fn eq(&self, other: &Shared<T>) -> bool {
+        Shared::ptr_eq(self, other) || *self.0 == *other.0
+    }
+}
+
+impl<T: Clone + Eq> Eq for Shared<T> {}
+
+impl<T: Clone + fmt::Debug> fmt::Debug for Shared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+impl<T: Clone + fmt::Display> fmt::Display for Shared<T> {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        self.0.fmt(f)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_until_written() {
+        let mut a = Shared::new(vec![1, 2, 3]);
+        let b = a.clone();
+        assert!(Shared::ptr_eq(&a, &b));
+        assert_eq!(Shared::heap_id(&a), Shared::heap_id(&b));
+        a.push(4);
+        assert!(!Shared::ptr_eq(&a, &b));
+        assert_eq!(*a, vec![1, 2, 3, 4]);
+        assert_eq!(*b, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn reads_do_not_unshare() {
+        let a = Shared::new(String::from("abc"));
+        let b = a.clone();
+        assert_eq!(a.len(), 3);
+        assert!(Shared::ptr_eq(&a, &b));
+    }
+
+    #[test]
+    fn eq_uses_pointer_fast_path_then_content() {
+        let a = Shared::new(7u32);
+        let b = a.clone();
+        let c = Shared::new(7u32);
+        let d = Shared::new(8u32);
+        assert_eq!(a, b);
+        assert_eq!(a, c);
+        assert_ne!(a, d);
+    }
+}

@@ -1,12 +1,21 @@
 //! The pCFG dataflow state `(dfState, pSets, matches)` of §VI.
+//!
+//! The heavy components live behind [`Shared`] copy-on-write handles:
+//! cloning a state is O(#components) reference-count bumps, and each
+//! component is deep-copied only when (and if) a successor actually
+//! mutates it. See DESIGN §3.12 for why sharing is sound.
 
+use std::collections::hash_map::DefaultHasher;
 use std::collections::BTreeSet;
 use std::fmt;
+use std::hash::{Hash, Hasher};
 
 use mpl_cfg::CfgNodeId;
 use mpl_domains::{ConstEnv, ConstraintGraph, LinExpr, NsVar, PsetId, VarId};
 use mpl_lang::ast::Expr;
 use mpl_procset::ProcRange;
+
+use crate::share::Shared;
 
 /// A send that has been issued but not yet matched (the depth-1
 /// aggregation of non-blocking sends sketched in the paper's §X; required
@@ -36,22 +45,25 @@ pub struct PsetState {
 }
 
 /// The full analysis state at one pCFG node.
+///
+/// Cloning is cheap (copy-on-write component handles); mutation through
+/// the `Shared` fields transparently unshares just the touched component.
 #[derive(Debug, Clone)]
 pub struct AnalysisState {
     /// The constraint-graph dataflow state (per-set namespaces).
-    pub cg: ConstraintGraph,
+    pub cg: Shared<ConstraintGraph>,
     /// The flat constant environment (constant-propagation client).
-    pub consts: ConstEnv,
+    pub consts: Shared<ConstEnv>,
     /// Variables proven *uniform* across their process set (every
     /// process of the set holds the same value). Needed for soundness:
     /// only a uniform condition may steer a whole set through one branch
     /// edge. Never-assigned input variables are uniform by definition
     /// and are not tracked here.
-    pub uniform: BTreeSet<VarId>,
+    pub uniform: Shared<BTreeSet<VarId>>,
     /// The process sets, in canonical order.
-    pub psets: Vec<PsetState>,
+    pub psets: Vec<Shared<PsetState>>,
     /// Send–receive matches established so far.
-    pub matches: BTreeSet<(CfgNodeId, CfgNodeId)>,
+    pub matches: Shared<BTreeSet<(CfgNodeId, CfgNodeId)>>,
     next_id: u32,
 }
 
@@ -67,16 +79,16 @@ impl AnalysisState {
         cg.assert_le(&NsVar::Zero, &id0, 0); // id >= 0
         cg.assert_le(&id0, &NsVar::Np, -1); // id <= np-1
         AnalysisState {
-            cg,
-            consts: ConstEnv::new(),
-            uniform: BTreeSet::new(),
-            psets: vec![PsetState {
+            cg: cg.into(),
+            consts: Shared::new(ConstEnv::new()),
+            uniform: Shared::new(BTreeSet::new()),
+            psets: vec![Shared::new(PsetState {
                 id: p0,
                 node: entry,
                 range: ProcRange::all_procs(),
                 pending: None,
-            }],
-            matches: BTreeSet::new(),
+            })],
+            matches: Shared::new(BTreeSet::new()),
             next_id: 1,
         }
     }
@@ -119,7 +131,7 @@ impl AnalysisState {
                     self.cg.assert_le_expr(idv, e);
                 }
             }
-            self.psets.push(PsetState {
+            self.psets.push(Shared::new(PsetState {
                 id: nid,
                 node,
                 range,
@@ -128,7 +140,7 @@ impl AnalysisState {
                 } else {
                     None
                 },
-            });
+            }));
         }
         self.cg.drop_namespace(old.id);
         self.consts.drop_namespace(old.id);
@@ -251,15 +263,14 @@ impl AnalysisState {
         let mut b_side = self.cg.clone();
         b_side.drop_namespace(a);
         b_side.rename_namespace(b, m);
-        self.cg = a_side.join(&b_side);
-        let ca = self.consts.clone();
+        self.cg = a_side.join(&b_side).into();
         let mut ca = {
-            let mut c = ca;
+            let mut c = (*self.consts).clone();
             c.drop_namespace(b);
             c.rename_namespace(a, m)
         };
         let cb = {
-            let mut c = self.consts.clone();
+            let mut c = (*self.consts).clone();
             c.drop_namespace(a);
             c.rename_namespace(b, m)
         };
@@ -280,7 +291,7 @@ impl AnalysisState {
                 (cva == cvb).then(|| v.renamed(a, m))
             })
             .collect();
-        self.consts = ca;
+        self.consts = ca.into();
         self.uniform
             .retain(|v| v.namespace() != Some(a) && v.namespace() != Some(b));
         self.uniform.extend(merged_uniform);
@@ -300,12 +311,12 @@ impl AnalysisState {
         for e in range.ub.exprs() {
             self.cg.assert_le_expr(idv, e);
         }
-        self.psets.push(PsetState {
+        self.psets.push(Shared::new(PsetState {
             id: m,
             node,
             range,
             pending: None,
-        });
+        }));
         self.strip_namespace_aliases(a);
         self.strip_namespace_aliases(b);
     }
@@ -315,13 +326,21 @@ impl AnalysisState {
     /// required so recurring pCFG locations compare equal across loop
     /// iterations.
     pub fn renumber_canonical(&mut self) {
-        self.psets.sort_by(|x, y| {
-            (x.node, x.range.to_string(), x.pending.is_some()).cmp(&(
-                y.node,
-                y.range.to_string(),
-                y.pending.is_some(),
-            ))
-        });
+        // Cached keys: each range is rendered once, not O(p log p) times.
+        self.psets
+            .sort_by_cached_key(|p| (p.node, p.range.to_string(), p.pending.is_some()));
+        // Already canonical (the steady state once the analysis reaches a
+        // loop's fixpoint): every rename below would be the identity, so
+        // skip the two O(p) rename sweeps over graph, consts and ranges.
+        if self
+            .psets
+            .iter()
+            .enumerate()
+            .all(|(k, p)| p.id.0 == k as u32)
+        {
+            self.next_id = self.psets.len() as u32;
+            return;
+        }
         // Two-phase rename to avoid collisions. The temporary band sits
         // just below the packed VarId's 16-bit pset-id ceiling; live ids
         // are reset to 0.. right below, so the band is never reached by
@@ -342,9 +361,21 @@ impl AnalysisState {
 
     fn rename_everywhere(&mut self, from: PsetId, to: PsetId) {
         self.cg.rename_namespace(from, to);
-        self.consts = self.consts.rename_namespace(from, to);
-        self.uniform = self.uniform.iter().map(|v| v.renamed(from, to)).collect();
+        self.consts = self.consts.rename_namespace(from, to).into();
+        let renamed: BTreeSet<VarId> = self.uniform.iter().map(|v| v.renamed(from, to)).collect();
+        self.uniform = renamed.into();
         for p in &mut self.psets {
+            // Skip untouched sets so their `Shared` handle stays shared.
+            let touches = p.id == from
+                || p.range
+                    .lb
+                    .exprs()
+                    .iter()
+                    .chain(p.range.ub.exprs())
+                    .any(|e| e.var.is_some_and(|v| v.namespace() == Some(from)));
+            if !touches {
+                continue;
+            }
             if p.id == from {
                 p.id = to;
             }
@@ -382,14 +413,17 @@ impl AnalysisState {
     ) -> AnalysisState {
         debug_assert_eq!(self.location_key(), newer.location_key());
         let mut out = self.clone();
-        out.cg = self.cg.widen_with_thresholds(&newer.cg, thresholds);
-        out.consts = self.consts.join(&newer.consts);
-        out.uniform = self.uniform.intersection(&newer.uniform).cloned().collect();
+        out.cg = self.cg.widen_with_thresholds(&newer.cg, thresholds).into();
+        out.consts = self.consts.join(&newer.consts).into();
+        let uniform: BTreeSet<VarId> = self.uniform.intersection(&newer.uniform).cloned().collect();
+        out.uniform = uniform.into();
         for (p, q) in out.psets.iter_mut().zip(&newer.psets) {
             p.range = p.range.widen(&q.range);
             debug_assert_eq!(p.pending.is_some(), q.pending.is_some());
         }
-        out.matches = self.matches.union(&newer.matches).cloned().collect();
+        let matches: BTreeSet<(CfgNodeId, CfgNodeId)> =
+            self.matches.union(&newer.matches).cloned().collect();
+        out.matches = matches.into();
         out.next_id = self.next_id.max(newer.next_id);
         out
     }
@@ -397,8 +431,32 @@ impl AnalysisState {
     /// True if `self` and `other` carry the same information (used for
     /// fixpoint detection after widening; `other` must be at the same
     /// location).
+    ///
+    /// Fast path: equal [`AnalysisState::fingerprint`]s mean structural
+    /// equality (identical recorded content), which implies the full
+    /// semantic check below — so the common no-new-info admission is
+    /// O(1). Unequal fingerprints fall back to
+    /// [`AnalysisState::same_as_slow`], since structurally different
+    /// states can still be semantically equal (one may simply not be
+    /// closed yet).
     #[must_use]
     pub fn same_as(&self, other: &AnalysisState) -> bool {
+        if self.fingerprint() == other.fingerprint() {
+            debug_assert!(
+                self.structurally_eq(other),
+                "state fingerprint collision: {self} vs {other}"
+            );
+            return true;
+        }
+        self.same_as_slow(other)
+    }
+
+    /// The full semantic equality check (bidirectional constraint-graph
+    /// entailment plus field comparisons) — the pre-fingerprint
+    /// [`AnalysisState::same_as`], kept as the fallback and as the test
+    /// oracle for the fast path.
+    #[must_use]
+    pub fn same_as_slow(&self, other: &AnalysisState) -> bool {
         if self.matches != other.matches
             || self.consts != other.consts
             || self.uniform != other.uniform
@@ -417,9 +475,117 @@ impl AnalysisState {
                 return false;
             }
         }
-        let mut a = self.cg.clone();
-        let mut b = other.cg.clone();
+        let mut a = (*self.cg).clone();
+        let mut b = (*other.cg).clone();
         a.entails(&other.cg) && b.entails(&self.cg)
+    }
+
+    /// A 64-bit structural fingerprint of the whole state, chaining the
+    /// component fingerprints ([`ConstraintGraph::fingerprint`],
+    /// [`ConstEnv::fingerprint`]) with the uniform set, process sets
+    /// (id, node, range-bound alias sets, pending send) and match set.
+    ///
+    /// Equal fingerprints are treated as structural equality by
+    /// [`AnalysisState::same_as`]; collisions are debug-asserted against.
+    /// The hash is deterministic within a process, which is all the
+    /// admission dedup needs.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.cg.fingerprint().hash(&mut h);
+        self.consts.fingerprint().hash(&mut h);
+        self.uniform.len().hash(&mut h);
+        for v in self.uniform.iter() {
+            v.hash(&mut h);
+        }
+        self.psets.len().hash(&mut h);
+        for p in &self.psets {
+            p.id.0.hash(&mut h);
+            p.node.hash(&mut h);
+            p.range.lb.exprs().hash(&mut h);
+            p.range.ub.exprs().hash(&mut h);
+            match &p.pending {
+                None => 0u8.hash(&mut h),
+                Some(pd) => {
+                    1u8.hash(&mut h);
+                    pd.node.hash(&mut h);
+                    pd.value.hash(&mut h);
+                    pd.dest.hash(&mut h);
+                }
+            }
+        }
+        self.matches.len().hash(&mut h);
+        for m in self.matches.iter() {
+            m.hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// A 64-bit hash of the pCFG location — the ordered (CFG node,
+    /// has-pending) pairs of [`AnalysisState::location_key`] — without
+    /// allocating the key vector. The scheduler interns these into
+    /// [`crate::scheduler::LocationKey`]s.
+    #[must_use]
+    pub fn location_fingerprint(&self) -> u64 {
+        let mut h = DefaultHasher::new();
+        self.psets.len().hash(&mut h);
+        for p in &self.psets {
+            p.node.hash(&mut h);
+            p.pending.is_some().hash(&mut h);
+        }
+        h.finish()
+    }
+
+    /// True if the two states record identical content field by field —
+    /// the structural equality that fingerprint equality stands for
+    /// (stronger than [`AnalysisState::same_as_slow`], which also
+    /// equates states whose graphs close to the same bounds).
+    #[must_use]
+    pub fn structurally_eq(&self, other: &AnalysisState) -> bool {
+        self.matches == other.matches
+            && self.consts == other.consts
+            && self.uniform == other.uniform
+            && self.psets.len() == other.psets.len()
+            && self.psets.iter().zip(&other.psets).all(|(p, q)| {
+                p.id == q.id
+                    && p.node == q.node
+                    && p.range.lb.exprs() == q.range.lb.exprs()
+                    && p.range.ub.exprs() == q.range.ub.exprs()
+                    && p.pending == q.pending
+            })
+            && self.cg.same_shape(&other.cg)
+    }
+
+    /// Estimated heap bytes reachable from this state, skipping
+    /// allocations whose identity is already in `seen` — so a store of
+    /// CoW states counts each shared component once.
+    pub(crate) fn approx_bytes(&self, seen: &mut std::collections::HashSet<usize>) -> usize {
+        const BTREE_ENTRY: usize = 24; // rough per-entry node overhead
+        let mut total = std::mem::size_of::<AnalysisState>();
+        if seen.insert(Shared::heap_id(&self.cg)) {
+            total += std::mem::size_of::<ConstraintGraph>() + self.cg.side_bytes();
+            let (matrix_id, matrix_bytes) = self.cg.matrix_id_and_bytes();
+            if seen.insert(matrix_id) {
+                total += matrix_bytes;
+            }
+        }
+        if seen.insert(Shared::heap_id(&self.consts)) {
+            total += std::mem::size_of::<ConstEnv>() + self.consts.len() * BTREE_ENTRY;
+        }
+        if seen.insert(Shared::heap_id(&self.uniform)) {
+            total += self.uniform.len() * BTREE_ENTRY;
+        }
+        if seen.insert(Shared::heap_id(&self.matches)) {
+            total += self.matches.len() * BTREE_ENTRY;
+        }
+        total += self.psets.capacity() * std::mem::size_of::<Shared<PsetState>>();
+        for p in &self.psets {
+            if seen.insert(Shared::heap_id(p)) {
+                total += std::mem::size_of::<PsetState>()
+                    + (p.range.lb.exprs().len() + p.range.ub.exprs().len()) * BTREE_ENTRY;
+            }
+        }
+        total
     }
 
     /// True if any range bound has lost all its aliases (the state can no

@@ -123,6 +123,24 @@ impl ConstEnv {
     pub fn iter(&self) -> impl Iterator<Item = (&VarId, &ConstVal)> {
         self.vals.iter()
     }
+
+    /// Order-canonical 64-bit structural fingerprint: equal environments
+    /// fingerprint equal, and (up to hash collisions) vice versa. Feeds
+    /// the whole-state fingerprint used by the engine's admission dedup.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        let mut fp = 0x5EED_C0D5_7E17_B00Du64;
+        for (k, v) in &self.vals {
+            let tag = match v {
+                ConstVal::Known(c) => crate::constraint_graph::mix_for_fingerprint(*c as u64),
+                ConstVal::Unknown => 0x0FF0_0FF0_0FF0_0FF0,
+            };
+            fp ^= crate::constraint_graph::mix_for_fingerprint(
+                u64::from(k.raw()).wrapping_mul(0x9E37_79B9_7F4A_7C15) ^ tag,
+            );
+        }
+        fp
+    }
 }
 
 impl fmt::Display for ConstEnv {

@@ -7,9 +7,11 @@
 //! incremental propagation, falling back to the full O(n³) Floyd–Warshall
 //! pass only when enough of the matrix was touched to make that cheaper.
 
+use std::cell::RefCell;
 use std::collections::HashMap;
 use std::fmt;
 use std::hash::{BuildHasherDefault, Hasher};
+use std::sync::Arc;
 use std::time::Instant;
 
 use crate::linexpr::LinExpr;
@@ -57,6 +59,42 @@ impl Hasher for IdHasher {
 
 type IdMap = HashMap<VarId, usize, BuildHasherDefault<IdHasher>>;
 
+/// All bottoms fingerprint to this sentinel: once a negative cycle is
+/// found, recorded bounds are meaningless and every bottom is the same
+/// lattice element.
+const BOTTOM_FP: u64 = 0x0B07_70B0_0B07_70B0;
+
+/// SplitMix64 finalizer — the mixing behind the structural fingerprint.
+fn mix64(mut z: u64) -> u64 {
+    z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    z ^ (z >> 31)
+}
+
+/// The fingerprint contribution of the bound `x ≤ y + c`.
+fn edge_mix(x: VarId, y: VarId, c: i64) -> u64 {
+    let pair = (u64::from(x.raw()) << 32) | u64::from(y.raw());
+    mix64(pair.wrapping_add(mix64(c as u64 ^ 0x9E37_79B9_7F4A_7C15)))
+}
+
+/// The fingerprint contribution of tracking variable `x` at all.
+fn var_mix(x: VarId) -> u64 {
+    mix64(u64::from(x.raw()) ^ 0xD6E8_FEB8_6659_FD93)
+}
+
+/// The crate's shared fingerprint mixer — [`crate::ConstEnv`] reuses it
+/// so all structural fingerprints draw from one mixing function.
+pub(crate) fn mix_for_fingerprint(z: u64) -> u64 {
+    mix64(z)
+}
+
+thread_local! {
+    /// Reusable keep-list for projections: `remove_var` and
+    /// `drop_namespace` recycle this instead of building a fresh
+    /// `Vec<usize>` on every call.
+    static KEEP_SCRATCH: RefCell<Vec<usize>> = const { RefCell::new(Vec::new()) };
+}
+
 /// A conjunction of difference constraints `x ≤ y + c`.
 ///
 /// The distinguished variable [`VarId::ZERO`] is always present, so unary
@@ -87,13 +125,22 @@ pub struct ConstraintGraph {
     /// Row-major bound matrix with stride `cap ≥ n`; `m[i*cap + j] = c`
     /// means `vars[i] ≤ vars[j] + c`. The capacity grows geometrically so
     /// adding a variable does not reallocate the whole matrix.
-    m: Vec<i64>,
+    ///
+    /// Shared copy-on-write: cloning a graph bumps a refcount, and the
+    /// first mutation through [`ConstraintGraph::m_mut`] materializes a
+    /// private copy. Read-only queries on an already-closed graph never
+    /// copy, even through `&mut self` accessors.
+    m: Arc<Vec<i64>>,
     cap: usize,
     closed: bool,
     infeasible: bool,
     /// Edges written since the matrix was last closed (only tracked while
     /// `closed`; an unclosed matrix is fully re-closed anyway).
     dirty: Vec<(u32, u32)>,
+    /// Order-canonical structural fingerprint: XOR of [`var_mix`] per
+    /// tracked variable and [`edge_mix`] per finite off-diagonal bound,
+    /// maintained incrementally by every mutating operation.
+    fp: u64,
 }
 
 impl Default for ConstraintGraph {
@@ -109,11 +156,12 @@ impl ConstraintGraph {
         let mut g = ConstraintGraph {
             vars: Vec::new(),
             index: IdMap::default(),
-            m: Vec::new(),
+            m: Arc::new(Vec::new()),
             cap: 0,
             closed: true,
             infeasible: false,
             dirty: Vec::new(),
+            fp: 0,
         };
         g.ensure_var(VarId::ZERO);
         g
@@ -163,14 +211,136 @@ impl ConstraintGraph {
         self.m[i * self.cap + j]
     }
 
+    /// Mutable access to the bound matrix, materializing a private copy
+    /// when the allocation is shared (copy-on-write).
+    fn m_mut(&mut self) -> &mut Vec<i64> {
+        if Arc::strong_count(&self.m) != 1 {
+            stats::record_matrix_copy();
+        }
+        Arc::make_mut(&mut self.m)
+    }
+
     fn set(&mut self, i: usize, j: usize, c: i64) {
-        self.m[i * self.cap + j] = c;
+        let idx = i * self.cap + j;
+        let old = self.m[idx];
+        if old == c {
+            return;
+        }
+        if i != j {
+            let (x, y) = (self.vars[i], self.vars[j]);
+            if old < INF {
+                self.fp ^= edge_mix(x, y, old);
+            }
+            if c < INF {
+                self.fp ^= edge_mix(x, y, c);
+            }
+        }
+        self.m_mut()[idx] = c;
     }
 
     /// True if every recorded bound is already propagated — no closure
     /// work pending.
     fn is_effectively_closed(&self) -> bool {
         self.infeasible || (self.closed && self.dirty.is_empty())
+    }
+
+    /// Order-canonical 64-bit structural fingerprint.
+    ///
+    /// Equal fingerprints stand for structural equality (same tracked
+    /// variables, same finite recorded bounds, or both bottom): the value
+    /// is an XOR of per-variable and per-bound mixes, so it is
+    /// independent of insertion order and matrix layout. Different
+    /// fingerprints say nothing — the caller falls back to a full walk.
+    #[must_use]
+    pub fn fingerprint(&self) -> u64 {
+        if self.infeasible {
+            BOTTOM_FP
+        } else {
+            self.fp
+        }
+    }
+
+    /// The fingerprint recomputed from scratch — the oracle the
+    /// incremental maintenance is property-tested against.
+    #[doc(hidden)]
+    #[must_use]
+    pub fn recomputed_fingerprint(&self) -> u64 {
+        if self.infeasible {
+            return BOTTOM_FP;
+        }
+        let mut fp = 0;
+        for &v in &self.vars {
+            fp ^= var_mix(v);
+        }
+        for i in 0..self.n() {
+            for j in 0..self.n() {
+                if i != j {
+                    let c = self.at(i, j);
+                    if c < INF {
+                        fp ^= edge_mix(self.vars[i], self.vars[j], c);
+                    }
+                }
+            }
+        }
+        fp
+    }
+
+    /// True if the two graphs record identical constraints: the same
+    /// variable set and the same finite bounds (positions may differ).
+    /// Any two bottoms compare equal. This is the structural equality
+    /// that fingerprint equality stands for.
+    #[must_use]
+    pub fn same_shape(&self, other: &ConstraintGraph) -> bool {
+        if self.infeasible || other.infeasible {
+            return self.infeasible && other.infeasible;
+        }
+        if self.vars.len() != other.vars.len() {
+            return false;
+        }
+        let mut map = Vec::with_capacity(self.vars.len());
+        for v in &self.vars {
+            match other.index.get(v) {
+                Some(&oi) => map.push(oi),
+                None => return false,
+            }
+        }
+        for i in 0..self.n() {
+            for j in 0..self.n() {
+                if i == j {
+                    continue;
+                }
+                let a = self.at(i, j);
+                let b = other.at(map[i], map[j]);
+                if a < INF {
+                    if a != b {
+                        return false;
+                    }
+                } else if b < INF {
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Heap footprint of the bound matrix together with an identity for
+    /// its (possibly shared) allocation, so a store of CoW states can
+    /// estimate bytes without double-counting shared matrices.
+    #[must_use]
+    pub fn matrix_id_and_bytes(&self) -> (usize, usize) {
+        (
+            Arc::as_ptr(&self.m) as usize,
+            self.m.len() * std::mem::size_of::<i64>(),
+        )
+    }
+
+    /// Heap bytes owned uniquely by this graph value (variable list and
+    /// index), excluding the possibly-shared matrix.
+    #[must_use]
+    pub fn side_bytes(&self) -> usize {
+        self.vars.capacity() * std::mem::size_of::<VarId>()
+            + self.index.capacity() * std::mem::size_of::<(VarId, usize, u64)>()
+            + self.dirty.capacity() * std::mem::size_of::<(u32, u32)>()
     }
 
     /// Adds `v` (unconstrained) if missing; returns its index.
@@ -187,18 +357,22 @@ impl ConstraintGraph {
                 m[i * new_cap..i * new_cap + old_n]
                     .copy_from_slice(&self.m[i * self.cap..i * self.cap + old_n]);
             }
-            self.m = m;
+            self.m = Arc::new(m);
             self.cap = new_cap;
         } else {
-            // Clear the stale row/column left behind by compaction.
+            // Clear the stale row/column left behind by compaction
+            // (outside the live region, so no fingerprint delta).
+            let cap = self.cap;
+            let m = self.m_mut();
             for k in 0..=old_n {
-                self.m[old_n * self.cap + k] = INF;
-                self.m[k * self.cap + old_n] = INF;
+                m[old_n * cap + k] = INF;
+                m[k * cap + old_n] = INF;
             }
         }
         self.set(old_n, old_n, 0);
         self.vars.push(v);
         self.index.insert(v, old_n);
+        self.fp ^= var_mix(v);
         // An unconstrained variable cannot invalidate closure.
         old_n
     }
@@ -554,9 +728,10 @@ impl ConstraintGraph {
     /// matrix is needed; the capacity is retained for reuse.
     fn compact_keep(&mut self, keep: &[usize]) {
         let cap = self.cap;
+        let m = self.m_mut();
         for (a, &oa) in keep.iter().enumerate() {
             for (b, &ob) in keep.iter().enumerate() {
-                self.m[a * cap + b] = self.m[oa * cap + ob];
+                m[a * cap + b] = m[oa * cap + ob];
             }
         }
         self.vars = keep.iter().map(|&k| self.vars[k]).collect();
@@ -564,6 +739,9 @@ impl ConstraintGraph {
         for (k, &v) in self.vars.iter().enumerate() {
             self.index.insert(v, k);
         }
+        // Dropping a variable erases a whole row and column of bounds;
+        // a from-scratch recompute matches the O(n²) move cost above.
+        self.fp = self.recomputed_fingerprint();
     }
 
     /// Removes `x` entirely (projecting the constraints onto the rest).
@@ -574,8 +752,12 @@ impl ConstraintGraph {
         }
         self.ensure_closed();
         let i = self.index[&x];
-        let keep: Vec<usize> = (0..self.n()).filter(|&k| k != i).collect();
-        self.compact_keep(&keep);
+        KEEP_SCRATCH.with(|s| {
+            let mut keep = s.borrow_mut();
+            keep.clear();
+            keep.extend((0..self.n()).filter(|&k| k != i));
+            self.compact_keep(&keep);
+        });
     }
 
     /// Removes every variable owned by process set `p` in one projection
@@ -585,10 +767,12 @@ impl ConstraintGraph {
             return;
         }
         self.ensure_closed();
-        let keep: Vec<usize> = (0..self.n())
-            .filter(|&k| self.vars[k].namespace() != Some(p))
-            .collect();
-        self.compact_keep(&keep);
+        KEEP_SCRATCH.with(|s| {
+            let mut keep = s.borrow_mut();
+            keep.clear();
+            keep.extend((0..self.n()).filter(|&k| self.vars[k].namespace() != Some(p)));
+            self.compact_keep(&keep);
+        });
     }
 
     /// Renames every variable of namespace `from` into namespace `to`.
@@ -600,15 +784,51 @@ impl ConstraintGraph {
         if from == to {
             return;
         }
-        for v in &mut self.vars {
+        let n = self.n();
+        // Collect the renamed positions first, checking collisions
+        // against the pre-rename index (renaming preserves the name
+        // part, so two sources can never map to one destination).
+        let mut renamed: Vec<(usize, VarId, VarId)> = Vec::new();
+        for (k, &v) in self.vars.iter().enumerate() {
             if v.namespace() == Some(from) {
-                let renamed = v.renamed(from, to);
-                assert!(
-                    !self.index.contains_key(&renamed),
-                    "rename collision on {renamed}"
-                );
-                *v = renamed;
+                let r = v.renamed(from, to);
+                assert!(!self.index.contains_key(&r), "rename collision on {r}");
+                renamed.push((k, v, r));
             }
+        }
+        if renamed.is_empty() {
+            return;
+        }
+        // Fingerprint delta: re-mix every bound touching a renamed
+        // variable under its new id — O(renamed · n), not O(n²).
+        let mut new_id: Vec<Option<VarId>> = vec![None; n];
+        for &(k, _, r) in &renamed {
+            new_id[k] = Some(r);
+        }
+        for &(i, oi, ni) in &renamed {
+            self.fp ^= var_mix(oi) ^ var_mix(ni);
+            for (j, nid) in new_id.iter().enumerate() {
+                if i == j {
+                    continue;
+                }
+                let oj = self.vars[j];
+                let nj = nid.unwrap_or(oj);
+                let c = self.at(i, j);
+                if c < INF {
+                    self.fp ^= edge_mix(oi, oj, c) ^ edge_mix(ni, nj, c);
+                }
+                // Bounds *into* i from a non-renamed row are not covered
+                // by any renamed row's pass — re-mix them here.
+                if nid.is_none() {
+                    let c = self.at(j, i);
+                    if c < INF {
+                        self.fp ^= edge_mix(oj, oi, c) ^ edge_mix(oj, ni, c);
+                    }
+                }
+            }
+        }
+        for &(k, _, r) in &renamed {
+            self.vars[k] = r;
         }
         self.index.clear();
         for (k, &v) in self.vars.iter().enumerate() {
@@ -1381,6 +1601,112 @@ mod edge_case_tests {
         assert!(!j.has_var(v("only_right")));
         assert!(!j.is_bottom());
         assert_eq!(j.le_bound(&NsVar::Zero, &NsVar::Zero), Some(0));
+    }
+
+    #[test]
+    fn fingerprint_is_order_canonical() {
+        let mut g1 = ConstraintGraph::new();
+        g1.assert_le(v("a"), v("b"), 2);
+        g1.assert_eq_const(v("c"), 7);
+        let mut g2 = ConstraintGraph::new();
+        g2.assert_eq_const(v("c"), 7);
+        g2.assert_le(v("a"), v("b"), 2);
+        g1.close();
+        g2.close();
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        assert!(g1.same_shape(&g2));
+        g2.assert_le(v("a"), v("b"), 1);
+        g2.close();
+        assert_ne!(g1.fingerprint(), g2.fingerprint());
+        assert!(!g1.same_shape(&g2));
+    }
+
+    #[test]
+    fn all_bottoms_share_one_fingerprint() {
+        let mut g1 = ConstraintGraph::new();
+        g1.assert_eq_const(v("x"), 1);
+        g1.assert_eq_const(v("x"), 2);
+        g1.close();
+        let mut g2 = ConstraintGraph::new();
+        g2.assert_le(v("y"), v("y"), -1);
+        assert!(g1.is_bottom() && g2.is_bottom());
+        assert_eq!(g1.fingerprint(), g2.fingerprint());
+        assert!(g1.same_shape(&g2));
+        assert_eq!(g1.fingerprint(), ConstraintGraph::bottom().fingerprint());
+    }
+
+    #[test]
+    fn clone_shares_the_matrix_until_written() {
+        stats::reset_matrix_copies();
+        let mut g = ConstraintGraph::new();
+        for k in 0..6 {
+            g.assert_eq_const(v(&format!("x{k}")), k);
+        }
+        g.close();
+        let mut probe = g.clone();
+        assert_eq!(stats::matrix_copies(), 0, "clone must not copy");
+        // Read-only queries on a closed graph never materialize.
+        assert_eq!(probe.const_of(v("x3")), Some(3));
+        assert_eq!(stats::matrix_copies(), 0, "closed queries must not copy");
+        // The first write faults in a private copy and leaves the
+        // original untouched.
+        probe.assert_eq_const(v("x3"), 99);
+        probe.close();
+        assert!(probe.is_bottom());
+        assert!(stats::matrix_copies() >= 1);
+        assert_eq!(g.const_of(v("x3")), Some(3));
+        assert!(!g.is_bottom());
+    }
+
+    #[test]
+    fn maintained_fingerprint_matches_recompute_over_random_ops() {
+        // Property test: drive a graph through a pseudo-random mutation
+        // sequence and check after every step that the incrementally
+        // maintained fingerprint equals the from-scratch recompute.
+        let mut rng: u64 = 0x1234_5678_9ABC_DEF0;
+        let mut next = move || {
+            rng ^= rng << 13;
+            rng ^= rng >> 7;
+            rng ^= rng << 17;
+            rng
+        };
+        let names = ["a", "b", "c", "d", "e"];
+        for round in 0..40 {
+            let mut g = ConstraintGraph::new();
+            let mut cloned_into = 3u32;
+            for _ in 0..30 {
+                let x = NsVar::pset(PsetId((next() % 2) as u32), names[(next() % 5) as usize]);
+                let y = NsVar::pset(PsetId((next() % 2) as u32), names[(next() % 5) as usize]);
+                let c = (next() % 13) as i64 - 4;
+                match next() % 10 {
+                    0..=3 => g.assert_le(&x, &y, c),
+                    4 => g.assert_eq_const(&x, c),
+                    5 => g.close(),
+                    6 => g.havoc(&x),
+                    7 => g.remove_var(&x),
+                    8 => {
+                        // Round-trip through a fresh namespace: two
+                        // rename delta scans, net structural no-op.
+                        g.rename_namespace(PsetId(0), PsetId(100 + cloned_into));
+                        assert_eq!(g.fingerprint(), g.recomputed_fingerprint());
+                        g.rename_namespace(PsetId(100 + cloned_into), PsetId(0));
+                    }
+                    _ => {
+                        g.clone_namespace(PsetId(1), PsetId(cloned_into));
+                        cloned_into += 1;
+                    }
+                }
+                assert_eq!(
+                    g.fingerprint(),
+                    g.recomputed_fingerprint(),
+                    "round {round}: {g:?}"
+                );
+            }
+            let j = g.join(&ConstraintGraph::new());
+            assert_eq!(j.fingerprint(), j.recomputed_fingerprint());
+            let w = g.widen(&g.clone());
+            assert_eq!(w.fingerprint(), w.recomputed_fingerprint());
+        }
     }
 
     #[test]

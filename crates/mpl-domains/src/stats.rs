@@ -18,6 +18,26 @@ thread_local! {
     static INCR_VARS: Cell<u64> = const { Cell::new(0) };
     static CLOSURE_NANOS: Cell<u64> = const { Cell::new(0) };
     static FORCE_FULL: Cell<bool> = const { Cell::new(false) };
+    static MATRIX_COPIES: Cell<u64> = const { Cell::new(0) };
+}
+
+/// Number of bound-matrix materializations (copy-on-write faults) on
+/// this thread: how often a shared DBM allocation actually had to be
+/// copied before a write. Kept out of [`ClosureStats`] so existing
+/// machine-readable stats output is unchanged.
+#[must_use]
+pub fn matrix_copies() -> u64 {
+    MATRIX_COPIES.with(Cell::get)
+}
+
+/// Resets the matrix-copy counter for the current thread.
+pub fn reset_matrix_copies() {
+    MATRIX_COPIES.with(|c| c.set(0));
+}
+
+/// Records one copy-on-write materialization of a shared bound matrix.
+pub(crate) fn record_matrix_copy() {
+    MATRIX_COPIES.with(|c| c.set(c.get() + 1));
 }
 
 /// When enabled, [`crate::ConstraintGraph::assert_le`] re-runs the full

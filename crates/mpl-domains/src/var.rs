@@ -229,6 +229,13 @@ impl VarId {
     pub fn resolve(self) -> NsVar {
         with_table(|t| t.resolve(self))
     }
+
+    /// The packed bit representation — fingerprint mixing within the
+    /// crate only.
+    #[must_use]
+    pub(crate) const fn raw(self) -> u32 {
+        self.0
+    }
 }
 
 impl fmt::Display for VarId {

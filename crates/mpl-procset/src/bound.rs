@@ -80,14 +80,29 @@ impl Bound {
     /// `P.id` across widening).
     pub fn saturate(&mut self, cg: &mut ConstraintGraph) {
         let mut extra: BTreeSet<LinExpr> = BTreeSet::new();
+        // Aliases already emitted by an earlier *full* class scan in this
+        // call. The closed graph's exact-equality classes are transitive,
+        // so scanning such an alias would re-emit exactly the same set —
+        // and a saturated bound carries one alias per class member,
+        // making the naive pass O(aliases · vars). Skipping keeps it at
+        // one scan per distinct equality class.
+        let mut scanned: BTreeSet<LinExpr> = BTreeSet::new();
         for e in &self.exprs {
+            if scanned.contains(e) {
+                continue;
+            }
             if let Some(base) = &e.var {
                 for alias in cg.equalities_of(base) {
-                    extra.insert(alias.plus(e.offset));
+                    let a = alias.plus(e.offset);
+                    extra.insert(a);
+                    scanned.insert(a);
                 }
             } else {
-                // Rank variables are identified by bit test on the packed
-                // id; the snapshot of `Copy` ids costs one memcpy.
+                // Partial scan (pinned rank ids only) — its results do
+                // not justify skipping a later full scan, so they go to
+                // `extra` but not `scanned`. Rank variables are
+                // identified by bit test on the packed id; the snapshot
+                // of `Copy` ids costs one memcpy.
                 for v in cg.variables().to_vec() {
                     if !v.is_rank_id() {
                         continue;
@@ -159,13 +174,32 @@ impl Bound {
 
     /// True if the graph proves `self ≤ other`.
     pub fn provably_le(&self, cg: &mut ConstraintGraph, other: &Bound) -> bool {
-        matches!(
+        if matches!(
             self.compare(cg, other),
             Some(Ordering::Less | Ordering::Equal)
-        ) || self
-            .exprs
-            .iter()
-            .any(|a| other.exprs.iter().any(|b| cg.proves_le(a, b)))
+        ) {
+            return true;
+        }
+        // One-directional fallback over all alias pairs. Pinned pairs are
+        // decided by value: on the closed feasible graph `proves_le`
+        // holds for two pinned aliases exactly when their constant values
+        // are ordered, so the integer comparison replaces the matrix
+        // probe without changing the answer. (On a bottom graph
+        // `eval_expr` pins nothing and every probe succeeds, as before.)
+        let avals: Vec<Option<i64>> = self.exprs.iter().map(|a| cg.eval_expr(a)).collect();
+        let bvals: Vec<Option<i64>> = other.exprs.iter().map(|b| cg.eval_expr(b)).collect();
+        for (a, &va) in self.exprs.iter().zip(&avals) {
+            for (b, &vb) in other.exprs.iter().zip(&bvals) {
+                let le = match (va, vb) {
+                    (Some(x), Some(y)) => x <= y,
+                    _ => cg.proves_le(a, b),
+                };
+                if le {
+                    return true;
+                }
+            }
+        }
+        false
     }
 
     /// True if the graph proves `self < other`.

@@ -73,4 +73,21 @@ if "$MPL" analyze-corpus --dir "$smoke_dir" --jobs 4 --timeout-ms 200 >/dev/null
   echo "expected nonzero exit without --keep-going"; exit 1
 fi
 
+echo "== per-phase profiler smoke (E18) =="
+# The phase breakdown must account for the measured wall clock: on every
+# program out of timer noise, |transfer+match+join/widen+admission -
+# total| <= 10% of total. `--check` exits nonzero otherwise.
+cargo build -q --release -p mpl-bench --offline
+target/release/profile --check | tail -n 8
+
+echo "== state-sharing bench artifact (E18) =="
+# Emits BENCH_state_sharing.json (per-program totals, phase splits,
+# stored-state footprint and CoW matrix-copy counts) for before/after
+# comparisons; the numbers are wall-clock and machine-specific, only the
+# file's presence and shape are verified here.
+BENCH_STATE_SHARING_JSON="$PWD/BENCH_state_sharing.json" \
+  cargo bench -q -p mpl-bench --bench state_sharing --offline >/dev/null
+grep -q '"bench":"state_sharing"' BENCH_state_sharing.json \
+  || { echo "BENCH_state_sharing.json missing or malformed"; exit 1; }
+
 echo "verify: OK"

@@ -1,0 +1,166 @@
+//! E18 equivalence suite for the copy-on-write state layer: structural
+//! sharing and fingerprints are pure optimizations, so they must never
+//! change what the analysis computes.
+//!
+//! Three angles:
+//! * the full corpus under both clients, analyzed twice — results must
+//!   be identical run to run (in debug builds every fingerprint-equality
+//!   fast path self-checks: a hit asserts structural equality, so this
+//!   sweep exercises the dedup paths under live assertions);
+//! * value semantics: mutating a cloned state never leaks into the
+//!   original, while untouched components keep sharing one allocation;
+//! * a seeded property test over random constraint-graph mutation
+//!   sequences: the incrementally-maintained fingerprint always equals
+//!   the from-scratch recomputation, equal build histories yield equal
+//!   fingerprints, and fingerprint equality implies structural equality.
+
+use mpl_cfg::{Cfg, CfgNodeId};
+use mpl_core::{analyze_cfg, AnalysisConfig, AnalysisResult, AnalysisState, Client, Shared};
+use mpl_domains::{ConstraintGraph, LinExpr, NsVar, PsetId};
+use mpl_lang::corpus;
+use mpl_rng::Rng64;
+
+/// Strips the wall-clock-bearing closure stats so results from separate
+/// runs compare on semantics alone.
+fn sans_timing(mut r: AnalysisResult) -> AnalysisResult {
+    r.closure_stats = Default::default();
+    r
+}
+
+#[test]
+fn corpus_results_are_identical_across_repeat_runs() {
+    for prog in corpus::all() {
+        let cfg = Cfg::build(&prog.program);
+        for client in [Client::Simple, Client::Cartesian] {
+            let config = AnalysisConfig::builder()
+                .client(client)
+                .build()
+                .expect("valid config");
+            let first = sans_timing(analyze_cfg(&cfg, &config));
+            let second = sans_timing(analyze_cfg(&cfg, &config));
+            assert_eq!(
+                first, second,
+                "analysis of {} under {client:?} is not reproducible",
+                prog.name
+            );
+        }
+    }
+}
+
+#[test]
+fn cloned_state_mutations_stay_isolated() {
+    let original = AnalysisState::initial(CfgNodeId(0), 2);
+    let mut copy = original.clone();
+    // A fresh clone is all sharing and compares equal through the
+    // fingerprint fast path.
+    assert!(Shared::ptr_eq(&copy.cg, &original.cg));
+    assert!(Shared::ptr_eq(&copy.consts, &original.consts));
+    assert!(copy.same_as(&original));
+    assert_eq!(copy.fingerprint(), original.fingerprint());
+
+    // Mutating the clone's graph unshares only the graph.
+    let x = NsVar::pset(copy.psets[0].id, "x");
+    copy.cg.assert_eq_const(&x, 7);
+    assert!(!Shared::ptr_eq(&copy.cg, &original.cg));
+    assert!(
+        Shared::ptr_eq(&copy.consts, &original.consts),
+        "consts were untouched"
+    );
+    assert!(!original.cg.has_var(x.clone()));
+    assert_ne!(copy.fingerprint(), original.fingerprint());
+    assert!(!copy.same_as(&original));
+
+    // Reverting the mutation restores value equality (fingerprints
+    // agree again even though the allocations stay distinct).
+    copy.cg.remove_var(x);
+    assert!(!Shared::ptr_eq(&copy.cg, &original.cg));
+    assert!(copy.same_as(&original));
+    assert_eq!(copy.fingerprint(), original.fingerprint());
+}
+
+fn pvar(i: usize) -> NsVar {
+    NsVar::pset(PsetId(0), format!("v{i}"))
+}
+
+/// One random mutation against `g`; the same (rng, op) stream applied to
+/// equal graphs must keep them equal.
+fn mutate(g: &mut ConstraintGraph, rng: &mut Rng64, nvars: usize) {
+    match rng.index(7) {
+        0 => {
+            let (i, j) = (rng.index(nvars), rng.index(nvars));
+            g.assert_le(pvar(i), pvar(j), rng.i64_in(-8, 8));
+        }
+        1 => g.assert_eq_const(pvar(rng.index(nvars)), rng.i64_in(-16, 16)),
+        2 => {
+            let (i, j) = (rng.index(nvars), rng.index(nvars));
+            let e = LinExpr::var_plus(pvar(j), rng.i64_in(-4, 4));
+            g.assign(pvar(i), &e);
+        }
+        3 => g.havoc(pvar(rng.index(nvars))),
+        4 => g.remove_var(pvar(rng.index(nvars))),
+        5 => {
+            g.ensure_var(pvar(rng.index(nvars)));
+        }
+        _ => g.close(),
+    }
+}
+
+#[test]
+fn fingerprint_tracks_every_mutation_sequence() {
+    let mut rng = Rng64::seed_from_u64(0xE18);
+    for case in 0..80 {
+        let nvars = 2 + rng.index(6);
+        let mut g = ConstraintGraph::new();
+        let mut twin = ConstraintGraph::new();
+        let mut ops = Rng64::seed_from_u64(0x5EED + case);
+        let mut twin_ops = Rng64::seed_from_u64(0x5EED + case);
+        for step in 0..40 {
+            mutate(&mut g, &mut ops, nvars);
+            mutate(&mut twin, &mut twin_ops, nvars);
+            // The incrementally-maintained fingerprint never drifts from
+            // the from-scratch recomputation…
+            assert_eq!(
+                g.fingerprint(),
+                g.recomputed_fingerprint(),
+                "fingerprint drifted at case {case} step {step}"
+            );
+            // …identical histories agree…
+            assert_eq!(
+                g.fingerprint(),
+                twin.fingerprint(),
+                "case {case} step {step}"
+            );
+            // …and fingerprint equality means structural equality.
+            if g.fingerprint() == twin.fingerprint() {
+                assert!(g.same_shape(&twin), "collision at case {case} step {step}");
+            }
+        }
+    }
+}
+
+#[test]
+fn fingerprint_equality_implies_structural_equality_across_histories() {
+    // Graphs built by *different* mutation sequences: any fingerprint
+    // agreement must come with structural agreement (a 64-bit collision
+    // inside this tiny pool would be a mixer bug, not bad luck).
+    let mut rng = Rng64::seed_from_u64(0xC0117);
+    let mut pool: Vec<ConstraintGraph> = Vec::new();
+    for _ in 0..60 {
+        let mut g = ConstraintGraph::new();
+        for _ in 0..rng.index(12) {
+            mutate(&mut g, &mut rng, 4);
+        }
+        g.close();
+        pool.push(g);
+    }
+    for a in &pool {
+        for b in &pool {
+            if a.fingerprint() == b.fingerprint() {
+                assert!(
+                    a.same_shape(b),
+                    "fingerprint collision without structural equality"
+                );
+            }
+        }
+    }
+}
