@@ -1,0 +1,166 @@
+//! Serve load harness: replays the built-in corpus against an
+//! in-process [`AnalysisService`] from several concurrent clients and
+//! reports request latency percentiles plus the cache hit rate.
+//!
+//! The harness drives [`AnalysisService::handle_line`] directly — the
+//! same entry point `mpl serve` forwards socket lines to — so it
+//! measures the full daemon request path (JSON decode, admission,
+//! cache, analysis, render) without socket jitter. Two sections run:
+//!
+//! * **replay** — `CLIENTS` threads each replay every corpus program
+//!   `ROUNDS` times (staggered start offsets, so the cold round mixes
+//!   programs across clients). Round one is mostly cold; later rounds
+//!   are served from the fingerprint cache.
+//! * **backpressure** — the admission gate is saturated by holding
+//!   permits, then one more request is fired to confirm it receives a
+//!   structured `rejected` response (never a hang).
+//!
+//! Writes a JSON summary to `$BENCH_SERVE_JSON` when that variable is
+//! set (the `scripts/verify.sh` artifact `BENCH_serve.json`); always
+//! prints the same numbers as a table.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use mpl_core::{json_escape, AnalysisService, ServiceConfig, PROTOCOL_VERSION};
+use mpl_lang::corpus;
+
+/// Concurrent client threads (acceptance floor is 4).
+const CLIENTS: usize = 8;
+/// Full corpus replays per client.
+const ROUNDS: usize = 3;
+
+/// Renders the wire request line for one corpus program.
+fn request_line(prog: &corpus::CorpusProgram) -> String {
+    format!(
+        "{{\"op\":\"analyze\",\"name\":\"{}\",\"program\":\"{}\",\"min_np\":{}}}",
+        json_escape(prog.name),
+        json_escape(&prog.source),
+        prog.min_procs.max(4)
+    )
+}
+
+/// Nearest-rank percentile over an ascending latency list.
+fn percentile(sorted: &[Duration], p: f64) -> Duration {
+    let rank = ((p / 100.0) * sorted.len() as f64).ceil() as usize;
+    sorted[rank.saturating_sub(1).min(sorted.len() - 1)]
+}
+
+fn us(d: Duration) -> f64 {
+    d.as_secs_f64() * 1e6
+}
+
+fn main() {
+    let mut config = ServiceConfig::default();
+    // Capacity above the client count: the replay section measures
+    // latency, not rejection, so no request may bounce off the gate.
+    config.max_in_flight = CLIENTS * 2;
+    let service = Arc::new(AnalysisService::new(config));
+
+    let requests: Arc<Vec<String>> = Arc::new(corpus::all().iter().map(request_line).collect());
+
+    // -- replay section ------------------------------------------------
+    let wall = Instant::now();
+    let handles: Vec<_> = (0..CLIENTS)
+        .map(|client| {
+            let service = Arc::clone(&service);
+            let requests = Arc::clone(&requests);
+            std::thread::spawn(move || {
+                let mut latencies = Vec::with_capacity(ROUNDS * requests.len());
+                for round in 0..ROUNDS {
+                    for i in 0..requests.len() {
+                        // Stagger the order per client so the cold
+                        // round exercises the cache under contention.
+                        let line = &requests[(i + client + round) % requests.len()];
+                        let start = Instant::now();
+                        let reply = service.handle_line(line);
+                        latencies.push(start.elapsed());
+                        let body = reply.line();
+                        assert!(
+                            body.contains("\"type\":\"program\""),
+                            "replay request was not served: {body}"
+                        );
+                    }
+                }
+                latencies
+            })
+        })
+        .collect();
+
+    let mut latencies: Vec<Duration> = Vec::new();
+    for handle in handles {
+        latencies.extend(handle.join().expect("client thread panicked"));
+    }
+    let wall = wall.elapsed();
+    latencies.sort_unstable();
+
+    let total = latencies.len();
+    let p50 = percentile(&latencies, 50.0);
+    let p99 = percentile(&latencies, 99.0);
+    let mean = latencies.iter().sum::<Duration>() / total as u32;
+    let stats = service.cache_stats();
+    let lookups = stats.hits + stats.misses;
+    let hit_rate = if lookups == 0 {
+        0.0
+    } else {
+        stats.hits as f64 / lookups as f64
+    };
+
+    // -- backpressure section ------------------------------------------
+    // Drain the admission gate, then confirm the structured rejection.
+    let mut permits = Vec::new();
+    while let Some(permit) = service.gate().try_admit() {
+        permits.push(permit);
+    }
+    let rejected = service.handle_line(&requests[0]);
+    let rejected_reply = rejected.line();
+    let rejected_structured =
+        rejected_reply.starts_with(&format!("{{\"v\":{PROTOCOL_VERSION},\"type\":\"rejected\""));
+    assert!(
+        rejected_structured,
+        "saturated gate must reject with a structured response: {rejected_reply}"
+    );
+    drop(permits);
+
+    println!("== serve_load ==");
+    println!(
+        "{:<10} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9}",
+        "clients", "requests", "p50", "p99", "mean", "hits", "misses", "evicted", "hit-rate"
+    );
+    println!(
+        "{:<10} {:>8} {:>10.1?} {:>10.1?} {:>10.1?} {:>8} {:>8} {:>8} {:>8.1}%",
+        CLIENTS,
+        total,
+        p50,
+        p99,
+        mean,
+        stats.hits,
+        stats.misses,
+        stats.evictions,
+        hit_rate * 100.0,
+    );
+    println!(
+        "wall {wall:.1?}; gate rejected={} structured-rejection=ok",
+        service.gate().rejected()
+    );
+
+    if let Ok(path) = std::env::var("BENCH_SERVE_JSON") {
+        let json = format!(
+            "{{\"bench\":\"serve_load\",\"clients\":{CLIENTS},\"rounds\":{ROUNDS},\
+             \"requests\":{total},\"p50_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1},\
+             \"wall_ms\":{:.1},\"hits\":{},\"misses\":{},\"evictions\":{},\
+             \"hit_rate\":{:.4},\"rejected\":{},\"rejected_structured\":{rejected_structured}}}\n",
+            us(p50),
+            us(p99),
+            us(mean),
+            wall.as_secs_f64() * 1e3,
+            stats.hits,
+            stats.misses,
+            stats.evictions,
+            hit_rate,
+            service.gate().rejected(),
+        );
+        std::fs::write(&path, json).expect("write BENCH_SERVE_JSON");
+        println!("wrote {path}");
+    }
+}

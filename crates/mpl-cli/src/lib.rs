@@ -19,6 +19,8 @@
 //! and an unknown flag or malformed value is an error (exit code 2 from
 //! the binary) rather than being silently ignored.
 
+pub mod serve;
+
 use std::collections::BTreeMap;
 use std::error::Error;
 use std::fmt::Write as _;
@@ -28,9 +30,9 @@ use std::time::Duration;
 use mpl_cfg::Cfg;
 use mpl_core::diagnostics::diagnose;
 use mpl_core::{
-    analyze_cfg, analyze_cfg_with, classify, info_flow, mpi_cfg_topology, AnalysisConfig,
-    BatchAnalyzer, BatchJob, BatchReport, Client, Fault, JobOutcome, ObserverStack, StaticTopology,
-    StatsObserver, TraceObserver, Verdict,
+    analyze_cfg, analyze_cfg_with, classify, info_flow, mpi_cfg_topology, summary_json_line,
+    AnalysisConfig, AnalysisRequest, BatchResponse, Client, ObserverStack, RequestBatch,
+    StaticTopology, StatsObserver, TraceObserver, Verdict,
 };
 use mpl_lang::{corpus, parse_program};
 use mpl_sim::{Schedule, SendMode, SimConfig, Simulator};
@@ -53,7 +55,7 @@ fn ok(text: String) -> CmdOutput {
 /// Value flags may repeat (`--set a=1 --set b=2`); [`Flags::value`]
 /// returns the last occurrence, [`Flags::values`] all of them.
 #[derive(Debug, Default)]
-struct Flags {
+pub(crate) struct Flags {
     values: BTreeMap<String, Vec<String>>,
     switches: Vec<String>,
 }
@@ -61,7 +63,7 @@ struct Flags {
 impl Flags {
     /// Parses `args` strictly: every argument must be a flag named in
     /// `value_flags` (consumes the following argument) or `switch_flags`.
-    fn parse(
+    pub(crate) fn parse(
         args: &[String],
         value_flags: &[&str],
         switch_flags: &[&str],
@@ -91,7 +93,7 @@ impl Flags {
     }
 
     /// The last value given for `name`, if any.
-    fn value(&self, name: &str) -> Option<&str> {
+    pub(crate) fn value(&self, name: &str) -> Option<&str> {
         self.values
             .get(name)
             .and_then(|v| v.last())
@@ -104,13 +106,13 @@ impl Flags {
     }
 
     /// True if the switch `name` was given.
-    fn switch(&self, name: &str) -> bool {
+    pub(crate) fn switch(&self, name: &str) -> bool {
         self.switches.iter().any(|s| s == name)
     }
 
     /// Parses the value of `name` as `T`, or returns `default` when the
     /// flag is absent. Malformed values report the flag they came from.
-    fn parse_value<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
+    pub(crate) fn parse_value<T: FromStr>(&self, name: &str, default: T) -> Result<T, String> {
         match self.value(name) {
             None => Ok(default),
             Some(raw) => raw
@@ -135,11 +137,17 @@ pub fn run_command(args: &[String], source: &str) -> Result<CmdOutput, Box<dyn E
     if cmd == "analyze-corpus" {
         return cmd_analyze_corpus(&args[1..]).map_err(Into::into);
     }
+    if cmd == "serve" {
+        return serve::cmd_serve(&args[1..]).map_err(Into::into);
+    }
+    if cmd == "client" {
+        return serve::cmd_client(&args[1..]).map_err(Into::into);
+    }
     let program = parse_program(source)?;
     let cfg = Cfg::build(&program);
     let rest = &args[2.min(args.len())..];
     match cmd.as_str() {
-        "analyze" => cmd_analyze(&cfg, rest),
+        "analyze" => cmd_analyze(&program, &cfg, rest),
         "run" => cmd_run(&cfg, rest),
         "check" => cmd_check(&cfg, rest),
         "dot" => {
@@ -163,9 +171,13 @@ pub fn run_command(args: &[String], source: &str) -> Result<CmdOutput, Box<dyn E
 #[must_use]
 pub fn usage() -> &'static str {
     "usage:\n  \
-     mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace] [--stats]\n  \
+     mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace] [--stats] [--json]\n  \
      mpl analyze-corpus  [--dir D] [--jobs N] [--client simple|cartesian] [--min-np N]\n              \
      [--timeout-ms T] [--retries R] [--keep-going] [--json] [--timing]\n  \
+     mpl serve   (--socket PATH | --tcp ADDR) [--cache N] [--max-in-flight N]\n              \
+     [--client simple|cartesian] [--min-np N] [--timeout-ms T] [--retries R]\n  \
+     mpl client  (--socket PATH | --tcp ADDR) [--op analyze|stats|ping|shutdown]\n              \
+     [--file F] [--name N] [--client C] [--min-np N] [--timeout-ms T] [--retries R]\n  \
      mpl run     <file> --np N [--seed S] [--rendezvous] [--set var=val]...\n  \
      mpl check   <file>\n  \
      mpl dot     <file>\n  \
@@ -174,29 +186,54 @@ pub fn usage() -> &'static str {
      mpl rewrite <file>"
 }
 
-fn parse_client(flags: &Flags) -> Result<Client, String> {
+pub(crate) fn parse_client(flags: &Flags) -> Result<Client, String> {
     match flags.value("--client") {
         None => Ok(Client::default()),
         Some(tag) => Client::from_tag(tag).ok_or_else(|| format!("unknown client `{tag}`")),
     }
 }
 
-fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> {
-    let flags = Flags::parse(args, &["--client", "--min-np"], &["--trace", "--stats"])?;
+fn cmd_analyze(
+    program: &mpl_lang::ast::Program,
+    cfg: &Cfg,
+    args: &[String],
+) -> Result<CmdOutput, Box<dyn Error>> {
+    let flags = Flags::parse(
+        args,
+        &["--client", "--min-np"],
+        &["--trace", "--stats", "--json"],
+    )?;
     let client = parse_client(&flags)?;
     let min_np = flags.parse_value("--min-np", AnalysisConfig::default().min_np)?;
     let trace = flags.switch("--trace");
     let stats = flags.switch("--stats");
-    let config = AnalysisConfig::builder()
+    let json = flags.switch("--json");
+    if json && (trace || stats) {
+        return Err("`--json` cannot be combined with `--trace`/`--stats`".into());
+    }
+    // Every analysis goes through the unified request API; `--trace` /
+    // `--stats` re-run the same validated configuration under an
+    // observer stack (observers are out-of-band instrumentation, not
+    // part of the request/response wire contract).
+    let request = AnalysisRequest::builder()
+        .program(program.clone())
         .client(client)
         .min_np(min_np)
         .build()?;
+    if json {
+        // The exact bytes the daemon serves (and caches) for this
+        // program/config — the byte-identity contract of `mpl serve`.
+        let response = request.execute();
+        let exact = response.result.as_ref().is_some_and(|r| r.is_exact());
+        return Ok(CmdOutput {
+            text: format!("{}\n", response.json_line(false)),
+            code: i32::from(!exact),
+        });
+    }
 
-    // `--trace` and `--stats` are observer layers stacked onto the one
-    // engine run, not engine modes.
     let mut tracer = TraceObserver::new();
     let mut stats_obs = StatsObserver::new();
-    let result = {
+    let result = if trace || stats {
         let mut stack = ObserverStack::new();
         if trace {
             stack.push(&mut tracer);
@@ -204,10 +241,19 @@ fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> 
         if stats {
             stack.push(&mut stats_obs);
         }
-        if stack.is_empty() {
-            analyze_cfg(cfg, &config)
-        } else {
-            analyze_cfg_with(cfg, &config, &mut stack)
+        analyze_cfg_with(cfg, &request.config, &mut stack)
+    } else {
+        let response = request.execute();
+        match response.result {
+            Some(result) => result,
+            // Only reachable if the engine itself panicked; the request
+            // layer isolated it — report instead of crashing.
+            None => {
+                return Ok(CmdOutput {
+                    text: format!("analysis failed: {}\n", response.outcome),
+                    code: 1,
+                });
+            }
         }
     };
 
@@ -262,36 +308,6 @@ fn cmd_analyze(cfg: &Cfg, args: &[String]) -> Result<CmdOutput, Box<dyn Error>> 
     Ok(CmdOutput { text: out, code })
 }
 
-/// Escapes a string for embedding in a JSON string literal.
-fn json_escape(s: &str) -> String {
-    let mut out = String::with_capacity(s.len());
-    for c in s.chars() {
-        match c {
-            '"' => out.push_str("\\\""),
-            '\\' => out.push_str("\\\\"),
-            '\n' => out.push_str("\\n"),
-            '\r' => out.push_str("\\r"),
-            '\t' => out.push_str("\\t"),
-            c if (c as u32) < 0x20 => {
-                let _ = write!(out, "\\u{:04x}", c as u32);
-            }
-            c => out.push(c),
-        }
-    }
-    out
-}
-
-/// Renders a verdict as a stable lowercase tag plus an optional machine
-/// reason code (for `Top`).
-fn verdict_tag(verdict: &Verdict) -> (&'static str, Option<String>) {
-    match verdict {
-        Verdict::Exact => ("exact", None),
-        Verdict::Deadlock { .. } => ("deadlock", None),
-        Verdict::Top { reason } => ("top", Some(reason.code().to_owned())),
-        _ => ("unknown", None),
-    }
-}
-
 /// Runs a corpus — the built-in one, or every `.mpl` file under `--dir`
 /// — through [`BatchAnalyzer`].
 ///
@@ -327,7 +343,7 @@ fn cmd_analyze_corpus(args: &[String]) -> Result<CmdOutput, String> {
     let json = flags.switch("--json");
     let timing = flags.switch("--timing");
 
-    let mut batch = BatchAnalyzer::new().workers(jobs).retries(retries);
+    let mut batch = RequestBatch::new().workers(jobs).retries(retries);
     if timeout_ms > 0 {
         batch = batch.timeout(Duration::from_millis(timeout_ms));
     }
@@ -335,22 +351,24 @@ fn cmd_analyze_corpus(args: &[String]) -> Result<CmdOutput, String> {
         push_corpus_dir(&mut batch, dir, client, min_np)?;
     } else {
         for prog in corpus::all() {
-            let config = AnalysisConfig::builder()
+            let request = AnalysisRequest::builder()
+                .name(prog.name)
+                .program(prog.program)
                 .client(client)
                 .min_np(min_np.max(i64::try_from(prog.min_procs).unwrap_or(i64::MAX)))
                 .build()
                 .map_err(|e| e.to_string())?;
-            batch.push(BatchJob::new(prog.name, prog.program, config));
+            batch.push(request);
         }
     }
-    let report = batch.run();
+    let done = batch.run();
 
     let text = if json {
-        render_corpus_json(&report, client, timing)
+        render_corpus_json(&done, timing)
     } else {
-        render_corpus_text(&report, timing)
+        render_corpus_text(&done, timing)
     };
-    let code = i32::from(!keep_going && report.summary.failures() > 0);
+    let code = i32::from(!keep_going && done.summary.failures() > 0);
     Ok(CmdOutput { text, code })
 }
 
@@ -360,7 +378,7 @@ fn cmd_analyze_corpus(args: &[String]) -> Result<CmdOutput, String> {
 /// [`JobOutcome::Error`] record in its slot instead of aborting the run;
 /// `// mpl:fault=...` directives in the source are honored.
 fn push_corpus_dir(
-    batch: &mut BatchAnalyzer,
+    batch: &mut RequestBatch,
     dir: &str,
     client: Client,
     min_np: i64,
@@ -375,7 +393,9 @@ fn push_corpus_dir(
     if paths.is_empty() {
         return Err(format!("no .mpl files in `{dir}`"));
     }
-    let config = AnalysisConfig::builder()
+    // Knob validation happens once, up front — a bad `--min-np` aborts
+    // the run instead of failing every file individually.
+    let defaults = AnalysisConfig::builder()
         .client(client)
         .min_np(min_np)
         .build()
@@ -388,79 +408,30 @@ fn push_corpus_dir(
         let source = match std::fs::read_to_string(&path) {
             Ok(source) => source,
             Err(e) => {
-                batch.push_error(name, format!("read error: {e}"));
+                batch.push_error(name, format!("read error: {e}"), client);
                 continue;
             }
         };
-        match parse_program(&source) {
-            Ok(program) => {
-                let mut job = BatchJob::new(name, program, config.clone());
-                if let Some(fault) = Fault::from_directive(&source) {
-                    job = job.with_fault(fault);
-                }
-                batch.push(job);
-            }
-            Err(e) => batch.push_error(name, e.to_string()),
+        match AnalysisRequest::builder()
+            .name(&name)
+            .source(source)
+            .config(defaults.clone())
+            .honor_fault_directive(true)
+            .build()
+        {
+            Ok(request) => batch.push(request),
+            Err(e) => batch.push_error(name, e.to_string(), client),
         }
     }
     Ok(())
 }
 
-/// Compact `send->recv` topology listing (deterministic: the match set
-/// is ordered).
-fn topology_list(result: &mpl_core::AnalysisResult) -> Vec<String> {
-    result
-        .matches
-        .iter()
-        .map(|(s, r)| format!("{s}->{r}"))
-        .collect()
-}
-
-fn render_corpus_text(report: &BatchReport, timing: bool) -> String {
+fn render_corpus_text(done: &BatchResponse, timing: bool) -> String {
     let mut out = String::new();
-    for rec in &report.records {
-        let _ = write!(out, "{}:", rec.name);
-        match &rec.result {
-            Some(result) => {
-                let (tag, reason) = verdict_tag(&result.verdict);
-                let _ = write!(out, " verdict={tag}");
-                if let Some(code) = reason {
-                    let _ = write!(out, " reason={code}");
-                }
-                if !matches!(rec.outcome, JobOutcome::Completed) {
-                    let _ = write!(out, " outcome={}", rec.outcome.code());
-                    if let JobOutcome::Degraded { attempts } = rec.outcome {
-                        let _ = write!(out, " attempts={attempts}");
-                    }
-                }
-                let _ = write!(
-                    out,
-                    " matches={} leaks={} steps={}",
-                    result.matches.len(),
-                    result.leaks.len(),
-                    result.steps
-                );
-                let topo = topology_list(result);
-                if !topo.is_empty() {
-                    let _ = write!(out, " topology={}", topo.join(","));
-                }
-            }
-            None => {
-                let _ = write!(out, " outcome={}", rec.outcome.code());
-                if let Some(detail) = rec.outcome.detail() {
-                    let _ = write!(out, " detail=\"{detail}\"");
-                }
-            }
-        }
-        if timing {
-            let _ = write!(out, " wall_ms={:.3}", rec.wall_nanos as f64 / 1e6);
-            if let Some(worker) = rec.panic_worker {
-                let _ = write!(out, " worker={worker}");
-            }
-        }
-        let _ = writeln!(out);
+    for response in &done.responses {
+        let _ = writeln!(out, "{}", response.text_line(timing));
     }
-    let s = &report.summary;
+    let s = &done.summary;
     let _ = write!(
         out,
         "summary: programs={} exact={} deadlock={} top={} matches={} leaks={} steps={}",
@@ -471,7 +442,7 @@ fn render_corpus_text(report: &BatchReport, timing: bool) -> String {
             out,
             " cpu_ms={:.3} workers={}",
             s.wall_nanos as f64 / 1e6,
-            report.workers
+            done.workers
         );
     }
     let _ = writeln!(out);
@@ -488,88 +459,16 @@ fn render_corpus_text(report: &BatchReport, timing: bool) -> String {
     out
 }
 
-fn render_corpus_json(report: &BatchReport, client: Client, timing: bool) -> String {
-    let client_tag = client.tag();
+fn render_corpus_json(done: &BatchResponse, timing: bool) -> String {
     let mut out = String::new();
-    for rec in &report.records {
-        let (verdict_json, reason_json, matches, leaks, steps, topo) = match &rec.result {
-            Some(result) => {
-                let (tag, reason) = verdict_tag(&result.verdict);
-                let reason_json = match &reason {
-                    Some(code) => format!("\"{}\"", json_escape(code)),
-                    None => "null".to_owned(),
-                };
-                let topo = topology_list(result)
-                    .iter()
-                    .map(|p| format!("\"{}\"", json_escape(p)))
-                    .collect::<Vec<_>>()
-                    .join(",");
-                (
-                    format!("\"{tag}\""),
-                    reason_json,
-                    result.matches.len(),
-                    result.leaks.len(),
-                    result.steps,
-                    topo,
-                )
-            }
-            None => ("null".to_owned(), "null".to_owned(), 0, 0, 0, String::new()),
-        };
-        let _ = write!(
-            out,
-            "{{\"type\":\"program\",\"name\":\"{}\",\"client\":\"{client_tag}\",\
-             \"verdict\":{verdict_json},\"reason\":{reason_json},\"outcome\":\"{}\"",
-            json_escape(&rec.name),
-            rec.outcome.code()
-        );
-        if let JobOutcome::Degraded { attempts } = rec.outcome {
-            let _ = write!(out, ",\"attempts\":{attempts}");
-        }
-        if let Some(detail) = rec.outcome.detail() {
-            let _ = write!(out, ",\"detail\":\"{}\"", json_escape(detail));
-        }
-        let _ = write!(
-            out,
-            ",\"matches\":{matches},\"leaks\":{leaks},\"steps\":{steps},\"topology\":[{topo}]"
-        );
-        if timing {
-            let _ = write!(out, ",\"wall_nanos\":{}", rec.wall_nanos);
-            if let Some(worker) = rec.panic_worker {
-                let _ = write!(out, ",\"worker\":{worker}");
-            }
-        }
-        let _ = writeln!(out, "}}");
+    for response in &done.responses {
+        let _ = writeln!(out, "{}", response.json_line(timing));
     }
-    let s = &report.summary;
-    let _ = write!(
+    let _ = writeln!(
         out,
-        "{{\"type\":\"summary\",\"programs\":{},\"exact\":{},\"deadlock\":{},\"top\":{},\
-         \"completed\":{},\"degraded\":{},\"timed_out\":{},\"panicked\":{},\"errors\":{},\
-         \"matches\":{},\"leaks\":{},\"steps\":{},\"full_closures\":{},\
-         \"incremental_closures\":{}",
-        s.programs,
-        s.exact,
-        s.deadlock,
-        s.top,
-        s.completed,
-        s.degraded,
-        s.timed_out,
-        s.panicked,
-        s.errors,
-        s.matches,
-        s.leaks,
-        s.steps,
-        s.closure.full_closures,
-        s.closure.incremental_closures
+        "{}",
+        summary_json_line(&done.summary, done.workers, timing)
     );
-    if timing {
-        let _ = write!(
-            out,
-            ",\"cpu_nanos\":{},\"workers\":{}",
-            s.wall_nanos, report.workers
-        );
-    }
-    let _ = writeln!(out, "}}");
     out
 }
 

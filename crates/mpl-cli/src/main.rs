@@ -4,9 +4,12 @@ use std::process::ExitCode;
 
 fn main() -> ExitCode {
     let args: Vec<String> = std::env::args().skip(1).collect();
-    // `analyze-corpus` runs the built-in corpus and takes no file
-    // argument; every other command names a program file in args[1].
-    let source = if args.first().is_some_and(|c| c == "analyze-corpus") {
+    // `analyze-corpus`, `serve`, and `client` take no file argument;
+    // every other command names a program file in args[1].
+    let no_file = args
+        .first()
+        .is_some_and(|c| matches!(c.as_str(), "analyze-corpus" | "serve" | "client"));
+    let source = if no_file {
         String::new()
     } else {
         let Some(path) = args.get(1) else {

@@ -1,0 +1,308 @@
+//! `mpl serve` — the long-running analysis daemon — and `mpl client`,
+//! its line-oriented companion.
+//!
+//! The daemon is a thin transport shell around
+//! [`mpl_core::AnalysisService`]: it owns a unix or TCP listener, spawns
+//! one thread per connection, and forwards newline-framed JSON lines to
+//! [`AnalysisService::handle_line`]. All protocol behaviour — caching,
+//! admission control, error rendering, the byte-identity contract with
+//! `mpl analyze --json` — lives in the service, where it is unit-tested
+//! without any sockets.
+//!
+//! Lifecycle: on startup the daemon prints a single
+//! `{"v":1,"type":"serving",...}` line to stdout (flushed eagerly, so a
+//! parent process can wait for readiness and, with `--tcp 127.0.0.1:0`,
+//! discover the ephemeral port). It then serves until a `shutdown`
+//! request arrives, and exits printing a `shutdown-summary` record with
+//! the final cache and admission counters. Connection threads are
+//! detached: requests in flight when shutdown lands are abandoned
+//! (their clients see a closed connection, never a hang).
+
+use std::io::{BufRead, BufReader, Write as _};
+use std::net::{TcpListener, TcpStream};
+use std::os::unix::net::{UnixListener, UnixStream};
+use std::sync::Arc;
+use std::time::Duration;
+
+use mpl_core::{
+    json_escape, AnalysisConfig, AnalysisService, Reply, ServiceConfig, PROTOCOL_VERSION,
+};
+
+use crate::{parse_client, CmdOutput, Flags};
+
+/// How long the accept loop sleeps between polls of the listener and
+/// the shutdown token.
+const ACCEPT_POLL: Duration = Duration::from_millis(10);
+
+/// The two transports the daemon (and client) speak.
+enum Listener {
+    Unix(UnixListener, String),
+    Tcp(TcpListener),
+}
+
+/// Parses the mutually-exclusive `--socket` / `--tcp` pair.
+fn transport_flags(flags: &Flags) -> Result<(Option<String>, Option<String>), String> {
+    let socket = flags.value("--socket").map(str::to_owned);
+    let tcp = flags.value("--tcp").map(str::to_owned);
+    if socket.is_some() && tcp.is_some() {
+        return Err("`--socket` and `--tcp` are mutually exclusive".to_owned());
+    }
+    if socket.is_none() && tcp.is_none() {
+        return Err("one of `--socket PATH` or `--tcp ADDR` is required".to_owned());
+    }
+    Ok((socket, tcp))
+}
+
+/// Builds the service configuration shared by `serve` from its flags.
+fn service_config(flags: &Flags) -> Result<ServiceConfig, String> {
+    let client = parse_client(flags)?;
+    let min_np: i64 = flags.parse_value("--min-np", AnalysisConfig::default().min_np)?;
+    let defaults = AnalysisConfig::builder()
+        .client(client)
+        .min_np(min_np)
+        .build()
+        .map_err(|e| e.to_string())?;
+    let timeout_ms: u64 = flags.parse_value("--timeout-ms", 0)?;
+    let mut config = ServiceConfig::default();
+    config.defaults = defaults;
+    config.cache_capacity = flags.parse_value("--cache", config.cache_capacity)?;
+    config.max_in_flight = flags.parse_value("--max-in-flight", config.max_in_flight)?;
+    if config.max_in_flight == 0 {
+        return Err("invalid value `0` for `--max-in-flight`".to_owned());
+    }
+    config.default_timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
+    config.default_retries = flags.parse_value("--retries", 0)?;
+    Ok(config)
+}
+
+/// The `mpl serve` command. Blocks until a `shutdown` request is
+/// served; the returned [`CmdOutput`] is the shutdown summary.
+pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--socket",
+            "--tcp",
+            "--cache",
+            "--max-in-flight",
+            "--client",
+            "--min-np",
+            "--timeout-ms",
+            "--retries",
+        ],
+        &[],
+    )?;
+    let (socket, tcp) = transport_flags(&flags)?;
+    let service = Arc::new(AnalysisService::new(service_config(&flags)?));
+
+    let (listener, addr, kind) = if let Some(path) = socket {
+        let listener =
+            UnixListener::bind(&path).map_err(|e| format!("cannot bind `{path}`: {e}"))?;
+        (Listener::Unix(listener, path.clone()), path, "unix")
+    } else {
+        let addr = tcp.expect("transport_flags guarantees one of the pair");
+        let listener =
+            TcpListener::bind(&addr).map_err(|e| format!("cannot bind `{addr}`: {e}"))?;
+        let actual = listener
+            .local_addr()
+            .map_err(|e| e.to_string())?
+            .to_string();
+        (Listener::Tcp(listener), actual, "tcp")
+    };
+
+    // Readiness line, flushed before the first accept: parents wait on
+    // this, and for `--tcp host:0` it carries the real port.
+    {
+        let mut stdout = std::io::stdout().lock();
+        let _ = writeln!(
+            stdout,
+            "{{\"v\":{PROTOCOL_VERSION},\"type\":\"serving\",\"transport\":\"{kind}\",\
+             \"addr\":\"{}\"}}",
+            json_escape(&addr)
+        );
+        let _ = stdout.flush();
+    }
+
+    let shutdown = service.shutdown_token();
+    match &listener {
+        Listener::Unix(listener, _) => {
+            listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+            while !shutdown.is_cancelled() {
+                match listener.accept() {
+                    Ok((stream, _)) => spawn_connection(Arc::clone(&service), stream),
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+        }
+        Listener::Tcp(listener) => {
+            listener.set_nonblocking(true).map_err(|e| e.to_string())?;
+            while !shutdown.is_cancelled() {
+                match listener.accept() {
+                    Ok((stream, _)) => {
+                        let _ = stream.set_nonblocking(false);
+                        spawn_connection(Arc::clone(&service), stream);
+                    }
+                    Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                        std::thread::sleep(ACCEPT_POLL);
+                    }
+                    Err(_) => std::thread::sleep(ACCEPT_POLL),
+                }
+            }
+        }
+    }
+    if let Listener::Unix(_, path) = &listener {
+        let _ = std::fs::remove_file(path);
+    }
+    Ok(CmdOutput {
+        text: format!("{}\n", service.shutdown_summary_line()),
+        code: 0,
+    })
+}
+
+/// Spawns the per-connection thread. Detached by design — see the
+/// module docs on shutdown semantics.
+fn spawn_connection<S>(service: Arc<AnalysisService>, stream: S)
+where
+    S: std::io::Read + std::io::Write + TryCloneStream + Send + 'static,
+{
+    std::thread::spawn(move || {
+        let Ok(read_half) = stream.try_clone_stream() else {
+            return;
+        };
+        let reader = BufReader::new(read_half);
+        let mut writer = stream;
+        for line in reader.lines() {
+            let Ok(line) = line else { break };
+            if line.trim().is_empty() {
+                continue;
+            }
+            let reply = service.handle_line(&line);
+            let done = matches!(reply, Reply::Shutdown(_));
+            if writeln!(writer, "{}", reply.line()).is_err() || writer.flush().is_err() {
+                break;
+            }
+            if done {
+                break;
+            }
+        }
+    });
+}
+
+/// `try_clone` unified across the two stream types.
+trait TryCloneStream: Sized {
+    fn try_clone_stream(&self) -> std::io::Result<Self>;
+}
+
+impl TryCloneStream for UnixStream {
+    fn try_clone_stream(&self) -> std::io::Result<UnixStream> {
+        self.try_clone()
+    }
+}
+
+impl TryCloneStream for TcpStream {
+    fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
+        self.try_clone()
+    }
+}
+
+/// The `mpl client` command: sends one request line to a running
+/// daemon and prints the one response line. Exit code 0 for served
+/// answers (`program`, `pong`, `stats`, `shutdown`), 1 for `error` and
+/// `rejected` responses.
+pub(crate) fn cmd_client(args: &[String]) -> Result<CmdOutput, String> {
+    let flags = Flags::parse(
+        args,
+        &[
+            "--socket",
+            "--tcp",
+            "--op",
+            "--file",
+            "--name",
+            "--client",
+            "--min-np",
+            "--max-steps",
+            "--timeout-ms",
+            "--retries",
+        ],
+        &[],
+    )?;
+    let (socket, tcp) = transport_flags(&flags)?;
+    let op = flags.value("--op").unwrap_or("analyze");
+    let request = match op {
+        "ping" | "stats" | "shutdown" => format!("{{\"op\":\"{op}\"}}"),
+        "analyze" => build_analyze_line(&flags)?,
+        other => return Err(format!("unknown op `{other}`")),
+    };
+
+    let response = if let Some(path) = socket {
+        let stream =
+            UnixStream::connect(&path).map_err(|e| format!("cannot connect `{path}`: {e}"))?;
+        round_trip(stream, &request)?
+    } else {
+        let addr = tcp.expect("transport_flags guarantees one of the pair");
+        let stream =
+            TcpStream::connect(&addr).map_err(|e| format!("cannot connect `{addr}`: {e}"))?;
+        round_trip(stream, &request)?
+    };
+    let failed = response.starts_with(&format!("{{\"v\":{PROTOCOL_VERSION},\"type\":\"error\""))
+        || response.starts_with(&format!("{{\"v\":{PROTOCOL_VERSION},\"type\":\"rejected\""));
+    Ok(CmdOutput {
+        text: format!("{response}\n"),
+        code: i32::from(failed),
+    })
+}
+
+/// Assembles the `analyze` request object from client flags.
+fn build_analyze_line(flags: &Flags) -> Result<String, String> {
+    let path = flags
+        .value("--file")
+        .ok_or("`--op analyze` requires `--file`")?;
+    let source = std::fs::read_to_string(path).map_err(|e| format!("cannot read `{path}`: {e}"))?;
+    let mut line = format!(
+        "{{\"op\":\"analyze\",\"program\":\"{}\"",
+        json_escape(&source)
+    );
+    if let Some(name) = flags.value("--name") {
+        line.push_str(&format!(",\"name\":\"{}\"", json_escape(name)));
+    }
+    if let Some(client) = flags.value("--client") {
+        line.push_str(&format!(",\"client\":\"{}\"", json_escape(client)));
+    }
+    for (flag, key) in [
+        ("--min-np", "min_np"),
+        ("--max-steps", "max_steps"),
+        ("--timeout-ms", "timeout_ms"),
+        ("--retries", "retries"),
+    ] {
+        if let Some(raw) = flags.value(flag) {
+            let n: i64 = raw
+                .parse()
+                .map_err(|_| format!("invalid value `{raw}` for `{flag}`"))?;
+            line.push_str(&format!(",\"{key}\":{n}"));
+        }
+    }
+    line.push('}');
+    Ok(line)
+}
+
+/// Writes one request line and reads one response line.
+fn round_trip<S: std::io::Read + std::io::Write + TryCloneStream>(
+    mut stream: S,
+    request: &str,
+) -> Result<String, String> {
+    let read_half = stream.try_clone_stream().map_err(|e| e.to_string())?;
+    writeln!(stream, "{request}").map_err(|e| format!("send failed: {e}"))?;
+    stream.flush().map_err(|e| format!("send failed: {e}"))?;
+    let mut reader = BufReader::new(read_half);
+    let mut response = String::new();
+    let n = reader
+        .read_line(&mut response)
+        .map_err(|e| format!("receive failed: {e}"))?;
+    if n == 0 {
+        return Err("server closed the connection without replying".to_owned());
+    }
+    Ok(response.trim_end_matches('\n').to_owned())
+}

@@ -169,6 +169,128 @@ fn binary_rejects_unknown_flags_with_exit_2() {
 }
 
 #[test]
+fn binary_serve_end_to_end_over_unix_socket() {
+    use std::io::{BufRead as _, BufReader, Read as _};
+    use std::process::Stdio;
+
+    let sock = std::env::temp_dir().join(format!("mpl-serve-{}.sock", std::process::id()));
+    let sock = sock.to_str().expect("utf-8 temp path").to_owned();
+    let mut daemon = Command::new(env!("CARGO_BIN_EXE_mpl"))
+        .args(["serve", "--socket", &sock, "--cache", "16"])
+        .stdout(Stdio::piped())
+        .spawn()
+        .expect("spawn daemon");
+    let mut daemon_out = BufReader::new(daemon.stdout.take().expect("piped stdout"));
+
+    // The daemon announces readiness before its first accept.
+    let mut ready = String::new();
+    daemon_out.read_line(&mut ready).expect("readiness line");
+    assert!(
+        ready.starts_with("{\"v\":1,\"type\":\"serving\""),
+        "{ready}"
+    );
+    assert!(ready.contains("\"transport\":\"unix\""), "{ready}");
+
+    let mut file = tempfile();
+    file.write_all(EXCHANGE.as_bytes()).expect("write program");
+    let path = file.path().to_str().expect("utf-8 temp path").to_owned();
+    let client = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_mpl"))
+            .args(["client", "--socket", &sock])
+            .args(args)
+            .output()
+            .expect("spawn client");
+        (
+            String::from_utf8_lossy(&out.stdout).into_owned(),
+            out.status.code().unwrap_or(-1),
+        )
+    };
+
+    // Cold, then cached: byte-identical responses, and both identical
+    // to what the one-shot CLI prints for the same program.
+    let (cold, code) = client(&["--file", &path]);
+    assert_eq!(code, 0, "{cold}");
+    assert!(cold.starts_with("{\"v\":1,\"type\":\"program\""), "{cold}");
+    let (warm, code) = client(&["--file", &path]);
+    assert_eq!(code, 0);
+    assert_eq!(cold, warm, "cached response must be byte-identical");
+    let (oneshot, stderr, code) = run_mpl(&["analyze", "--json"], EXCHANGE);
+    assert_eq!(code, 0, "stderr: {stderr}");
+    assert_eq!(cold, oneshot, "daemon and one-shot output must agree");
+
+    let (stats, code) = client(&["--op", "stats"]);
+    assert_eq!(code, 0);
+    assert!(stats.contains("\"hits\":1"), "{stats}");
+    assert!(stats.contains("\"misses\":1"), "{stats}");
+
+    // A malformed request gets a structured error and client exit 1.
+    let (err, code) = client(&["--file", &path, "--client", "quantum"]);
+    assert_eq!(code, 1, "{err}");
+    assert!(err.contains("\"code\":\"unknown-client\""), "{err}");
+
+    let (bye, code) = client(&["--op", "shutdown"]);
+    assert_eq!(code, 0);
+    assert!(bye.contains("\"type\":\"shutdown\""), "{bye}");
+    let status = daemon.wait().expect("daemon exits after shutdown");
+    assert_eq!(status.code(), Some(0));
+    let mut rest = String::new();
+    daemon_out.read_to_string(&mut rest).expect("summary");
+    assert!(rest.contains("\"type\":\"shutdown-summary\""), "{rest}");
+    assert!(
+        !std::path::Path::new(&sock).exists(),
+        "socket file must be removed on exit"
+    );
+}
+
+#[test]
+fn binary_serve_flag_parsing_is_strict() {
+    let serve = |args: &[&str]| {
+        let out = Command::new(env!("CARGO_BIN_EXE_mpl"))
+            .arg("serve")
+            .args(args)
+            .output()
+            .expect("spawn mpl");
+        (
+            String::from_utf8_lossy(&out.stderr).into_owned(),
+            out.status.code().unwrap_or(-1),
+        )
+    };
+    // All validation happens before a socket is bound: unknown flags,
+    // malformed values, and transport misuse each exit 2 immediately.
+    let (stderr, code) = serve(&["--socket", "/tmp/x.sock", "--frobnicate"]);
+    assert_eq!(code, 2, "{stderr}");
+    assert!(
+        stderr.contains("unknown argument `--frobnicate`"),
+        "{stderr}"
+    );
+
+    let (stderr, code) = serve(&[]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("one of `--socket PATH` or `--tcp ADDR`"),
+        "{stderr}"
+    );
+
+    let (stderr, code) = serve(&["--socket", "/tmp/a.sock", "--tcp", "127.0.0.1:0"]);
+    assert_eq!(code, 2);
+    assert!(stderr.contains("mutually exclusive"), "{stderr}");
+
+    let (stderr, code) = serve(&["--socket", "/tmp/a.sock", "--cache", "lots"]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("invalid value `lots` for `--cache`"),
+        "{stderr}"
+    );
+
+    let (stderr, code) = serve(&["--tcp", "127.0.0.1:0", "--max-in-flight", "0"]);
+    assert_eq!(code, 2);
+    assert!(
+        stderr.contains("invalid value `0` for `--max-in-flight`"),
+        "{stderr}"
+    );
+}
+
+#[test]
 fn shipped_sample_programs_work() {
     let root = concat!(env!("CARGO_MANIFEST_DIR"), "/../../examples/programs");
     let run_on = |cmd: &str, file: &str, extra: &[&str]| {

@@ -557,8 +557,9 @@ fn classify(result: &AnalysisResult) -> AttemptClass {
 
 /// Runs one job through the attempt ladder. Panics (including injected
 /// [`Fault::Panic`]) unwind out of here and are caught by the pool's
-/// isolation layer.
-fn run_job(
+/// isolation layer — or, for single-request execution, by the
+/// `catch_unwind` in [`crate::request::AnalysisRequest::execute`].
+pub(crate) fn run_job(
     job: &BatchJob,
     fleet_timeout: Option<Duration>,
     retries: u32,

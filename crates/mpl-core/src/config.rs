@@ -138,6 +138,14 @@ pub struct AnalysisConfigBuilder {
 }
 
 impl AnalysisConfigBuilder {
+    /// A builder seeded from an existing configuration (the request API
+    /// uses this to layer per-request overrides onto server defaults and
+    /// still route through [`Self::build`]'s validation).
+    #[must_use]
+    pub fn from_config(config: AnalysisConfig) -> AnalysisConfigBuilder {
+        AnalysisConfigBuilder { config }
+    }
+
     /// Sets the client analysis.
     #[must_use]
     pub fn client(mut self, client: Client) -> Self {

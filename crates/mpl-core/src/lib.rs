@@ -42,6 +42,7 @@
 //! ```
 
 pub mod batch;
+pub mod cache;
 pub mod client;
 pub mod config;
 #[cfg(test)]
@@ -49,24 +50,29 @@ mod corpus_tests;
 pub mod diagnostics;
 pub mod engine;
 pub mod infoflow;
+pub mod json;
 pub mod matcher;
 pub mod mpicfg;
 pub mod norm;
 pub mod observer;
 pub mod pattern;
+pub mod request;
 pub mod result;
 pub mod rewrite;
 pub mod scheduler;
+pub mod service;
 pub mod session;
 pub mod share;
 pub mod state;
 pub mod topology;
 
 pub use batch::{BatchAnalyzer, BatchJob, BatchReport, BatchSummary, Fault, JobOutcome, JobRecord};
+pub use cache::{CacheStats, ResultCache};
 pub use client::{CartesianClient, Client, ClientDomain, SymbolicClient};
 pub use config::{AnalysisConfig, AnalysisConfigBuilder, ConfigError};
 pub use engine::{analyze, analyze_cfg, analyze_cfg_with};
 pub use infoflow::{info_flow, info_flow_with_pairs, InfoFlow};
+pub use json::{json_escape, parse as parse_json, JsonError, JsonValue};
 pub use matcher::{CartesianMatcher, MatchOutcome, MatchStrategy, SimpleMatcher};
 pub use mpicfg::{mpi_cfg_topology, MpiCfgTopology};
 pub use observer::{
@@ -74,9 +80,14 @@ pub use observer::{
     TraceObserver,
 };
 pub use pattern::{classify, classify_pairs, Pattern};
+pub use request::{
+    summary_json_line, AnalysisRequest, AnalysisRequestBuilder, AnalysisResponse, BatchResponse,
+    RequestBatch, RequestError, PROTOCOL_VERSION,
+};
 pub use result::{AnalysisResult, MatchEvent, PrintFact, TopReason, Verdict};
 pub use rewrite::{rewrite_broadcast, RewriteError};
 pub use scheduler::{LocationKey, StoredStats, CANCEL_CHECK_STEPS};
+pub use service::{AnalysisService, Reply, ServiceConfig};
 pub use session::AnalysisSession;
 pub use share::Shared;
 pub use state::{AnalysisState, PsetState};

@@ -119,6 +119,20 @@ pub enum Verdict {
     },
 }
 
+impl Verdict {
+    /// A stable, machine-readable verdict code (kebab-case, mirroring
+    /// [`TopReason::code`]; used by every JSON record the workspace
+    /// emits — the corpus NDJSON and the `mpl serve` wire protocol).
+    #[must_use]
+    pub fn code(&self) -> &'static str {
+        match self {
+            Verdict::Exact => "exact",
+            Verdict::Deadlock { .. } => "deadlock",
+            Verdict::Top { .. } => "top",
+        }
+    }
+}
+
 /// One recorded send–receive match with its process subsets.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MatchEvent {

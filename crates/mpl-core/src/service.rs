@@ -1,0 +1,584 @@
+//! The analysis service behind `mpl serve`: a shareable, thread-safe
+//! façade that turns newline-framed JSON request lines into response
+//! lines, backed by the [`crate::request`] API, the
+//! [`crate::cache::ResultCache`], and an [`AdmissionGate`] for
+//! backpressure.
+//!
+//! The service is transport-agnostic on purpose: it knows nothing about
+//! sockets. The CLI's `mpl serve` command owns the listener and the
+//! per-connection threads and calls [`AnalysisService::handle_line`] for
+//! every line it reads; tests and the load-test harness call the same
+//! method (or [`AnalysisService::handle_batch`]) directly. One code
+//! path, every caller.
+//!
+//! ## Protocol (version [`PROTOCOL_VERSION`])
+//!
+//! Requests are single-line JSON objects selected by `"op"`:
+//!
+//! | op         | fields                                                        |
+//! |------------|---------------------------------------------------------------|
+//! | `analyze`  | `program` (required source text), `name`, `client`, `min_np`, `max_steps`, `max_psets`, `timeout_ms`, `retries` |
+//! | `stats`    | —                                                             |
+//! | `ping`     | —                                                             |
+//! | `shutdown` | —                                                             |
+//!
+//! Every response line is a JSON object stamped with `"v"`. An
+//! `analyze` request answers with the *exact* program record `mpl
+//! analyze --json` would print (that byte-identity is the contract that
+//! makes the cache transparent); failures answer with `type:"error"`
+//! and a kebab-case `code`; a request arriving while
+//! [`ServiceConfig::max_in_flight`] analyses are already running
+//! answers with `type:"rejected"` — explicit backpressure, never an
+//! unbounded queue and never a hang.
+//!
+//! ## Caching
+//!
+//! Responses are cached by [`AnalysisRequest::fingerprint`] with the
+//! full [`AnalysisRequest::cache_check`] string stored alongside for
+//! collision safety. The cache mutex guards only lookup/insert — an
+//! analysis itself never runs under the lock, so concurrent distinct
+//! requests execute in parallel. Two *identical* concurrent requests
+//! may both miss and compute (last insert wins, refreshing the same
+//! entry); [`AnalysisService::handle_batch`] is the sequential-admission
+//! path whose counters are deterministic for any worker count.
+
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+use std::time::Duration;
+
+use mpl_runtime::{AdmissionGate, CancelToken};
+
+use crate::cache::{CacheStats, ResultCache};
+use crate::config::AnalysisConfig;
+use crate::json::{json_escape, parse, JsonValue};
+use crate::request::{AnalysisRequest, RequestBatch, PROTOCOL_VERSION};
+
+/// Knobs for [`AnalysisService::new`].
+#[derive(Debug, Clone)]
+#[non_exhaustive]
+pub struct ServiceConfig {
+    /// Server-side default engine configuration; per-request fields
+    /// override individual knobs.
+    pub defaults: AnalysisConfig,
+    /// Result-cache capacity in entries (0 disables caching).
+    pub cache_capacity: usize,
+    /// Maximum concurrently admitted `analyze` requests; the
+    /// `max_in_flight + 1`-th concurrent request is rejected, not
+    /// queued.
+    pub max_in_flight: usize,
+    /// Default per-request deadline when the request names none.
+    pub default_timeout: Option<Duration>,
+    /// Default degraded-retry count when the request names none.
+    pub default_retries: u32,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> ServiceConfig {
+        ServiceConfig {
+            defaults: AnalysisConfig::default(),
+            cache_capacity: 128,
+            max_in_flight: 8,
+            default_timeout: None,
+            default_retries: 0,
+        }
+    }
+}
+
+/// A response to one request line, tagged with what the transport
+/// should do next.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reply {
+    /// Send this line and keep serving.
+    Line(String),
+    /// Send this line, then stop accepting requests (the service's
+    /// shutdown token is already cancelled).
+    Shutdown(String),
+}
+
+impl Reply {
+    /// The response line, whichever variant carries it.
+    #[must_use]
+    pub fn line(&self) -> &str {
+        match self {
+            Reply::Line(line) | Reply::Shutdown(line) => line,
+        }
+    }
+}
+
+/// The shared daemon state. `&self` methods only — wrap it in an `Arc`
+/// and hand clones to every connection thread.
+#[derive(Debug)]
+pub struct AnalysisService {
+    defaults: AnalysisConfig,
+    default_timeout: Option<Duration>,
+    default_retries: u32,
+    cache: Mutex<ResultCache>,
+    gate: AdmissionGate,
+    /// `analyze` requests that failed validation (admitted, but never
+    /// became an engine run) — kept so stats distinguish "analyzed"
+    /// from "bounced off the parser".
+    invalid: AtomicU64,
+    shutdown: CancelToken,
+}
+
+impl AnalysisService {
+    /// Builds a service from its configuration.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> AnalysisService {
+        AnalysisService {
+            defaults: config.defaults,
+            default_timeout: config.default_timeout,
+            default_retries: config.default_retries,
+            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            gate: AdmissionGate::new(config.max_in_flight),
+            invalid: AtomicU64::new(0),
+            shutdown: CancelToken::new(),
+        }
+    }
+
+    /// The admission gate. Exposed so tests can hold permits externally
+    /// and exercise the rejection path deterministically.
+    #[must_use]
+    pub fn gate(&self) -> &AdmissionGate {
+        &self.gate
+    }
+
+    /// A clone of the shutdown token; fires when a `shutdown` request
+    /// is served (or when the owner cancels it directly).
+    #[must_use]
+    pub fn shutdown_token(&self) -> CancelToken {
+        self.shutdown.clone()
+    }
+
+    /// Current cache counters.
+    #[must_use]
+    pub fn cache_stats(&self) -> CacheStats {
+        self.cache.lock().expect("cache lock").stats()
+    }
+
+    /// Serves one request line. Never panics and never blocks beyond
+    /// the analysis itself: malformed input becomes an `error` line,
+    /// overload becomes a `rejected` line.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> Reply {
+        let value = match parse(line) {
+            Ok(value) => value,
+            Err(e) => return Reply::Line(error_line("bad-json", &e.to_string())),
+        };
+        let op = match value.get("op").map(JsonValue::as_str) {
+            Some(Some(op)) => op,
+            Some(None) => return Reply::Line(error_line("bad-request", "`op` must be a string")),
+            None => return Reply::Line(error_line("bad-request", "missing `op` field")),
+        };
+        match op {
+            "ping" => Reply::Line(format!("{{\"v\":{PROTOCOL_VERSION},\"type\":\"pong\"}}")),
+            "stats" => Reply::Line(self.render_stats("stats")),
+            "shutdown" => {
+                self.shutdown.cancel();
+                Reply::Shutdown(format!(
+                    "{{\"v\":{PROTOCOL_VERSION},\"type\":\"shutdown\"}}"
+                ))
+            }
+            "analyze" => Reply::Line(self.handle_analyze(&value)),
+            other => Reply::Line(error_line("bad-request", &format!("unknown op `{other}`"))),
+        }
+    }
+
+    fn handle_analyze(&self, value: &JsonValue) -> String {
+        // Backpressure first: a full service answers immediately with a
+        // structured rejection instead of queueing unboundedly. The
+        // permit is RAII — released on every return path below,
+        // including panics inside `execute` (which are themselves
+        // caught and rendered).
+        let Some(_permit) = self.gate.try_admit() else {
+            return format!(
+                "{{\"v\":{PROTOCOL_VERSION},\"type\":\"rejected\",\"code\":\"queue-full\",\
+                 \"in_flight\":{},\"capacity\":{}}}",
+                self.gate.in_flight(),
+                self.gate.capacity()
+            );
+        };
+        let request = match self.build_request(value) {
+            Ok(request) => request,
+            Err(line) => {
+                self.invalid.fetch_add(1, Ordering::Relaxed);
+                return line;
+            }
+        };
+        let key = request.fingerprint();
+        let check = request.cache_check();
+        if let Some(body) = self.cache.lock().expect("cache lock").lookup(key, &check) {
+            return body;
+        }
+        let body = request.execute().json_line(false);
+        self.cache
+            .lock()
+            .expect("cache lock")
+            .insert(key, check, body.clone());
+        body
+    }
+
+    /// Serves a whole batch of `analyze` request lines with sequential
+    /// cache admission and a [`RequestBatch`] fleet of `jobs` workers
+    /// for the misses. Responses come back in submission order and —
+    /// unlike concurrent [`Self::handle_line`] calls — the cache
+    /// counters are deterministic for any `jobs` value: lookups happen
+    /// in submission order before the fleet runs, inserts in submission
+    /// order after it. The admission gate does not apply (the batch is
+    /// the caller's own, already-bounded workload); fleet-level retries
+    /// use the service default.
+    #[must_use]
+    pub fn handle_batch(&self, lines: &[String], jobs: usize) -> Vec<String> {
+        enum Slot {
+            /// Answered from the cache or failed validation.
+            Done(String),
+            /// Submitted to the fleet as its `index`-th job.
+            Run {
+                index: usize,
+                key: u64,
+                check: String,
+            },
+        }
+        let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
+        let mut batch = RequestBatch::new()
+            .workers(jobs)
+            .retries(self.default_retries);
+        {
+            let mut cache = self.cache.lock().expect("cache lock");
+            for line in lines {
+                let request = match parse(line)
+                    .map_err(|e| error_line("bad-json", &e.to_string()))
+                    .and_then(|value| match value.get("op").map(JsonValue::as_str) {
+                        Some(Some("analyze")) | None => self.build_request(&value),
+                        _ => Err(error_line(
+                            "bad-request",
+                            "batch lines must be `analyze` ops",
+                        )),
+                    }) {
+                    Ok(request) => request,
+                    Err(err) => {
+                        self.invalid.fetch_add(1, Ordering::Relaxed);
+                        slots.push(Slot::Done(err));
+                        continue;
+                    }
+                };
+                let key = request.fingerprint();
+                let check = request.cache_check();
+                match cache.lookup(key, &check) {
+                    Some(body) => slots.push(Slot::Done(body)),
+                    None => {
+                        slots.push(Slot::Run {
+                            index: batch.len(),
+                            key,
+                            check,
+                        });
+                        batch.push(request);
+                    }
+                }
+            }
+        }
+        let done = batch.run();
+        let mut cache = self.cache.lock().expect("cache lock");
+        slots
+            .into_iter()
+            .map(|slot| match slot {
+                Slot::Done(line) => line,
+                Slot::Run { index, key, check } => {
+                    let body = done.responses[index].json_line(false);
+                    cache.insert(key, check, body.clone());
+                    body
+                }
+            })
+            .collect()
+    }
+
+    /// Builds the request from an `analyze` object, mapping every
+    /// failure to a rendered `error` line with the matching
+    /// [`RequestError::code`](crate::request::RequestError::code).
+    fn build_request(&self, value: &JsonValue) -> Result<AnalysisRequest, String> {
+        let program = match value.get("program").map(JsonValue::as_str) {
+            Some(Some(program)) => program,
+            Some(None) => return Err(error_line("bad-request", "`program` must be a string")),
+            None => return Err(error_line("bad-request", "missing `program` field")),
+        };
+        let mut builder = AnalysisRequest::builder()
+            .source(program)
+            .config(self.defaults.clone())
+            .honor_fault_directive(true)
+            .retries(self.default_retries);
+        if let Some(timeout) = self.default_timeout {
+            builder = builder.timeout(timeout);
+        }
+        if let Some(name) = value.get("name") {
+            let Some(name) = name.as_str() else {
+                return Err(error_line("bad-request", "`name` must be a string"));
+            };
+            builder = builder.name(name);
+        }
+        if let Some(tag) = value.get("client") {
+            let Some(tag) = tag.as_str() else {
+                return Err(error_line("bad-request", "`client` must be a string"));
+            };
+            builder = builder.client_tag(tag);
+        }
+        if let Some(min_np) = int_field(value, "min_np")? {
+            builder = builder.min_np(min_np);
+        }
+        if let Some(max_steps) = uint_field(value, "max_steps")? {
+            builder = builder.max_steps(max_steps);
+        }
+        if let Some(max_psets) = uint_field(value, "max_psets")? {
+            builder = builder.max_psets(max_psets as usize);
+        }
+        if let Some(timeout_ms) = uint_field(value, "timeout_ms")? {
+            // 0 switches the deadline off, mirroring `--timeout-ms 0`.
+            if timeout_ms == 0 {
+                builder = builder.no_timeout();
+            } else {
+                builder = builder.timeout(Duration::from_millis(timeout_ms));
+            }
+        }
+        if let Some(retries) = uint_field(value, "retries")? {
+            let Ok(retries) = u32::try_from(retries) else {
+                return Err(error_line("bad-request", "`retries` out of range"));
+            };
+            builder = builder.retries(retries);
+        }
+        builder
+            .build()
+            .map_err(|e| error_line(e.code(), &e.to_string()))
+    }
+
+    /// Renders the stats record (`kind` is `stats` or
+    /// `shutdown-summary` — same fields, different type tag).
+    fn render_stats(&self, kind: &str) -> String {
+        let cache = self.cache_stats();
+        format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"type\":\"{kind}\",\"hits\":{},\"misses\":{},\
+             \"evictions\":{},\"collisions\":{},\"entries\":{},\"cache_capacity\":{},\
+             \"in_flight\":{},\"queue_capacity\":{},\"admitted\":{},\"rejected\":{},\
+             \"invalid\":{}}}",
+            cache.hits,
+            cache.misses,
+            cache.evictions,
+            cache.collisions,
+            cache.entries,
+            cache.capacity,
+            self.gate.in_flight(),
+            self.gate.capacity(),
+            self.gate.admitted(),
+            self.gate.rejected(),
+            self.invalid.load(Ordering::Relaxed),
+        )
+    }
+
+    /// The final record a server prints when it exits: the same
+    /// counters as `stats`, tagged `shutdown-summary`.
+    #[must_use]
+    pub fn shutdown_summary_line(&self) -> String {
+        self.render_stats("shutdown-summary")
+    }
+}
+
+/// Renders a protocol `error` record.
+fn error_line(code: &str, message: &str) -> String {
+    format!(
+        "{{\"v\":{PROTOCOL_VERSION},\"type\":\"error\",\"code\":\"{}\",\"message\":\"{}\"}}",
+        json_escape(code),
+        json_escape(message)
+    )
+}
+
+/// Reads an optional integer field, rejecting non-integer values.
+fn int_field(value: &JsonValue, key: &str) -> Result<Option<i64>, String> {
+    match value.get(key) {
+        None => Ok(None),
+        Some(v) => match v.as_i64() {
+            Some(n) => Ok(Some(n)),
+            None => Err(error_line(
+                "bad-request",
+                &format!("`{key}` must be an integer"),
+            )),
+        },
+    }
+}
+
+/// Reads an optional non-negative integer field.
+fn uint_field(value: &JsonValue, key: &str) -> Result<Option<u64>, String> {
+    match int_field(value, key)? {
+        None => Ok(None),
+        Some(n) if n >= 0 => Ok(Some(n as u64)),
+        Some(_) => Err(error_line(
+            "bad-request",
+            &format!("`{key}` must be non-negative"),
+        )),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use mpl_lang::corpus;
+
+    fn service() -> AnalysisService {
+        AnalysisService::new(ServiceConfig::default())
+    }
+
+    fn analyze_line(source: &str) -> String {
+        format!(
+            "{{\"op\":\"analyze\",\"client\":\"simple\",\"program\":\"{}\"}}",
+            json_escape(source)
+        )
+    }
+
+    #[test]
+    fn ping_and_unknown_ops() {
+        let svc = service();
+        assert_eq!(
+            svc.handle_line("{\"op\":\"ping\"}"),
+            Reply::Line("{\"v\":1,\"type\":\"pong\"}".to_owned())
+        );
+        let reply = svc.handle_line("{\"op\":\"frobnicate\"}");
+        assert!(
+            reply.line().contains("\"code\":\"bad-request\""),
+            "{reply:?}"
+        );
+        let reply = svc.handle_line("not json at all");
+        assert!(reply.line().contains("\"code\":\"bad-json\""), "{reply:?}");
+        let reply = svc.handle_line("{\"program\":\"x := 1;\"}");
+        assert!(reply.line().contains("missing `op`"), "{reply:?}");
+    }
+
+    #[test]
+    fn analyze_hits_cache_on_repeat_and_is_byte_identical() {
+        let svc = service();
+        let line = analyze_line(&corpus::fig2_exchange().source);
+        let cold = svc.handle_line(&line);
+        let warm = svc.handle_line(&line);
+        assert_eq!(cold, warm, "cached response must be byte-identical");
+        assert!(cold.line().starts_with("{\"v\":1,\"type\":\"program\""));
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (1, 1));
+        assert_eq!(stats.entries, 1);
+        // And it matches the request API's own rendering — the daemon
+        // adds nothing to the wire format.
+        let direct = AnalysisRequest::builder()
+            .source(corpus::fig2_exchange().source)
+            .client_tag("simple")
+            .build()
+            .unwrap()
+            .execute()
+            .json_line(false);
+        assert_eq!(cold.line(), direct);
+    }
+
+    #[test]
+    fn analyze_validation_errors_are_structured() {
+        let svc = service();
+        let reply = svc.handle_line("{\"op\":\"analyze\"}");
+        assert!(reply.line().contains("missing `program`"), "{reply:?}");
+        let reply = svc.handle_line(&analyze_line("x := ;"));
+        assert!(
+            reply.line().contains("\"code\":\"parse-error\""),
+            "{reply:?}"
+        );
+        let reply =
+            svc.handle_line("{\"op\":\"analyze\",\"program\":\"x := 1;\",\"client\":\"quantum\"}");
+        assert!(
+            reply.line().contains("\"code\":\"unknown-client\""),
+            "{reply:?}"
+        );
+        let reply = svc.handle_line("{\"op\":\"analyze\",\"program\":\"x := 1;\",\"max_steps\":0}");
+        assert!(
+            reply.line().contains("\"code\":\"bad-config\""),
+            "{reply:?}"
+        );
+        let reply =
+            svc.handle_line("{\"op\":\"analyze\",\"program\":\"x := 1;\",\"min_np\":\"four\"}");
+        assert!(reply.line().contains("must be an integer"), "{reply:?}");
+        // Validation failures count as invalid, not as cache traffic.
+        assert_eq!(svc.cache_stats().misses, 0);
+        assert!(svc
+            .handle_line("{\"op\":\"stats\"}")
+            .line()
+            .contains("\"invalid\":5"));
+    }
+
+    #[test]
+    fn full_gate_rejects_instead_of_queueing() {
+        let svc = AnalysisService::new(ServiceConfig {
+            max_in_flight: 1,
+            ..ServiceConfig::default()
+        });
+        let held = svc.gate().try_admit().expect("gate starts empty");
+        let reply = svc.handle_line(&analyze_line("x := 1;"));
+        assert!(
+            reply
+                .line()
+                .starts_with("{\"v\":1,\"type\":\"rejected\",\"code\":\"queue-full\""),
+            "{reply:?}"
+        );
+        assert!(reply.line().contains("\"capacity\":1"), "{reply:?}");
+        drop(held);
+        let reply = svc.handle_line(&analyze_line("x := 1;"));
+        assert!(reply.line().contains("\"type\":\"program\""), "{reply:?}");
+        assert_eq!(svc.gate().rejected(), 1);
+        assert_eq!(svc.gate().in_flight(), 0, "permit released after serving");
+    }
+
+    #[test]
+    fn shutdown_cancels_token_and_tags_reply() {
+        let svc = service();
+        let token = svc.shutdown_token();
+        assert!(!token.is_cancelled());
+        let reply = svc.handle_line("{\"op\":\"shutdown\"}");
+        assert_eq!(
+            reply,
+            Reply::Shutdown("{\"v\":1,\"type\":\"shutdown\"}".to_owned())
+        );
+        assert!(token.is_cancelled());
+        assert!(svc
+            .shutdown_summary_line()
+            .contains("\"type\":\"shutdown-summary\""));
+    }
+
+    #[test]
+    fn handle_batch_counters_are_deterministic_across_jobs() {
+        let programs: Vec<String> = corpus::all()
+            .into_iter()
+            .take(6)
+            .map(|p| analyze_line(&p.source))
+            .collect();
+        // Two rounds of the same batch: round one all misses, round two
+        // all hits — independent of the worker count.
+        for jobs in [1usize, 4, 8] {
+            let svc = service();
+            let cold = svc.handle_batch(&programs, jobs);
+            let stats = svc.cache_stats();
+            assert_eq!((stats.hits, stats.misses), (0, 6), "jobs={jobs}");
+            let warm = svc.handle_batch(&programs, jobs);
+            let stats = svc.cache_stats();
+            assert_eq!((stats.hits, stats.misses), (6, 6), "jobs={jobs}");
+            assert_eq!(cold, warm, "jobs={jobs}");
+        }
+    }
+
+    #[test]
+    fn handle_batch_evictions_are_deterministic() {
+        let programs: Vec<String> = corpus::all()
+            .into_iter()
+            .take(6)
+            .map(|p| analyze_line(&p.source))
+            .collect();
+        for jobs in [1usize, 4] {
+            let svc = AnalysisService::new(ServiceConfig {
+                cache_capacity: 2,
+                ..ServiceConfig::default()
+            });
+            let _ = svc.handle_batch(&programs, jobs);
+            let stats = svc.cache_stats();
+            assert_eq!(stats.entries, 2, "jobs={jobs}");
+            assert_eq!(stats.evictions, 4, "jobs={jobs}");
+        }
+    }
+}

@@ -65,11 +65,17 @@ type IdMap = HashMap<VarId, usize, BuildHasherDefault<IdHasher>>;
 const BOTTOM_FP: u64 = 0x0B07_70B0_0B07_70B0;
 
 /// SplitMix64 finalizer — the mixing behind the structural fingerprint.
-fn mix64(mut z: u64) -> u64 {
+/// Public because every fingerprint in the workspace (DBM structure,
+/// constant environments, analysis-request content hashes) draws from
+/// this one mixing function.
+#[must_use]
+pub fn splitmix64(mut z: u64) -> u64 {
     z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
     z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
     z ^ (z >> 31)
 }
+
+use splitmix64 as mix64;
 
 /// The fingerprint contribution of the bound `x ≤ y + c`.
 fn edge_mix(x: VarId, y: VarId, c: i64) -> u64 {

@@ -27,7 +27,7 @@ pub mod stats;
 pub mod var;
 
 pub use constenv::{ConstEnv, ConstVal};
-pub use constraint_graph::{ConstraintGraph, DEFAULT_WIDEN_THRESHOLDS};
+pub use constraint_graph::{splitmix64, ConstraintGraph, DEFAULT_WIDEN_THRESHOLDS};
 pub use linexpr::LinExpr;
 pub use stats::{force_full_closure, set_force_full_closure, ClosureStats};
 pub use var::{

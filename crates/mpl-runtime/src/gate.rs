@@ -1,0 +1,199 @@
+//! Admission control: a bounded-concurrency gate with explicit
+//! rejection instead of queueing.
+//!
+//! Long-running services need *backpressure*: when more work arrives
+//! than the fleet can absorb, the sound move is to reject loudly (the
+//! caller gets a structured "try again" answer immediately) rather than
+//! queue without bound and let every request's latency grow until
+//! something times out. [`AdmissionGate`] is that policy as a primitive:
+//! a capacity, an in-flight counter, and an RAII [`Permit`] that releases
+//! the slot when the admitted work finishes — however it finishes,
+//! including by panic, since the release lives in `Drop`.
+//!
+//! The gate never blocks: [`AdmissionGate::try_admit`] either hands back
+//! a permit or tells the caller the gate is full *right now*. Rejections
+//! are counted so operators can see shed load.
+
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::Arc;
+
+/// A cloneable bounded-concurrency gate. All clones share the same
+/// capacity, in-flight count, and rejection counter.
+#[derive(Debug, Clone)]
+pub struct AdmissionGate {
+    inner: Arc<Inner>,
+}
+
+#[derive(Debug)]
+struct Inner {
+    capacity: usize,
+    in_flight: AtomicUsize,
+    admitted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+/// An admitted slot. Dropping the permit releases the slot; permits are
+/// `Send` so admitted work can move to another thread.
+#[derive(Debug)]
+pub struct Permit {
+    inner: Arc<Inner>,
+}
+
+impl AdmissionGate {
+    /// A gate admitting at most `capacity` concurrent permits
+    /// (clamped to at least 1 — a zero-capacity gate would reject
+    /// everything forever).
+    #[must_use]
+    pub fn new(capacity: usize) -> AdmissionGate {
+        AdmissionGate {
+            inner: Arc::new(Inner {
+                capacity: capacity.max(1),
+                in_flight: AtomicUsize::new(0),
+                admitted: AtomicU64::new(0),
+                rejected: AtomicU64::new(0),
+            }),
+        }
+    }
+
+    /// Tries to take a slot. Returns `None` — immediately, never
+    /// blocking — when `capacity` permits are already outstanding, and
+    /// counts the rejection.
+    #[must_use]
+    pub fn try_admit(&self) -> Option<Permit> {
+        let mut current = self.inner.in_flight.load(Ordering::Relaxed);
+        loop {
+            if current >= self.inner.capacity {
+                self.inner.rejected.fetch_add(1, Ordering::Relaxed);
+                return None;
+            }
+            match self.inner.in_flight.compare_exchange_weak(
+                current,
+                current + 1,
+                Ordering::Acquire,
+                Ordering::Relaxed,
+            ) {
+                Ok(_) => {
+                    self.inner.admitted.fetch_add(1, Ordering::Relaxed);
+                    return Some(Permit {
+                        inner: Arc::clone(&self.inner),
+                    });
+                }
+                Err(observed) => current = observed,
+            }
+        }
+    }
+
+    /// The maximum number of concurrently outstanding permits.
+    #[must_use]
+    pub fn capacity(&self) -> usize {
+        self.inner.capacity
+    }
+
+    /// Permits outstanding right now.
+    #[must_use]
+    pub fn in_flight(&self) -> usize {
+        self.inner.in_flight.load(Ordering::Relaxed)
+    }
+
+    /// Total permits ever granted.
+    #[must_use]
+    pub fn admitted(&self) -> u64 {
+        self.inner.admitted.load(Ordering::Relaxed)
+    }
+
+    /// Total admissions refused because the gate was full.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.inner.rejected.load(Ordering::Relaxed)
+    }
+}
+
+impl Drop for Permit {
+    fn drop(&mut self) {
+        self.inner.in_flight.fetch_sub(1, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn admits_up_to_capacity_then_rejects() {
+        let gate = AdmissionGate::new(2);
+        let a = gate.try_admit().expect("slot 1");
+        let b = gate.try_admit().expect("slot 2");
+        assert!(gate.try_admit().is_none());
+        assert_eq!(gate.in_flight(), 2);
+        assert_eq!(gate.rejected(), 1);
+        drop(a);
+        let c = gate.try_admit().expect("slot freed by drop");
+        assert_eq!(gate.in_flight(), 2);
+        drop(b);
+        drop(c);
+        assert_eq!(gate.in_flight(), 0);
+        assert_eq!(gate.admitted(), 3);
+    }
+
+    #[test]
+    fn zero_capacity_is_clamped_to_one() {
+        let gate = AdmissionGate::new(0);
+        assert_eq!(gate.capacity(), 1);
+        let permit = gate.try_admit().expect("one slot exists");
+        assert!(gate.try_admit().is_none());
+        drop(permit);
+        assert!(gate.try_admit().is_some());
+    }
+
+    #[test]
+    fn permit_released_on_panic() {
+        let gate = AdmissionGate::new(1);
+        let g = gate.clone();
+        let result = std::panic::catch_unwind(move || {
+            let _permit = g.try_admit().expect("slot");
+            panic!("admitted work explodes");
+        });
+        assert!(result.is_err());
+        assert_eq!(gate.in_flight(), 0, "Drop released the slot");
+        assert!(gate.try_admit().is_some());
+    }
+
+    #[test]
+    fn clones_share_one_gate() {
+        let gate = AdmissionGate::new(1);
+        let clone = gate.clone();
+        let permit = gate.try_admit().expect("slot");
+        assert!(clone.try_admit().is_none());
+        assert_eq!(clone.rejected(), 1);
+        assert_eq!(gate.rejected(), 1);
+        drop(permit);
+        assert!(clone.try_admit().is_some());
+    }
+
+    #[test]
+    fn concurrent_admission_never_exceeds_capacity() {
+        let gate = AdmissionGate::new(4);
+        let peak = Arc::new(AtomicUsize::new(0));
+        let threads: Vec<_> = (0..8)
+            .map(|_| {
+                let gate = gate.clone();
+                let peak = Arc::clone(&peak);
+                std::thread::spawn(move || {
+                    for _ in 0..200 {
+                        if let Some(_permit) = gate.try_admit() {
+                            let seen = gate.in_flight();
+                            peak.fetch_max(seen, Ordering::Relaxed);
+                            assert!(seen <= gate.capacity(), "{seen} over capacity");
+                        }
+                        std::thread::yield_now();
+                    }
+                })
+            })
+            .collect();
+        for t in threads {
+            t.join().expect("worker");
+        }
+        assert_eq!(gate.in_flight(), 0);
+        assert!(peak.load(Ordering::Relaxed) <= 4);
+    }
+}

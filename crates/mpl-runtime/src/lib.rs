@@ -37,8 +37,10 @@
 
 pub mod cancel;
 pub mod deque;
+pub mod gate;
 pub mod pool;
 
 pub use cancel::CancelToken;
 pub use deque::StealDeque;
-pub use pool::{run_ordered, JobFailure, Pool, PoolStats};
+pub use gate::{AdmissionGate, Permit};
+pub use pool::{panic_message, run_ordered, JobFailure, Pool, PoolStats};

@@ -20,8 +20,11 @@ pub struct JobFailure {
     pub worker: usize,
 }
 
-/// Renders a caught panic payload as text.
-fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
+/// Renders a caught panic payload as text. Public so other isolation
+/// layers (e.g. the per-request `catch_unwind` in `mpl-core`'s request
+/// API) report payloads identically to [`Pool::run_ordered_isolated`].
+#[must_use]
+pub fn panic_message(payload: &(dyn std::any::Any + Send)) -> String {
     if let Some(s) = payload.downcast_ref::<&str>() {
         (*s).to_owned()
     } else if let Some(s) = payload.downcast_ref::<String>() {

@@ -80,6 +80,52 @@ echo "== per-phase profiler smoke (E18) =="
 cargo build -q --release -p mpl-bench --offline
 target/release/profile --check | tail -n 8
 
+echo "== serve daemon smoke (cache + byte-identity) =="
+# Start a daemon, fire concurrent requests at it, and hold it to the
+# protocol's core contract: every served response is byte-identical to
+# what the one-shot `mpl analyze --json` prints, and a repeated request
+# is answered from the result cache (>= 1 hit in `stats`).
+sock="$smoke_dir/serve.sock"
+"$MPL" serve --socket "$sock" --cache 32 > "$smoke_dir/serve.log" &
+serve_pid=$!
+for _ in $(seq 1 100); do [ -S "$sock" ] && break; sleep 0.05; done
+[ -S "$sock" ] || { echo "serve daemon did not come up"; exit 1; }
+prog="$smoke_dir/p0.mpl"
+client_pids=()
+for i in 1 2 3 4; do
+  "$MPL" client --socket "$sock" --file "$prog" > "$smoke_dir/resp$i.json" &
+  client_pids+=($!)
+done
+for pid in "${client_pids[@]}"; do
+  wait "$pid" || { echo "concurrent serve client failed"; exit 1; }
+done
+# A fifth, sequential request: with the cache warm this must be a hit.
+"$MPL" client --socket "$sock" --file "$prog" > "$smoke_dir/resp5.json"
+oneshot=$("$MPL" analyze "$prog" --json)
+for i in 1 2 3 4 5; do
+  diff <(printf '%s\n' "$oneshot") "$smoke_dir/resp$i.json" \
+    || { echo "served response $i diverged from mpl analyze --json"; exit 1; }
+done
+stats=$("$MPL" client --socket "$sock" --op stats)
+hits=$(grep -o '"hits":[0-9]*' <<< "$stats" | grep -o '[0-9]*')
+[ "$hits" -ge 1 ] || { echo "expected >= 1 cache hit, got: $stats"; exit 1; }
+"$MPL" client --socket "$sock" --op shutdown >/dev/null
+wait "$serve_pid" || { echo "serve daemon exited nonzero"; exit 1; }
+grep -q '"type":"shutdown-summary"' "$smoke_dir/serve.log" \
+  || { echo "missing shutdown summary"; cat "$smoke_dir/serve.log"; exit 1; }
+
+echo "== serve load bench artifact =="
+# Replays the corpus against the in-process service from 8 concurrent
+# clients; emits BENCH_serve.json (p50/p99 latency, cache hit rate,
+# structured-rejection check). Numbers are machine-specific; only the
+# file's presence and shape are verified here.
+BENCH_SERVE_JSON="$PWD/BENCH_serve.json" \
+  cargo bench -q -p mpl-bench --bench serve_load --offline >/dev/null
+grep -q '"bench":"serve_load"' BENCH_serve.json \
+  || { echo "BENCH_serve.json missing or malformed"; exit 1; }
+grep -q '"rejected_structured":true' BENCH_serve.json \
+  || { echo "BENCH_serve.json missing structured-rejection check"; exit 1; }
+
 echo "== state-sharing bench artifact (E18) =="
 # Emits BENCH_state_sharing.json (per-program totals, phase splits,
 # stored-state footprint and CoW matrix-copy counts) for before/after

@@ -144,6 +144,7 @@ fn json_schema_is_pinned() {
 
     // Program records: fixed key order, one JSON object per line.
     let program_keys = [
+        "\"v\":1",
         "\"type\":\"program\"",
         "\"name\":",
         "\"client\":",
@@ -170,6 +171,7 @@ fn json_schema_is_pinned() {
     // Summary record: fixed key order.
     let summary = lines.last().unwrap();
     let summary_keys = [
+        "\"v\":1",
         "\"type\":\"summary\"",
         "\"programs\":",
         "\"exact\":",

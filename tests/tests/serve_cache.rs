@@ -1,0 +1,126 @@
+//! Cache and backpressure behaviour of the serving stack, end to end:
+//! a cached daemon response must be byte-identical to the cold one,
+//! the cold one byte-identical to `mpl analyze --json`, counters must
+//! be deterministic under any worker count, a fingerprint collision
+//! must fall back to recomputation (never a wrong answer), and a
+//! saturated admission gate must reject — not hang.
+
+use mpl_core::{json_escape, AnalysisRequest, AnalysisService, ResultCache, ServiceConfig};
+use mpl_lang::corpus;
+
+fn analyze_line(source: &str) -> String {
+    format!(
+        "{{\"op\":\"analyze\",\"program\":\"{}\"}}",
+        json_escape(source)
+    )
+}
+
+#[test]
+fn cached_response_is_byte_identical_to_cold_and_to_analyze_json() {
+    let prog = corpus::fig2_exchange();
+    let svc = AnalysisService::new(ServiceConfig::default());
+    let line = analyze_line(&prog.source);
+
+    let cold = svc.handle_line(&line).line().to_owned();
+    let warm = svc.handle_line(&line).line().to_owned();
+    assert_eq!(cold, warm, "cache hit must replay the exact bytes");
+    let stats = svc.cache_stats();
+    assert_eq!((stats.hits, stats.misses, stats.entries), (1, 1, 1));
+
+    // The daemon's cold path renders exactly what the one-shot CLI
+    // prints: the cache (and the daemon itself) are invisible in the
+    // wire format.
+    let args: Vec<String> = ["analyze", "prog.mpl", "--json"]
+        .iter()
+        .map(|s| (*s).to_owned())
+        .collect();
+    let cli = mpl_cli::run_command(&args, &prog.source).expect("analyze runs");
+    assert_eq!(cli.code, 0);
+    assert_eq!(cli.text, format!("{cold}\n"));
+}
+
+#[test]
+fn batch_responses_and_counters_match_for_any_worker_count() {
+    let lines: Vec<String> = corpus::all()
+        .into_iter()
+        .take(8)
+        .map(|p| analyze_line(&p.source))
+        .collect();
+    let baseline = {
+        let svc = AnalysisService::new(ServiceConfig::default());
+        svc.handle_batch(&lines, 1)
+    };
+    for jobs in [4usize, 8] {
+        let svc = AnalysisService::new(ServiceConfig::default());
+        let cold = svc.handle_batch(&lines, jobs);
+        assert_eq!(cold, baseline, "responses diverged at jobs={jobs}");
+        let stats = svc.cache_stats();
+        assert_eq!(
+            (stats.hits, stats.misses, stats.collisions),
+            (0, 8, 0),
+            "jobs={jobs}"
+        );
+        let warm = svc.handle_batch(&lines, jobs);
+        assert_eq!(warm, baseline, "warm responses diverged at jobs={jobs}");
+        let stats = svc.cache_stats();
+        assert_eq!((stats.hits, stats.misses), (8, 8), "jobs={jobs}");
+    }
+}
+
+#[test]
+fn fingerprint_collision_falls_back_to_recompute() {
+    // Two requests forced onto the same 64-bit key: the stored check
+    // string disagrees, so the lookup must miss (counted as a
+    // collision) rather than serve the other request's bytes.
+    let mut cache = ResultCache::new(8);
+    let key = 0xDEAD_BEEF_u64;
+    cache.insert(key, "check-a".to_owned(), "body-a".to_owned());
+    assert_eq!(cache.lookup(key, "check-b"), None, "collision must miss");
+    assert_eq!(cache.stats().collisions, 1);
+
+    // The colliding request's own insert takes the slot over and both
+    // subsequent lookups behave like ordinary entries.
+    cache.insert(key, "check-b".to_owned(), "body-b".to_owned());
+    assert_eq!(cache.lookup(key, "check-b").as_deref(), Some("body-b"));
+    assert_eq!(cache.lookup(key, "check-a"), None, "old check is gone");
+}
+
+#[test]
+fn distinct_configs_never_share_a_cache_entry() {
+    // Same program under different request knobs must produce distinct
+    // fingerprints (the check string covers the whole config).
+    let prog = corpus::fig2_exchange();
+    let base = AnalysisRequest::builder()
+        .source(&prog.source)
+        .build()
+        .expect("valid request");
+    let tweaked = AnalysisRequest::builder()
+        .source(&prog.source)
+        .min_np(5)
+        .build()
+        .expect("valid request");
+    assert_ne!(base.cache_check(), tweaked.cache_check());
+    assert_ne!(base.fingerprint(), tweaked.fingerprint());
+}
+
+#[test]
+fn saturated_gate_rejects_immediately_with_structure() {
+    let mut config = ServiceConfig::default();
+    config.max_in_flight = 2;
+    let svc = AnalysisService::new(config);
+    let _a = svc.gate().try_admit().expect("permit 1");
+    let _b = svc.gate().try_admit().expect("permit 2");
+    let start = std::time::Instant::now();
+    let reply = svc.handle_line(&analyze_line(&corpus::fig2_exchange().source));
+    assert!(
+        reply
+            .line()
+            .starts_with("{\"v\":1,\"type\":\"rejected\",\"code\":\"queue-full\""),
+        "{reply:?}"
+    );
+    assert!(
+        start.elapsed() < std::time::Duration::from_secs(5),
+        "rejection must be immediate, not queued"
+    );
+    assert_eq!(svc.gate().rejected(), 1);
+}
