@@ -14,6 +14,9 @@
 //! * **backpressure** — the admission gate is saturated by holding
 //!   permits, then one more request is fired to confirm it receives a
 //!   structured `rejected` response (never a hang).
+//! * **quota** — a second service with a small token-bucket budget is
+//!   hammered past its burst to confirm deterministic, structured
+//!   `quota-exceeded` rejections with a retry hint.
 //!
 //! Writes a JSON summary to `$BENCH_SERVE_JSON` when that variable is
 //! set (the `scripts/verify.sh` artifact `BENCH_serve.json`); always
@@ -22,7 +25,7 @@
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
-use mpl_core::{json_escape, AnalysisService, ServiceConfig, PROTOCOL_VERSION};
+use mpl_core::{json_escape, AnalysisService, QuotaPolicy, ServiceConfig, PROTOCOL_VERSION};
 use mpl_lang::corpus;
 
 /// Concurrent client threads (acceptance floor is 4).
@@ -51,11 +54,12 @@ fn us(d: Duration) -> f64 {
 }
 
 fn main() {
-    let mut config = ServiceConfig::default();
     // Capacity above the client count: the replay section measures
     // latency, not rejection, so no request may bounce off the gate.
-    config.max_in_flight = CLIENTS * 2;
-    let service = Arc::new(AnalysisService::new(config));
+    let service = Arc::new(AnalysisService::new(ServiceConfig {
+        max_in_flight: CLIENTS * 2,
+        ..ServiceConfig::default()
+    }));
 
     let requests: Arc<Vec<String>> = Arc::new(corpus::all().iter().map(request_line).collect());
 
@@ -122,6 +126,38 @@ fn main() {
     );
     drop(permits);
 
+    // -- quota section -------------------------------------------------
+    // A tight token bucket: exactly `burst` requests are served before
+    // the refill rate matters; the rest get structured quota rejections.
+    const QUOTA_BURST: u64 = 4;
+    const QUOTA_PROBES: u64 = 16;
+    let quota_service = AnalysisService::new(ServiceConfig {
+        quota: Some(QuotaPolicy {
+            rate_per_sec: 1,
+            burst: QUOTA_BURST,
+        }),
+        ..ServiceConfig::default()
+    });
+    let mut quota_served = 0u64;
+    for _ in 0..QUOTA_PROBES {
+        let reply = quota_service.handle_line(&requests[0]);
+        let body = reply.line();
+        if body.contains("\"type\":\"program\"") {
+            quota_served += 1;
+        } else {
+            assert!(
+                body.contains("\"code\":\"quota-exceeded\"")
+                    && body.contains("\"retry_after_ms\":"),
+                "quota rejection must be structured: {body}"
+            );
+        }
+    }
+    let quota_rejected = quota_service.quota_rejected();
+    assert_eq!(quota_served, QUOTA_BURST, "burst is the whole budget");
+    assert_eq!(quota_served + quota_rejected, QUOTA_PROBES);
+
+    let coalesced = service.coalesced();
+
     println!("== serve_load ==");
     println!(
         "{:<10} {:>8} {:>10} {:>10} {:>10} {:>8} {:>8} {:>8} {:>9}",
@@ -140,8 +176,11 @@ fn main() {
         hit_rate * 100.0,
     );
     println!(
-        "wall {wall:.1?}; gate rejected={} structured-rejection=ok",
+        "wall {wall:.1?}; coalesced={coalesced}; gate rejected={} structured-rejection=ok",
         service.gate().rejected()
+    );
+    println!(
+        "quota: served={quota_served}/{QUOTA_PROBES} rejected={quota_rejected} (burst {QUOTA_BURST})"
     );
 
     if let Ok(path) = std::env::var("BENCH_SERVE_JSON") {
@@ -149,7 +188,9 @@ fn main() {
             "{{\"bench\":\"serve_load\",\"clients\":{CLIENTS},\"rounds\":{ROUNDS},\
              \"requests\":{total},\"p50_us\":{:.1},\"p99_us\":{:.1},\"mean_us\":{:.1},\
              \"wall_ms\":{:.1},\"hits\":{},\"misses\":{},\"evictions\":{},\
-             \"hit_rate\":{:.4},\"rejected\":{},\"rejected_structured\":{rejected_structured}}}\n",
+             \"hit_rate\":{:.4},\"rejected\":{},\"rejected_structured\":{rejected_structured},\
+             \"coalesced\":{coalesced},\"quota_served\":{quota_served},\
+             \"quota_rejected\":{quota_rejected},\"quota_burst\":{QUOTA_BURST}}}\n",
             us(p50),
             us(p99),
             us(mean),

@@ -174,10 +174,13 @@ pub fn usage() -> &'static str {
      mpl analyze <file> [--client simple|cartesian] [--min-np N] [--trace] [--stats] [--json]\n  \
      mpl analyze-corpus  [--dir D] [--jobs N] [--client simple|cartesian] [--min-np N]\n              \
      [--timeout-ms T] [--retries R] [--keep-going] [--json] [--timing]\n  \
-     mpl serve   (--socket PATH | --tcp ADDR) [--cache N] [--max-in-flight N]\n              \
+     mpl serve   (--socket PATH | --tcp ADDR) [--cache N] [--cache-dir D] [--compact-every N]\n              \
+     [--max-in-flight N] [--max-line-bytes N] [--drain-timeout-ms T]\n              \
+     [--quota-rps N] [--quota-burst N]\n              \
      [--client simple|cartesian] [--min-np N] [--timeout-ms T] [--retries R]\n  \
      mpl client  (--socket PATH | --tcp ADDR) [--op analyze|stats|ping|shutdown]\n              \
-     [--file F] [--name N] [--client C] [--min-np N] [--timeout-ms T] [--retries R]\n  \
+     [--mode drain|abort] [--file F] [--name N] [--client C] [--client-id ID]\n              \
+     [--min-np N] [--timeout-ms T] [--retries R]\n  \
      mpl run     <file> --np N [--seed S] [--rendezvous] [--set var=val]...\n  \
      mpl check   <file>\n  \
      mpl dot     <file>\n  \

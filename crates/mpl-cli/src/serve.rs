@@ -4,28 +4,45 @@
 //! The daemon is a thin transport shell around
 //! [`mpl_core::AnalysisService`]: it owns a unix or TCP listener, spawns
 //! one thread per connection, and forwards newline-framed JSON lines to
-//! [`AnalysisService::handle_line`]. All protocol behaviour — caching,
-//! admission control, error rendering, the byte-identity contract with
-//! `mpl analyze --json` — lives in the service, where it is unit-tested
-//! without any sockets.
+//! [`AnalysisService::handle_line_as`]. All protocol behaviour —
+//! caching, persistence, admission control, quotas, error rendering,
+//! the byte-identity contract with `mpl analyze --json` — lives in the
+//! service, where it is unit-tested without any sockets.
+//!
+//! Transport-level robustness lives here:
+//!
+//! * **Bounded request lines.** Reads are capped at `--max-line-bytes`
+//!   (default 4 MiB); an oversized line gets a structured
+//!   `line-too-long` error and the connection is closed (the framing is
+//!   unrecoverable mid-line) — never unbounded buffering.
+//! * **A connection registry.** Every connection thread is tracked
+//!   (active count + join handles), not detached, so shutdown can
+//!   choose between draining and aborting. Connection reads poll with a
+//!   short timeout so idle connections notice shutdown promptly.
+//! * **Graceful drain.** `{"op":"shutdown","mode":"drain"}` stops
+//!   accepting, lets in-flight connections finish their current request
+//!   under the `--drain-timeout-ms` deadline, joins the drained
+//!   threads, and reports a `{"type":"drain",...}` record. The default
+//!   `abort` mode keeps the historic semantics: in-flight requests are
+//!   abandoned (their clients see a closed connection, never a hang).
 //!
 //! Lifecycle: on startup the daemon prints a single
 //! `{"v":1,"type":"serving",...}` line to stdout (flushed eagerly, so a
 //! parent process can wait for readiness and, with `--tcp 127.0.0.1:0`,
 //! discover the ephemeral port). It then serves until a `shutdown`
 //! request arrives, and exits printing a `shutdown-summary` record with
-//! the final cache and admission counters. Connection threads are
-//! detached: requests in flight when shutdown lands are abandoned
-//! (their clients see a closed connection, never a hang).
+//! the final cache, admission, coalescing, quota, and journal counters.
 
-use std::io::{BufRead, BufReader, Write as _};
+use std::io::{BufRead, BufReader, Read as _, Write as _};
 use std::net::{TcpListener, TcpStream};
 use std::os::unix::net::{UnixListener, UnixStream};
-use std::sync::Arc;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
 use std::time::Duration;
 
 use mpl_core::{
-    json_escape, AnalysisConfig, AnalysisService, Reply, ServiceConfig, PROTOCOL_VERSION,
+    error_line, json_escape, AnalysisConfig, AnalysisService, CancelToken, QuotaPolicy, Reply,
+    ServiceConfig, ShutdownMode, PROTOCOL_VERSION,
 };
 
 use crate::{parse_client, CmdOutput, Flags};
@@ -34,10 +51,85 @@ use crate::{parse_client, CmdOutput, Flags};
 /// the shutdown token.
 const ACCEPT_POLL: Duration = Duration::from_millis(10);
 
+/// Read timeout on connection sockets: the interval at which an idle
+/// connection thread re-checks the shutdown and drain flags.
+const READ_POLL: Duration = Duration::from_millis(25);
+
+/// Default cap on one request line, in bytes.
+const DEFAULT_MAX_LINE: usize = 4 * 1024 * 1024;
+
+/// Default drain deadline.
+const DEFAULT_DRAIN_TIMEOUT_MS: u64 = 5_000;
+
+/// Connect attempts `mpl client` makes before giving up (the daemon
+/// may still be binding its socket when the client starts).
+const CONNECT_ATTEMPTS: u32 = 40;
+
 /// The two transports the daemon (and client) speak.
 enum Listener {
     Unix(UnixListener, String),
     Tcp(TcpListener),
+}
+
+/// Bookkeeping for live connection threads, shared between the accept
+/// loop and every connection.
+struct ConnRegistry {
+    /// Connection threads that have not yet exited.
+    active: AtomicUsize,
+    /// Set when a drain starts: connection loops finish their current
+    /// request and exit instead of reading the next one.
+    draining: AtomicBool,
+    handles: Mutex<Vec<std::thread::JoinHandle<()>>>,
+}
+
+impl ConnRegistry {
+    fn new() -> Arc<ConnRegistry> {
+        Arc::new(ConnRegistry {
+            active: AtomicUsize::new(0),
+            draining: AtomicBool::new(false),
+            handles: Mutex::new(Vec::new()),
+        })
+    }
+
+    fn is_draining(&self) -> bool {
+        self.draining.load(Ordering::Acquire)
+    }
+
+    /// Joins finished threads so the handle list stays proportional to
+    /// *live* connections, not total connections served.
+    fn reap(&self) {
+        let mut handles = self.handles.lock().expect("registry lock");
+        let mut live = Vec::with_capacity(handles.len());
+        for handle in handles.drain(..) {
+            if handle.is_finished() {
+                let _ = handle.join();
+            } else {
+                live.push(handle);
+            }
+        }
+        *handles = live;
+    }
+
+    /// Joins every remaining thread (drain completion).
+    fn join_all(&self) {
+        let handles = {
+            let mut handles = self.handles.lock().expect("registry lock");
+            std::mem::take(&mut *handles)
+        };
+        for handle in handles {
+            let _ = handle.join();
+        }
+    }
+}
+
+/// Decrements the active-connection count when the thread exits, on
+/// every path including panics.
+struct ActiveGuard(Arc<ConnRegistry>);
+
+impl Drop for ActiveGuard {
+    fn drop(&mut self) {
+        self.0.active.fetch_sub(1, Ordering::AcqRel);
+    }
 }
 
 /// Parses the mutually-exclusive `--socket` / `--tcp` pair.
@@ -72,11 +164,28 @@ fn service_config(flags: &Flags) -> Result<ServiceConfig, String> {
     }
     config.default_timeout = (timeout_ms > 0).then(|| Duration::from_millis(timeout_ms));
     config.default_retries = flags.parse_value("--retries", 0)?;
+    config.cache_dir = flags.value("--cache-dir").map(std::path::PathBuf::from);
+    config.compact_every = flags.parse_value("--compact-every", config.compact_every)?;
+    let quota_rps: u64 = flags.parse_value("--quota-rps", 0)?;
+    let quota_burst: u64 = flags.parse_value("--quota-burst", 0)?;
+    if quota_burst > 0 && quota_rps == 0 {
+        return Err("`--quota-burst` requires `--quota-rps`".to_owned());
+    }
+    config.quota = (quota_rps > 0).then_some(QuotaPolicy {
+        rate_per_sec: quota_rps,
+        // Burst defaults to one second's worth of tokens.
+        burst: if quota_burst > 0 {
+            quota_burst
+        } else {
+            quota_rps
+        },
+    });
     Ok(config)
 }
 
 /// The `mpl serve` command. Blocks until a `shutdown` request is
-/// served; the returned [`CmdOutput`] is the shutdown summary.
+/// served; the returned [`CmdOutput`] is the shutdown summary (preceded
+/// by a `drain` record when the shutdown asked for one).
 pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
     let flags = Flags::parse(
         args,
@@ -84,7 +193,13 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
             "--socket",
             "--tcp",
             "--cache",
+            "--cache-dir",
+            "--compact-every",
             "--max-in-flight",
+            "--max-line-bytes",
+            "--drain-timeout-ms",
+            "--quota-rps",
+            "--quota-burst",
             "--client",
             "--min-np",
             "--timeout-ms",
@@ -93,7 +208,13 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
         &[],
     )?;
     let (socket, tcp) = transport_flags(&flags)?;
-    let service = Arc::new(AnalysisService::new(service_config(&flags)?));
+    let max_line: usize = flags.parse_value("--max-line-bytes", DEFAULT_MAX_LINE)?;
+    if max_line == 0 {
+        return Err("invalid value `0` for `--max-line-bytes`".to_owned());
+    }
+    let drain_timeout_ms: u64 =
+        flags.parse_value("--drain-timeout-ms", DEFAULT_DRAIN_TIMEOUT_MS)?;
+    let service = Arc::new(AnalysisService::open(service_config(&flags)?)?);
 
     let (listener, addr, kind) = if let Some(path) = socket {
         let listener =
@@ -123,13 +244,24 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
         let _ = stdout.flush();
     }
 
+    let registry = ConnRegistry::new();
     let shutdown = service.shutdown_token();
+    let mut conn_seq = 0u64;
     match &listener {
         Listener::Unix(listener, _) => {
             listener.set_nonblocking(true).map_err(|e| e.to_string())?;
             while !shutdown.is_cancelled() {
                 match listener.accept() {
-                    Ok((stream, _)) => spawn_connection(Arc::clone(&service), stream),
+                    Ok((stream, _)) => {
+                        conn_seq += 1;
+                        spawn_connection(
+                            Arc::clone(&service),
+                            &registry,
+                            stream,
+                            conn_seq,
+                            max_line,
+                        );
+                    }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
                     }
@@ -142,8 +274,14 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
             while !shutdown.is_cancelled() {
                 match listener.accept() {
                     Ok((stream, _)) => {
-                        let _ = stream.set_nonblocking(false);
-                        spawn_connection(Arc::clone(&service), stream);
+                        conn_seq += 1;
+                        spawn_connection(
+                            Arc::clone(&service),
+                            &registry,
+                            stream,
+                            conn_seq,
+                            max_line,
+                        );
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
@@ -156,55 +294,181 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
     if let Listener::Unix(_, path) = &listener {
         let _ = std::fs::remove_file(path);
     }
-    Ok(CmdOutput {
-        text: format!("{}\n", service.shutdown_summary_line()),
-        code: 0,
-    })
+
+    let mut text = String::new();
+    if service.shutdown_mode() == Some(ShutdownMode::Drain) {
+        registry.draining.store(true, Ordering::Release);
+        let deadline = CancelToken::with_deadline(Duration::from_millis(drain_timeout_ms));
+        while registry.active.load(Ordering::Acquire) > 0 && !deadline.is_cancelled() {
+            std::thread::sleep(Duration::from_millis(5));
+        }
+        let abandoned = registry.active.load(Ordering::Acquire);
+        if abandoned == 0 {
+            registry.join_all();
+        }
+        text.push_str(&format!(
+            "{{\"v\":{PROTOCOL_VERSION},\"type\":\"drain\",\"completed\":{},\
+             \"abandoned\":{abandoned}}}\n",
+            abandoned == 0
+        ));
+    }
+    text.push_str(&service.shutdown_summary_line());
+    text.push('\n');
+    Ok(CmdOutput { text, code: 0 })
 }
 
-/// Spawns the per-connection thread. Detached by design — see the
-/// module docs on shutdown semantics.
-fn spawn_connection<S>(service: Arc<AnalysisService>, stream: S)
-where
+/// Spawns and registers the per-connection thread.
+fn spawn_connection<S>(
+    service: Arc<AnalysisService>,
+    registry: &Arc<ConnRegistry>,
+    stream: S,
+    conn_seq: u64,
+    max_line: usize,
+) where
     S: std::io::Read + std::io::Write + TryCloneStream + Send + 'static,
 {
-    std::thread::spawn(move || {
+    registry.reap();
+    registry.active.fetch_add(1, Ordering::AcqRel);
+    let shutdown = service.shutdown_token();
+    let conn_registry = Arc::clone(registry);
+    let handle = std::thread::spawn(move || {
+        let registry = conn_registry;
+        let _guard = ActiveGuard(Arc::clone(&registry));
+        // Blocking mode with a short read timeout: reads return
+        // `WouldBlock`/`TimedOut` periodically so the loop can notice
+        // shutdown and drain without an interruptible-read mechanism.
+        if stream.prepare_polling(READ_POLL).is_err() {
+            return;
+        }
         let Ok(read_half) = stream.try_clone_stream() else {
             return;
         };
-        let reader = BufReader::new(read_half);
+        let peer = format!("conn-{conn_seq}");
+        let mut reader = BufReader::new(read_half);
         let mut writer = stream;
-        for line in reader.lines() {
-            let Ok(line) = line else { break };
-            if line.trim().is_empty() {
-                continue;
-            }
-            let reply = service.handle_line(&line);
-            let done = matches!(reply, Reply::Shutdown(_));
-            if writeln!(writer, "{}", reply.line()).is_err() || writer.flush().is_err() {
+        let mut buf: Vec<u8> = Vec::new();
+        loop {
+            if shutdown.is_cancelled() || registry.is_draining() {
                 break;
             }
-            if done {
-                break;
+            match read_capped_line(&mut reader, max_line, &mut buf) {
+                LineRead::Idle => continue,
+                LineRead::Eof => break,
+                LineRead::TooLong => {
+                    // The rest of the oversized line is unread, so the
+                    // framing is lost: answer, then close.
+                    let reply = service.oversize_reply(max_line);
+                    let _ = writeln!(writer, "{reply}");
+                    let _ = writer.flush();
+                    break;
+                }
+                LineRead::Line => {
+                    let line = match String::from_utf8(std::mem::take(&mut buf)) {
+                        Ok(line) => line,
+                        Err(_) => {
+                            let reply = error_line("bad-json", "request line is not UTF-8");
+                            if writeln!(writer, "{reply}").is_err() || writer.flush().is_err() {
+                                break;
+                            }
+                            continue;
+                        }
+                    };
+                    if line.trim().is_empty() {
+                        continue;
+                    }
+                    let reply = service.handle_line_as(&line, &peer);
+                    let done = matches!(reply, Reply::Shutdown(_));
+                    if writeln!(writer, "{}", reply.line()).is_err() || writer.flush().is_err() {
+                        break;
+                    }
+                    if done {
+                        break;
+                    }
+                }
             }
         }
     });
+    registry.handles.lock().expect("registry lock").push(handle);
 }
 
-/// `try_clone` unified across the two stream types.
+/// One attempt to read a capped, newline-terminated line.
+enum LineRead {
+    /// A complete line is in the buffer (newline stripped).
+    Line,
+    /// The line exceeded the cap; the buffer holds the prefix.
+    TooLong,
+    /// The read timed out with the line still incomplete; the partial
+    /// buffer is preserved for the next attempt.
+    Idle,
+    /// Connection closed (or hard I/O error).
+    Eof,
+}
+
+/// Reads until a newline, a timeout, EOF, or `cap` bytes — whichever
+/// comes first. Partial reads accumulate in `buf` across `Idle`
+/// returns, so a slow client costs patience, not memory beyond the cap.
+fn read_capped_line(reader: &mut impl BufRead, cap: usize, buf: &mut Vec<u8>) -> LineRead {
+    loop {
+        // Allow one byte past the cap so "exactly cap bytes plus the
+        // newline" still parses while "cap+1 payload bytes" trips.
+        let budget = (cap + 1).saturating_sub(buf.len()) as u64;
+        match reader.by_ref().take(budget).read_until(b'\n', buf) {
+            Ok(0) => return LineRead::Eof,
+            Ok(_) => {
+                if buf.last() == Some(&b'\n') {
+                    buf.pop();
+                    if buf.last() == Some(&b'\r') {
+                        buf.pop();
+                    }
+                    return LineRead::Line;
+                }
+                if buf.len() > cap {
+                    return LineRead::TooLong;
+                }
+                // Budget exhausted exactly at the cap without a newline
+                // is impossible (budget always reaches cap + 1), so
+                // this is a short read: keep going.
+            }
+            Err(e)
+                if e.kind() == std::io::ErrorKind::WouldBlock
+                    || e.kind() == std::io::ErrorKind::TimedOut =>
+            {
+                return LineRead::Idle;
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(_) => return LineRead::Eof,
+        }
+    }
+}
+
+/// `try_clone` plus socket-option setup, unified across the two stream
+/// types.
 trait TryCloneStream: Sized {
     fn try_clone_stream(&self) -> std::io::Result<Self>;
+    /// Switches the socket to blocking mode with `poll` as the read
+    /// timeout (the connection loop's shutdown-check cadence).
+    fn prepare_polling(&self, poll: Duration) -> std::io::Result<()>;
 }
 
 impl TryCloneStream for UnixStream {
     fn try_clone_stream(&self) -> std::io::Result<UnixStream> {
         self.try_clone()
     }
+
+    fn prepare_polling(&self, poll: Duration) -> std::io::Result<()> {
+        self.set_nonblocking(false)?;
+        self.set_read_timeout(Some(poll))
+    }
 }
 
 impl TryCloneStream for TcpStream {
     fn try_clone_stream(&self) -> std::io::Result<TcpStream> {
         self.try_clone()
+    }
+
+    fn prepare_polling(&self, poll: Duration) -> std::io::Result<()> {
+        self.set_nonblocking(false)?;
+        self.set_read_timeout(Some(poll))
     }
 }
 
@@ -219,9 +483,11 @@ pub(crate) fn cmd_client(args: &[String]) -> Result<CmdOutput, String> {
             "--socket",
             "--tcp",
             "--op",
+            "--mode",
             "--file",
             "--name",
             "--client",
+            "--client-id",
             "--min-np",
             "--max-steps",
             "--timeout-ms",
@@ -232,19 +498,21 @@ pub(crate) fn cmd_client(args: &[String]) -> Result<CmdOutput, String> {
     let (socket, tcp) = transport_flags(&flags)?;
     let op = flags.value("--op").unwrap_or("analyze");
     let request = match op {
-        "ping" | "stats" | "shutdown" => format!("{{\"op\":\"{op}\"}}"),
+        "ping" | "stats" => format!("{{\"op\":\"{op}\"}}"),
+        "shutdown" => match flags.value("--mode") {
+            None => "{\"op\":\"shutdown\"}".to_owned(),
+            Some(mode) => format!("{{\"op\":\"shutdown\",\"mode\":\"{}\"}}", json_escape(mode)),
+        },
         "analyze" => build_analyze_line(&flags)?,
         other => return Err(format!("unknown op `{other}`")),
     };
 
     let response = if let Some(path) = socket {
-        let stream =
-            UnixStream::connect(&path).map_err(|e| format!("cannot connect `{path}`: {e}"))?;
+        let stream = connect_with_retry(|| UnixStream::connect(&path), &path)?;
         round_trip(stream, &request)?
     } else {
         let addr = tcp.expect("transport_flags guarantees one of the pair");
-        let stream =
-            TcpStream::connect(&addr).map_err(|e| format!("cannot connect `{addr}`: {e}"))?;
+        let stream = connect_with_retry(|| TcpStream::connect(&addr), &addr)?;
         round_trip(stream, &request)?
     };
     let failed = response.starts_with(&format!("{{\"v\":{PROTOCOL_VERSION},\"type\":\"error\""))
@@ -253,6 +521,37 @@ pub(crate) fn cmd_client(args: &[String]) -> Result<CmdOutput, String> {
         text: format!("{response}\n"),
         code: i32::from(failed),
     })
+}
+
+/// Connects with a bounded, deterministic backoff: the daemon prints
+/// its readiness line *before* its first accept, and on busy machines a
+/// client racing that window (or a daemon restart) would otherwise flake
+/// with `ConnectionRefused`. Backoff is `min(5·attempt, 50)` ms for up
+/// to [`CONNECT_ATTEMPTS`] attempts (~1.8 s worst case), then the real
+/// error surfaces.
+fn connect_with_retry<S>(
+    connect: impl Fn() -> std::io::Result<S>,
+    label: &str,
+) -> Result<S, String> {
+    let mut attempt = 0u32;
+    loop {
+        match connect() {
+            Ok(stream) => return Ok(stream),
+            Err(e) => {
+                attempt += 1;
+                let transient = matches!(
+                    e.kind(),
+                    std::io::ErrorKind::ConnectionRefused
+                        | std::io::ErrorKind::NotFound
+                        | std::io::ErrorKind::AddrNotAvailable
+                );
+                if !transient || attempt >= CONNECT_ATTEMPTS {
+                    return Err(format!("cannot connect `{label}`: {e}"));
+                }
+                std::thread::sleep(Duration::from_millis(u64::from((5 * attempt).min(50))));
+            }
+        }
+    }
 }
 
 /// Assembles the `analyze` request object from client flags.
@@ -270,6 +569,9 @@ fn build_analyze_line(flags: &Flags) -> Result<String, String> {
     }
     if let Some(client) = flags.value("--client") {
         line.push_str(&format!(",\"client\":\"{}\"", json_escape(client)));
+    }
+    if let Some(id) = flags.value("--client-id") {
+        line.push_str(&format!(",\"client_id\":\"{}\"", json_escape(id)));
     }
     for (flag, key) in [
         ("--min-np", "min_np"),

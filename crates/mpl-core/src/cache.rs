@@ -182,6 +182,23 @@ impl ResultCache {
         self.map.is_empty()
     }
 
+    /// Iterates resident entries from least- to most-recently used, as
+    /// `(key, check, body)`. Re-inserting in this order into an empty
+    /// cache reproduces the recency order exactly — the contract journal
+    /// compaction and restart replay rely on.
+    pub fn iter_lru(&self) -> impl Iterator<Item = (u64, &str, &str)> {
+        let mut order = Vec::with_capacity(self.map.len());
+        let mut cursor = self.tail;
+        while cursor != NIL {
+            order.push(cursor);
+            cursor = self.slots[cursor].prev;
+        }
+        order.into_iter().map(|slot| {
+            let s = &self.slots[slot];
+            (s.key, s.check.as_str(), s.body.as_str())
+        })
+    }
+
     fn unlink(&mut self, slot: usize) {
         let (prev, next) = (self.slots[slot].prev, self.slots[slot].next);
         if prev == NIL {
@@ -288,6 +305,27 @@ mod tests {
         assert_eq!(cache.lookup(1, &check(1)), Some("new".to_owned()));
         assert!(cache.lookup(2, &check(2)).is_none());
         assert_eq!(cache.stats().evictions, 1);
+    }
+
+    #[test]
+    fn iter_lru_reproduces_recency_order() {
+        let mut cache = ResultCache::new(4);
+        for k in 1..=4u64 {
+            cache.insert(k, check(k), format!("b{k}"));
+        }
+        // Touch 2 so it becomes most recent.
+        assert!(cache.lookup(2, &check(2)).is_some());
+        let order: Vec<u64> = cache.iter_lru().map(|(k, _, _)| k).collect();
+        assert_eq!(order, vec![1, 3, 4, 2]);
+        // Re-inserting in iteration order reproduces the same recency:
+        // the next eviction victim matches in both caches.
+        let mut rebuilt = ResultCache::new(4);
+        for (k, c, b) in cache.iter_lru() {
+            rebuilt.insert(k, c.to_owned(), b.to_owned());
+        }
+        rebuilt.insert(9, check(9), "b9".to_owned());
+        assert!(rebuilt.lookup(1, &check(1)).is_none(), "1 was the LRU");
+        assert!(rebuilt.lookup(2, &check(2)).is_some());
     }
 
     #[test]

@@ -56,6 +56,7 @@ pub mod mpicfg;
 pub mod norm;
 pub mod observer;
 pub mod pattern;
+pub mod persist;
 pub mod request;
 pub mod result;
 pub mod rewrite;
@@ -75,11 +76,13 @@ pub use infoflow::{info_flow, info_flow_with_pairs, InfoFlow};
 pub use json::{json_escape, parse as parse_json, JsonError, JsonValue};
 pub use matcher::{CartesianMatcher, MatchOutcome, MatchStrategy, SimpleMatcher};
 pub use mpicfg::{mpi_cfg_topology, MpiCfgTopology};
+pub use mpl_runtime::{AdmissionGate, CancelToken, ClientQuotas, QuotaPolicy};
 pub use observer::{
     AnalysisObserver, EngineProfile, EngineStats, NoopObserver, ObserverStack, StatsObserver,
     TraceObserver,
 };
 pub use pattern::{classify, classify_pairs, Pattern};
+pub use persist::{CacheJournal, JournalEntry, JournalReplay, JournalStats};
 pub use request::{
     summary_json_line, AnalysisRequest, AnalysisRequestBuilder, AnalysisResponse, BatchResponse,
     RequestBatch, RequestError, PROTOCOL_VERSION,
@@ -87,7 +90,7 @@ pub use request::{
 pub use result::{AnalysisResult, MatchEvent, PrintFact, TopReason, Verdict};
 pub use rewrite::{rewrite_broadcast, RewriteError};
 pub use scheduler::{LocationKey, StoredStats, CANCEL_CHECK_STEPS};
-pub use service::{AnalysisService, Reply, ServiceConfig};
+pub use service::{error_line, AnalysisService, Reply, ServiceConfig, ShutdownMode};
 pub use session::AnalysisSession;
 pub use share::Shared;
 pub use state::{AnalysisState, PsetState};

@@ -1,14 +1,15 @@
 //! The analysis service behind `mpl serve`: a shareable, thread-safe
 //! façade that turns newline-framed JSON request lines into response
 //! lines, backed by the [`crate::request`] API, the
-//! [`crate::cache::ResultCache`], and an [`AdmissionGate`] for
-//! backpressure.
+//! [`crate::cache::ResultCache`], an optional [`CacheJournal`] for
+//! crash-safe persistence, an [`AdmissionGate`] for backpressure, and
+//! optional per-client [`ClientQuotas`].
 //!
 //! The service is transport-agnostic on purpose: it knows nothing about
 //! sockets. The CLI's `mpl serve` command owns the listener and the
-//! per-connection threads and calls [`AnalysisService::handle_line`] for
-//! every line it reads; tests and the load-test harness call the same
-//! method (or [`AnalysisService::handle_batch`]) directly. One code
+//! per-connection threads and calls [`AnalysisService::handle_line_as`]
+//! for every line it reads; tests and the load-test harness call the
+//! same method (or [`AnalysisService::handle_batch`]) directly. One code
 //! path, every caller.
 //!
 //! ## Protocol (version [`PROTOCOL_VERSION`])
@@ -17,45 +18,60 @@
 //!
 //! | op         | fields                                                        |
 //! |------------|---------------------------------------------------------------|
-//! | `analyze`  | `program` (required source text), `name`, `client`, `min_np`, `max_steps`, `max_psets`, `timeout_ms`, `retries` |
+//! | `analyze`  | `program` (required source text), `name`, `client`, `client_id`, `min_np`, `max_steps`, `max_psets`, `timeout_ms`, `retries` |
 //! | `stats`    | —                                                             |
 //! | `ping`     | —                                                             |
-//! | `shutdown` | —                                                             |
+//! | `shutdown` | `mode` (`"abort"` default, or `"drain"`)                      |
 //!
 //! Every response line is a JSON object stamped with `"v"`. An
 //! `analyze` request answers with the *exact* program record `mpl
 //! analyze --json` would print (that byte-identity is the contract that
 //! makes the cache transparent); failures answer with `type:"error"`
-//! and a kebab-case `code`; a request arriving while
-//! [`ServiceConfig::max_in_flight`] analyses are already running
-//! answers with `type:"rejected"` — explicit backpressure, never an
-//! unbounded queue and never a hang.
+//! and a kebab-case `code`; overload answers with `type:"rejected"` —
+//! `code:"queue-full"` from the shared admission gate, or
+//! `code:"quota-exceeded"` (carrying `retry_after_ms`) from the
+//! per-client token bucket. Explicit backpressure, never an unbounded
+//! queue and never a hang.
 //!
-//! ## Caching
+//! ## Caching and single-flight
 //!
 //! Responses are cached by [`AnalysisRequest::fingerprint`] with the
 //! full [`AnalysisRequest::cache_check`] string stored alongside for
 //! collision safety. The cache mutex guards only lookup/insert — an
 //! analysis itself never runs under the lock, so concurrent distinct
-//! requests execute in parallel. Two *identical* concurrent requests
-//! may both miss and compute (last insert wins, refreshing the same
-//! entry); [`AnalysisService::handle_batch`] is the sequential-admission
-//! path whose counters are deterministic for any worker count.
+//! requests execute in parallel. Concurrent *identical* requests are
+//! **single-flighted**: the first becomes the leader and computes; the
+//! rest block on its flight slot and share the rendered bytes, counted
+//! as `coalesced`. For `K` identical concurrent requests against a cold
+//! cache, exactly one computes and `hits + coalesced = K - 1` — however
+//! the threads interleave.
+//!
+//! ## Persistence
+//!
+//! With [`ServiceConfig::cache_dir`] set, every insert is appended to a
+//! checksummed NDJSON journal (write-ahead, flushed per record) and the
+//! journal is compacted to the live cache contents every
+//! [`ServiceConfig::compact_every`] appends. [`AnalysisService::open`]
+//! replays the journal — tolerating a torn tail, see [`crate::persist`]
+//! — so a restarted daemon serves byte-identical responses as warm
+//! cache hits. Journal I/O errors degrade the service to in-memory
+//! caching (counted in `journal_errors`) rather than failing requests.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Mutex;
-use std::time::Duration;
+use std::path::PathBuf;
+use std::sync::atomic::{AtomicU64, AtomicU8, Ordering};
+use std::sync::{Arc, Condvar, Mutex};
+use std::time::{Duration, Instant};
 
-use mpl_runtime::{AdmissionGate, CancelToken};
+use mpl_runtime::{AdmissionGate, CancelToken, ClientQuotas, QuotaPolicy};
 
 use crate::cache::{CacheStats, ResultCache};
 use crate::config::AnalysisConfig;
 use crate::json::{json_escape, parse, JsonValue};
+use crate::persist::{CacheJournal, JournalStats};
 use crate::request::{AnalysisRequest, RequestBatch, PROTOCOL_VERSION};
 
-/// Knobs for [`AnalysisService::new`].
+/// Knobs for [`AnalysisService::open`].
 #[derive(Debug, Clone)]
-#[non_exhaustive]
 pub struct ServiceConfig {
     /// Server-side default engine configuration; per-request fields
     /// override individual knobs.
@@ -70,6 +86,13 @@ pub struct ServiceConfig {
     pub default_timeout: Option<Duration>,
     /// Default degraded-retry count when the request names none.
     pub default_retries: u32,
+    /// Directory for the persistent cache journal; `None` keeps the
+    /// cache purely in-memory.
+    pub cache_dir: Option<PathBuf>,
+    /// Journal appends between compactions.
+    pub compact_every: u64,
+    /// Per-client token-bucket policy; `None` disables quotas.
+    pub quota: Option<QuotaPolicy>,
 }
 
 impl Default for ServiceConfig {
@@ -80,6 +103,9 @@ impl Default for ServiceConfig {
             max_in_flight: 8,
             default_timeout: None,
             default_retries: 0,
+            cache_dir: None,
+            compact_every: 1024,
+            quota: None,
         }
     }
 }
@@ -91,7 +117,8 @@ pub enum Reply {
     /// Send this line and keep serving.
     Line(String),
     /// Send this line, then stop accepting requests (the service's
-    /// shutdown token is already cancelled).
+    /// shutdown token is already cancelled; consult
+    /// [`AnalysisService::shutdown_mode`] for drain-vs-abort).
     Shutdown(String),
 }
 
@@ -105,6 +132,103 @@ impl Reply {
     }
 }
 
+/// How a `shutdown` request asked the daemon to stop.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ShutdownMode {
+    /// Stop immediately; in-flight connections are abandoned (they see
+    /// a closed connection, never a hang).
+    Abort,
+    /// Stop accepting, finish in-flight requests under the transport's
+    /// drain deadline, then exit.
+    Drain,
+}
+
+impl ShutdownMode {
+    /// The wire tag for this mode.
+    #[must_use]
+    pub fn tag(self) -> &'static str {
+        match self {
+            ShutdownMode::Abort => "abort",
+            ShutdownMode::Drain => "drain",
+        }
+    }
+}
+
+/// The cache plus its optional journal — one lock, so the write-ahead
+/// append and the in-memory insert are atomic with respect to other
+/// requests.
+#[derive(Debug)]
+struct CacheState {
+    cache: ResultCache,
+    journal: Option<CacheJournal>,
+    compact_every: u64,
+    appends_since_compact: u64,
+    journal_errors: u64,
+}
+
+impl CacheState {
+    /// Journal-backed insert: write-ahead append (and periodic
+    /// compaction), then the in-memory insert. Journal failures degrade
+    /// to memory-only caching; they never fail the request.
+    fn insert(&mut self, key: u64, check: String, body: String) {
+        if let Some(journal) = &mut self.journal {
+            if journal.append(key, &check, &body).is_err() {
+                self.journal_errors += 1;
+            } else {
+                self.appends_since_compact += 1;
+            }
+        }
+        self.cache.insert(key, check, body);
+        if self.appends_since_compact >= self.compact_every {
+            self.compact();
+        }
+    }
+
+    fn compact(&mut self) {
+        if let Some(journal) = &mut self.journal {
+            if journal.compact(self.cache.iter_lru()).is_err() {
+                self.journal_errors += 1;
+            }
+            self.appends_since_compact = 0;
+        }
+    }
+
+    fn journal_stats(&self) -> Option<JournalStats> {
+        self.journal.as_ref().map(CacheJournal::stats)
+    }
+}
+
+/// One in-flight computation other identical requests can latch onto.
+/// `state` is `None` while the leader runs, then `Some(Some(body))` on
+/// success or `Some(None)` if the leader vanished without a result (the
+/// waiter recomputes).
+#[derive(Debug)]
+struct FlightSlot {
+    key: u64,
+    check: String,
+    state: Mutex<Option<Option<String>>>,
+    cv: Condvar,
+}
+
+/// Publishes the flight outcome on every exit path (including unwind):
+/// removes the slot from the table and wakes all waiters with whatever
+/// body was recorded.
+struct FlightGuard<'a> {
+    service: &'a AnalysisService,
+    slot: Arc<FlightSlot>,
+    body: Option<String>,
+}
+
+impl Drop for FlightGuard<'_> {
+    fn drop(&mut self) {
+        let mut table = self.service.flights.lock().expect("flight table lock");
+        table.retain(|s| !Arc::ptr_eq(s, &self.slot));
+        drop(table);
+        *self.slot.state.lock().expect("flight slot lock") = Some(self.body.take());
+        self.slot.cv.notify_all();
+    }
+}
+
 /// The shared daemon state. `&self` methods only — wrap it in an `Arc`
 /// and hand clones to every connection thread.
 #[derive(Debug)]
@@ -112,28 +236,91 @@ pub struct AnalysisService {
     defaults: AnalysisConfig,
     default_timeout: Option<Duration>,
     default_retries: u32,
-    cache: Mutex<ResultCache>,
+    cache: Mutex<CacheState>,
+    /// Single-flight table: at most one slot per (fingerprint, check)
+    /// pair. A `Vec` because the live set is bounded by the admission
+    /// gate capacity — a handful of entries, where a linear scan beats
+    /// hashing the check string twice.
+    flights: Mutex<Vec<Arc<FlightSlot>>>,
+    coalesced: AtomicU64,
     gate: AdmissionGate,
+    quotas: Option<ClientQuotas>,
+    /// Quota clock origin: buckets are timed in milliseconds since the
+    /// service was built, keeping the policy independent of wall time.
+    started: Instant,
     /// `analyze` requests that failed validation (admitted, but never
     /// became an engine run) — kept so stats distinguish "analyzed"
     /// from "bounced off the parser".
     invalid: AtomicU64,
+    /// Request lines refused for exceeding the transport's line cap
+    /// (counted here so they appear in `stats`, rendered via
+    /// [`AnalysisService::oversize_reply`]).
+    oversize: AtomicU64,
+    /// Entries recovered from the journal at startup.
+    replayed: u64,
     shutdown: CancelToken,
+    /// 0 = not shut down, else `ShutdownMode as u8 + 1`.
+    shutdown_mode: AtomicU8,
 }
 
 impl AnalysisService {
-    /// Builds a service from its configuration.
-    #[must_use]
-    pub fn new(config: ServiceConfig) -> AnalysisService {
-        AnalysisService {
+    /// Builds a service, opening (and replaying) the persistent cache
+    /// journal when [`ServiceConfig::cache_dir`] is set.
+    ///
+    /// # Errors
+    ///
+    /// A description of the I/O failure if the journal directory or
+    /// file cannot be opened. Never fails when `cache_dir` is `None`.
+    pub fn open(config: ServiceConfig) -> Result<AnalysisService, String> {
+        let (journal, replayed_entries) = match &config.cache_dir {
+            Some(dir) => {
+                let (journal, replay) = CacheJournal::open(dir).map_err(|e| {
+                    format!("cannot open cache journal in `{}`: {e}", dir.display())
+                })?;
+                (Some(journal), replay.entries)
+            }
+            None => (None, Vec::new()),
+        };
+        let mut cache = ResultCache::new(config.cache_capacity);
+        // Journal order is oldest-first, so replay reproduces recency
+        // and capacity keeps the newest entries.
+        let replayed = replayed_entries.len() as u64;
+        for entry in replayed_entries {
+            cache.insert(entry.key, entry.check, entry.body);
+        }
+        Ok(AnalysisService {
             defaults: config.defaults,
             default_timeout: config.default_timeout,
             default_retries: config.default_retries,
-            cache: Mutex::new(ResultCache::new(config.cache_capacity)),
+            cache: Mutex::new(CacheState {
+                cache,
+                journal,
+                compact_every: config.compact_every.max(1),
+                appends_since_compact: 0,
+                journal_errors: 0,
+            }),
+            flights: Mutex::new(Vec::new()),
+            coalesced: AtomicU64::new(0),
             gate: AdmissionGate::new(config.max_in_flight),
+            quotas: config.quota.map(ClientQuotas::new),
+            started: Instant::now(),
             invalid: AtomicU64::new(0),
+            oversize: AtomicU64::new(0),
+            replayed,
             shutdown: CancelToken::new(),
-        }
+            shutdown_mode: AtomicU8::new(0),
+        })
+    }
+
+    /// Builds a service from its configuration.
+    ///
+    /// # Panics
+    ///
+    /// If [`ServiceConfig::cache_dir`] is set and the journal cannot be
+    /// opened — use [`AnalysisService::open`] to handle that error.
+    #[must_use]
+    pub fn new(config: ServiceConfig) -> AnalysisService {
+        AnalysisService::open(config).expect("cache journal opens")
     }
 
     /// The admission gate. Exposed so tests can hold permits externally
@@ -150,17 +337,51 @@ impl AnalysisService {
         self.shutdown.clone()
     }
 
+    /// How the served `shutdown` request asked the daemon to stop, once
+    /// the shutdown token has fired.
+    #[must_use]
+    pub fn shutdown_mode(&self) -> Option<ShutdownMode> {
+        match self.shutdown_mode.load(Ordering::Acquire) {
+            1 => Some(ShutdownMode::Abort),
+            2 => Some(ShutdownMode::Drain),
+            _ => None,
+        }
+    }
+
     /// Current cache counters.
     #[must_use]
     pub fn cache_stats(&self) -> CacheStats {
-        self.cache.lock().expect("cache lock").stats()
+        self.cache.lock().expect("cache lock").cache.stats()
     }
 
-    /// Serves one request line. Never panics and never blocks beyond
-    /// the analysis itself: malformed input becomes an `error` line,
-    /// overload becomes a `rejected` line.
+    /// Identical concurrent requests served from another request's
+    /// computation.
     #[must_use]
-    pub fn handle_line(&self, line: &str) -> Reply {
+    pub fn coalesced(&self) -> u64 {
+        self.coalesced.load(Ordering::Relaxed)
+    }
+
+    /// Requests rejected by the per-client quota (0 when quotas are
+    /// off).
+    #[must_use]
+    pub fn quota_rejected(&self) -> u64 {
+        self.quotas.as_ref().map_or(0, ClientQuotas::rejected)
+    }
+
+    /// Entries recovered from the journal when the service started.
+    #[must_use]
+    pub fn replayed(&self) -> u64 {
+        self.replayed
+    }
+
+    /// Serves one request line on behalf of `peer` (the transport's
+    /// client identity — e.g. a per-connection id — used for quota
+    /// accounting unless the request carries an explicit `client_id`).
+    /// Never panics and never blocks beyond the analysis itself:
+    /// malformed input becomes an `error` line, overload becomes a
+    /// `rejected` line.
+    #[must_use]
+    pub fn handle_line_as(&self, line: &str, peer: &str) -> Reply {
         let value = match parse(line) {
             Ok(value) => value,
             Err(e) => return Reply::Line(error_line("bad-json", &e.to_string())),
@@ -174,18 +395,71 @@ impl AnalysisService {
             "ping" => Reply::Line(format!("{{\"v\":{PROTOCOL_VERSION},\"type\":\"pong\"}}")),
             "stats" => Reply::Line(self.render_stats("stats")),
             "shutdown" => {
+                let mode = match value.get("mode").map(JsonValue::as_str) {
+                    None => ShutdownMode::Abort,
+                    Some(Some("abort")) => ShutdownMode::Abort,
+                    Some(Some("drain")) => ShutdownMode::Drain,
+                    _ => {
+                        return Reply::Line(error_line(
+                            "bad-request",
+                            "`mode` must be \"drain\" or \"abort\"",
+                        ))
+                    }
+                };
+                self.shutdown_mode.store(
+                    match mode {
+                        ShutdownMode::Abort => 1,
+                        ShutdownMode::Drain => 2,
+                    },
+                    Ordering::Release,
+                );
                 self.shutdown.cancel();
                 Reply::Shutdown(format!(
-                    "{{\"v\":{PROTOCOL_VERSION},\"type\":\"shutdown\"}}"
+                    "{{\"v\":{PROTOCOL_VERSION},\"type\":\"shutdown\",\"mode\":\"{}\"}}",
+                    mode.tag()
                 ))
             }
-            "analyze" => Reply::Line(self.handle_analyze(&value)),
+            "analyze" => Reply::Line(self.handle_analyze(&value, peer)),
             other => Reply::Line(error_line("bad-request", &format!("unknown op `{other}`"))),
         }
     }
 
-    fn handle_analyze(&self, value: &JsonValue) -> String {
-        // Backpressure first: a full service answers immediately with a
+    /// [`Self::handle_line_as`] with an anonymous peer identity.
+    #[must_use]
+    pub fn handle_line(&self, line: &str) -> Reply {
+        self.handle_line_as(line, "anon")
+    }
+
+    /// The structured refusal for a request line exceeding the
+    /// transport's `limit`. Counted in `stats` as `oversize`.
+    #[must_use]
+    pub fn oversize_reply(&self, limit: usize) -> String {
+        self.oversize.fetch_add(1, Ordering::Relaxed);
+        error_line(
+            "line-too-long",
+            &format!("request line exceeds {limit} bytes"),
+        )
+    }
+
+    fn handle_analyze(&self, value: &JsonValue, peer: &str) -> String {
+        // Quota first: a client over its rate gets a structured
+        // retry-after answer before it can occupy a gate slot.
+        if let Some(quotas) = &self.quotas {
+            let client = match value.get("client_id") {
+                None => peer,
+                Some(JsonValue::Str(id)) => id.as_str(),
+                Some(_) => return error_line("bad-request", "`client_id` must be a string"),
+            };
+            let now_ms = u64::try_from(self.started.elapsed().as_millis()).unwrap_or(u64::MAX);
+            if let Err(retry_after_ms) = quotas.try_acquire(client, now_ms) {
+                return format!(
+                    "{{\"v\":{PROTOCOL_VERSION},\"type\":\"rejected\",\"code\":\"quota-exceeded\",\
+                     \"client\":\"{}\",\"retry_after_ms\":{retry_after_ms}}}",
+                    json_escape(client)
+                );
+            }
+        }
+        // Backpressure second: a full service answers immediately with a
         // structured rejection instead of queueing unboundedly. The
         // permit is RAII — released on every return path below,
         // including panics inside `execute` (which are themselves
@@ -207,26 +481,82 @@ impl AnalysisService {
         };
         let key = request.fingerprint();
         let check = request.cache_check();
-        if let Some(body) = self.cache.lock().expect("cache lock").lookup(key, &check) {
-            return body;
+        loop {
+            if let Some(body) = self
+                .cache
+                .lock()
+                .expect("cache lock")
+                .cache
+                .lookup(key, &check)
+            {
+                return body;
+            }
+            match self.join_flight(key, &check) {
+                Flight::Lead(slot) => {
+                    let mut guard = FlightGuard {
+                        service: self,
+                        slot,
+                        body: None,
+                    };
+                    let body = request.execute().json_line(false);
+                    self.cache
+                        .lock()
+                        .expect("cache lock")
+                        .insert(key, check, body.clone());
+                    guard.body = Some(body.clone());
+                    return body;
+                }
+                Flight::Join(slot) => {
+                    let outcome = {
+                        let mut state = slot.state.lock().expect("flight slot lock");
+                        while state.is_none() {
+                            state = slot.cv.wait(state).expect("flight slot wait");
+                        }
+                        state.clone().expect("loop exits only when published")
+                    };
+                    match outcome {
+                        Some(body) => {
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                            return body;
+                        }
+                        // The leader vanished without publishing a body
+                        // (it unwound past its own catch). Loop: retry
+                        // from the cache and, if still absent, lead.
+                        None => continue,
+                    }
+                }
+            }
         }
-        let body = request.execute().json_line(false);
-        self.cache
-            .lock()
-            .expect("cache lock")
-            .insert(key, check, body.clone());
-        body
+    }
+
+    /// Finds or creates the flight slot for `(key, check)`.
+    fn join_flight(&self, key: u64, check: &str) -> Flight {
+        let mut table = self.flights.lock().expect("flight table lock");
+        if let Some(slot) = table.iter().find(|s| s.key == key && s.check == check) {
+            return Flight::Join(Arc::clone(slot));
+        }
+        let slot = Arc::new(FlightSlot {
+            key,
+            check: check.to_owned(),
+            state: Mutex::new(None),
+            cv: Condvar::new(),
+        });
+        table.push(Arc::clone(&slot));
+        Flight::Lead(slot)
     }
 
     /// Serves a whole batch of `analyze` request lines with sequential
     /// cache admission and a [`RequestBatch`] fleet of `jobs` workers
     /// for the misses. Responses come back in submission order and —
-    /// unlike concurrent [`Self::handle_line`] calls — the cache
-    /// counters are deterministic for any `jobs` value: lookups happen
-    /// in submission order before the fleet runs, inserts in submission
-    /// order after it. The admission gate does not apply (the batch is
-    /// the caller's own, already-bounded workload); fleet-level retries
-    /// use the service default.
+    /// unlike concurrent [`Self::handle_line`] calls — the cache and
+    /// coalescing counters are deterministic for any `jobs` value:
+    /// lookups happen in submission order before the fleet runs,
+    /// duplicate lines within the batch coalesce onto the first
+    /// occurrence's computation (counted in `coalesced`), and inserts
+    /// happen in submission order after the fleet. The admission gate
+    /// and quotas do not apply (the batch is the caller's own,
+    /// already-bounded workload); fleet-level retries use the service
+    /// default.
     #[must_use]
     pub fn handle_batch(&self, lines: &[String], jobs: usize) -> Vec<String> {
         enum Slot {
@@ -238,13 +568,19 @@ impl AnalysisService {
                 key: u64,
                 check: String,
             },
+            /// A duplicate of an earlier line in this batch; shares the
+            /// computation of the slot at `of`.
+            Share { of: usize },
         }
         let mut slots: Vec<Slot> = Vec::with_capacity(lines.len());
+        // (fingerprint, check) of each in-batch leader → its slot index.
+        let mut leaders: std::collections::HashMap<(u64, String), usize> =
+            std::collections::HashMap::new();
         let mut batch = RequestBatch::new()
             .workers(jobs)
             .retries(self.default_retries);
         {
-            let mut cache = self.cache.lock().expect("cache lock");
+            let mut state = self.cache.lock().expect("cache lock");
             for line in lines {
                 let request = match parse(line)
                     .map_err(|e| error_line("bad-json", &e.to_string()))
@@ -264,9 +600,15 @@ impl AnalysisService {
                 };
                 let key = request.fingerprint();
                 let check = request.cache_check();
-                match cache.lookup(key, &check) {
+                match state.cache.lookup(key, &check) {
                     Some(body) => slots.push(Slot::Done(body)),
                     None => {
+                        if let Some(&of) = leaders.get(&(key, check.clone())) {
+                            self.coalesced.fetch_add(1, Ordering::Relaxed);
+                            slots.push(Slot::Share { of });
+                            continue;
+                        }
+                        leaders.insert((key, check.clone()), slots.len());
                         slots.push(Slot::Run {
                             index: batch.len(),
                             key,
@@ -278,18 +620,23 @@ impl AnalysisService {
             }
         }
         let done = batch.run();
-        let mut cache = self.cache.lock().expect("cache lock");
-        slots
-            .into_iter()
-            .map(|slot| match slot {
+        let mut state = self.cache.lock().expect("cache lock");
+        let mut resolved: Vec<String> = Vec::with_capacity(slots.len());
+        for slot in slots {
+            let body = match slot {
                 Slot::Done(line) => line,
                 Slot::Run { index, key, check } => {
                     let body = done.responses[index].json_line(false);
-                    cache.insert(key, check, body.clone());
+                    state.insert(key, check, body.clone());
                     body
                 }
-            })
-            .collect()
+                // Leaders always precede their sharers, so the body is
+                // already resolved.
+                Slot::Share { of } => resolved[of].clone(),
+            };
+            resolved.push(body);
+        }
+        resolved
     }
 
     /// Builds the request from an `analyze` object, mapping every
@@ -352,12 +699,22 @@ impl AnalysisService {
     /// Renders the stats record (`kind` is `stats` or
     /// `shutdown-summary` — same fields, different type tag).
     fn render_stats(&self, kind: &str) -> String {
-        let cache = self.cache_stats();
+        let (cache, journal, journal_errors) = {
+            let state = self.cache.lock().expect("cache lock");
+            (
+                state.cache.stats(),
+                state.journal_stats(),
+                state.journal_errors,
+            )
+        };
+        let journal = journal.unwrap_or_default();
         format!(
             "{{\"v\":{PROTOCOL_VERSION},\"type\":\"{kind}\",\"hits\":{},\"misses\":{},\
              \"evictions\":{},\"collisions\":{},\"entries\":{},\"cache_capacity\":{},\
              \"in_flight\":{},\"queue_capacity\":{},\"admitted\":{},\"rejected\":{},\
-             \"invalid\":{}}}",
+             \"invalid\":{},\"coalesced\":{},\"quota_rejected\":{},\"quota_clients\":{},\
+             \"oversize\":{},\"replayed\":{},\"journal_appends\":{},\"compactions\":{},\
+             \"journal_errors\":{journal_errors}}}",
             cache.hits,
             cache.misses,
             cache.evictions,
@@ -369,6 +726,13 @@ impl AnalysisService {
             self.gate.admitted(),
             self.gate.rejected(),
             self.invalid.load(Ordering::Relaxed),
+            self.coalesced.load(Ordering::Relaxed),
+            self.quota_rejected(),
+            self.quotas.as_ref().map_or(0, ClientQuotas::clients),
+            self.oversize.load(Ordering::Relaxed),
+            self.replayed,
+            journal.appends,
+            journal.compactions,
         )
     }
 
@@ -380,8 +744,15 @@ impl AnalysisService {
     }
 }
 
+/// A leader-or-follower decision for one cache miss.
+enum Flight {
+    Lead(Arc<FlightSlot>),
+    Join(Arc<FlightSlot>),
+}
+
 /// Renders a protocol `error` record.
-fn error_line(code: &str, message: &str) -> String {
+#[must_use]
+pub fn error_line(code: &str, message: &str) -> String {
     format!(
         "{{\"v\":{PROTOCOL_VERSION},\"type\":\"error\",\"code\":\"{}\",\"message\":\"{}\"}}",
         json_escape(code),
@@ -531,15 +902,36 @@ mod tests {
         let svc = service();
         let token = svc.shutdown_token();
         assert!(!token.is_cancelled());
+        assert_eq!(svc.shutdown_mode(), None);
         let reply = svc.handle_line("{\"op\":\"shutdown\"}");
         assert_eq!(
             reply,
-            Reply::Shutdown("{\"v\":1,\"type\":\"shutdown\"}".to_owned())
+            Reply::Shutdown("{\"v\":1,\"type\":\"shutdown\",\"mode\":\"abort\"}".to_owned())
         );
         assert!(token.is_cancelled());
+        assert_eq!(svc.shutdown_mode(), Some(ShutdownMode::Abort));
         assert!(svc
             .shutdown_summary_line()
             .contains("\"type\":\"shutdown-summary\""));
+    }
+
+    #[test]
+    fn shutdown_drain_mode_is_recorded() {
+        let svc = service();
+        let reply = svc.handle_line("{\"op\":\"shutdown\",\"mode\":\"drain\"}");
+        assert_eq!(
+            reply,
+            Reply::Shutdown("{\"v\":1,\"type\":\"shutdown\",\"mode\":\"drain\"}".to_owned())
+        );
+        assert_eq!(svc.shutdown_mode(), Some(ShutdownMode::Drain));
+        // A bad mode is an error, not a shutdown.
+        let svc = service();
+        let reply = svc.handle_line("{\"op\":\"shutdown\",\"mode\":\"meltdown\"}");
+        assert!(
+            matches!(&reply, Reply::Line(l) if l.contains("`mode` must be")),
+            "{reply:?}"
+        );
+        assert!(!svc.shutdown_token().is_cancelled());
     }
 
     #[test]
@@ -564,6 +956,26 @@ mod tests {
     }
 
     #[test]
+    fn handle_batch_coalesces_duplicates_deterministically() {
+        let source = corpus::fig2_exchange().source;
+        let lines = vec![
+            analyze_line(&source),
+            analyze_line(&source),
+            analyze_line(&source),
+        ];
+        for jobs in [1usize, 4] {
+            let svc = service();
+            let bodies = svc.handle_batch(&lines, jobs);
+            assert_eq!(bodies[0], bodies[1], "jobs={jobs}");
+            assert_eq!(bodies[0], bodies[2], "jobs={jobs}");
+            assert_eq!(svc.coalesced(), 2, "jobs={jobs}");
+            let stats = svc.cache_stats();
+            // All three lines looked up (miss), one computed.
+            assert_eq!((stats.hits, stats.misses, stats.entries), (0, 3, 1));
+        }
+    }
+
+    #[test]
     fn handle_batch_evictions_are_deterministic() {
         let programs: Vec<String> = corpus::all()
             .into_iter()
@@ -580,5 +992,115 @@ mod tests {
             assert_eq!(stats.entries, 2, "jobs={jobs}");
             assert_eq!(stats.evictions, 4, "jobs={jobs}");
         }
+    }
+
+    #[test]
+    fn concurrent_identical_requests_single_flight() {
+        use std::sync::atomic::AtomicUsize;
+        const THREADS: usize = 8;
+        let svc = std::sync::Arc::new(AnalysisService::new(ServiceConfig {
+            max_in_flight: THREADS,
+            ..ServiceConfig::default()
+        }));
+        let line = std::sync::Arc::new(analyze_line(&corpus::fig2_exchange().source));
+        let gate = std::sync::Arc::new(std::sync::Barrier::new(THREADS));
+        let served = std::sync::Arc::new(AtomicUsize::new(0));
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let svc = std::sync::Arc::clone(&svc);
+                let line = std::sync::Arc::clone(&line);
+                let gate = std::sync::Arc::clone(&gate);
+                let served = std::sync::Arc::clone(&served);
+                std::thread::spawn(move || {
+                    gate.wait();
+                    let reply = svc.handle_line(&line).line().to_owned();
+                    assert!(reply.contains("\"type\":\"program\""), "{reply}");
+                    served.fetch_add(1, Ordering::Relaxed);
+                    reply
+                })
+            })
+            .collect();
+        let bodies: Vec<String> = workers.into_iter().map(|w| w.join().unwrap()).collect();
+        assert!(bodies.windows(2).all(|w| w[0] == w[1]), "identical bytes");
+        assert_eq!(served.load(Ordering::Relaxed), THREADS);
+        let stats = svc.cache_stats();
+        // Exactly one computation: every other request was either a
+        // cache hit (arrived after the insert) or coalesced onto the
+        // leader's flight — whatever the interleaving was.
+        assert_eq!(stats.entries, 1);
+        assert_eq!(
+            stats.hits + svc.coalesced(),
+            (THREADS - 1) as u64,
+            "hits={} coalesced={}",
+            stats.hits,
+            svc.coalesced()
+        );
+        assert!(svc
+            .handle_line("{\"op\":\"stats\"}")
+            .line()
+            .contains("\"coalesced\":"));
+    }
+
+    #[test]
+    fn quota_rejections_are_structured_with_retry_hint() {
+        let svc = AnalysisService::new(ServiceConfig {
+            quota: Some(QuotaPolicy {
+                rate_per_sec: 1,
+                burst: 2,
+            }),
+            ..ServiceConfig::default()
+        });
+        let line = analyze_line(&corpus::fig2_exchange().source);
+        // The burst admits two requests; the third bounces with a
+        // retry hint (the analyses above finish in well under the one
+        // second a refill takes).
+        assert!(svc
+            .handle_line(&line)
+            .line()
+            .contains("\"type\":\"program\""));
+        assert!(svc
+            .handle_line(&line)
+            .line()
+            .contains("\"type\":\"program\""));
+        let reply = svc.handle_line(&line);
+        assert!(
+            reply
+                .line()
+                .starts_with("{\"v\":1,\"type\":\"rejected\",\"code\":\"quota-exceeded\""),
+            "{reply:?}"
+        );
+        assert!(reply.line().contains("\"retry_after_ms\":"), "{reply:?}");
+        assert!(reply.line().contains("\"client\":\"anon\""), "{reply:?}");
+        assert_eq!(svc.quota_rejected(), 1);
+        // A different client id has its own bucket.
+        let tagged = format!(
+            "{{\"op\":\"analyze\",\"client_id\":\"other\",\"client\":\"simple\",\"program\":\"{}\"}}",
+            json_escape(&corpus::fig2_exchange().source)
+        );
+        assert!(
+            svc.handle_line(&tagged)
+                .line()
+                .contains("\"type\":\"program\""),
+            "fresh client must not inherit anon's exhaustion"
+        );
+        assert!(svc
+            .handle_line("{\"op\":\"stats\"}")
+            .line()
+            .contains("\"quota_rejected\":1"));
+    }
+
+    #[test]
+    fn oversize_reply_is_structured_and_counted() {
+        let svc = service();
+        let reply = svc.oversize_reply(4096);
+        assert!(
+            reply.starts_with("{\"v\":1,\"type\":\"error\",\"code\":\"line-too-long\""),
+            "{reply}"
+        );
+        assert!(reply.contains("4096"), "{reply}");
+        assert!(svc
+            .handle_line("{\"op\":\"stats\"}")
+            .line()
+            .contains("\"oversize\":1"));
     }
 }

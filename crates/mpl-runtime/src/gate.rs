@@ -14,8 +14,9 @@
 //! a permit or tells the caller the gate is full *right now*. Rejections
 //! are counted so operators can see shed load.
 
+use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::Arc;
+use std::sync::{Arc, Mutex};
 
 /// A cloneable bounded-concurrency gate. All clones share the same
 /// capacity, in-flight count, and rejection counter.
@@ -114,6 +115,122 @@ impl Drop for Permit {
     }
 }
 
+/// Per-client rate limiting policy: a token bucket refilled at
+/// `rate_per_sec` tokens per second with at most `burst` tokens banked.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct QuotaPolicy {
+    /// Sustained requests per second granted to each client.
+    pub rate_per_sec: u64,
+    /// Maximum tokens a client can bank (its instantaneous burst size).
+    pub burst: u64,
+}
+
+/// Internal fixed-point scale: one request costs 1000 milli-tokens, so
+/// refill arithmetic stays exact in integers at millisecond resolution.
+const MILLI: u64 = 1000;
+
+#[derive(Debug)]
+struct Bucket {
+    milli_tokens: u64,
+    last_ms: u64,
+}
+
+/// Deterministic per-client token buckets — the quota layer in front of
+/// the shared [`AdmissionGate`].
+///
+/// Where the gate bounds *total* concurrency, quotas bound each client's
+/// *rate*, so one misbehaving client cannot starve the rest. The clock
+/// is supplied by the caller ([`ClientQuotas::try_acquire`] takes
+/// `now_ms`), which keeps the policy a pure function of its inputs:
+/// given the same `(client, now_ms)` sequence it always grants and
+/// rejects the same requests with the same `retry-after` hints — tests
+/// drive it with synthetic timestamps, the daemon with milliseconds
+/// since startup.
+#[derive(Debug)]
+pub struct ClientQuotas {
+    policy: QuotaPolicy,
+    buckets: Mutex<HashMap<String, Bucket>>,
+    granted: AtomicU64,
+    rejected: AtomicU64,
+}
+
+impl ClientQuotas {
+    /// Quotas under `policy`. A zero rate or burst is clamped to 1 — a
+    /// quota that can never grant anything is a misconfiguration, not a
+    /// policy.
+    #[must_use]
+    pub fn new(policy: QuotaPolicy) -> ClientQuotas {
+        ClientQuotas {
+            policy: QuotaPolicy {
+                rate_per_sec: policy.rate_per_sec.max(1),
+                burst: policy.burst.max(1),
+            },
+            buckets: Mutex::new(HashMap::new()),
+            granted: AtomicU64::new(0),
+            rejected: AtomicU64::new(0),
+        }
+    }
+
+    /// Spends one token from `client`'s bucket at time `now_ms`
+    /// (milliseconds on any monotonic clock the caller chooses). A new
+    /// client starts with a full burst. On refusal, returns the minimum
+    /// milliseconds the client must wait before a retry can succeed.
+    ///
+    /// # Errors
+    ///
+    /// `Err(retry_after_ms)` when the bucket is empty.
+    pub fn try_acquire(&self, client: &str, now_ms: u64) -> Result<(), u64> {
+        let mut buckets = self.buckets.lock().expect("quota lock");
+        let rate = self.policy.rate_per_sec;
+        let cap = self.policy.burst * MILLI;
+        let bucket = buckets.entry(client.to_owned()).or_insert(Bucket {
+            milli_tokens: cap,
+            last_ms: now_ms,
+        });
+        // Refill for elapsed time; a caller-supplied clock that moves
+        // backwards simply refills nothing (saturating, never a panic).
+        let elapsed = now_ms.saturating_sub(bucket.last_ms);
+        bucket.milli_tokens = bucket
+            .milli_tokens
+            .saturating_add(elapsed.saturating_mul(rate))
+            .min(cap);
+        bucket.last_ms = bucket.last_ms.max(now_ms);
+        if bucket.milli_tokens >= MILLI {
+            bucket.milli_tokens -= MILLI;
+            self.granted.fetch_add(1, Ordering::Relaxed);
+            Ok(())
+        } else {
+            let needed = MILLI - bucket.milli_tokens;
+            self.rejected.fetch_add(1, Ordering::Relaxed);
+            Err(needed.div_ceil(rate).max(1))
+        }
+    }
+
+    /// The (clamped) policy in force.
+    #[must_use]
+    pub fn policy(&self) -> QuotaPolicy {
+        self.policy
+    }
+
+    /// Total requests granted across all clients.
+    #[must_use]
+    pub fn granted(&self) -> u64 {
+        self.granted.load(Ordering::Relaxed)
+    }
+
+    /// Total requests refused across all clients.
+    #[must_use]
+    pub fn rejected(&self) -> u64 {
+        self.rejected.load(Ordering::Relaxed)
+    }
+
+    /// Number of distinct clients seen so far.
+    #[must_use]
+    pub fn clients(&self) -> usize {
+        self.buckets.lock().expect("quota lock").len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -168,6 +285,128 @@ mod tests {
         assert_eq!(gate.rejected(), 1);
         drop(permit);
         assert!(clone.try_admit().is_some());
+    }
+
+    #[test]
+    fn saturation_storm_accounting_is_exact() {
+        // N threads hammer a tiny gate: nothing may hang, the peak may
+        // never exceed capacity, and afterwards the books must balance
+        // exactly — every attempt was either admitted or rejected, and
+        // every permit was released.
+        const THREADS: usize = 8;
+        const ATTEMPTS: u64 = 500;
+        let gate = AdmissionGate::new(2);
+        let workers: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let gate = gate.clone();
+                std::thread::spawn(move || {
+                    for round in 0..ATTEMPTS {
+                        if let Some(_permit) = gate.try_admit() {
+                            assert!(gate.in_flight() <= gate.capacity());
+                            if round % 7 == 0 {
+                                std::thread::yield_now();
+                            }
+                        }
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("storm worker");
+        }
+        assert_eq!(gate.in_flight(), 0, "all permits released");
+        assert_eq!(
+            gate.admitted() + gate.rejected(),
+            THREADS as u64 * ATTEMPTS,
+            "every attempt accounted for exactly once"
+        );
+        assert!(gate.admitted() >= 1);
+        // The drained gate is immediately usable again.
+        assert!(gate.try_admit().is_some());
+    }
+
+    #[test]
+    fn quota_bucket_grants_burst_then_rejects_with_retry_hint() {
+        let quotas = ClientQuotas::new(QuotaPolicy {
+            rate_per_sec: 2,
+            burst: 3,
+        });
+        // Full burst up front, all at t=0.
+        for _ in 0..3 {
+            assert_eq!(quotas.try_acquire("a", 0), Ok(()));
+        }
+        // Empty: 1000 milli-tokens needed at 2/ms-of-1000 → 500 ms.
+        assert_eq!(quotas.try_acquire("a", 0), Err(500));
+        assert_eq!(quotas.rejected(), 1);
+        // 250 ms later: half a token banked, still short by 500 milli.
+        assert_eq!(quotas.try_acquire("a", 250), Err(250));
+        // At the hinted time the retry succeeds exactly.
+        assert_eq!(quotas.try_acquire("a", 500), Ok(()));
+        assert_eq!(quotas.granted(), 4);
+    }
+
+    #[test]
+    fn quota_buckets_are_per_client_and_capped() {
+        let quotas = ClientQuotas::new(QuotaPolicy {
+            rate_per_sec: 1,
+            burst: 2,
+        });
+        assert_eq!(quotas.try_acquire("a", 0), Ok(()));
+        assert_eq!(quotas.try_acquire("a", 0), Ok(()));
+        assert!(quotas.try_acquire("a", 0).is_err(), "a exhausted");
+        // b is unaffected by a's exhaustion.
+        assert_eq!(quotas.try_acquire("b", 0), Ok(()));
+        assert_eq!(quotas.clients(), 2);
+        // A long idle period refills to the burst cap, not beyond.
+        assert_eq!(quotas.try_acquire("a", 3_600_000), Ok(()));
+        assert_eq!(quotas.try_acquire("a", 3_600_000), Ok(()));
+        assert!(quotas.try_acquire("a", 3_600_000).is_err());
+        // A clock that jumps backwards refills nothing and never panics.
+        assert!(quotas.try_acquire("a", 1_000_000).is_err());
+    }
+
+    #[test]
+    fn quota_zero_policy_is_clamped() {
+        let quotas = ClientQuotas::new(QuotaPolicy {
+            rate_per_sec: 0,
+            burst: 0,
+        });
+        assert_eq!(
+            quotas.policy(),
+            QuotaPolicy {
+                rate_per_sec: 1,
+                burst: 1
+            }
+        );
+        assert_eq!(quotas.try_acquire("a", 0), Ok(()));
+        assert_eq!(quotas.try_acquire("a", 0), Err(1000));
+    }
+
+    #[test]
+    fn quota_sequence_is_deterministic() {
+        // The same (client, now_ms) sequence always produces the same
+        // grant/reject pattern — the property the daemon's structured
+        // `retry-after-ms` answers rely on.
+        let run = || {
+            let quotas = ClientQuotas::new(QuotaPolicy {
+                rate_per_sec: 5,
+                burst: 2,
+            });
+            let schedule: &[(&str, u64)] = &[
+                ("a", 0),
+                ("a", 10),
+                ("a", 20),
+                ("b", 20),
+                ("a", 400),
+                ("a", 400),
+                ("b", 500),
+            ];
+            schedule
+                .iter()
+                .map(|(c, t)| quotas.try_acquire(c, *t))
+                .collect::<Vec<_>>()
+        };
+        assert_eq!(run(), run());
     }
 
     #[test]

@@ -42,5 +42,5 @@ pub mod pool;
 
 pub use cancel::CancelToken;
 pub use deque::StealDeque;
-pub use gate::{AdmissionGate, Permit};
+pub use gate::{AdmissionGate, ClientQuotas, Permit, QuotaPolicy};
 pub use pool::{panic_message, run_ordered, JobFailure, Pool, PoolStats};

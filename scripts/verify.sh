@@ -114,6 +114,54 @@ wait "$serve_pid" || { echo "serve daemon exited nonzero"; exit 1; }
 grep -q '"type":"shutdown-summary"' "$smoke_dir/serve.log" \
   || { echo "missing shutdown summary"; cat "$smoke_dir/serve.log"; exit 1; }
 
+echo "== serve crash-recovery smoke (kill -9 + warm restart) =="
+# A daemon with a persistent cache journal is killed with SIGKILL while
+# clients are mid-flight; a restart on the same --cache-dir must replay
+# the journal and serve the settled requests as warm, byte-identical
+# hits. Finishes with a graceful drain shutdown.
+chaos_dir="$smoke_dir/chaos-cache"
+chaos_sock="$smoke_dir/chaos.sock"
+for i in 1 2 3; do printf 'x := %s;\nprint x;\n' "$i" > "$smoke_dir/chaos$i.mpl"; done
+"$MPL" serve --socket "$chaos_sock" --cache-dir "$chaos_dir" > "$smoke_dir/chaos1.log" &
+chaos_pid=$!
+for _ in $(seq 1 100); do [ -S "$chaos_sock" ] && break; sleep 0.05; done
+[ -S "$chaos_sock" ] || { echo "chaos daemon did not come up"; exit 1; }
+# Settle three distinct programs so their journal records are durable.
+for i in 1 2 3; do
+  "$MPL" client --socket "$chaos_sock" --file "$smoke_dir/chaos$i.mpl" > "$smoke_dir/chaos-cold$i.json"
+done
+# Racing load at kill time: these clients may fail, and that is fine.
+for i in 1 2 3 4; do
+  "$MPL" client --socket "$chaos_sock" --file "$smoke_dir/chaos1.mpl" >/dev/null 2>&1 &
+done
+kill -9 "$chaos_pid"
+wait "$chaos_pid" 2>/dev/null || true
+wait || true
+rm -f "$chaos_sock"
+"$MPL" serve --socket "$chaos_sock" --cache-dir "$chaos_dir" > "$smoke_dir/chaos2.log" &
+chaos_pid=$!
+for _ in $(seq 1 100); do [ -S "$chaos_sock" ] && break; sleep 0.05; done
+[ -S "$chaos_sock" ] || { echo "chaos daemon did not restart"; exit 1; }
+for i in 1 2 3; do
+  "$MPL" client --socket "$chaos_sock" --file "$smoke_dir/chaos$i.mpl" > "$smoke_dir/chaos-warm$i.json"
+  diff "$smoke_dir/chaos-cold$i.json" "$smoke_dir/chaos-warm$i.json" \
+    || { echo "warm response $i diverged from its pre-crash bytes"; exit 1; }
+done
+chaos_oneshot=$("$MPL" analyze "$smoke_dir/chaos1.mpl" --json)
+diff <(printf '%s\n' "$chaos_oneshot") "$smoke_dir/chaos-warm1.json" \
+  || { echo "journal-replayed response diverged from mpl analyze --json"; exit 1; }
+chaos_stats=$("$MPL" client --socket "$chaos_sock" --op stats)
+replayed=$(grep -o '"replayed":[0-9]*' <<< "$chaos_stats" | grep -o '[0-9]*')
+warm_hits=$(grep -o '"hits":[0-9]*' <<< "$chaos_stats" | grep -o '[0-9]*')
+[ "$replayed" -ge 3 ] || { echo "expected >= 3 replayed journal entries: $chaos_stats"; exit 1; }
+[ "$warm_hits" -ge 3 ] || { echo "expected >= 3 warm hits after restart: $chaos_stats"; exit 1; }
+"$MPL" client --socket "$chaos_sock" --op shutdown --mode drain >/dev/null
+wait "$chaos_pid" || { echo "chaos daemon exited nonzero after drain"; exit 1; }
+grep -q '"type":"drain"' "$smoke_dir/chaos2.log" \
+  || { echo "missing drain record"; cat "$smoke_dir/chaos2.log"; exit 1; }
+grep -q '"type":"shutdown-summary"' "$smoke_dir/chaos2.log" \
+  || { echo "missing shutdown summary"; cat "$smoke_dir/chaos2.log"; exit 1; }
+
 echo "== serve load bench artifact =="
 # Replays the corpus against the in-process service from 8 concurrent
 # clients; emits BENCH_serve.json (p50/p99 latency, cache hit rate,
@@ -125,6 +173,10 @@ grep -q '"bench":"serve_load"' BENCH_serve.json \
   || { echo "BENCH_serve.json missing or malformed"; exit 1; }
 grep -q '"rejected_structured":true' BENCH_serve.json \
   || { echo "BENCH_serve.json missing structured-rejection check"; exit 1; }
+grep -q '"coalesced":' BENCH_serve.json \
+  || { echo "BENCH_serve.json missing coalesced counter"; exit 1; }
+grep -q '"quota_rejected":' BENCH_serve.json \
+  || { echo "BENCH_serve.json missing quota counters"; exit 1; }
 
 echo "== state-sharing bench artifact (E18) =="
 # Emits BENCH_state_sharing.json (per-program totals, phase splits,

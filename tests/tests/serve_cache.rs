@@ -105,9 +105,10 @@ fn distinct_configs_never_share_a_cache_entry() {
 
 #[test]
 fn saturated_gate_rejects_immediately_with_structure() {
-    let mut config = ServiceConfig::default();
-    config.max_in_flight = 2;
-    let svc = AnalysisService::new(config);
+    let svc = AnalysisService::new(ServiceConfig {
+        max_in_flight: 2,
+        ..ServiceConfig::default()
+    });
     let _a = svc.gate().try_admit().expect("permit 1");
     let _b = svc.gate().try_admit().expect("permit 2");
     let start = std::time::Instant::now();

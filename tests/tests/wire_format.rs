@@ -32,7 +32,9 @@ const ERROR_CODES: &[&str] = &[
     "unknown-client",
     "missing-program",
     "bad-config",
+    "line-too-long",
 ];
+const REJECTION_CODES: &[&str] = &["queue-full", "quota-exceeded"];
 
 fn kebab(s: &str) -> bool {
     !s.is_empty()
@@ -165,6 +167,14 @@ fn served_records_use_the_versioned_envelope() {
         "admitted",
         "rejected",
         "invalid",
+        "coalesced",
+        "quota_rejected",
+        "quota_clients",
+        "oversize",
+        "replayed",
+        "journal_appends",
+        "compactions",
+        "journal_errors",
     ] {
         assert!(
             int_field(&stats, key, stats_line.line()) >= 0,
@@ -175,15 +185,19 @@ fn served_records_use_the_versioned_envelope() {
     // The shutdown summary reuses the stats schema under its own tag.
     let (ty, _) = record(&svc.shutdown_summary_line());
     assert_eq!(ty, "shutdown-summary");
-    let (ty, _) = record(svc.handle_line("{\"op\":\"shutdown\"}").line());
+    let (ty, shutdown) = record(svc.handle_line("{\"op\":\"shutdown\"}").line());
     assert_eq!(ty, "shutdown");
+    // The shutdown reply names its mode, from the pinned pair.
+    let mode = str_field(&shutdown, "mode", "shutdown record");
+    assert!(["abort", "drain"].contains(&mode.as_str()), "{mode}");
 }
 
 #[test]
 fn error_and_rejection_codes_are_pinned_kebab_case() {
-    let mut config = ServiceConfig::default();
-    config.max_in_flight = 1;
-    let svc = AnalysisService::new(config);
+    let svc = AnalysisService::new(ServiceConfig {
+        max_in_flight: 1,
+        ..ServiceConfig::default()
+    });
     let failures = [
         ("not json", "bad-json"),
         ("{\"program\":\"x := 1;\"}", "bad-request"),
@@ -210,12 +224,40 @@ fn error_and_rejection_codes_are_pinned_kebab_case() {
         str_field(&value, "message", reply.line());
     }
 
+    // An oversized request line is also a pinned error code.
+    let oversize = svc.oversize_reply(4096);
+    let (ty, value) = record(&oversize);
+    assert_eq!(ty, "error");
+    assert_eq!(str_field(&value, "code", &oversize), "line-too-long");
+    assert!(ERROR_CODES.contains(&"line-too-long"));
+
     // Backpressure: a saturated gate answers `rejected`, also versioned.
     let held = svc.gate().try_admit().expect("gate starts empty");
     let reply = svc.handle_line("{\"op\":\"analyze\",\"program\":\"x := 1;\"}");
     let (ty, value) = record(reply.line());
     assert_eq!(ty, "rejected");
-    assert_eq!(str_field(&value, "code", reply.line()), "queue-full");
+    let code = str_field(&value, "code", reply.line());
+    assert_eq!(code, "queue-full");
+    assert!(REJECTION_CODES.contains(&code.as_str()));
     assert_eq!(int_field(&value, "capacity", reply.line()), 1);
     drop(held);
+
+    // Quota exhaustion: `rejected` with the pinned code and retry hint.
+    let svc = AnalysisService::new(ServiceConfig {
+        quota: Some(mpl_core::QuotaPolicy {
+            rate_per_sec: 1,
+            burst: 1,
+        }),
+        ..ServiceConfig::default()
+    });
+    let analyze = "{\"op\":\"analyze\",\"program\":\"x := 1;\"}";
+    let _ = svc.handle_line(analyze);
+    let reply = svc.handle_line(analyze);
+    let (ty, value) = record(reply.line());
+    assert_eq!(ty, "rejected");
+    let code = str_field(&value, "code", reply.line());
+    assert_eq!(code, "quota-exceeded");
+    assert!(REJECTION_CODES.contains(&code.as_str()));
+    assert!(int_field(&value, "retry_after_ms", reply.line()) > 0);
+    str_field(&value, "client", reply.line());
 }
