@@ -1,0 +1,234 @@
+//! SCC condensation and reverse-postorder priorities for scheduling.
+//!
+//! The worklist scheduler explores pCFG states in FIFO order by default,
+//! but a classic dataflow heuristic (and the ordering both reference
+//! parallel-dataflow implementations use) is to drive the worklist in
+//! reverse postorder over the *condensation* of the CFG: strongly
+//! connected components (loop nests) are collapsed to single scheduling
+//! units, units are ranked topologically, and work at an earlier unit is
+//! preferred so facts flow forward before a loop is re-entered.
+//!
+//! [`SccRanks`] computes that ranking once per CFG with an iterative
+//! Tarjan pass (no recursion, so deep straight-line CFGs cannot overflow
+//! the stack) followed by a reverse postorder walk of the condensation.
+//! Nodes in the same SCC share a rank; a node with a smaller rank should
+//! be scheduled earlier.
+
+use crate::graph::{Cfg, CfgNodeId};
+
+/// Reverse-postorder ranks over the SCC condensation of a [`Cfg`].
+#[derive(Debug, Clone)]
+pub struct SccRanks {
+    /// `rank[node.0]` — the scheduling priority of each CFG node
+    /// (smaller = earlier). Nodes unreachable from the entry share the
+    /// maximum rank so they sort after all reachable work.
+    rank: Vec<u32>,
+    /// Number of strongly connected components found.
+    scc_count: usize,
+}
+
+impl SccRanks {
+    /// Computes SCC condensation reverse-postorder ranks for `cfg`.
+    #[must_use]
+    pub fn compute(cfg: &Cfg) -> SccRanks {
+        let n = cfg.node_count();
+        let comp = tarjan_components(cfg);
+        let scc_count = comp.count;
+        // Condensation edges: component of u -> component of v for every
+        // CFG edge u -> v crossing components.
+        let mut cedges: Vec<Vec<usize>> = vec![Vec::new(); scc_count];
+        for id in cfg.node_ids() {
+            let cu = comp.of[id.0 as usize];
+            for &(_, succ) in cfg.succs(id) {
+                let cv = comp.of[succ.0 as usize];
+                if cu != cv {
+                    cedges[cu].push(cv);
+                }
+            }
+        }
+        // Reverse postorder over the condensation, rooted at the entry's
+        // component. The condensation is a DAG, so an iterative DFS with
+        // an explicit "children done" marker yields a postorder directly.
+        let root = comp.of[cfg.entry().0 as usize];
+        let mut post: Vec<usize> = Vec::with_capacity(scc_count);
+        let mut visited = vec![false; scc_count];
+        let mut stack: Vec<(usize, bool)> = vec![(root, false)];
+        while let Some((c, done)) = stack.pop() {
+            if done {
+                post.push(c);
+                continue;
+            }
+            if visited[c] {
+                continue;
+            }
+            visited[c] = true;
+            stack.push((c, true));
+            // Push successors in reverse so the first edge is explored
+            // first — a fixed, deterministic order.
+            for &s in cedges[c].iter().rev() {
+                if !visited[s] {
+                    stack.push((s, false));
+                }
+            }
+        }
+        // post is postorder; reverse it for the ranking.
+        let unreachable_rank = u32::try_from(post.len()).expect("rank overflow");
+        let mut comp_rank = vec![unreachable_rank; scc_count];
+        for (i, &c) in post.iter().rev().enumerate() {
+            comp_rank[c] = u32::try_from(i).expect("rank overflow");
+        }
+        let rank = (0..n).map(|i| comp_rank[comp.of[i]]).collect();
+        SccRanks { rank, scc_count }
+    }
+
+    /// The scheduling rank of `node` (smaller = scheduled earlier).
+    #[must_use]
+    pub fn rank(&self, node: CfgNodeId) -> u32 {
+        self.rank[node.0 as usize]
+    }
+
+    /// Number of strongly connected components in the CFG.
+    #[must_use]
+    pub fn scc_count(&self) -> usize {
+        self.scc_count
+    }
+
+    /// The per-node rank table, indexed by `CfgNodeId.0`.
+    #[must_use]
+    pub fn table(&self) -> &[u32] {
+        &self.rank
+    }
+}
+
+struct Components {
+    /// Node index → component index.
+    of: Vec<usize>,
+    count: usize,
+}
+
+/// Iterative Tarjan: components are numbered in completion order (which
+/// is deterministic for a given CFG), every node reachable from entry is
+/// assigned; unreachable nodes get singleton components afterwards.
+fn tarjan_components(cfg: &Cfg) -> Components {
+    const UNSET: usize = usize::MAX;
+    let n = cfg.node_count();
+    let mut index = vec![UNSET; n];
+    let mut lowlink = vec![0usize; n];
+    let mut on_stack = vec![false; n];
+    let mut comp = vec![UNSET; n];
+    let mut stack: Vec<usize> = Vec::new();
+    let mut next_index = 0usize;
+    let mut count = 0usize;
+
+    // Explicit DFS frames: (node, next successor position).
+    let mut frames: Vec<(usize, usize)> = Vec::new();
+    let roots: Vec<usize> = std::iter::once(cfg.entry().0 as usize)
+        .chain(0..n)
+        .collect();
+    for root in roots {
+        if index[root] != UNSET {
+            continue;
+        }
+        frames.push((root, 0));
+        index[root] = next_index;
+        lowlink[root] = next_index;
+        next_index += 1;
+        stack.push(root);
+        on_stack[root] = true;
+        while let Some(&mut (v, ref mut pos)) = frames.last_mut() {
+            let succs = cfg.succs(CfgNodeId(u32::try_from(v).expect("node id")));
+            if *pos < succs.len() {
+                let w = succs[*pos].1 .0 as usize;
+                *pos += 1;
+                if index[w] == UNSET {
+                    index[w] = next_index;
+                    lowlink[w] = next_index;
+                    next_index += 1;
+                    stack.push(w);
+                    on_stack[w] = true;
+                    frames.push((w, 0));
+                } else if on_stack[w] {
+                    lowlink[v] = lowlink[v].min(index[w]);
+                }
+                continue;
+            }
+            frames.pop();
+            if let Some(&(parent, _)) = frames.last() {
+                lowlink[parent] = lowlink[parent].min(lowlink[v]);
+            }
+            if lowlink[v] == index[v] {
+                loop {
+                    let w = stack.pop().expect("tarjan stack");
+                    on_stack[w] = false;
+                    comp[w] = count;
+                    if w == v {
+                        break;
+                    }
+                }
+                count += 1;
+            }
+        }
+    }
+    Components { of: comp, count }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::graph::Cfg;
+    use mpl_lang::parse_program;
+
+    fn ranks_of(source: &str) -> (Cfg, SccRanks) {
+        let program = parse_program(source).expect("parse");
+        let cfg = Cfg::build(&program);
+        let ranks = SccRanks::compute(&cfg);
+        (cfg, ranks)
+    }
+
+    #[test]
+    fn straight_line_ranks_are_strictly_topological() {
+        let (cfg, ranks) = ranks_of("x := 1;\ny := x + 1;\nprint y;\n");
+        // No cycles: every edge goes from a smaller to a larger rank.
+        for id in cfg.node_ids() {
+            for &(_, succ) in cfg.succs(id) {
+                assert!(
+                    ranks.rank(id) < ranks.rank(succ),
+                    "edge {id:?} -> {succ:?} not topological"
+                );
+            }
+        }
+        assert_eq!(ranks.scc_count(), cfg.node_count());
+        assert_eq!(ranks.rank(cfg.entry()), 0);
+    }
+
+    #[test]
+    fn loop_bodies_collapse_to_one_unit() {
+        let (cfg, ranks) = ranks_of("i := 0;\nwhile i < np do\n  i := i + 1;\nend\nprint i;\n");
+        // The loop header and body share one SCC (equal ranks); the exit
+        // side of the loop ranks strictly after it.
+        let mut loop_rank = None;
+        for id in cfg.node_ids() {
+            for &(_, succ) in cfg.succs(id) {
+                if ranks.rank(succ) < ranks.rank(id) {
+                    panic!("back edge {id:?} -> {succ:?} escapes its SCC");
+                }
+                if ranks.rank(succ) == ranks.rank(id) {
+                    loop_rank = Some(ranks.rank(id));
+                }
+            }
+        }
+        let loop_rank = loop_rank.expect("loop produces an SCC of >1 node");
+        assert!(ranks.rank(cfg.exit()) > loop_rank);
+        assert!(ranks.scc_count() < cfg.node_count());
+    }
+
+    #[test]
+    fn ranks_are_deterministic() {
+        let src = "i := 0;\nwhile i < np do\n  i := i + 1;\nend\nprint i;\n";
+        let (cfg, a) = ranks_of(src);
+        let (_, b) = ranks_of(src);
+        for id in cfg.node_ids() {
+            assert_eq!(a.rank(id), b.rank(id));
+        }
+    }
+}

@@ -149,9 +149,14 @@ fn transport_flags(flags: &Flags) -> Result<(Option<String>, Option<String>), St
 fn service_config(flags: &Flags) -> Result<ServiceConfig, String> {
     let client = parse_client(flags)?;
     let min_np: i64 = flags.parse_value("--min-np", AnalysisConfig::default().min_np)?;
+    let par: usize = flags.parse_value("--par", 1)?;
+    if par == 0 {
+        return Err("invalid value `0` for `--par`".to_owned());
+    }
     let defaults = AnalysisConfig::builder()
         .client(client)
         .min_np(min_np)
+        .intra_jobs(par)
         .build()
         .map_err(|e| e.to_string())?;
     let timeout_ms: u64 = flags.parse_value("--timeout-ms", 0)?;
@@ -204,6 +209,7 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
             "--min-np",
             "--timeout-ms",
             "--retries",
+            "--par",
         ],
         &[],
     )?;
@@ -254,13 +260,11 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
                 match listener.accept() {
                     Ok((stream, _)) => {
                         conn_seq += 1;
-                        spawn_connection(
-                            Arc::clone(&service),
-                            &registry,
-                            stream,
-                            conn_seq,
-                            max_line,
-                        );
+                        // Unix peer credentials are not portable; the
+                        // per-connection sequence number is the quota
+                        // identity for anonymous local clients.
+                        let peer = format!("conn-{conn_seq}");
+                        spawn_connection(Arc::clone(&service), &registry, stream, peer, max_line);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
@@ -273,15 +277,13 @@ pub(crate) fn cmd_serve(args: &[String]) -> Result<CmdOutput, String> {
             listener.set_nonblocking(true).map_err(|e| e.to_string())?;
             while !shutdown.is_cancelled() {
                 match listener.accept() {
-                    Ok((stream, _)) => {
-                        conn_seq += 1;
-                        spawn_connection(
-                            Arc::clone(&service),
-                            &registry,
-                            stream,
-                            conn_seq,
-                            max_line,
-                        );
+                    Ok((stream, remote)) => {
+                        // The remote address is the quota identity: a
+                        // client that reconnects without a `client_id`
+                        // keeps its bucket instead of minting a fresh
+                        // anonymous one per connection.
+                        let peer = remote.to_string();
+                        spawn_connection(Arc::clone(&service), &registry, stream, peer, max_line);
                     }
                     Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
                         std::thread::sleep(ACCEPT_POLL);
@@ -322,7 +324,7 @@ fn spawn_connection<S>(
     service: Arc<AnalysisService>,
     registry: &Arc<ConnRegistry>,
     stream: S,
-    conn_seq: u64,
+    peer: String,
     max_line: usize,
 ) where
     S: std::io::Read + std::io::Write + TryCloneStream + Send + 'static,
@@ -343,7 +345,6 @@ fn spawn_connection<S>(
         let Ok(read_half) = stream.try_clone_stream() else {
             return;
         };
-        let peer = format!("conn-{conn_seq}");
         let mut reader = BufReader::new(read_half);
         let mut writer = stream;
         let mut buf: Vec<u8> = Vec::new();
@@ -492,6 +493,7 @@ pub(crate) fn cmd_client(args: &[String]) -> Result<CmdOutput, String> {
             "--max-steps",
             "--timeout-ms",
             "--retries",
+            "--par",
         ],
         &[],
     )?;
@@ -578,6 +580,7 @@ fn build_analyze_line(flags: &Flags) -> Result<String, String> {
         ("--max-steps", "max_steps"),
         ("--timeout-ms", "timeout_ms"),
         ("--retries", "retries"),
+        ("--par", "par"),
     ] {
         if let Some(raw) = flags.value(flag) {
             let n: i64 = raw

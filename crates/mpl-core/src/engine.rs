@@ -14,6 +14,23 @@
 //! * [`AnalysisObserver`] (see [`crate::observer`]) — instrumentation
 //!   hooks, generic so the default no-op observer compiles away.
 //!
+//! # Two-tier execution
+//!
+//! Since the frontier-parallel refactor the worklist runs in *rounds*:
+//! each round drains the entire ready frontier from the
+//! [`crate::scheduler`] (tier 1, the frontier extractor), steps every
+//! drained state, and merges the results back — counting steps, firing
+//! observer hooks, normalizing successors and admitting them — strictly
+//! in extraction order (tier 2). Stepping itself is **pure**: a
+//! [`Stepper`] touches no engine accumulator and instead records its
+//! side effects (matches, prints, promotions, ⊤ causes, …) as an
+//! ordered [`TaskAction`] log that the merge replays. That purity is
+//! what lets `intra_jobs > 1` fan the stepping of one round across
+//! [`mpl_runtime::RoundExecutor`] workers — grouped by interned
+//! [`LocationKey`], results merged in submission order — while
+//! verdicts, step counts, traces and match events stay byte-identical
+//! to the sequential loop for any worker count.
+//!
 //! Worklist order, budgets and widening bookkeeping live in
 //! [`crate::scheduler`]. This module re-exports the configuration and
 //! result types that historically lived here, so existing
@@ -22,20 +39,21 @@
 use std::collections::{BTreeMap, BTreeSet};
 use std::time::Instant;
 
-use mpl_cfg::{Cfg, CfgNode, CfgNodeId, EdgeKind};
-use mpl_domains::{LinExpr, VarId};
+use mpl_cfg::{Cfg, CfgNode, CfgNodeId, EdgeKind, SccRanks};
+use mpl_domains::{ClosureStats, LinExpr, VarId};
 use mpl_lang::ast::{BinOp, Expr, Program, UnOp};
 use mpl_procset::{ProcRange, SubtractOutcome};
+use mpl_runtime::RoundExecutor;
 
 use crate::client::ClientDomain;
 use crate::matcher::{MatchOutcome, RecvSite, SendSite};
 use crate::norm::NormCtx;
 use crate::observer::{AnalysisObserver, EngineProfile, NoopObserver, TraceObserver};
-use crate::scheduler::Scheduler;
+use crate::scheduler::{LocationKey, Scheduler};
 use crate::state::{AnalysisState, PendingSend};
 
 pub use crate::client::Client;
-pub use crate::config::{AnalysisConfig, AnalysisConfigBuilder, ConfigError};
+pub use crate::config::{AnalysisConfig, AnalysisConfigBuilder, ConfigError, ScheduleOrder};
 pub use crate::result::{AnalysisResult, MatchEvent, PrintFact, TopReason, Verdict};
 pub use crate::scheduler::CANCEL_CHECK_STEPS;
 
@@ -78,231 +96,85 @@ pub fn analyze_cfg_with<O: AnalysisObserver>(
     Engine::new(cfg, config.clone(), observer).run()
 }
 
-struct Engine<'a, O: AnalysisObserver> {
-    cfg: &'a Cfg,
-    norm: NormCtx,
-    config: AnalysisConfig,
-    domain: &'static dyn ClientDomain,
-    session: crate::session::AnalysisSession,
-    scheduler: Scheduler,
-    observer: &'a mut O,
-    assumes: Vec<Expr>,
-    matches: BTreeSet<(CfgNodeId, CfgNodeId)>,
-    events: BTreeMap<String, MatchEvent>,
-    prints: BTreeMap<(CfgNodeId, String), Option<i64>>,
-    leaks: BTreeSet<CfgNodeId>,
-    deadlock: Option<Vec<(CfgNodeId, String)>>,
-    top: Option<TopReason>,
+/// The message of the test-only injected fault
+/// ([`AnalysisConfig::panic_at_step`]). Inline and parallel runs panic
+/// with the identical payload, so the structured failure surfaced by
+/// the request layer is byte-identical across `--par` values.
+fn fault_message(step: u64) -> String {
+    format!("injected engine fault at step {step}")
 }
 
-impl<'a, O: AnalysisObserver> Engine<'a, O> {
-    fn new(cfg: &'a Cfg, config: AnalysisConfig, observer: &'a mut O) -> Engine<'a, O> {
-        let norm = NormCtx::from_cfg(cfg);
-        let assumes = cfg
-            .node_ids()
-            .filter_map(|id| match cfg.node(id) {
-                CfgNode::Assume(e) => Some(e.clone()),
-                _ => None,
-            })
-            .collect();
-        let session = crate::session::AnalysisSession::new(config.widen_thresholds.clone());
-        let scheduler = Scheduler::new(&config);
-        Engine {
-            cfg,
-            norm,
-            config,
-            domain: Client::default().domain(),
-            session,
-            scheduler,
-            observer,
-            assumes,
-            matches: BTreeSet::new(),
-            events: BTreeMap::new(),
-            prints: BTreeMap::new(),
-            leaks: BTreeSet::new(),
-            deadlock: None,
-            top: None,
+/// The immutable context one frontier step reads — everything the pure
+/// [`Stepper`] needs, shareable across round-executor worker threads
+/// ([`ClientDomain`] is `Sync`, the rest is plain borrowed data).
+#[derive(Clone, Copy)]
+struct StepCtx<'a> {
+    cfg: &'a Cfg,
+    norm: &'a NormCtx,
+    domain: &'static dyn ClientDomain,
+    assumes: &'a [Expr],
+    allow_pending_sends: bool,
+}
+
+/// One side effect recorded while stepping a frontier item, in the
+/// exact order the sequential engine would have performed it. The merge
+/// replays the log against the observer and the engine accumulators, so
+/// a speculative parallel step leaves no trace until (and unless) its
+/// item is actually merged.
+enum TaskAction {
+    /// A pending send was buffered on pset `idx` (`state` is the
+    /// pre-promotion state the observer hook documents).
+    Promote { idx: usize, state: AnalysisState },
+    /// The state forked on the undecidable comparison `a <=> b`.
+    Split { a: LinExpr, b: LinExpr },
+    /// A send–receive match was established.
+    Match { event: MatchEvent },
+    /// A matcher proposal could not be applied.
+    MatchRejected,
+    /// The analysis gave up with ⊤ (the last replayed reason wins).
+    Top { reason: TopReason },
+    /// A guaranteed deadlock was proven (the first replayed report
+    /// wins).
+    Deadlock { blocked: Vec<(CfgNodeId, String)> },
+    /// A `print` fact was evaluated; the merge folds it into the
+    /// per-(node, range) table under the conflicting-values-to-unknown
+    /// rule.
+    Print {
+        node: CfgNodeId,
+        range: String,
+        value: Option<i64>,
+    },
+}
+
+/// Everything stepping one frontier item produced.
+struct StepOutput {
+    successors: Vec<AnalysisState>,
+    actions: Vec<TaskAction>,
+    /// Closure-counter delta of this step (parallel rounds only): the
+    /// merge adds the deltas of *merged* items, so the reported
+    /// counters match a sequential run, which never steps the items a
+    /// budget stop discards.
+    closure: ClosureStats,
+}
+
+/// The pure tier-2 stepper: advances one state, recording side effects
+/// as a [`TaskAction`] log instead of touching the engine.
+struct Stepper<'a> {
+    ctx: StepCtx<'a>,
+    actions: Vec<TaskAction>,
+}
+
+impl<'a> Stepper<'a> {
+    fn new(ctx: StepCtx<'a>) -> Stepper<'a> {
+        Stepper {
+            ctx,
+            actions: Vec::new(),
         }
-        .with_domain()
     }
 
-    fn with_domain(mut self) -> Engine<'a, O> {
-        self.domain = self.config.client.domain();
-        self
-    }
-
-    /// Records a ⊤ cause (the last one reported wins in the verdict).
+    /// Records a ⊤ cause (the last one replayed wins in the verdict).
     fn give_up(&mut self, reason: TopReason) {
-        self.observer.on_top(&reason);
-        self.top = Some(reason);
-    }
-
-    fn run(mut self) -> AnalysisResult {
-        // Phase timing is opt-in (a few percent of timer calls): queried
-        // once so untimed runs skip every `Instant::now`.
-        let timing = self.observer.timing_enabled();
-        let mut profile = EngineProfile::default();
-        let run_start = Instant::now();
-
-        let mut init = AnalysisState::initial(self.cfg.entry(), self.config.min_np);
-        self.domain.rename(&mut init);
-        self.scheduler.seed(init);
-
-        loop {
-            if self.top.is_some() {
-                break;
-            }
-            let Some(tick) = self.scheduler.tick() else {
-                break; // Worklist exhausted: fixpoint.
-            };
-            let st = match tick {
-                Ok(st) => st,
-                Err(reason) => {
-                    self.give_up(reason);
-                    break;
-                }
-            };
-            self.observer.on_step(self.scheduler.steps(), &st);
-            // A step with an unblocked set is a transfer step; with every
-            // set blocked it is a matching step (match / split / promote).
-            let is_transfer = st.psets.iter().any(|p| {
-                !matches!(
-                    self.cfg.node(p.node),
-                    CfgNode::Send { .. } | CfgNode::Recv { .. } | CfgNode::Exit
-                )
-            });
-            let step_start = timing.then(Instant::now);
-            let successors = self.step(st);
-            if let Some(t) = step_start {
-                let dt = t.elapsed();
-                if is_transfer {
-                    profile.transfer += dt;
-                } else {
-                    profile.matching += dt;
-                }
-            }
-            for mut s in successors {
-                let norm_start = timing.then(Instant::now);
-                let keep = self.normalize_successor(&mut s);
-                if let Some(t) = norm_start {
-                    profile.join_widen += t.elapsed();
-                }
-                if !keep {
-                    continue;
-                }
-                self.matches.extend(s.matches.iter().cloned());
-                if self.is_terminal(&s) {
-                    self.finish_terminal(&s);
-                    continue;
-                }
-                let admit_start = timing.then(Instant::now);
-                let rejected = self.scheduler.admit(
-                    s,
-                    self.domain,
-                    &self.session.widen_thresholds,
-                    &mut *self.observer,
-                );
-                if let Some(t) = admit_start {
-                    profile.admission += t.elapsed();
-                }
-                if let Some(reason) = rejected {
-                    self.give_up(reason);
-                }
-            }
-        }
-
-        let verdict = if let Some(reason) = self.top {
-            Verdict::Top { reason }
-        } else if let Some(blocked) = self.deadlock {
-            Verdict::Deadlock { blocked }
-        } else {
-            Verdict::Exact
-        };
-        let result = AnalysisResult {
-            verdict,
-            matches: self.matches,
-            events: self.events.into_values().collect(),
-            prints: self
-                .prints
-                .into_iter()
-                .map(|((node, range), value)| PrintFact { node, range, value })
-                .collect(),
-            leaks: self.leaks.into_iter().collect(),
-            steps: self.scheduler.steps(),
-            closure_stats: self.session.closure_delta(),
-            trace: Vec::new(),
-        };
-        self.observer.on_complete(&result);
-        profile.total = run_start.elapsed();
-        profile.stored = self.scheduler.stored_stats();
-        self.observer.on_profile(&profile);
-        result
-    }
-
-    /// Normalizes a successor state in place: closes the constraint
-    /// graph, drops infeasible paths and provably-empty sets, merges
-    /// compatible sets, renames canonically and re-saturates range
-    /// bounds. Returns `false` if the state must be discarded (the ⊤
-    /// causes are recorded here).
-    fn normalize_successor(&mut self, s: &mut AnalysisState) -> bool {
-        // An inconsistent constraint graph marks an infeasible path:
-        // under it every range would look empty and the state would
-        // collapse to a bogus terminal.
-        s.cg.close();
-        if s.cg.is_bottom() || s.psets.is_empty() {
-            return false; // Infeasible path.
-        }
-        if !s.drop_empty_psets() {
-            // A possibly-empty set would make matching unsound.
-            // Keep going only if it never participates in a
-            // match; conservatively we continue (matching demands
-            // provable non-emptiness anyway).
-        }
-        let before = s.psets.len();
-        self.domain.join(s);
-        s.drop_empty_psets();
-        if s.psets.len() < before {
-            self.observer.on_merge(before, s.psets.len());
-        }
-        if s.any_vacant_range() {
-            self.give_up(TopReason::AbstractionLoss);
-            return false;
-        }
-        if s.psets.len() > self.config.max_psets {
-            self.give_up(TopReason::PsetBudget {
-                max: self.config.max_psets,
-            });
-            return false;
-        }
-        self.domain.rename(s);
-        // Re-saturate range bounds against the current facts so
-        // loop-invariant aliases (e.g. a wavefront's own `id`)
-        // are present before widening intersects alias sets.
-        for i in 0..s.psets.len() {
-            let mut range = s.psets[i].range.clone();
-            range.saturate(&mut s.cg);
-            s.psets[i].range = range;
-        }
-        // Close once more so the state is admitted transitively closed:
-        // equal states then share one fingerprint (the O(1) dedup path),
-        // and later match probes against it are read-only — no CoW copy.
-        s.cg.close();
-        true
-    }
-
-    fn is_terminal(&self, st: &AnalysisState) -> bool {
-        // An empty state is an infeasible path, never a real terminal
-        // (a completed analysis always holds [0..np-1] at exit).
-        !st.psets.is_empty() && st.psets.iter().all(|p| p.node == self.cfg.exit())
-    }
-
-    fn finish_terminal(&mut self, st: &AnalysisState) {
-        for p in &st.psets {
-            if let Some(pend) = &p.pending {
-                self.leaks.insert(pend.node);
-            }
-        }
-        self.observer.on_terminal(st);
+        self.actions.push(TaskAction::Top { reason });
     }
 
     /// One engine step from `st`: returns successor states.
@@ -314,7 +186,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         // 1. Advance an unblocked process set.
         let unblocked = st.psets.iter().position(|p| {
             !matches!(
-                self.cfg.node(p.node),
+                self.ctx.cfg.node(p.node),
                 CfgNode::Send { .. } | CfgNode::Recv { .. } | CfgNode::Exit
             )
         });
@@ -331,14 +203,18 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
             return states;
         }
         // 4. Buffer a send (depth-1 aggregation).
-        if self.config.allow_pending_sends {
+        if self.ctx.allow_pending_sends {
             let promotable = st.psets.iter().position(|p| {
-                matches!(self.cfg.node(p.node), CfgNode::Send { .. }) && p.pending.is_none()
+                matches!(self.ctx.cfg.node(p.node), CfgNode::Send { .. }) && p.pending.is_none()
             });
             if let Some(idx) = promotable {
-                self.observer.on_promote(idx, &st);
+                self.actions.push(TaskAction::Promote {
+                    idx,
+                    state: st.clone(),
+                });
                 let mut s = st;
-                let CfgNode::Send { value, dest } = self.cfg.node(s.psets[idx].node).clone() else {
+                let CfgNode::Send { value, dest } = self.ctx.cfg.node(s.psets[idx].node).clone()
+                else {
                     unreachable!()
                 };
                 s.psets[idx].pending = Some(PendingSend {
@@ -346,7 +222,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
                     value,
                     dest,
                 });
-                s.psets[idx].node = self.cfg.sole_succ(s.psets[idx].node);
+                s.psets[idx].node = self.ctx.cfg.sole_succ(s.psets[idx].node);
                 return vec![s];
             }
         }
@@ -354,7 +230,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         //    never be satisfied are a deadlock; anything else is ⊤.
         let any_comm_blocked = st.psets.iter().any(|p| {
             matches!(
-                self.cfg.node(p.node),
+                self.ctx.cfg.node(p.node),
                 CfgNode::Send { .. } | CfgNode::Recv { .. }
             )
         });
@@ -363,22 +239,19 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
             // recorded by finish_terminal).
             return vec![st];
         }
-        let has_send_capability = st
-            .psets
-            .iter()
-            .any(|p| p.pending.is_some() || matches!(self.cfg.node(p.node), CfgNode::Send { .. }));
+        let has_send_capability = st.psets.iter().any(|p| {
+            p.pending.is_some() || matches!(self.ctx.cfg.node(p.node), CfgNode::Send { .. })
+        });
         if !has_send_capability {
             // Only receives outstanding and nothing can ever send:
             // guaranteed deadlock (matching so far was exact).
             let blocked = st
                 .psets
                 .iter()
-                .filter(|p| !matches!(self.cfg.node(p.node), CfgNode::Exit))
+                .filter(|p| !matches!(self.ctx.cfg.node(p.node), CfgNode::Exit))
                 .map(|p| (p.node, p.range.to_string()))
                 .collect();
-            if self.deadlock.is_none() {
-                self.deadlock = Some(blocked);
-            }
+            self.actions.push(TaskAction::Deadlock { blocked });
             return Vec::new();
         }
         self.give_up(TopReason::MatchFailure {
@@ -390,25 +263,28 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
     /// Advances the unblocked pset `idx` one CFG step.
     fn advance(&mut self, mut st: AnalysisState, idx: usize) -> Vec<AnalysisState> {
         let node = st.psets[idx].node;
-        match self.cfg.node(node).clone() {
+        match self.ctx.cfg.node(node).clone() {
             CfgNode::Entry | CfgNode::Skip => {
-                st.psets[idx].node = self.cfg.sole_succ(node);
+                st.psets[idx].node = self.ctx.cfg.sole_succ(node);
                 vec![st]
             }
             CfgNode::Assign { name, value } => {
-                self.domain
-                    .transfer_assign(&self.norm, &mut st, idx, &name, &value);
-                st.psets[idx].node = self.cfg.sole_succ(node);
+                self.ctx
+                    .domain
+                    .transfer_assign(self.ctx.norm, &mut st, idx, &name, &value);
+                st.psets[idx].node = self.ctx.cfg.sole_succ(node);
                 vec![st]
             }
             CfgNode::Print(e) => {
                 self.record_print(&mut st, idx, node, &e);
-                st.psets[idx].node = self.cfg.sole_succ(node);
+                st.psets[idx].node = self.ctx.cfg.sole_succ(node);
                 vec![st]
             }
             CfgNode::Assume(e) => {
-                self.domain.transfer_assume(&self.norm, &mut st, idx, &e);
-                st.psets[idx].node = self.cfg.sole_succ(node);
+                self.ctx
+                    .domain
+                    .transfer_assume(self.ctx.norm, &mut st, idx, &e);
+                st.psets[idx].node = self.ctx.cfg.sole_succ(node);
                 vec![st]
             }
             CfgNode::Branch { cond } => self.branch(st, idx, &cond),
@@ -427,8 +303,8 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         expr: &Expr,
     ) -> Expr {
         match expr {
-            Expr::Var(name) if !self.norm.is_input(name) => {
-                let v = self.norm.var(pset, name);
+            Expr::Var(name) if !self.ctx.norm.is_input(name) => {
+                let v = self.ctx.norm.var(pset, name);
                 match st.cg.eq_offset(v, VarId::id_of(pset)) {
                     Some(0) => Expr::Id,
                     Some(k) => Expr::binary(BinOp::Add, Expr::Id, Expr::Int(k)),
@@ -447,29 +323,27 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
 
     fn record_print(&mut self, st: &mut AnalysisState, idx: usize, node: CfgNodeId, e: &Expr) {
         let pset = st.psets[idx].id;
-        let value = self.norm.eval_const(e, pset, &st.consts).or_else(|| {
-            self.norm
+        let value = self.ctx.norm.eval_const(e, pset, &st.consts).or_else(|| {
+            self.ctx
+                .norm
                 .linearize(e, pset)
                 .and_then(|lin| st.cg.eval_expr(&lin))
         });
-        let key = (node, st.psets[idx].range.to_string());
-        match self.prints.get(&key) {
-            Some(prev) if *prev != value => {
-                self.prints.insert(key, None);
-            }
-            Some(_) => {}
-            None => {
-                self.prints.insert(key, value);
-            }
-        }
+        self.actions.push(TaskAction::Print {
+            node,
+            range: st.psets[idx].range.to_string(),
+            value,
+        });
     }
 
     fn branch(&mut self, st: AnalysisState, idx: usize, cond: &Expr) -> Vec<AnalysisState> {
         let t_succ = self
+            .ctx
             .cfg
             .succ_along(st.psets[idx].node, EdgeKind::True)
             .expect("branch true edge");
         let f_succ = self
+            .ctx
             .cfg
             .succ_along(st.psets[idx].node, EdgeKind::False)
             .expect("branch false edge");
@@ -493,7 +367,10 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         };
         if cond.mentions_id() && !singleton {
             let mut s = st.clone();
-            if let Some((t_parts, f_parts)) = self.domain.split_on_id(&self.norm, &mut s, idx, cond)
+            if let Some((t_parts, f_parts)) =
+                self.ctx
+                    .domain
+                    .split_on_id(self.ctx.norm, &mut s, idx, cond)
             {
                 let mut parts: Vec<(ProcRange, CfgNodeId, bool)> = Vec::new();
                 for r in t_parts {
@@ -517,7 +394,10 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         let pset = st.psets[idx].id;
         if !singleton
             && !cond.mentions_id()
-            && !self.domain.is_uniform_expr(&self.norm, &st, pset, cond)
+            && !self
+                .ctx
+                .domain
+                .is_uniform_expr(self.ctx.norm, &st, pset, cond)
         {
             self.give_up(TopReason::NonUniformCondition {
                 cond: cond.to_string(),
@@ -528,7 +408,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         // (b) uniform condition: decide if possible.
         if let Some(truth) = self.decide(&st, pset, cond) {
             let mut s = st;
-            let refs = self.norm.refinements(cond, pset, !truth);
+            let refs = self.ctx.norm.refinements(cond, pset, !truth);
             if !self.refine_or_drop_empty(&mut s, &refs) {
                 return Vec::new();
             }
@@ -542,7 +422,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         let mut out = Vec::new();
         for (truth, succ) in [(true, t_succ), (false, f_succ)] {
             let mut s = st.clone();
-            let refs = self.norm.refinements(cond, pset, !truth);
+            let refs = self.ctx.norm.refinements(cond, pset, !truth);
             if !self.refine_or_drop_empty(&mut s, &refs) {
                 continue;
             }
@@ -567,7 +447,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
     ) -> bool {
         loop {
             let mut probe = st.cg.clone();
-            self.norm.apply_refinements(&mut probe, refs);
+            self.ctx.norm.apply_refinements(&mut probe, refs);
             probe.close();
             if !probe.is_bottom() {
                 st.cg = probe;
@@ -579,7 +459,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
                 let victim = st.psets[i].id;
                 let mut without = st.cg.clone();
                 without.drop_namespace(victim);
-                self.norm.apply_refinements(&mut without, refs);
+                self.ctx.norm.apply_refinements(&mut without, refs);
                 without.close();
                 if !without.is_bottom() {
                     // `victim` is provably empty under the refinement.
@@ -597,7 +477,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
 
     /// Decides a set-uniform condition when provable.
     fn decide(&self, st: &AnalysisState, pset: mpl_domains::PsetId, cond: &Expr) -> Option<bool> {
-        if let Some(c) = self.norm.eval_const(cond, pset, &st.consts) {
+        if let Some(c) = self.ctx.norm.eval_const(cond, pset, &st.consts) {
             return Some(c != 0);
         }
         // Single comparison decidable from the constraint graph.
@@ -610,8 +490,12 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         };
         let mut cg = st.cg.clone();
         let (le, re) = (
-            self.norm.linearize_resolved(l, pset, &st.consts, &mut cg)?,
-            self.norm.linearize_resolved(r, pset, &st.consts, &mut cg)?,
+            self.ctx
+                .norm
+                .linearize_resolved(l, pset, &st.consts, &mut cg)?,
+            self.ctx
+                .norm
+                .linearize_resolved(r, pset, &st.consts, &mut cg)?,
         );
         let cmp = cg.compare_exprs(&le, &re);
         use std::cmp::Ordering::{Equal, Greater, Less};
@@ -680,7 +564,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
                     pending: true,
                 });
             }
-            match self.cfg.node(p.node) {
+            match self.ctx.cfg.node(p.node) {
                 CfgNode::Send { value, dest } if p.pending.is_none() => {
                     sends.push(SendSite {
                         pset_idx: i,
@@ -706,17 +590,17 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
 
     /// Attempts one send–receive match; returns the successor state.
     fn match_step(&mut self, st: &AnalysisState) -> Option<AnalysisState> {
-        let matcher = self.domain.matcher();
+        let matcher = self.ctx.domain.matcher();
         let (sends, recvs) = self.comm_sites(st);
         for send in &sends {
             for recv in &recvs {
                 let mut s = st.clone();
                 if let Some(outcome) =
-                    matcher.try_match(&mut s, send, recv, &self.norm, &self.assumes)
+                    matcher.try_match(&mut s, send, recv, self.ctx.norm, self.ctx.assumes)
                 {
                     match self.apply_match(s, send, recv, &outcome) {
                         Some(next) => return Some(next),
-                        None => self.observer.on_match_rejected(),
+                        None => self.actions.push(TaskAction::MatchRejected),
                     }
                 }
             }
@@ -732,15 +616,15 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
             self.give_up(TopReason::SplitDepthExceeded);
             return Some(Vec::new());
         }
-        let matcher = self.domain.matcher();
+        let matcher = self.ctx.domain.matcher();
         let (sends, recvs) = self.comm_sites(st);
         for send in &sends {
             for recv in &recvs {
                 let mut probe = st.clone();
-                let Some((a, b)) = matcher.split_hint(&mut probe, send, recv, &self.norm) else {
+                let Some((a, b)) = matcher.split_hint(&mut probe, send, recv, self.ctx.norm) else {
                     continue;
                 };
-                self.observer.on_split(&a, &b);
+                self.actions.push(TaskAction::Split { a, b });
                 let mut out = Vec::new();
                 let av = a.var.unwrap_or(VarId::ZERO);
                 let bv = b.var.unwrap_or(VarId::ZERO);
@@ -773,7 +657,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         recv: &RecvSite,
         outcome: &MatchOutcome,
     ) -> Option<AnalysisState> {
-        let recv_succ = self.cfg.sole_succ(recv.node);
+        let recv_succ = self.ctx.cfg.sole_succ(recv.node);
         st.matches.insert((send.node, recv.node));
         // Capture the event now (the constants are provable in the
         // pre-release state), but only *record* it once the match has
@@ -810,7 +694,7 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
             self.propagate_value(&mut st, send, recv, recv.pset_idx);
             st.psets[recv.pset_idx].pending = None;
             st.psets[recv.pset_idx].node = recv_succ;
-            self.record_match_event(event);
+            self.actions.push(TaskAction::Match { event });
             return Some(st);
         }
 
@@ -850,8 +734,8 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
                 })
                 .unwrap_or(st.psets.len() - 1);
             assigned_ns = st.psets[receiver_new_idx].id;
-            self.domain.propagate_received(
-                &self.norm,
+            self.ctx.domain.propagate_received(
+                self.ctx.norm,
                 &mut st,
                 send,
                 recv,
@@ -900,14 +784,14 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
             if send.pending {
                 st.psets[send_idx].pending = None;
             } else {
-                st.psets[send_idx].node = self.cfg.sole_succ(send.node);
+                st.psets[send_idx].node = self.ctx.cfg.sole_succ(send.node);
             }
         } else {
             let remainder = s_range.subtract(&mut st.cg, &s_procs)?;
             let released_node = if send.pending {
                 st.psets[send_idx].node
             } else {
-                self.cfg.sole_succ(send.node)
+                self.ctx.cfg.sole_succ(send.node)
             };
             let mut parts: Vec<(ProcRange, CfgNodeId, bool)> = Vec::new();
             // Matched part: pending cleared (if pending) or advanced.
@@ -925,13 +809,8 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
             // matched part released its pending while the rest keeps it.
             st.split_pset(send_idx, parts);
         }
-        self.record_match_event(event);
+        self.actions.push(TaskAction::Match { event });
         Some(st)
-    }
-
-    fn record_match_event(&mut self, event: MatchEvent) {
-        self.observer.on_match(&event);
-        self.events.insert(event.to_string(), event);
     }
 
     /// Propagates the sent value into the receiver's variable (Fig 2's
@@ -944,7 +823,455 @@ impl<'a, O: AnalysisObserver> Engine<'a, O> {
         recv_idx: usize,
     ) {
         let sender_id = st.psets[send.pset_idx].id;
-        self.domain
-            .propagate_received(&self.norm, st, send, recv, sender_id, recv_idx);
+        self.ctx
+            .domain
+            .propagate_received(self.ctx.norm, st, send, recv, sender_id, recv_idx);
+    }
+}
+
+struct Engine<'a, O: AnalysisObserver> {
+    cfg: &'a Cfg,
+    norm: NormCtx,
+    config: AnalysisConfig,
+    domain: &'static dyn ClientDomain,
+    session: crate::session::AnalysisSession,
+    scheduler: Scheduler,
+    observer: &'a mut O,
+    assumes: Vec<Expr>,
+    matches: BTreeSet<(CfgNodeId, CfgNodeId)>,
+    events: BTreeMap<String, MatchEvent>,
+    prints: BTreeMap<(CfgNodeId, String), Option<i64>>,
+    leaks: BTreeSet<CfgNodeId>,
+    deadlock: Option<Vec<(CfgNodeId, String)>>,
+    top: Option<TopReason>,
+    /// Closure-counter deltas of merged parallel step tasks (zero under
+    /// the inline loop, whose step work accrues on this thread and is
+    /// already covered by the session delta).
+    worker_closure: ClosureStats,
+    /// Closure work the pool ran on *this* thread (small rounds fall
+    /// back to the caller). It lands in this thread's counters — and so
+    /// in the session delta — yet is also reported per task, so it is
+    /// subtracted from the session delta to keep the totals identical
+    /// to a sequential run.
+    inline_task_closure: ClosureStats,
+}
+
+impl<'a, O: AnalysisObserver> Engine<'a, O> {
+    fn new(cfg: &'a Cfg, config: AnalysisConfig, observer: &'a mut O) -> Engine<'a, O> {
+        let norm = NormCtx::from_cfg(cfg);
+        let assumes = cfg
+            .node_ids()
+            .filter_map(|id| match cfg.node(id) {
+                CfgNode::Assume(e) => Some(e.clone()),
+                _ => None,
+            })
+            .collect();
+        let session = crate::session::AnalysisSession::new(config.widen_thresholds.clone());
+        let mut scheduler = Scheduler::new(&config);
+        if config.order == ScheduleOrder::Priority {
+            scheduler.set_priority(SccRanks::compute(cfg));
+        }
+        Engine {
+            cfg,
+            norm,
+            config,
+            domain: Client::default().domain(),
+            session,
+            scheduler,
+            observer,
+            assumes,
+            matches: BTreeSet::new(),
+            events: BTreeMap::new(),
+            prints: BTreeMap::new(),
+            leaks: BTreeSet::new(),
+            deadlock: None,
+            top: None,
+            worker_closure: ClosureStats::default(),
+            inline_task_closure: ClosureStats::default(),
+        }
+        .with_domain()
+    }
+
+    fn with_domain(mut self) -> Engine<'a, O> {
+        self.domain = self.config.client.domain();
+        self
+    }
+
+    /// Records a ⊤ cause (the last one reported wins in the verdict).
+    fn give_up(&mut self, reason: TopReason) {
+        self.observer.on_top(&reason);
+        self.top = Some(reason);
+    }
+
+    fn step_ctx(&self) -> StepCtx<'_> {
+        StepCtx {
+            cfg: self.cfg,
+            norm: &self.norm,
+            domain: self.domain,
+            assumes: &self.assumes,
+            allow_pending_sends: self.config.allow_pending_sends,
+        }
+    }
+
+    fn run(mut self) -> AnalysisResult {
+        // Phase timing is opt-in (a few percent of timer calls): queried
+        // once so untimed runs skip every `Instant::now`.
+        let timing = self.observer.timing_enabled();
+        let mut profile = EngineProfile::default();
+        let run_start = Instant::now();
+
+        let mut init = AnalysisState::initial(self.cfg.entry(), self.config.min_np);
+        self.domain.rename(&mut init);
+        self.scheduler.seed(init);
+
+        // Tier 2: the round executor. `intra_jobs <= 1` keeps the
+        // historical inline loop (stepping and merging interleaved per
+        // item); more jobs step each round's frontier speculatively on
+        // pool workers and merge the results in extraction order.
+        let executor =
+            (self.config.intra_jobs > 1).then(|| RoundExecutor::new(self.config.intra_jobs));
+        profile.par_workers = executor.as_ref().map_or(0, RoundExecutor::workers);
+
+        'rounds: loop {
+            if self.top.is_some() {
+                break;
+            }
+            // Tier 1: drain the ready frontier (budget-capped; priority
+            // ordered when configured).
+            let frontier = self.scheduler.drain_frontier();
+            if frontier.is_empty() {
+                break; // Worklist exhausted: fixpoint.
+            }
+            profile.rounds += 1;
+            profile.frontier_total += frontier.len() as u64;
+            profile.frontier_peak = profile.frontier_peak.max(frontier.len());
+
+            match &executor {
+                None => {
+                    for (_, st) in frontier {
+                        if !self.merge_inline(st, timing, &mut profile) {
+                            break 'rounds;
+                        }
+                    }
+                }
+                Some(exec) => {
+                    if !self.round_parallel(exec, frontier, timing, &mut profile) {
+                        break 'rounds;
+                    }
+                }
+            }
+        }
+
+        let verdict = if let Some(reason) = self.top {
+            Verdict::Top { reason }
+        } else if let Some(blocked) = self.deadlock {
+            Verdict::Deadlock { blocked }
+        } else {
+            Verdict::Exact
+        };
+        let result = AnalysisResult {
+            verdict,
+            matches: self.matches,
+            events: self.events.into_values().collect(),
+            prints: self
+                .prints
+                .into_iter()
+                .map(|((node, range), value)| PrintFact { node, range, value })
+                .collect(),
+            leaks: self.leaks.into_iter().collect(),
+            steps: self.scheduler.steps(),
+            closure_stats: self
+                .session
+                .closure_delta()
+                .since(&self.inline_task_closure)
+                .merged(&self.worker_closure),
+            trace: Vec::new(),
+        };
+        self.observer.on_complete(&result);
+        profile.total = run_start.elapsed();
+        profile.stored = self.scheduler.stored_stats();
+        self.observer.on_profile(&profile);
+        result
+    }
+
+    /// Inline (sequential) processing of one frontier item: count the
+    /// step, step the state on this thread, merge immediately — the
+    /// historical `tick()` loop body verbatim. Returns `false` when the
+    /// round loop must stop (budget, deadline or ⊤).
+    fn merge_inline(
+        &mut self,
+        st: AnalysisState,
+        timing: bool,
+        profile: &mut EngineProfile,
+    ) -> bool {
+        if self.top.is_some() {
+            return false;
+        }
+        if let Some(reason) = self.scheduler.count_step() {
+            self.give_up(reason);
+            return false;
+        }
+        if self.config.panic_at_step == Some(self.scheduler.steps()) {
+            std::panic::panic_any(fault_message(self.scheduler.steps()));
+        }
+        self.observer.on_step(self.scheduler.steps(), &st);
+        // A step with an unblocked set is a transfer step; with every
+        // set blocked it is a matching step (match / split / promote).
+        let is_transfer = st.psets.iter().any(|p| {
+            !matches!(
+                self.cfg.node(p.node),
+                CfgNode::Send { .. } | CfgNode::Recv { .. } | CfgNode::Exit
+            )
+        });
+        let step_start = timing.then(Instant::now);
+        let (successors, actions) = {
+            let mut stepper = Stepper::new(self.step_ctx());
+            let successors = stepper.step(st);
+            (successors, stepper.actions)
+        };
+        if let Some(t) = step_start {
+            let dt = t.elapsed();
+            if is_transfer {
+                profile.transfer += dt;
+            } else {
+                profile.matching += dt;
+            }
+        }
+        self.absorb(successors, actions, timing, profile);
+        true
+    }
+
+    /// One parallel round: clone the frontier states to pool workers
+    /// (CoW-cheap), step them speculatively, then merge the results in
+    /// extraction order. Returns `false` when the round loop must stop.
+    fn round_parallel(
+        &mut self,
+        exec: &RoundExecutor,
+        frontier: Vec<(LocationKey, AnalysisState)>,
+        timing: bool,
+        profile: &mut EngineProfile,
+    ) -> bool {
+        // Items that merge this round receive step numbers steps()+1….
+        // The injected fault uses the same numbering on the worker, so
+        // inline and parallel runs panic with identical messages.
+        let base_step = self.scheduler.steps();
+        let items: Vec<(u64, (u64, AnalysisState))> = frontier
+            .iter()
+            .enumerate()
+            .map(|(i, (key, st))| (key.index() as u64, (base_step + i as u64 + 1, st.clone())))
+            .collect();
+        let wait_start = timing.then(Instant::now);
+        let caller_before = ClosureStats::snapshot();
+        let (slots, rstats) = {
+            let ctx = self.step_ctx();
+            let panic_at = self.config.panic_at_step;
+            let table = mpl_domains::table_snapshot();
+            exec.run_round(items, move |_, (ordinal, st): (u64, AnalysisState)| {
+                // Workers adopt the coordinator's interner so packed
+                // VarIds mean the same thing on every thread; the
+                // vocabulary is fully pre-interned, so stepping never
+                // grows the table.
+                mpl_domains::adopt_table(table.clone());
+                if panic_at == Some(ordinal) {
+                    std::panic::panic_any(fault_message(ordinal));
+                }
+                let before = ClosureStats::snapshot();
+                let mut stepper = Stepper::new(ctx);
+                let successors = stepper.step(st);
+                StepOutput {
+                    successors,
+                    actions: stepper.actions,
+                    closure: ClosureStats::snapshot().since(&before),
+                }
+            })
+        };
+        if let Some(t) = wait_start {
+            profile.round_wait += t.elapsed();
+        }
+        // Rounds with a single group run inline on this thread; their
+        // step work polluted this thread's counters and must not be
+        // double counted against the per-task deltas merged below.
+        self.inline_task_closure
+            .merge(&ClosureStats::snapshot().since(&caller_before));
+        profile.par_groups += rstats.groups as u64;
+        profile.par_steals += rstats.steals;
+
+        let merge_start = timing.then(Instant::now);
+        let nested_before = profile.join_widen + profile.admission;
+        let mut keep_going = true;
+        for ((_, pre), slot) in frontier.into_iter().zip(slots) {
+            if self.top.is_some() {
+                keep_going = false;
+                break;
+            }
+            if let Some(reason) = self.scheduler.count_step() {
+                self.give_up(reason);
+                keep_going = false;
+                break;
+            }
+            match slot {
+                Ok(output) => {
+                    self.worker_closure.merge(&output.closure);
+                    self.observer.on_step(self.scheduler.steps(), &pre);
+                    self.absorb(output.successors, output.actions, timing, profile);
+                }
+                // Re-raise the worker's panic on the coordinating
+                // thread, at the step where the sequential loop would
+                // have panicked; the request layer's `catch_unwind`
+                // turns it into a structured failure.
+                Err(failure) => std::panic::panic_any(failure.message),
+            }
+        }
+        if let Some(t) = merge_start {
+            let nested = (profile.join_widen + profile.admission) - nested_before;
+            profile.round_merge += t.elapsed().saturating_sub(nested);
+        }
+        keep_going
+    }
+
+    /// Merges one stepped item: replays its action log (observer events
+    /// and accumulator effects, in step order), then normalizes and
+    /// admits its successor states — exactly what the historical loop
+    /// did after `step()` returned.
+    fn absorb(
+        &mut self,
+        successors: Vec<AnalysisState>,
+        actions: Vec<TaskAction>,
+        timing: bool,
+        profile: &mut EngineProfile,
+    ) {
+        for action in actions {
+            self.replay(action);
+        }
+        for mut s in successors {
+            let norm_start = timing.then(Instant::now);
+            let keep = self.normalize_successor(&mut s);
+            if let Some(t) = norm_start {
+                profile.join_widen += t.elapsed();
+            }
+            if !keep {
+                continue;
+            }
+            self.matches.extend(s.matches.iter().cloned());
+            if self.is_terminal(&s) {
+                self.finish_terminal(&s);
+                continue;
+            }
+            let admit_start = timing.then(Instant::now);
+            let rejected = self.scheduler.admit(
+                s,
+                self.domain,
+                &self.session.widen_thresholds,
+                &mut *self.observer,
+            );
+            if let Some(t) = admit_start {
+                profile.admission += t.elapsed();
+            }
+            if let Some(reason) = rejected {
+                self.give_up(reason);
+            }
+        }
+    }
+
+    fn replay(&mut self, action: TaskAction) {
+        match action {
+            TaskAction::Promote { idx, state } => self.observer.on_promote(idx, &state),
+            TaskAction::Split { a, b } => self.observer.on_split(&a, &b),
+            TaskAction::Match { event } => self.record_match_event(event),
+            TaskAction::MatchRejected => self.observer.on_match_rejected(),
+            TaskAction::Top { reason } => self.give_up(reason),
+            TaskAction::Deadlock { blocked } => {
+                if self.deadlock.is_none() {
+                    self.deadlock = Some(blocked);
+                }
+            }
+            TaskAction::Print { node, range, value } => self.fold_print(node, range, value),
+        }
+    }
+
+    /// Folds one evaluated print fact into the per-(node, range) table:
+    /// a conflicting value demotes the fact to "not constant".
+    fn fold_print(&mut self, node: CfgNodeId, range: String, value: Option<i64>) {
+        let key = (node, range);
+        match self.prints.get(&key) {
+            Some(prev) if *prev != value => {
+                self.prints.insert(key, None);
+            }
+            Some(_) => {}
+            None => {
+                self.prints.insert(key, value);
+            }
+        }
+    }
+
+    /// Normalizes a successor state in place: closes the constraint
+    /// graph, drops infeasible paths and provably-empty sets, merges
+    /// compatible sets, renames canonically and re-saturates range
+    /// bounds. Returns `false` if the state must be discarded (the ⊤
+    /// causes are recorded here).
+    fn normalize_successor(&mut self, s: &mut AnalysisState) -> bool {
+        // An inconsistent constraint graph marks an infeasible path:
+        // under it every range would look empty and the state would
+        // collapse to a bogus terminal.
+        s.cg.close();
+        if s.cg.is_bottom() || s.psets.is_empty() {
+            return false; // Infeasible path.
+        }
+        if !s.drop_empty_psets() {
+            // A possibly-empty set would make matching unsound.
+            // Keep going only if it never participates in a
+            // match; conservatively we continue (matching demands
+            // provable non-emptiness anyway).
+        }
+        let before = s.psets.len();
+        self.domain.join(s);
+        s.drop_empty_psets();
+        if s.psets.len() < before {
+            self.observer.on_merge(before, s.psets.len());
+        }
+        if s.any_vacant_range() {
+            self.give_up(TopReason::AbstractionLoss);
+            return false;
+        }
+        if s.psets.len() > self.config.max_psets {
+            self.give_up(TopReason::PsetBudget {
+                max: self.config.max_psets,
+            });
+            return false;
+        }
+        self.domain.rename(s);
+        // Re-saturate range bounds against the current facts so
+        // loop-invariant aliases (e.g. a wavefront's own `id`)
+        // are present before widening intersects alias sets.
+        for i in 0..s.psets.len() {
+            let mut range = s.psets[i].range.clone();
+            range.saturate(&mut s.cg);
+            s.psets[i].range = range;
+        }
+        // Close once more so the state is admitted transitively closed:
+        // equal states then share one fingerprint (the O(1) dedup path),
+        // and later match probes against it are read-only — no CoW copy.
+        s.cg.close();
+        true
+    }
+
+    fn is_terminal(&self, st: &AnalysisState) -> bool {
+        // An empty state is an infeasible path, never a real terminal
+        // (a completed analysis always holds [0..np-1] at exit).
+        !st.psets.is_empty() && st.psets.iter().all(|p| p.node == self.cfg.exit())
+    }
+
+    fn finish_terminal(&mut self, st: &AnalysisState) {
+        for p in &st.psets {
+            if let Some(pend) = &p.pending {
+                self.leaks.insert(pend.node);
+            }
+        }
+        self.observer.on_terminal(st);
+    }
+
+    fn record_match_event(&mut self, event: MatchEvent) {
+        self.observer.on_match(&event);
+        self.events.insert(event.to_string(), event);
     }
 }

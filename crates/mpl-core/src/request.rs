@@ -179,7 +179,7 @@ impl AnalysisRequest {
         }
         let _ = write!(
             out,
-            ";trace={};timeout_nanos={};retries={};fault={}\n{}",
+            ";trace={};timeout_nanos={};retries={};fault={}",
             c.trace,
             self.timeout.map_or(0, |t| t.as_nanos()),
             self.retries,
@@ -193,8 +193,20 @@ impl AnalysisRequest {
                 #[allow(unreachable_patterns)]
                 Some(_) => "other",
             },
-            self.normalized_program(),
         );
+        // Appended only when non-default, so historical cache entries
+        // keep their check strings. `intra_jobs` is deliberately absent:
+        // the worker count is an execution knob with byte-identical
+        // output, so cached answers are shared across `--par` values.
+        // Schedule order and the injected engine fault *do* change the
+        // response and must split the identity.
+        if c.order == crate::config::ScheduleOrder::Priority {
+            out.push_str(";order=priority");
+        }
+        if let Some(step) = c.panic_at_step {
+            let _ = write!(out, ";panic_at={step}");
+        }
+        let _ = write!(out, "\n{}", self.normalized_program());
         out
     }
 
@@ -277,6 +289,8 @@ pub struct AnalysisRequestBuilder {
     max_steps: Option<u64>,
     max_psets: Option<usize>,
     widen_delay: Option<u32>,
+    par: Option<usize>,
+    order: Option<crate::config::ScheduleOrder>,
     timeout: Option<Duration>,
     retries: u32,
     fault: Option<Fault>,
@@ -359,6 +373,25 @@ impl AnalysisRequestBuilder {
         self
     }
 
+    /// Sets the intra-analysis worker count (`--par`): how many round
+    /// executor threads step each frontier. Purely an execution knob —
+    /// the response is byte-identical for any value — so it is not part
+    /// of the cache identity.
+    #[must_use]
+    pub fn par(mut self, par: usize) -> Self {
+        self.par = Some(par);
+        self
+    }
+
+    /// Sets the frontier schedule order (FIFO vs SCC/reverse-postorder
+    /// priority). Unlike `par`, this changes exploration order and hence
+    /// the response, so it splits the cache identity.
+    #[must_use]
+    pub fn order(mut self, order: crate::config::ScheduleOrder) -> Self {
+        self.order = Some(order);
+        self
+    }
+
     /// Sets the cooperative per-attempt deadline.
     #[must_use]
     pub fn timeout(mut self, timeout: Duration) -> Self {
@@ -436,6 +469,12 @@ impl AnalysisRequestBuilder {
         }
         if let Some(widen_delay) = self.widen_delay {
             cb = cb.widen_delay(widen_delay);
+        }
+        if let Some(par) = self.par {
+            cb = cb.intra_jobs(par);
+        }
+        if let Some(order) = self.order {
+            cb = cb.schedule_order(order);
         }
         let config = cb.build()?;
         let fault = self.fault.or_else(|| {

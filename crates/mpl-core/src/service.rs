@@ -18,7 +18,7 @@
 //!
 //! | op         | fields                                                        |
 //! |------------|---------------------------------------------------------------|
-//! | `analyze`  | `program` (required source text), `name`, `client`, `client_id`, `min_np`, `max_steps`, `max_psets`, `timeout_ms`, `retries` |
+//! | `analyze`  | `program` (required source text), `name`, `client`, `client_id`, `min_np`, `max_steps`, `max_psets`, `timeout_ms`, `retries`, `par`, `order` (`"fifo"`/`"priority"`) |
 //! | `stats`    | —                                                             |
 //! | `ping`     | —                                                             |
 //! | `shutdown` | `mode` (`"abort"` default, or `"drain"`)                      |
@@ -443,10 +443,14 @@ impl AnalysisService {
 
     fn handle_analyze(&self, value: &JsonValue, peer: &str) -> String {
         // Quota first: a client over its rate gets a structured
-        // retry-after answer before it can occupy a gate slot.
+        // retry-after answer before it can occupy a gate slot. A missing
+        // *or empty* `client_id` falls back to the transport's peer
+        // identity — an empty string must not pool every anonymous
+        // client into one shared bucket.
         if let Some(quotas) = &self.quotas {
             let client = match value.get("client_id") {
                 None => peer,
+                Some(JsonValue::Str(id)) if id.is_empty() => peer,
                 Some(JsonValue::Str(id)) => id.as_str(),
                 Some(_) => return error_line("bad-request", "`client_id` must be a string"),
             };
@@ -690,6 +694,24 @@ impl AnalysisService {
                 return Err(error_line("bad-request", "`retries` out of range"));
             };
             builder = builder.retries(retries);
+        }
+        if let Some(par) = uint_field(value, "par")? {
+            let Ok(par) = usize::try_from(par) else {
+                return Err(error_line("bad-request", "`par` out of range"));
+            };
+            builder = builder.par(par);
+        }
+        if let Some(order) = value.get("order") {
+            builder = match order.as_str() {
+                Some("fifo") => builder.order(crate::config::ScheduleOrder::Fifo),
+                Some("priority") => builder.order(crate::config::ScheduleOrder::Priority),
+                _ => {
+                    return Err(error_line(
+                        "bad-request",
+                        "`order` must be \"fifo\" or \"priority\"",
+                    ))
+                }
+            };
         }
         builder
             .build()

@@ -1,0 +1,197 @@
+//! The parallel round executor: deterministic fan-out of one frontier
+//! round across pool workers.
+//!
+//! The analysis engine drains its ready worklist into a *frontier* — an
+//! ordered batch of independent work items — once per round. This module
+//! dispatches such a batch over a [`Pool`](crate::Pool) while preserving
+//! two invariants the engine's byte-determinism rests on:
+//!
+//! * **Submission-order results.** Every item writes its result into a
+//!   slot indexed by its frontier position (the same
+//!   submission-indexed-slot trick `Pool::run_ordered` uses), so the
+//!   caller merges results in exactly the order a sequential run would
+//!   have produced them — for any worker count.
+//! * **Per-group serialization.** Items carry a group key (the engine
+//!   uses the interned pCFG `LocationKey`); items sharing a key are
+//!   bundled into one pool job and run in frontier order on one worker.
+//!   Work at one location is therefore never concurrent with itself,
+//!   while distinct locations fan out freely.
+//!
+//! Panics are isolated per job ([`Pool::run_ordered_isolated`]): a
+//! panicking item poisons its group's remaining slots with the same
+//! structured [`JobFailure`] rather than hanging the round.
+
+use std::collections::HashMap;
+
+use crate::pool::{JobFailure, Pool};
+
+/// Occupancy counters for one round, for the engine profile.
+#[derive(Debug, Clone, Copy, Default)]
+#[non_exhaustive]
+pub struct RoundStats {
+    /// Items in the round's frontier.
+    pub items: usize,
+    /// Distinct group keys (pool jobs dispatched).
+    pub groups: usize,
+    /// Worker threads that ran jobs (0 = inline on the caller).
+    pub workers: usize,
+    /// Jobs obtained by work stealing rather than a worker's own deque.
+    pub steals: u64,
+}
+
+/// A round executor borrowing a worker pool.
+///
+/// Thin by design: rounds are frequent and small, so the executor keeps
+/// no state of its own beyond the pool handle.
+pub struct RoundExecutor {
+    pool: Pool,
+}
+
+impl RoundExecutor {
+    /// An executor over `workers` threads (clamped to at least 1).
+    #[must_use]
+    pub fn new(workers: usize) -> RoundExecutor {
+        RoundExecutor {
+            pool: Pool::new(workers),
+        }
+    }
+
+    /// The configured worker count.
+    #[must_use]
+    pub fn workers(&self) -> usize {
+        self.pool.workers()
+    }
+
+    /// Runs one frontier round: `items` are `(group_key, payload)`
+    /// pairs in frontier order; `f(index, payload)` does the work.
+    ///
+    /// Returns one result slot per item, in frontier order, plus the
+    /// round's occupancy stats. Items sharing a `group_key` execute
+    /// sequentially (in frontier order) within one pool job; a panic in
+    /// an item fails every not-yet-finished item of its group with the
+    /// same [`JobFailure`].
+    pub fn run_round<T, R, F>(
+        &self,
+        items: Vec<(u64, T)>,
+        f: F,
+    ) -> (Vec<Result<R, JobFailure>>, RoundStats)
+    where
+        T: Send,
+        R: Send,
+        F: Fn(usize, T) -> R + Sync,
+    {
+        let n = items.len();
+        // Group by key, first-appearance order, keeping frontier indices.
+        let mut group_of: HashMap<u64, usize> = HashMap::new();
+        let mut jobs: Vec<Vec<(usize, T)>> = Vec::new();
+        for (idx, (key, payload)) in items.into_iter().enumerate() {
+            let g = *group_of.entry(key).or_insert_with(|| {
+                jobs.push(Vec::new());
+                jobs.len() - 1
+            });
+            jobs[g].push((idx, payload));
+        }
+        let groups = jobs.len();
+        let (job_results, pool_stats) = self.pool.run_ordered_isolated(jobs, |_, group| {
+            group
+                .into_iter()
+                .map(|(idx, payload)| (idx, f(idx, payload)))
+                .collect::<Vec<(usize, R)>>()
+        });
+        // Scatter group results back to frontier-indexed slots. A failed
+        // group poisons all of its slots (partial results are discarded
+        // with it: the merge must not observe half a group).
+        let mut slots: Vec<Option<Result<R, JobFailure>>> = (0..n).map(|_| None).collect();
+        let mut failed: Vec<(usize, JobFailure)> = Vec::new();
+        for (g, outcome) in job_results.into_iter().enumerate() {
+            match outcome {
+                Ok(pairs) => {
+                    for (idx, r) in pairs {
+                        slots[idx] = Some(Ok(r));
+                    }
+                }
+                Err(failure) => failed.push((g, failure)),
+            }
+        }
+        for (_, failure) in &failed {
+            for slot in slots.iter_mut().filter(|s| s.is_none()) {
+                *slot = Some(Err(failure.clone()));
+            }
+        }
+        let results = slots
+            .into_iter()
+            .map(|s| s.expect("every frontier slot filled"))
+            .collect();
+        let stats = RoundStats {
+            items: n,
+            groups,
+            workers: pool_stats.workers,
+            steals: pool_stats.steals,
+        };
+        (results, stats)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    #[test]
+    fn results_come_back_in_frontier_order() {
+        let exec = RoundExecutor::new(4);
+        let items: Vec<(u64, usize)> = (0..64).map(|i| (i as u64 % 7, i)).collect();
+        let (results, stats) = exec.run_round(items, |idx, x| {
+            assert_eq!(idx, x);
+            x * 10
+        });
+        for (i, r) in results.iter().enumerate() {
+            assert_eq!(*r.as_ref().expect("ok"), i * 10);
+        }
+        assert_eq!(stats.items, 64);
+        assert_eq!(stats.groups, 7);
+    }
+
+    #[test]
+    fn same_group_runs_in_frontier_order() {
+        let exec = RoundExecutor::new(4);
+        // All items share one group: they must run strictly in order.
+        let seen = AtomicUsize::new(0);
+        let items: Vec<(u64, usize)> = (0..32).map(|i| (0, i)).collect();
+        let (results, stats) = exec.run_round(items, |_, x| {
+            assert_eq!(seen.fetch_add(1, Ordering::SeqCst), x, "order within group");
+            x
+        });
+        assert_eq!(results.len(), 32);
+        assert_eq!(stats.groups, 1);
+    }
+
+    #[test]
+    fn panic_poisons_the_group_not_the_round() {
+        let exec = RoundExecutor::new(2);
+        // Group 1 panics at its second item; group 0 must still finish.
+        let items: Vec<(u64, usize)> = vec![(0, 0), (1, 1), (0, 2), (1, 3)];
+        let (results, _) = exec.run_round(items, |_, x| {
+            if x == 3 {
+                panic!("injected failure at {x}");
+            }
+            x
+        });
+        assert_eq!(*results[0].as_ref().expect("group 0"), 0);
+        assert_eq!(*results[2].as_ref().expect("group 0"), 2);
+        // The whole group is poisoned — including its already-computed
+        // earlier item, whose partial result died with the job.
+        for idx in [1, 3] {
+            let failure = results[idx].as_ref().expect_err("poisoned slot");
+            assert!(failure.message.contains("injected failure at 3"));
+        }
+    }
+
+    #[test]
+    fn single_worker_runs_inline() {
+        let exec = RoundExecutor::new(1);
+        let (results, stats) = exec.run_round(vec![(9u64, 5usize)], |_, x| x + 1);
+        assert_eq!(*results[0].as_ref().expect("ok"), 6);
+        assert_eq!(stats.workers, 0, "inline fast path");
+    }
+}

@@ -28,6 +28,20 @@ par_json=$("$MPL" analyze-corpus --jobs 4 --json)
 diff <(printf '%s\n' "$seq_json") <(printf '%s\n' "$par_json") \
   || { echo "analyze-corpus --json output differs between jobs=1 and jobs=4"; exit 1; }
 
+echo "== frontier-parallel determinism (--par 4 vs sequential) =="
+# The two-tier round executor must be invisible in the output: the whole
+# corpus report — verdicts, steps, matches, closure counters — is byte-
+# identical whether rounds run inline or across 4 pool workers, and the
+# priority schedule is likewise deterministic at any worker count.
+par_seq=$("$MPL" analyze-corpus --json)
+par_par=$("$MPL" analyze-corpus --json --par 4)
+diff <(printf '%s\n' "$par_seq") <(printf '%s\n' "$par_par") \
+  || { echo "analyze-corpus output differs between --par 1 and --par 4"; exit 1; }
+pri_seq=$("$MPL" analyze-corpus --json --order priority)
+pri_par=$("$MPL" analyze-corpus --json --order priority --par 4)
+diff <(printf '%s\n' "$pri_seq") <(printf '%s\n' "$pri_par") \
+  || { echo "analyze-corpus --order priority differs between --par 1 and --par 4"; exit 1; }
+
 echo "== analyze-corpus golden JSON (byte-identical) =="
 # The corpus report is a public, deterministic artifact: any refactor of
 # the engine/scheduler/observer layering must reproduce it byte for
@@ -79,6 +93,9 @@ echo "== per-phase profiler smoke (E18) =="
 # total| <= 10% of total. `--check` exits nonzero otherwise.
 cargo build -q --release -p mpl-bench --offline
 target/release/profile --check | tail -n 8
+# Under --par the breakdown gains the round-wait/round-merge phases;
+# the same coverage invariant must keep holding.
+target/release/profile --check --par 4 | tail -n 4
 
 echo "== serve daemon smoke (cache + byte-identity) =="
 # Start a daemon, fire concurrent requests at it, and hold it to the
@@ -187,5 +204,7 @@ BENCH_STATE_SHARING_JSON="$PWD/BENCH_state_sharing.json" \
   cargo bench -q -p mpl-bench --bench state_sharing --offline >/dev/null
 grep -q '"bench":"state_sharing"' BENCH_state_sharing.json \
   || { echo "BENCH_state_sharing.json missing or malformed"; exit 1; }
+grep -q '"par_jobs":4' BENCH_state_sharing.json \
+  || { echo "BENCH_state_sharing.json missing par_jobs scaling rows"; exit 1; }
 
 echo "verify: OK"

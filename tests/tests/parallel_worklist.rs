@@ -1,0 +1,242 @@
+//! Determinism contract of the two-tier frontier executor: for any
+//! `intra_jobs` value the engine must produce byte-identical results —
+//! verdicts, matched pairs, step counts, match events, prints, leaks
+//! and closure counters — because parallelism only reorders *when*
+//! successor states are computed, never the order they are merged.
+//!
+//! Also pins the failure modes: a panic inside a frontier task surfaces
+//! as a structured `JobOutcome::Panicked` (never a hang), with the same
+//! message the sequential path would have produced, and a cancelled
+//! deadline stops the engine mid-round within the polling interval.
+
+use std::fmt::Write as _;
+
+use mpl_core::{
+    analyze, analyze_cfg_with, AnalysisConfig, AnalysisRequest, Client, JobOutcome, ObserverStack,
+    ScheduleOrder, StatsObserver, TopReason, Verdict, CANCEL_CHECK_STEPS,
+};
+use mpl_lang::corpus;
+use mpl_runtime::CancelToken;
+
+/// Deterministic snapshot of one analysis: everything the result
+/// exposes except wall-clock durations.
+fn snapshot(out: &mut String, name: &str, client: Client, config: &AnalysisConfig) {
+    let prog = corpus::all().into_iter().find(|p| p.name == name).unwrap();
+    let result = analyze(&prog.program, config);
+    let _ = writeln!(out, "{name} / {client:?}");
+    let _ = writeln!(out, "  verdict: {:?}", result.verdict);
+    let _ = writeln!(out, "  steps: {}", result.steps);
+    let _ = writeln!(out, "  matches: {:?}", result.matches);
+    let events: Vec<String> = result
+        .events
+        .iter()
+        .map(|e| format!("{:?}@{}->{}", e.kind, e.send_node, e.recv_node))
+        .collect();
+    let _ = writeln!(out, "  events: [{}]", events.join(", "));
+    let prints: Vec<String> = result
+        .prints
+        .iter()
+        .map(|p| format!("{}={:?}", p.node, p.value))
+        .collect();
+    let _ = writeln!(out, "  prints: [{}]", prints.join(", "));
+    let _ = writeln!(out, "  leaks: {:?}", result.leaks);
+    let cs = &result.closure_stats;
+    let _ = writeln!(
+        out,
+        "  closures: full={} incr={}",
+        cs.full_closures, cs.incremental_closures
+    );
+}
+
+fn corpus_snapshot(par: usize, order: ScheduleOrder) -> String {
+    let mut out = String::new();
+    for prog in corpus::all() {
+        for client in [Client::Simple, Client::Cartesian] {
+            let config = AnalysisConfig::builder()
+                .client(client)
+                .intra_jobs(par)
+                .schedule_order(order)
+                .build()
+                .expect("valid config");
+            snapshot(&mut out, prog.name, client, &config);
+        }
+    }
+    out
+}
+
+#[test]
+fn corpus_is_byte_identical_for_any_worker_count() {
+    let base = corpus_snapshot(1, ScheduleOrder::Fifo);
+    for par in [2, 8] {
+        assert_eq!(
+            base,
+            corpus_snapshot(par, ScheduleOrder::Fifo),
+            "corpus snapshot diverged at intra_jobs={par}"
+        );
+    }
+}
+
+#[test]
+fn priority_order_is_deterministic_and_semantically_equivalent() {
+    // Priority scheduling may take a different number of steps than
+    // FIFO, but it must (a) be byte-identical across worker counts and
+    // (b) reach the same verdicts, matches and prints.
+    let pri = corpus_snapshot(1, ScheduleOrder::Priority);
+    for par in [2, 8] {
+        assert_eq!(
+            pri,
+            corpus_snapshot(par, ScheduleOrder::Priority),
+            "priority snapshot diverged at intra_jobs={par}"
+        );
+    }
+    let strip_steps = |s: &str| -> String {
+        s.lines()
+            .filter(|l| !l.trim_start().starts_with("steps:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    assert_eq!(
+        strip_steps(&corpus_snapshot(1, ScheduleOrder::Fifo)),
+        strip_steps(&pri),
+        "priority order changed analysis semantics, not just step order"
+    );
+}
+
+#[test]
+fn cli_analyze_corpus_is_byte_identical_across_par() {
+    let cli = |extra: &[&str]| {
+        let mut args = vec!["analyze-corpus".to_owned(), "--json".to_owned()];
+        args.extend(extra.iter().map(|s| (*s).to_owned()));
+        let out = mpl_cli::run_command(&args, "").expect("analyze-corpus runs");
+        assert_eq!(out.code, 0, "{}", out.text);
+        out.text
+    };
+    let base = cli(&[]);
+    for par in ["2", "8"] {
+        assert_eq!(
+            base,
+            cli(&["--par", par]),
+            "analyze-corpus NDJSON diverged at --par {par}"
+        );
+    }
+    // `--par` composes with inter-program `--jobs` parallelism.
+    assert_eq!(base, cli(&["--par", "2", "--jobs", "4"]));
+}
+
+#[test]
+fn cli_analyze_stats_deterministic_lines_match_across_par() {
+    // `--stats` output contains wall-clock phase times; everything else
+    // (verdict, topology, closure counters, event counters, stored-state
+    // sizes) must be byte-identical for any --par value.
+    let strip_timing = |text: &str| -> String {
+        text.lines()
+            .filter(|l| !l.starts_with("engine phases:") && !l.starts_with("closure stats:"))
+            .collect::<Vec<_>>()
+            .join("\n")
+    };
+    let prog = corpus::fig2_exchange();
+    let cli = |par: &str| {
+        let args: Vec<String> = ["analyze", "f.mpl", "--stats", "--trace", "--par", par]
+            .iter()
+            .map(|s| (*s).to_owned())
+            .collect();
+        let out = mpl_cli::run_command(&args, &prog.source).expect("analyze runs");
+        assert_eq!(out.code, 0, "{}", out.text);
+        out.text
+    };
+    let base = strip_timing(&cli("1"));
+    assert!(base.contains("step 1:"), "{base}");
+    assert!(base.contains("engine events:"), "{base}");
+    for par in ["2", "8"] {
+        assert_eq!(
+            base,
+            strip_timing(&cli(par)),
+            "--stats diverged at --par {par}"
+        );
+    }
+}
+
+#[test]
+fn profile_reports_frontier_and_worker_occupancy() {
+    let prog = corpus::mdcask_full();
+    let cfg = mpl_cfg::Cfg::build(&prog.program);
+    let config = AnalysisConfig::builder()
+        .intra_jobs(4)
+        .build()
+        .expect("valid config");
+    let mut stats = StatsObserver::new();
+    let mut stack = ObserverStack::new();
+    stack.push(&mut stats);
+    let result = analyze_cfg_with(&cfg, &config, &mut stack);
+    assert!(result.is_exact(), "{:?}", result.verdict);
+    let profile = stats.profile().expect("profile recorded");
+    assert_eq!(profile.par_workers, 4);
+    assert!(profile.rounds >= 1);
+    assert!(profile.frontier_peak >= 1);
+    // Every merged step was drained from some frontier first.
+    assert!(profile.frontier_total >= result.steps);
+    assert!(profile.par_groups >= profile.rounds);
+}
+
+#[test]
+fn panic_in_frontier_task_is_structured_not_a_hang() {
+    // The same injected fault must produce the same structured failure
+    // at every worker count: the panic happens speculatively on a
+    // worker, but is re-raised at its deterministic merge position.
+    let prog = corpus::fig2_exchange();
+    let outcome_at = |par: usize| {
+        let config = AnalysisConfig::builder()
+            .intra_jobs(par)
+            .panic_at_step(5)
+            .build()
+            .expect("valid config");
+        let request = AnalysisRequest::builder()
+            .name("poisoned")
+            .program(prog.program.clone())
+            .config(config)
+            .build()
+            .expect("valid request");
+        request.execute().outcome
+    };
+    let JobOutcome::Panicked { message: base } = outcome_at(1) else {
+        panic!("sequential panic_at_step did not surface as Panicked");
+    };
+    assert_eq!(base, "injected engine fault at step 5");
+    for par in [2, 8] {
+        match outcome_at(par) {
+            JobOutcome::Panicked { message } => {
+                assert_eq!(base, message, "panic message diverged at intra_jobs={par}");
+            }
+            other => panic!("intra_jobs={par}: expected Panicked, got {other:?}"),
+        }
+    }
+}
+
+#[test]
+fn cancellation_fires_mid_round_within_the_polling_interval() {
+    // A pre-cancelled token with a wide parallel frontier: the merge
+    // loop polls the token every CANCEL_CHECK_STEPS merges, so the
+    // engine must stop with ⊤/deadline instead of finishing (or
+    // hanging in) the round.
+    let token = CancelToken::new();
+    token.cancel();
+    let prog = corpus::mdcask_full();
+    let config = AnalysisConfig::builder()
+        .cancel_token(token)
+        .intra_jobs(8)
+        .build()
+        .expect("valid config");
+    let result = analyze(&prog.program, &config);
+    assert!(matches!(
+        result.verdict,
+        Verdict::Top {
+            reason: TopReason::Deadline
+        }
+    ));
+    assert!(
+        result.steps <= CANCEL_CHECK_STEPS,
+        "stopped after {} steps, poll interval is {}",
+        result.steps,
+        CANCEL_CHECK_STEPS
+    );
+}

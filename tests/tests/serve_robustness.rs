@@ -279,3 +279,59 @@ fn journal_capacity_overflow_keeps_newest_entries_on_restart() {
     assert!(svc.cache_stats().misses >= 1);
     let _ = std::fs::remove_dir_all(&dir);
 }
+
+#[test]
+fn anonymous_quota_buckets_are_keyed_by_peer_identity() {
+    // A request with no `client_id` — or an *empty* one — must charge
+    // the connection's peer identity, not one shared anonymous bucket:
+    // two distinct peers each get their own burst, while repeat
+    // requests from the same peer are throttled.
+    let svc = AnalysisService::new(ServiceConfig {
+        quota: Some(QuotaPolicy {
+            rate_per_sec: 1,
+            burst: 1,
+        }),
+        ..ServiceConfig::default()
+    });
+    let line = analyze_line(&corpus::fig2_exchange().source);
+    let served = |reply: Reply| reply.line().contains("\"type\":\"program\"");
+
+    // Absent client_id: each peer spends its own burst of 1.
+    assert!(served(svc.handle_line_as(&line, "127.0.0.1:50001")));
+    assert!(served(svc.handle_line_as(&line, "127.0.0.1:50002")));
+    let again = svc.handle_line_as(&line, "127.0.0.1:50001");
+    assert!(
+        again.line().contains("\"code\":\"quota-exceeded\""),
+        "{}",
+        again.line()
+    );
+    assert_eq!(svc.quota_rejected(), 1);
+
+    // Empty client_id is treated exactly like an absent one (it used
+    // to select a single shared anonymous bucket).
+    let empty_id = format!(
+        "{{\"op\":\"analyze\",\"client\":\"simple\",\"client_id\":\"\",\"program\":\"{}\"}}",
+        json_escape(&corpus::fig2_exchange().source)
+    );
+    assert!(served(svc.handle_line_as(&empty_id, "127.0.0.1:50003")));
+    let again = svc.handle_line_as(&empty_id, "127.0.0.1:50003");
+    assert!(
+        again.line().contains("\"code\":\"quota-exceeded\""),
+        "{}",
+        again.line()
+    );
+
+    // An explicit client_id overrides the peer: the same id is one
+    // bucket no matter which connection it arrives on.
+    let with_id = format!(
+        "{{\"op\":\"analyze\",\"client\":\"simple\",\"client_id\":\"team-a\",\"program\":\"{}\"}}",
+        json_escape(&corpus::fig2_exchange().source)
+    );
+    assert!(served(svc.handle_line_as(&with_id, "127.0.0.1:50004")));
+    let cross_peer = svc.handle_line_as(&with_id, "127.0.0.1:50005");
+    assert!(
+        cross_peer.line().contains("\"code\":\"quota-exceeded\""),
+        "{}",
+        cross_peer.line()
+    );
+}
